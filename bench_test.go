@@ -1,0 +1,205 @@
+// Benchmarks regenerating every figure in the paper's evaluation section,
+// plus ablation benches for the design choices DESIGN.md calls out. Each
+// benchmark runs the corresponding experiment harness on a shortened window
+// per iteration and reports the figure's headline numbers as custom
+// metrics, so `go test -bench=.` reproduces the whole evaluation:
+//
+//	Figure 5 → BenchmarkFig5ControllerOverhead (slope/intercept/R²)
+//	Figure 6 → BenchmarkFig6Responsiveness (response time, fill, tracking)
+//	Figure 7 → BenchmarkFig7UnderLoad (+ hog share under squish)
+//	Figure 8 → BenchmarkFig8DispatchOverhead (overhead at 4 kHz, knee)
+//	§2       → BenchmarkPathfinderInversion, BenchmarkSpinWaitLivelock
+package realrate_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/pid"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+func BenchmarkFig5ControllerOverhead(b *testing.B) {
+	var fit struct{ slope, intercept, r2, at40 float64 }
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5(experiments.Fig5Config{
+			MaxProcesses: 40, Step: 10, RunFor: 5 * sim.Second,
+		})
+		fit.slope = res.Fit.Slope
+		fit.intercept = res.Fit.Intercept
+		fit.r2 = res.Fit.R2
+		fit.at40 = res.At40
+	}
+	b.ReportMetric(fit.slope, "slope")
+	b.ReportMetric(fit.intercept, "intercept")
+	b.ReportMetric(fit.r2, "R2")
+	b.ReportMetric(fit.at40*100, "pct-at-40-jobs")
+}
+
+func BenchmarkFig6Responsiveness(b *testing.B) {
+	var last experiments.PipelineResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunPipeline(experiments.PipelineConfig{
+			Duration: 10 * sim.Second,
+			// One rising pulse inside the shortened window.
+			PulseWidths: []sim.Duration{2 * sim.Second},
+		})
+	}
+	b.ReportMetric(last.ResponseTime.Seconds()*1000, "response-ms")
+	b.ReportMetric(last.MeanFill, "mean-fill")
+	b.ReportMetric(last.TrackingError*100, "tracking-err-pct")
+}
+
+func BenchmarkFig7UnderLoad(b *testing.B) {
+	var last experiments.PipelineResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunPipeline(experiments.PipelineConfig{
+			Duration:    10 * sim.Second,
+			PulseWidths: []sim.Duration{2 * sim.Second},
+			WithHog:     true,
+		})
+	}
+	b.ReportMetric(last.ResponseTime.Seconds()*1000, "response-ms")
+	b.ReportMetric(last.HogShare, "hog-share")
+	b.ReportMetric(last.TrackingError*100, "tracking-err-pct")
+}
+
+func BenchmarkFig8DispatchOverhead(b *testing.B) {
+	var last experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunFig8(experiments.Fig8Config{
+			Frequencies: []int64{100, 1000, 4000, 10000},
+			RunFor:      2 * sim.Second,
+		})
+	}
+	b.ReportMetric(last.OverheadAt4kHz*100, "overhead-at-4kHz-pct")
+	b.ReportMetric(float64(last.KneeHz), "knee-hz")
+}
+
+func BenchmarkPathfinderInversion(b *testing.B) {
+	var last experiments.PathfinderResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunPathfinder(20 * sim.Second)
+	}
+	b.ReportMetric(float64(last.PriorityResets), "resets-fixed-priority")
+	b.ReportMetric(float64(last.RealRateResets), "resets-real-rate")
+}
+
+func BenchmarkSpinWaitLivelock(b *testing.B) {
+	var last experiments.LivelockResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunLivelock(5 * sim.Second)
+	}
+	b.ReportMetric(float64(last.PriorityInputs), "inputs-fixed-priority")
+	b.ReportMetric(float64(last.RealRateInputs), "inputs-real-rate")
+}
+
+// BenchmarkAllocationVariance regenerates the abstract's claim of "lower
+// variance in the amount of cycles allocated to a thread" against Linux
+// goodness and lottery scheduling.
+func BenchmarkAllocationVariance(b *testing.B) {
+	var last experiments.VarianceResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunVariance(10 * sim.Second)
+	}
+	for _, row := range last.Rows {
+		switch row.Scheduler {
+		case "real-rate (this paper)":
+			b.ReportMetric(row.StdShare, "std-realrate")
+		case "linux-goodness":
+			b.ReportMetric(row.StdShare, "std-linux")
+		case "lottery (a-priori tickets)":
+			b.ReportMetric(row.StdShare, "std-lottery")
+		}
+	}
+}
+
+// BenchmarkInteractiveLatency regenerates §4.1's interactive-response
+// claim under full CPU load.
+func BenchmarkInteractiveLatency(b *testing.B) {
+	var last experiments.InteractiveResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunInteractiveLatency(10 * sim.Second)
+	}
+	for _, row := range last.Rows {
+		if row.Scheduler == "real-rate (this paper)" {
+			b.ReportMetric(row.P99.Seconds()*1000, "p99-ms-realrate")
+			b.ReportMetric(float64(row.Handled), "handled-realrate")
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md §5) ---
+
+func benchGain(b *testing.B, name string, gains pid.Config) {
+	var last experiments.GainAblationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunGainAblation(name, gains, 10*sim.Second)
+	}
+	b.ReportMetric(last.ResponseTime.Seconds()*1000, "response-ms")
+	b.ReportMetric(last.FillStd, "fill-std")
+	b.ReportMetric(last.TrackingError*100, "tracking-err-pct")
+}
+
+func BenchmarkAblationFilterPOnly(b *testing.B) {
+	benchGain(b, "P", pid.Config{Kp: 1.0})
+}
+
+func BenchmarkAblationFilterPI(b *testing.B) {
+	benchGain(b, "PI", pid.Config{Kp: 1.0, Ki: 4.0})
+}
+
+func BenchmarkAblationFilterPID(b *testing.B) {
+	benchGain(b, "PID", pid.Config{Kp: 1.0, Ki: 4.0, Kd: 0.05})
+}
+
+func BenchmarkAblationReclaimOn(b *testing.B) {
+	var last experiments.ReclaimAblationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunReclaimAblation(true, 10*sim.Second)
+	}
+	b.ReportMetric(last.ConsumerAlloc, "bottlenecked-alloc-ppt")
+	b.ReportMetric(last.HogShare, "hog-share")
+}
+
+func BenchmarkAblationReclaimOff(b *testing.B) {
+	var last experiments.ReclaimAblationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunReclaimAblation(false, 10*sim.Second)
+	}
+	b.ReportMetric(last.ConsumerAlloc, "bottlenecked-alloc-ppt")
+	b.ReportMetric(last.HogShare, "hog-share")
+}
+
+func BenchmarkAblationDispatcherRMS(b *testing.B) {
+	var last experiments.DisciplineAblationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunDisciplineAblation(rbs.RMS, 5*sim.Second)
+	}
+	b.ReportMetric(float64(last.MissedDeadlines), "missed-deadlines")
+}
+
+func BenchmarkAblationDispatcherEDF(b *testing.B) {
+	var last experiments.DisciplineAblationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunDisciplineAblation(rbs.EDF, 5*sim.Second)
+	}
+	b.ReportMetric(float64(last.MissedDeadlines), "missed-deadlines")
+}
+
+func BenchmarkAblationQuantizedDispatch(b *testing.B) {
+	var last experiments.QuantizationAblationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunQuantizationAblation(false, 5*sim.Second)
+	}
+	b.ReportMetric(last.Overdelivery, "overdelivery-x")
+}
+
+func BenchmarkAblationPreciseDispatch(b *testing.B) {
+	var last experiments.QuantizationAblationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunQuantizationAblation(true, 5*sim.Second)
+	}
+	b.ReportMetric(last.Overdelivery, "overdelivery-x")
+}

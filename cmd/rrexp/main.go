@@ -1,0 +1,123 @@
+// Command rrexp regenerates the paper's evaluation: one sub-experiment per
+// figure (5–8) plus the §2 motivation scenarios. It prints paper-style
+// tables and can dump the underlying series as CSV for plotting.
+//
+// Usage:
+//
+//	rrexp -fig 5            # controller overhead vs. controlled processes
+//	rrexp -fig 6 -csv out/  # controller responsiveness (pulse pipeline)
+//	rrexp -fig 7            # response under competing load (squish)
+//	rrexp -fig 8            # dispatch overhead vs. frequency
+//	rrexp -pathfinder       # Mars Pathfinder priority inversion
+//	rrexp -livelock         # spin-wait livelock
+//	rrexp -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to reproduce (5, 6, 7, or 8)")
+		all        = flag.Bool("all", false, "run every experiment")
+		pathfinder = flag.Bool("pathfinder", false, "run the Mars Pathfinder scenario")
+		livelock   = flag.Bool("livelock", false, "run the spin-wait livelock scenario")
+		csvDir     = flag.String("csv", "", "directory to write CSV series into")
+		ablate     = flag.Bool("ablate", false, "run the design-choice ablations")
+		variance   = flag.Bool("variance", false, "run the allocation-variance comparison")
+		freq       = flag.Bool("freq", false, "run the controller-frequency sweep")
+		inter      = flag.Bool("interactive", false, "run the interactive-latency comparison")
+		quick      = flag.Bool("quick", false, "shorter runs (for smoke testing)")
+	)
+	flag.Parse()
+
+	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dump := func(name string, write func(w io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	runDur := func(normal sim.Duration) sim.Duration {
+		if *quick {
+			return normal / 4
+		}
+		return normal
+	}
+
+	if *all || *fig == 5 {
+		cfg := experiments.Fig5Config{RunFor: runDur(20 * sim.Second)}
+		res := experiments.RunFig5(cfg)
+		res.Print(os.Stdout)
+		dump("fig5.csv", res.WriteCSV)
+	}
+	if *all || *fig == 6 {
+		cfg := experiments.PipelineConfig{Duration: runDur(40 * sim.Second)}
+		res := experiments.RunPipeline(cfg)
+		res.Print(os.Stdout, "Figure 6: Controller Responsiveness")
+		dump("fig6.csv", res.WriteCSV)
+	}
+	if *all || *fig == 7 {
+		cfg := experiments.PipelineConfig{Duration: runDur(40 * sim.Second), WithHog: true}
+		res := experiments.RunPipeline(cfg)
+		res.Print(os.Stdout, "Figure 7: Controller Response Under Load")
+		dump("fig7.csv", res.WriteCSV)
+	}
+	if *all || *fig == 8 {
+		cfg := experiments.Fig8Config{RunFor: runDur(5 * sim.Second)}
+		res := experiments.RunFig8(cfg)
+		res.Print(os.Stdout)
+		dump("fig8.csv", res.WriteCSV)
+	}
+	if *all || *pathfinder {
+		res := experiments.RunPathfinder(runDur(60 * sim.Second))
+		res.Print(os.Stdout)
+	}
+	if *all || *livelock {
+		res := experiments.RunLivelock(runDur(10 * sim.Second))
+		res.Print(os.Stdout)
+	}
+	if *all || *variance {
+		res := experiments.RunVariance(runDur(30 * sim.Second))
+		res.Print(os.Stdout)
+	}
+	if *all || *inter {
+		res := experiments.RunInteractiveLatency(runDur(20 * sim.Second))
+		res.Print(os.Stdout)
+	}
+	if *all || *freq {
+		res := experiments.RunFrequencySweep(nil, runDur(15*sim.Second))
+		res.Print(os.Stdout)
+	}
+	if *all || *ablate {
+		experiments.PrintAblations(os.Stdout, runDur(40*sim.Second))
+	}
+}

@@ -1,0 +1,110 @@
+// Command rrtop runs a mixed workload on the real-rate stack and prints a
+// top(1)-style table each simulated second: every thread's class,
+// allocation, period, pressure, and CPU share. It makes the controller's
+// decisions visible at a glance — watch the decoder get its share, the
+// hogs split the leftover, and the editor get sized from its bursts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	realrate "repro"
+)
+
+func main() {
+	dur := flag.Duration("dur", 15*time.Second, "simulated duration")
+	flag.Parse()
+
+	sys := realrate.NewSystem(realrate.Config{})
+
+	// A three-stage media pipeline...
+	compressed := sys.NewQueue("compressed", 1<<20)
+	frames := sys.NewQueue("frames", 1<<20)
+	phase := 0
+	capture := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		phase++
+		if phase%2 == 1 {
+			return realrate.Compute(400_000)
+		}
+		return realrate.Produce(compressed, 20_000)
+	})
+	stage := func(in, out *realrate.Queue, block, cpb int64) realrate.Program {
+		p := 0
+		return realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+			p++
+			switch p % 3 {
+			case 1:
+				return realrate.Consume(in, block)
+			case 2:
+				return realrate.Compute(cpb * block)
+			default:
+				if out == nil {
+					return realrate.Compute(1)
+				}
+				return realrate.Produce(out, block)
+			}
+		})
+	}
+
+	var threads []*realrate.Thread
+	cap0, err := sys.SpawnRealTime("capture", capture, 100, 10*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	threads = append(threads, cap0)
+	threads = append(threads,
+		sys.SpawnRealRate("decoder", stage(compressed, frames, 4096, 120), 0,
+			realrate.ConsumerOf(compressed), realrate.ProducerOf(frames)),
+		sys.SpawnRealRate("renderer", stage(frames, nil, 4096, 15), 0,
+			realrate.ConsumerOf(frames)),
+	)
+
+	// ...a batch hog...
+	threads = append(threads, sys.SpawnMiscellaneous("batch", realrate.HogProgram(400_000)))
+
+	// ...and an interactive editor driven by a user.
+	tty := sys.NewWaitQueue("tty")
+	ephase := 0
+	editor := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		ephase++
+		if ephase%2 == 1 {
+			return realrate.Wait(tty)
+		}
+		return realrate.Compute(1_200_000)
+	})
+	threads = append(threads, sys.SpawnInteractive("editor", editor))
+	uphase := 0
+	user := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		uphase++
+		if uphase%2 == 1 {
+			return realrate.Sleep(80 * time.Millisecond)
+		}
+		tty.WakeOne()
+		return realrate.Compute(1000)
+	})
+	if u, err := sys.SpawnRealTime("user", user, 10, 5*time.Millisecond); err == nil {
+		threads = append(threads, u)
+	}
+
+	last := make(map[*realrate.Thread]time.Duration)
+	sys.Every(time.Second, func(now time.Duration) {
+		fmt.Printf("\n── t=%-4s  total reserved %d/1000 ───────────────────────────────\n",
+			now, sys.TotalProportion())
+		fmt.Printf("%-10s %-20s %6s %8s %9s %7s %6s\n",
+			"THREAD", "CLASS", "ALLOC", "PERIOD", "PRESSURE", "CPU%", "STATE")
+		for _, th := range threads {
+			share := 100 * (th.CPUTime() - last[th]).Seconds()
+			last[th] = th.CPUTime()
+			fmt.Printf("%-10s %-20s %5dp %8s %+9.3f %6.1f%% %6s\n",
+				th.Name(), th.Class(), th.Allocation(),
+				th.Period().Truncate(time.Millisecond), th.Pressure(), share, th.State())
+		}
+	})
+	sys.Run(*dur)
+
+	st := sys.Stats()
+	fmt.Printf("\n%d controller steps, %d actuations, %d dispatches, overhead %v\n",
+		st.ControllerSteps, st.Actuations, st.Dispatches, st.SchedOverhead.Truncate(time.Microsecond))
+}

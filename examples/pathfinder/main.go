@@ -1,0 +1,119 @@
+// Pathfinder: the Mars Pathfinder scenario of §2 under real-rate
+// scheduling. Three tasks share a mutex-protected information bus: a
+// periodic bus-management task (with a real-time reservation), a hungry
+// communications task, and a low-importance meteorological task that holds
+// the mutex while it works.
+//
+// Under the spacecraft's fixed priorities this workload repeatedly reset
+// the system: the communications task starved the meteorological task while
+// it held the mutex the bus task needed — priority inversion. Under
+// progress-based allocation the meteorological task cannot be starved, so
+// it always releases the mutex promptly and the watchdog stays quiet. (Run
+// `rrexp -pathfinder` for the side-by-side comparison with the
+// fixed-priority scheduler.)
+//
+// Run with: go run ./examples/pathfinder
+package main
+
+import (
+	"fmt"
+	"time"
+
+	realrate "repro"
+)
+
+func main() {
+	sys := realrate.NewSystem(realrate.Config{})
+	bus := sys.NewMutex("info_bus")
+
+	const (
+		busPeriod = 125 * time.Millisecond
+		deadline  = 250 * time.Millisecond
+	)
+
+	// Bus management: every cycle, grab the bus, exchange data, release.
+	var (
+		busDone     int
+		lastDone    time.Duration
+		resets      int
+		periodStart time.Duration
+	)
+	busPhase := 0
+	busMgmt := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		busPhase++
+		switch busPhase % 4 {
+		case 1:
+			periodStart = now
+			return realrate.Lock(bus)
+		case 2:
+			return realrate.Compute(400_000) // 1 ms of bus work
+		case 3:
+			return realrate.Unlock(bus)
+		default:
+			busDone++
+			lastDone = now
+			return realrate.SleepUntil(periodStart + busPeriod)
+		}
+	})
+
+	// Watchdog: resets the spacecraft if a bus cycle goes missing.
+	wdPhase := 0
+	watchdog := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		wdPhase++
+		if wdPhase%2 == 1 {
+			return realrate.Sleep(deadline / 4)
+		}
+		if now-lastDone > deadline {
+			resets++
+			fmt.Printf("%6.2fs  WATCHDOG RESET (bus silent for %v)\n", now.Seconds(), now-lastDone)
+			lastDone = now
+		}
+		return realrate.Compute(10_000)
+	})
+
+	// Communications: long CPU bursts, nearly always runnable.
+	commsPhase := 0
+	comms := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		commsPhase++
+		if commsPhase%2 == 1 {
+			return realrate.Compute(40_000_000) // 100 ms bursts
+		}
+		return realrate.Sleep(time.Millisecond)
+	})
+
+	// Meteorological data: holds the bus mutex for 5 ms of work.
+	weatherRuns := 0
+	weatherPhase := 0
+	weather := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		weatherPhase++
+		switch weatherPhase % 4 {
+		case 1:
+			return realrate.Lock(bus)
+		case 2:
+			return realrate.Compute(2_000_000)
+		case 3:
+			return realrate.Unlock(bus)
+		default:
+			weatherRuns++
+			return realrate.Sleep(5 * time.Millisecond)
+		}
+	})
+
+	if _, err := sys.SpawnRealTime("bus_mgmt", busMgmt, 50, busPeriod); err != nil {
+		panic(err)
+	}
+	if _, err := sys.SpawnRealTime("watchdog", watchdog, 10, deadline/4); err != nil {
+		panic(err)
+	}
+	c := sys.SpawnMiscellaneous("comms", comms)
+	w := sys.SpawnMiscellaneous("weather", weather)
+
+	sys.Run(30 * time.Second)
+
+	fmt.Printf("after 30s: %d bus cycles, %d watchdog resets\n", busDone, resets)
+	fmt.Printf("comms got %.1f%% CPU, weather completed %d sections (%.1f%% CPU)\n",
+		100*c.CPUTime().Seconds()/30, weatherRuns, 100*w.CPUTime().Seconds()/30)
+	if resets == 0 {
+		fmt.Println("no priority inversion: the lock holder was never starved.")
+	}
+}

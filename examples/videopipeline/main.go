@@ -1,0 +1,80 @@
+// Videopipeline: the multimedia pipeline of §4.4. Three stages communicate
+// through shared queues: a capture source with a fixed reservation, a video
+// decoder, and a renderer. The decoder needs vastly more CPU per byte than
+// the renderer — and, as the paper reports, "our controller automatically
+// identifies that one stage of the pipeline has vastly different CPU
+// requirements than the others (the video decoder), even though all the
+// processes have the same priority."
+//
+// Run with: go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+	"time"
+
+	realrate "repro"
+)
+
+// stage consumes fixed blocks from in, burns cyclesPerByte, produces into
+// out (when non-nil).
+func stage(in, out *realrate.Queue, block int64, cyclesPerByte int64) realrate.Program {
+	phase := 0
+	return realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		phase++
+		switch phase % 3 {
+		case 1:
+			return realrate.Consume(in, block)
+		case 2:
+			return realrate.Compute(cyclesPerByte * block)
+		default:
+			if out == nil {
+				return realrate.Compute(1)
+			}
+			return realrate.Produce(out, block)
+		}
+	})
+}
+
+func main() {
+	sys := realrate.NewSystem(realrate.Config{})
+
+	compressed := sys.NewQueue("compressed", 1<<20)
+	frames := sys.NewQueue("frames", 1<<20)
+
+	// Capture source: fixed reservation, 2 MB/s of compressed data.
+	computing := true
+	source := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		computing = !computing
+		if computing {
+			return realrate.Compute(400_000)
+		}
+		return realrate.Produce(compressed, 20_000)
+	})
+	if _, err := sys.SpawnRealTime("capture", source, 100, 10*time.Millisecond); err != nil {
+		panic(err)
+	}
+
+	// Decoder: 120 cycles/byte — the expensive stage (needs ≈60% CPU).
+	decoder := sys.SpawnRealRate("decoder",
+		stage(compressed, frames, 4096, 120), 0,
+		realrate.ConsumerOf(compressed), realrate.ProducerOf(frames))
+
+	// Renderer: 15 cycles/byte — lightweight (needs ≈7.5% CPU).
+	renderer := sys.SpawnRealRate("renderer",
+		stage(frames, nil, 4096, 15), 0,
+		realrate.ConsumerOf(frames))
+
+	fmt.Println("time    decoder(ppt)  renderer(ppt)  compressed-fill  frames-fill")
+	sys.Every(time.Second, func(now time.Duration) {
+		fmt.Printf("%5.1fs  %7d       %7d        %.3f            %.3f\n",
+			now.Seconds(), decoder.Allocation(), renderer.Allocation(),
+			compressed.FillLevel(), frames.FillLevel())
+	})
+	sys.Run(10 * time.Second)
+
+	fmt.Printf("\nthe controller split the CPU %d ppt (decoder) vs %d ppt (renderer)\n",
+		decoder.Allocation(), renderer.Allocation())
+	fmt.Printf("with no priorities and no human-supplied reservations.\n")
+	fmt.Printf("frames delivered: %d bytes\n", frames.Consumed())
+}

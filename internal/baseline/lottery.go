@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// lotteryState is the per-thread state of the lottery policy.
+type lotteryState struct {
+	tickets  int64
+	used     sim.Duration
+	runnable bool
+}
+
+// Lottery implements lottery scheduling (Waldspurger & Weihl, OSDI 1994 —
+// the paper's citation [21] for proportional-share allocation): each
+// runnable thread holds tickets, and every quantum a uniformly random
+// ticket picks the winner. Shares are proportional in expectation but
+// noisy over short windows — the contrast the paper draws when it claims
+// "lower variance in the amount of cycles allocated to a thread" for
+// feedback-assigned reservations.
+type Lottery struct {
+	k        *kernel.Kernel
+	quantum  sim.Duration
+	rng      *sim.RNG
+	runnable []*kernel.Thread
+	current  *kernel.Thread
+}
+
+// NewLottery returns a lottery scheduler with the given quantum and seed.
+// A non-positive quantum defaults to 10 ms (a typical 1990s time slice).
+func NewLottery(quantum sim.Duration, seed uint64) *Lottery {
+	if quantum <= 0 {
+		quantum = 10 * sim.Millisecond
+	}
+	return &Lottery{quantum: quantum, rng: sim.NewRNG(seed)}
+}
+
+// Name implements kernel.Policy.
+func (p *Lottery) Name() string { return "lottery" }
+
+// Attach implements kernel.Policy.
+func (p *Lottery) Attach(k *kernel.Kernel) { p.k = k }
+
+func lstate(t *kernel.Thread) *lotteryState { return t.Sched.(*lotteryState) }
+
+// AddThread implements kernel.Policy; threads start with 100 tickets.
+func (p *Lottery) AddThread(t *kernel.Thread, now sim.Time) {
+	t.Sched = &lotteryState{tickets: 100}
+}
+
+// RemoveThread implements kernel.Policy.
+func (p *Lottery) RemoveThread(t *kernel.Thread, now sim.Time) {}
+
+// SetTickets assigns a thread's ticket count (must be positive).
+func (p *Lottery) SetTickets(t *kernel.Thread, n int64) {
+	if n <= 0 {
+		panic("baseline: tickets must be positive")
+	}
+	lstate(t).tickets = n
+}
+
+// Tickets returns a thread's ticket count.
+func (p *Lottery) Tickets(t *kernel.Thread) int64 { return lstate(t).tickets }
+
+// Enqueue implements kernel.Policy.
+func (p *Lottery) Enqueue(t *kernel.Thread, now sim.Time) {
+	st := lstate(t)
+	if st.runnable {
+		return
+	}
+	st.runnable = true
+	p.runnable = append(p.runnable, t)
+}
+
+// Dequeue implements kernel.Policy.
+func (p *Lottery) Dequeue(t *kernel.Thread, now sim.Time) {
+	st := lstate(t)
+	if !st.runnable {
+		return
+	}
+	st.runnable = false
+	for i, r := range p.runnable {
+		if r == t {
+			copy(p.runnable[i:], p.runnable[i+1:])
+			p.runnable = p.runnable[:len(p.runnable)-1]
+			return
+		}
+	}
+	if p.current == t {
+		p.current = nil
+	}
+}
+
+// Pick implements kernel.Policy: hold a lottery. The winner of the
+// previous drawing keeps the CPU until its quantum expires, so the drawing
+// frequency is the quantum, not the dispatch rate.
+func (p *Lottery) Pick(now sim.Time) *kernel.Thread {
+	if len(p.runnable) == 0 {
+		p.current = nil
+		return nil
+	}
+	if p.current != nil && lstate(p.current).runnable && lstate(p.current).used < p.quantum {
+		return p.current
+	}
+	var total int64
+	for _, t := range p.runnable {
+		total += lstate(t).tickets
+	}
+	draw := p.rng.Int63n(total)
+	for _, t := range p.runnable {
+		draw -= lstate(t).tickets
+		if draw < 0 {
+			if t != p.current {
+				if p.current != nil {
+					lstate(p.current).used = 0
+				}
+			}
+			p.current = t
+			lstate(t).used = 0
+			return t
+		}
+	}
+	return p.runnable[len(p.runnable)-1] // unreachable; satisfies the compiler
+}
+
+// TimeSlice implements kernel.Policy.
+func (p *Lottery) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
+	rem := p.quantum - lstate(t).used
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Charge implements kernel.Policy: quantum expiry triggers a fresh lottery.
+func (p *Lottery) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+	st := lstate(t)
+	st.used += ran
+	if st.used >= p.quantum {
+		st.used = p.quantum // Pick redraws and resets
+		return true
+	}
+	return false
+}
+
+// Tick implements kernel.Policy.
+func (p *Lottery) Tick(now sim.Time) bool { return false }
+
+// WakePreempts implements kernel.Policy: lottery winners are not preempted
+// by wakeups; the woken thread joins the next drawing.
+func (p *Lottery) WakePreempts(woken, current *kernel.Thread, now sim.Time) bool {
+	return false
+}

@@ -1,0 +1,110 @@
+// Package baseline implements the comparator scheduling policies the paper
+// argues against: a plain round-robin scheduler and a Linux 2.0-style
+// goodness scheduler with multilevel-feedback decay, nice values, and a
+// fixed real-time priority class. The motivation experiments (§2: Mars
+// Pathfinder priority inversion, spin-wait livelock, starvation) run on
+// these policies; the paper's own scheduler lives in internal/rbs.
+package baseline
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// RoundRobin is the simplest possible policy: runnable threads take equal
+// fixed quanta in FIFO order. It is useful as a neutral substrate in tests
+// and as the degenerate "no information" comparator.
+type RoundRobin struct {
+	k        *kernel.Kernel
+	quantum  sim.Duration
+	runnable []*kernel.Thread
+	used     map[*kernel.Thread]sim.Duration
+}
+
+// NewRoundRobin returns a round-robin policy with the given quantum. A
+// non-positive quantum defaults to 10ms.
+func NewRoundRobin(quantum sim.Duration) *RoundRobin {
+	if quantum <= 0 {
+		quantum = 10 * sim.Millisecond
+	}
+	return &RoundRobin{quantum: quantum, used: make(map[*kernel.Thread]sim.Duration)}
+}
+
+// Name implements kernel.Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Attach implements kernel.Policy.
+func (p *RoundRobin) Attach(k *kernel.Kernel) { p.k = k }
+
+// AddThread implements kernel.Policy.
+func (p *RoundRobin) AddThread(t *kernel.Thread, now sim.Time) {}
+
+// RemoveThread implements kernel.Policy.
+func (p *RoundRobin) RemoveThread(t *kernel.Thread, now sim.Time) {
+	delete(p.used, t)
+}
+
+// Enqueue implements kernel.Policy.
+func (p *RoundRobin) Enqueue(t *kernel.Thread, now sim.Time) {
+	for _, r := range p.runnable {
+		if r == t {
+			return
+		}
+	}
+	p.runnable = append(p.runnable, t)
+}
+
+// Dequeue implements kernel.Policy.
+func (p *RoundRobin) Dequeue(t *kernel.Thread, now sim.Time) {
+	for i, r := range p.runnable {
+		if r == t {
+			copy(p.runnable[i:], p.runnable[i+1:])
+			p.runnable = p.runnable[:len(p.runnable)-1]
+			return
+		}
+	}
+}
+
+// Pick implements kernel.Policy: the front of the FIFO runs.
+func (p *RoundRobin) Pick(now sim.Time) *kernel.Thread {
+	if len(p.runnable) == 0 {
+		return nil
+	}
+	return p.runnable[0]
+}
+
+// TimeSlice implements kernel.Policy.
+func (p *RoundRobin) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
+	rem := p.quantum - p.used[t]
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Charge implements kernel.Policy: quantum exhaustion rotates the thread to
+// the back of the queue.
+func (p *RoundRobin) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+	p.used[t] += ran
+	if p.used[t] >= p.quantum {
+		p.used[t] = 0
+		p.rotate(t)
+		return true
+	}
+	return false
+}
+
+func (p *RoundRobin) rotate(t *kernel.Thread) {
+	if len(p.runnable) > 1 && p.runnable[0] == t {
+		copy(p.runnable, p.runnable[1:])
+		p.runnable[len(p.runnable)-1] = t
+	}
+}
+
+// Tick implements kernel.Policy.
+func (p *RoundRobin) Tick(now sim.Time) bool { return false }
+
+// WakePreempts implements kernel.Policy: wakeups never preempt.
+func (p *RoundRobin) WakePreempts(woken, current *kernel.Thread, now sim.Time) bool {
+	return false
+}

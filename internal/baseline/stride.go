@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// strideState is the per-thread state of the stride policy.
+type strideState struct {
+	tickets  int64
+	stride   int64
+	pass     int64
+	runnable bool
+}
+
+// strideOne is the common numerator: stride = strideOne / tickets.
+const strideOne = 1 << 20
+
+// Stride implements stride scheduling — Waldspurger's deterministic
+// counterpart to lottery scheduling. Each thread advances a virtual "pass"
+// by stride = K/tickets per quantum consumed; the runnable thread with the
+// lowest pass runs. Shares are proportional with far lower short-term
+// variance than the lottery, but the tickets still have to be computed by
+// someone — which is exactly the gap the paper's feedback controller
+// closes.
+type Stride struct {
+	k        *kernel.Kernel
+	quantum  sim.Duration
+	runnable []*kernel.Thread
+}
+
+// NewStride returns a stride scheduler with the given quantum (default
+// 10 ms when non-positive).
+func NewStride(quantum sim.Duration) *Stride {
+	if quantum <= 0 {
+		quantum = 10 * sim.Millisecond
+	}
+	return &Stride{quantum: quantum}
+}
+
+// Name implements kernel.Policy.
+func (p *Stride) Name() string { return "stride" }
+
+// Attach implements kernel.Policy.
+func (p *Stride) Attach(k *kernel.Kernel) { p.k = k }
+
+func sstate(t *kernel.Thread) *strideState { return t.Sched.(*strideState) }
+
+// AddThread implements kernel.Policy; threads start with 100 tickets.
+func (p *Stride) AddThread(t *kernel.Thread, now sim.Time) {
+	t.Sched = &strideState{tickets: 100, stride: strideOne / 100}
+}
+
+// RemoveThread implements kernel.Policy.
+func (p *Stride) RemoveThread(t *kernel.Thread, now sim.Time) {}
+
+// SetTickets assigns a thread's ticket count.
+func (p *Stride) SetTickets(t *kernel.Thread, n int64) {
+	if n <= 0 {
+		panic("baseline: tickets must be positive")
+	}
+	st := sstate(t)
+	st.tickets = n
+	st.stride = strideOne / n
+	if st.stride < 1 {
+		st.stride = 1
+	}
+}
+
+// Enqueue implements kernel.Policy. A waking thread's pass is brought up
+// to the minimum runnable pass so sleepers cannot bank credit — the
+// standard stride rejoin rule.
+func (p *Stride) Enqueue(t *kernel.Thread, now sim.Time) {
+	st := sstate(t)
+	if st.runnable {
+		return
+	}
+	if min, ok := p.minPass(); ok && st.pass < min {
+		st.pass = min
+	}
+	st.runnable = true
+	p.runnable = append(p.runnable, t)
+}
+
+func (p *Stride) minPass() (int64, bool) {
+	if len(p.runnable) == 0 {
+		return 0, false
+	}
+	min := sstate(p.runnable[0]).pass
+	for _, t := range p.runnable[1:] {
+		if pass := sstate(t).pass; pass < min {
+			min = pass
+		}
+	}
+	return min, true
+}
+
+// Dequeue implements kernel.Policy.
+func (p *Stride) Dequeue(t *kernel.Thread, now sim.Time) {
+	st := sstate(t)
+	if !st.runnable {
+		return
+	}
+	st.runnable = false
+	for i, r := range p.runnable {
+		if r == t {
+			copy(p.runnable[i:], p.runnable[i+1:])
+			p.runnable = p.runnable[:len(p.runnable)-1]
+			return
+		}
+	}
+}
+
+// Pick implements kernel.Policy: lowest pass runs.
+func (p *Stride) Pick(now sim.Time) *kernel.Thread {
+	var best *kernel.Thread
+	var bestPass int64
+	for _, t := range p.runnable {
+		if pass := sstate(t).pass; best == nil || pass < bestPass {
+			best, bestPass = t, pass
+		}
+	}
+	return best
+}
+
+// TimeSlice implements kernel.Policy.
+func (p *Stride) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
+	return p.quantum
+}
+
+// Charge implements kernel.Policy: advance the pass in proportion to the
+// CPU actually consumed (fractional quanta advance fractionally, keeping
+// the accounting exact for threads that block early).
+func (p *Stride) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+	if ran <= 0 {
+		return false
+	}
+	st := sstate(t)
+	st.pass += st.stride * int64(ran) / int64(p.quantum)
+	return ran >= p.quantum
+}
+
+// Tick implements kernel.Policy.
+func (p *Stride) Tick(now sim.Time) bool { return false }
+
+// WakePreempts implements kernel.Policy: a woken thread with a strictly
+// lower pass preempts, which keeps latency low for blocking threads.
+func (p *Stride) WakePreempts(woken, current *kernel.Thread, now sim.Time) bool {
+	return sstate(woken).pass < sstate(current).pass
+}

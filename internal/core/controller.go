@@ -1,0 +1,773 @@
+// Package core implements the paper's contribution: a feedback-driven
+// proportion allocator for real-rate scheduling. The controller
+// periodically samples each job's progress (via the symbiotic-interface
+// registry), filters the summed progress pressures through a per-job PID
+// (the G of Figure 3), converts cumulative pressure into a proportion
+// (Figure 4: P′ = k·Q_t, or P − C when the allocation was demonstrably too
+// generous), performs admission control for real-time reservations, and
+// squishes real-rate/miscellaneous allocations under overload using
+// importance-weighted fair share.
+//
+// The controller runs as a simulated thread with its own reservation, so
+// its overhead — base cost plus a per-controlled-job cost each interval —
+// competes for the CPU exactly as the paper's user-level prototype did
+// (Figure 5 measures precisely this).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/pid"
+	"repro/internal/progress"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+const pptDenom = rbs.PPT
+
+// Config holds the controller's tuning. Zero fields take the defaults the
+// experiments use (see DefaultConfig).
+type Config struct {
+	// Interval is the controller period. The prototype samples at 100 Hz
+	// (10 ms) — "keeping the sampling rate reasonably high (100 Hz in our
+	// prototype)".
+	Interval sim.Duration
+	// OverloadThreshold is the admission/squish ceiling in ppt. The paper
+	// reserves spare capacity "to cover the overhead of scheduling and
+	// interrupt handling" by setting it below 1.
+	OverloadThreshold int
+	// K is the pressure-to-proportion scaling factor (the k of Figure 4),
+	// in ppt per unit of cumulative pressure.
+	K float64
+	// PID configures the per-job pressure filter G.
+	PID pid.Config
+	// ReclaimFraction triggers the P−C reduction: a job that used less
+	// than this fraction of its allocation is "too generous".
+	ReclaimFraction float64
+	// ReclaimC is the constant reduction (ppt) applied to over-generous
+	// allocations.
+	ReclaimC int
+	// MinProportion is the non-zero allocation floor: "It avoids
+	// starvation by ensuring that every job in the system is assigned a
+	// non-zero percentage of the CPU."
+	MinProportion int
+	// MaxProportion caps any single adaptive job's actuated allocation.
+	MaxProportion int
+	// DesireCap bounds the pre-squish desire. It is deliberately far above
+	// MaxProportion: under overload a real-rate job's desire keeps growing
+	// past the constant desire of miscellaneous hogs ("the consumer's
+	// [pressure] grows as it falls further behind", §4.2), and the squish
+	// arbitrates on desires — so desires must be able to wind up beyond
+	// what any one job could actually be granted.
+	DesireCap int
+	// DefaultPeriod is assigned when a job does not specify one (30 ms in
+	// the prototype).
+	DefaultPeriod sim.Duration
+	// MiscPressure is the constant pressure applied to miscellaneous jobs.
+	MiscPressure float64
+	// InteractivePeriod is the small period given to interactive jobs.
+	InteractivePeriod sim.Duration
+	// InteractiveHeadroom scales the burst estimate into a proportion.
+	InteractiveHeadroom float64
+	// InteractiveImportance is the default fair-share weight of
+	// interactive jobs. Their desire is need-based (burst/period) rather
+	// than wound-up, so without extra weight a greedy miscellaneous hog
+	// squishes them below their bursts; the paper singles interactive
+	// jobs out for "reasonable performance" (§1, §3.2).
+	InteractiveImportance float64
+
+	// PeriodAdaptation enables the §3.3 period heuristic (disabled in all
+	// the paper's experiments, and by default here).
+	PeriodAdaptation bool
+	// MinBudgetTicks is the quantization target: budgets below this many
+	// dispatch ticks double the period.
+	MinBudgetTicks int
+	// MinPeriod/MaxPeriod bound period adaptation.
+	MinPeriod, MaxPeriod sim.Duration
+	// JitterThreshold is the per-period fill oscillation (fraction of the
+	// buffer) above which the period halves.
+	JitterThreshold float64
+
+	// BaseCost and PerJobCost model the controller's own execution cost:
+	// each interval it computes BaseCost + PerJobCost per controlled job.
+	// Calibrated to Figure 5: y = .00066x + .00057 of a 400 MHz CPU at
+	// 100 Hz means ≈2280 + 2640·n cycles.
+	BaseCost, PerJobCost sim.Cycles
+	// Reservation is the controller thread's own reservation.
+	Reservation rbs.Reservation
+
+	// OverloadStreak is how many consecutive saturated, squished intervals
+	// raise a quality exception.
+	OverloadStreak int
+}
+
+// DefaultConfig returns the calibration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Interval:          10 * sim.Millisecond,
+		OverloadThreshold: 900,
+		K:                 2000,
+		// Gains sized so the proportional leg alone can double a mid-range
+		// allocation within a few control intervals, while the integral
+		// leg carries the steady-state allocation. The asymmetric integral
+		// range is the anti-windup guard: a long queue-empty stretch must
+		// not bank negative pressure that would delay the response to the
+		// next burst.
+		PID: pid.Config{
+			Kp: 1.0, Ki: 4.0, Kd: 0.05,
+			IntegralLo: -0.02, IntegralHi: 0.5,
+			DerivativeTau: 0.03,
+			InputTau:      0.04,
+			OutLo:         0, OutHi: 2.0,
+		},
+		ReclaimFraction:       0.5,
+		ReclaimC:              20,
+		MinProportion:         5,
+		MaxProportion:         950,
+		DesireCap:             4000,
+		DefaultPeriod:         30 * sim.Millisecond,
+		MiscPressure:          0.4,
+		InteractivePeriod:     30 * sim.Millisecond,
+		InteractiveHeadroom:   1.5,
+		InteractiveImportance: 8,
+		PeriodAdaptation:      false,
+		MinBudgetTicks:        2,
+		MinPeriod:             5 * sim.Millisecond,
+		MaxPeriod:             200 * sim.Millisecond,
+		JitterThreshold:       0.3,
+		BaseCost:              2280,
+		PerJobCost:            2640,
+		Reservation:           rbs.Reservation{Proportion: 50, Period: 10 * sim.Millisecond},
+		OverloadStreak:        25,
+	}
+}
+
+// Controller is the feedback-driven proportion allocator.
+type Controller struct {
+	cfg    Config
+	kern   *kernel.Kernel
+	policy *rbs.Policy
+	reg    *progress.Registry
+
+	jobs  []*Job
+	byThr map[*kernel.Thread]*Job
+
+	thread   *kernel.Thread
+	nextWake sim.Time
+	phase    int
+
+	// admitted sums the proportions of real-time and aperiodic real-time
+	// reservations plus the controller's own.
+	admitted int
+	// effectiveThreshold shrinks when the dispatcher reports missed
+	// deadlines ("the RBS ... notifies the controller which can increase
+	// the amount of spare capacity by reducing the admission threshold").
+	effectiveThreshold int
+	lastMisses         uint64
+
+	exceptions []QualityException
+	onQuality  func(QualityException)
+	onStep     func(now sim.Time)
+
+	steps      uint64
+	actuations uint64
+}
+
+// New creates a controller for the given machine, dispatcher, and progress
+// registry. Call Start to spawn its thread.
+func New(kern *kernel.Kernel, policy *rbs.Policy, reg *progress.Registry, cfg Config) *Controller {
+	def := DefaultConfig()
+	if cfg.Interval <= 0 {
+		cfg.Interval = def.Interval
+	}
+	if cfg.OverloadThreshold == 0 {
+		cfg.OverloadThreshold = def.OverloadThreshold
+	}
+	if cfg.K == 0 {
+		cfg.K = def.K
+	}
+	if cfg.PID == (pid.Config{}) {
+		cfg.PID = def.PID
+	}
+	if cfg.ReclaimFraction == 0 {
+		cfg.ReclaimFraction = def.ReclaimFraction
+	}
+	if cfg.ReclaimC == 0 {
+		cfg.ReclaimC = def.ReclaimC
+	}
+	if cfg.MinProportion == 0 {
+		cfg.MinProportion = def.MinProportion
+	}
+	if cfg.MaxProportion == 0 {
+		cfg.MaxProportion = def.MaxProportion
+	}
+	if cfg.DesireCap == 0 {
+		cfg.DesireCap = def.DesireCap
+	}
+	if cfg.DefaultPeriod == 0 {
+		cfg.DefaultPeriod = def.DefaultPeriod
+	}
+	if cfg.MiscPressure == 0 {
+		cfg.MiscPressure = def.MiscPressure
+	}
+	if cfg.InteractivePeriod == 0 {
+		cfg.InteractivePeriod = def.InteractivePeriod
+	}
+	if cfg.InteractiveHeadroom == 0 {
+		cfg.InteractiveHeadroom = def.InteractiveHeadroom
+	}
+	if cfg.InteractiveImportance == 0 {
+		cfg.InteractiveImportance = def.InteractiveImportance
+	}
+	if cfg.MinBudgetTicks == 0 {
+		cfg.MinBudgetTicks = def.MinBudgetTicks
+	}
+	if cfg.MinPeriod == 0 {
+		cfg.MinPeriod = def.MinPeriod
+	}
+	if cfg.MaxPeriod == 0 {
+		cfg.MaxPeriod = def.MaxPeriod
+	}
+	if cfg.JitterThreshold == 0 {
+		cfg.JitterThreshold = def.JitterThreshold
+	}
+	if cfg.BaseCost == 0 {
+		cfg.BaseCost = def.BaseCost
+	}
+	if cfg.PerJobCost == 0 {
+		cfg.PerJobCost = def.PerJobCost
+	}
+	if cfg.Reservation == (rbs.Reservation{}) {
+		cfg.Reservation = def.Reservation
+	}
+	if cfg.OverloadStreak == 0 {
+		cfg.OverloadStreak = def.OverloadStreak
+	}
+	return &Controller{
+		cfg:                cfg,
+		kern:               kern,
+		policy:             policy,
+		reg:                reg,
+		byThr:              make(map[*kernel.Thread]*Job),
+		effectiveThreshold: cfg.OverloadThreshold,
+	}
+}
+
+// Config returns the resolved configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Jobs returns the controlled jobs in registration order.
+func (c *Controller) Jobs() []*Job { return c.jobs }
+
+// JobOf returns the job controlling t, if any.
+func (c *Controller) JobOf(t *kernel.Thread) (*Job, bool) {
+	j, ok := c.byThr[t]
+	return j, ok
+}
+
+// Thread returns the controller's own thread (nil before Start).
+func (c *Controller) Thread() *kernel.Thread { return c.thread }
+
+// Steps returns the number of control intervals executed.
+func (c *Controller) Steps() uint64 { return c.steps }
+
+// Actuations returns the number of reservation changes sent to the
+// dispatcher.
+func (c *Controller) Actuations() uint64 { return c.actuations }
+
+// Exceptions returns the quality exceptions raised so far.
+func (c *Controller) Exceptions() []QualityException { return c.exceptions }
+
+// OnQuality installs a callback invoked for every quality exception.
+func (c *Controller) OnQuality(fn func(QualityException)) { c.onQuality = fn }
+
+// OnStep installs a callback invoked at the end of every control interval;
+// experiments use it to sample allocations in phase with the controller.
+func (c *Controller) OnStep(fn func(now sim.Time)) { c.onStep = fn }
+
+// EffectiveThreshold returns the current admission/squish ceiling.
+func (c *Controller) EffectiveThreshold() int { return c.effectiveThreshold }
+
+// Start spawns the controller's thread under its own reservation. It must
+// be called before kernel.Start or during the run, once.
+func (c *Controller) Start() {
+	if c.thread != nil {
+		panic("core: controller started twice")
+	}
+	c.thread = c.kern.Spawn("controller", kernel.ProgramFunc(c.program))
+	if err := c.policy.SetReservation(c.thread, c.cfg.Reservation); err != nil {
+		panic(fmt.Sprintf("core: controller reservation: %v", err))
+	}
+	c.admitted += c.cfg.Reservation.Proportion
+	c.nextWake = c.kern.Now().Add(c.cfg.Interval)
+}
+
+// program is the controller thread: burn the modeled cost, act, sleep.
+func (c *Controller) program(t *kernel.Thread, now sim.Time) kernel.Op {
+	c.phase++
+	if c.phase%2 == 1 {
+		cost := c.cfg.BaseCost + sim.Cycles(len(c.jobs))*c.cfg.PerJobCost
+		return kernel.OpCompute{Cycles: cost}
+	}
+	c.step(now)
+	wake := c.nextWake
+	c.nextWake = c.nextWake.Add(c.cfg.Interval)
+	return kernel.OpSleepUntil{At: wake}
+}
+
+// AddRealTime admits a reservation-holding job. Admission control rejects
+// requests beyond the available capacity.
+func (c *Controller) AddRealTime(t *kernel.Thread, proportion int, period sim.Duration) (*Job, error) {
+	avail := c.available()
+	if proportion > avail {
+		return nil, &AdmissionError{Requested: proportion, Available: avail}
+	}
+	j := c.addJob(t, RealTime)
+	j.specified = proportion
+	j.period = period
+	j.periodFixed = true
+	j.desired = proportion
+	j.allocated = proportion
+	c.admitted += proportion
+	c.actuate(j, proportion, period)
+	return j, nil
+}
+
+// AddAperiodicRealTime admits a job that specifies proportion only; the
+// controller assigns the default period (30 ms) as a jitter bound.
+func (c *Controller) AddAperiodicRealTime(t *kernel.Thread, proportion int) (*Job, error) {
+	avail := c.available()
+	if proportion > avail {
+		return nil, &AdmissionError{Requested: proportion, Available: avail}
+	}
+	j := c.addJob(t, AperiodicRealTime)
+	j.specified = proportion
+	j.period = c.cfg.DefaultPeriod
+	j.desired = proportion
+	j.allocated = proportion
+	c.admitted += proportion
+	c.actuate(j, proportion, j.period)
+	return j, nil
+}
+
+// AddRealRate registers a job whose progress metrics are already in the
+// registry. Passing period 0 lets the controller assign (and, when
+// enabled, adapt) the period.
+func (c *Controller) AddRealRate(t *kernel.Thread, period sim.Duration) *Job {
+	if !c.reg.HasMetrics(t) {
+		panic("core: AddRealRate without registered progress metrics")
+	}
+	j := c.addJob(t, RealRate)
+	if period > 0 {
+		j.period = period
+		j.periodFixed = true
+	} else {
+		j.period = c.cfg.DefaultPeriod
+	}
+	j.fill = metrics.NewSeries(t.Name() + ".pressure")
+	c.bootstrap(j)
+	return j
+}
+
+// AddMiscellaneous registers a job with no information at all.
+func (c *Controller) AddMiscellaneous(t *kernel.Thread) *Job {
+	j := c.addJob(t, Miscellaneous)
+	j.period = c.cfg.DefaultPeriod
+	c.bootstrap(j)
+	return j
+}
+
+// AddInteractive registers a tty-server job (§3.2's interactive class).
+// Interactive jobs carry a raised default importance so bulk jobs cannot
+// squish them below their burst requirement.
+func (c *Controller) AddInteractive(t *kernel.Thread) *Job {
+	j := c.addJob(t, Interactive)
+	j.period = c.cfg.InteractivePeriod
+	j.importance = c.cfg.InteractiveImportance
+	c.bootstrap(j)
+	return j
+}
+
+// Renegotiate changes a real-time or aperiodic real-time job's reservation,
+// subject to admission control — the §3.3 renegotiation path ("the
+// controller may raise a quality exception and initiate a renegotiation of
+// the resource reservation"). Shrinking always succeeds; growth must fit
+// the available capacity.
+func (c *Controller) Renegotiate(j *Job, proportion int) error {
+	if j.class != RealTime && j.class != AperiodicRealTime {
+		return fmt.Errorf("core: job %s is %s; only reservation-holding jobs renegotiate",
+			j.thread.Name(), j.class)
+	}
+	delta := proportion - j.specified
+	if delta > 0 && delta > c.available() {
+		return &AdmissionError{Requested: delta, Available: c.available()}
+	}
+	c.admitted += delta
+	j.specified = proportion
+	j.desired = proportion
+	j.allocated = proportion
+	c.actuate(j, proportion, j.period)
+	return nil
+}
+
+// AddMember adds a cooperating thread to an existing job: the job's
+// allocation is shared (split evenly) across its members, its progress is
+// the sum of its members' metrics, and its usage is their combined CPU.
+func (c *Controller) AddMember(j *Job, t *kernel.Thread) {
+	if _, dup := c.byThr[t]; dup {
+		panic(fmt.Sprintf("core: thread %v already controlled", t))
+	}
+	j.members = append(j.members, t)
+	c.byThr[t] = j
+	j.lastCPU = j.cpuTime()
+	j.cpuBlockMark = j.cpuTime()
+	j.lastBlocked = j.blockedCount()
+	c.actuate(j, j.allocated, j.period)
+}
+
+// SetImportance sets the weighted-fair-share weight of a job.
+func (c *Controller) SetImportance(j *Job, w float64) {
+	if w <= 0 {
+		panic("core: importance must be positive")
+	}
+	j.importance = w
+}
+
+// Remove stops controlling a job, freeing its admission if it held one.
+func (c *Controller) Remove(j *Job) {
+	if j.class == RealTime || j.class == AperiodicRealTime {
+		c.admitted -= j.specified
+	}
+	for _, t := range j.members {
+		delete(c.byThr, t)
+		c.policy.Unregister(t)
+		c.reg.Unregister(t)
+	}
+	for i, other := range c.jobs {
+		if other == j {
+			copy(c.jobs[i:], c.jobs[i+1:])
+			c.jobs = c.jobs[:len(c.jobs)-1]
+			break
+		}
+	}
+}
+
+func (c *Controller) addJob(t *kernel.Thread, class Class) *Job {
+	if _, dup := c.byThr[t]; dup {
+		panic(fmt.Sprintf("core: thread %v already controlled", t))
+	}
+	j := &Job{
+		thread:       t,
+		members:      []*kernel.Thread{t},
+		class:        class,
+		importance:   1,
+		g:            pid.New(c.cfg.PID),
+		lastCPU:      t.CPUTime(),
+		cpuBlockMark: t.CPUTime(),
+		lastBlocked:  t.BlockedCount(),
+		usageEWMA:    1, // presume fully used until measured otherwise
+	}
+	c.jobs = append(c.jobs, j)
+	c.byThr[t] = j
+	return j
+}
+
+// bootstrap gives adaptive jobs their floor allocation so they can start
+// making progress before the first control interval.
+func (c *Controller) bootstrap(j *Job) {
+	j.desired = c.cfg.MinProportion
+	j.allocated = c.cfg.MinProportion
+	c.actuate(j, j.allocated, j.period)
+}
+
+// available returns the admission headroom in ppt: real-rate and
+// miscellaneous jobs are squishable down to their floors, so only hard
+// reservations and floors are unavailable.
+func (c *Controller) available() int {
+	floors := 0
+	for _, j := range c.jobs {
+		if j.class.Adaptive() {
+			floors += c.cfg.MinProportion
+		}
+	}
+	return c.effectiveThreshold - c.admitted - floors
+}
+
+// step is one control interval: sample, estimate, squish, actuate.
+func (c *Controller) step(now sim.Time) {
+	c.steps++
+	dt := c.cfg.Interval.Seconds()
+
+	// Missed deadlines shrink the effective threshold (spare capacity
+	// grows), recovering slowly when the dispatcher is healthy.
+	if misses := c.policy.MissedDeadlines(); misses > c.lastMisses {
+		c.effectiveThreshold -= int(misses-c.lastMisses) * 5
+		if c.effectiveThreshold < c.cfg.OverloadThreshold/2 {
+			c.effectiveThreshold = c.cfg.OverloadThreshold / 2
+		}
+		c.lastMisses = misses
+	} else if c.effectiveThreshold < c.cfg.OverloadThreshold {
+		c.effectiveThreshold++
+	}
+
+	c.reap()
+
+	// Pass 1: desired allocations.
+	var (
+		squishable []*Job
+		desires    []int
+		weights    []float64
+	)
+	for _, j := range c.jobs {
+		switch j.class {
+		case RealTime, AperiodicRealTime:
+			j.desired = j.specified
+			j.allocated = j.specified
+			j.squished = false
+			j.lastCPU = j.cpuTime()
+			continue
+		case RealRate:
+			p := c.jobPressure(j, now)
+			j.lastRaw = p
+			if j.fill != nil {
+				j.fill.Add(now, p)
+			}
+			j.desired = c.estimate(j, p, dt)
+		case Miscellaneous:
+			j.desired = c.estimateMisc(j, dt)
+		case Interactive:
+			j.desired = c.estimateInteractive(j)
+		}
+		squishable = append(squishable, j)
+		desires = append(desires, j.desired)
+		weights = append(weights, j.importance)
+	}
+
+	// Pass 2: squish into the capacity left by hard reservations.
+	capacity := c.effectiveThreshold - c.admitted
+	if len(squishable) > 0 {
+		allocs := squish(desires, weights, capacity, c.cfg.MinProportion)
+		for i, j := range squishable {
+			if allocs[i] > c.cfg.MaxProportion {
+				allocs[i] = c.cfg.MaxProportion
+			}
+			j.squished = allocs[i] < j.desired
+			c.maybeRaiseQuality(j, allocs[i], now)
+			if c.cfg.PeriodAdaptation {
+				c.adaptPeriod(j, now)
+			}
+			if allocs[i] != j.allocated || c.cfg.PeriodAdaptation {
+				c.actuate(j, allocs[i], j.period)
+			}
+			j.allocated = allocs[i]
+			j.lastCPU = j.cpuTime()
+			j.lastBlocked = j.blockedCount()
+		}
+	}
+
+	if c.onStep != nil {
+		c.onStep(now)
+	}
+}
+
+// observeUsage folds this interval's used/granted ratio into the job's
+// smoothed usage estimate and reports it. Jobs burn their budgets in
+// bursts and nap the rest of each period, so the instantaneous ratio
+// aliases; reclamation must look at the average over several intervals.
+func (c *Controller) observeUsage(j *Job, dt float64) float64 {
+	used := j.cpuTime() - j.lastCPU
+	granted := sim.Duration(int64(c.cfg.Interval) * int64(j.allocated) / pptDenom)
+	ratio := 1.0
+	if granted > 0 {
+		ratio = float64(used) / float64(granted)
+		if ratio > 1.5 {
+			ratio = 1.5
+		}
+	}
+	const tau = 0.1 // seconds: ≈10 control intervals
+	alpha := dt / (tau + dt)
+	j.usageEWMA += alpha * (ratio - j.usageEWMA)
+	pptUsed := float64(used) / float64(c.cfg.Interval) * pptDenom
+	j.usedPPT += alpha * (pptUsed - j.usedPPT)
+	return j.usageEWMA
+}
+
+// estimate implements Figure 4 for one adaptive job: normally P′ = k·Q_t,
+// but if the previous allocation went unused the allocation drops by the
+// constant C and the banked integral bleeds off.
+func (c *Controller) estimate(j *Job, pressure float64, dt float64) int {
+	usage := c.observeUsage(j, dt)
+	if j.allocated > c.cfg.MinProportion && usage < c.cfg.ReclaimFraction {
+		// Too generous: the job demonstrably cannot use what it has, even
+		// if its queue pressure is positive — "increasing the allocation
+		// may not improve the thread's progress, as might happen ... if
+		// another resource (such as a disk-as-producer) is the bottleneck"
+		// (Figure 4's P−C path).
+		j.g.ScaleIntegral(0.8)
+		j.g.Step(pressure, dt) // keep the filter advancing
+		return clampPPT(j.allocated-c.cfg.ReclaimC, c.cfg.MinProportion, c.cfg.DesireCap)
+	}
+	q := j.g.Step(pressure, dt)
+	return clampPPT(int(c.cfg.K*q), c.cfg.MinProportion, c.cfg.DesireCap)
+}
+
+// estimateMisc implements the miscellaneous heuristic: "the controller
+// approximates the thread's progress with a positive constant. In this way
+// there is constant pressure to allocate more CPU to a miscellaneous
+// thread, until it is either satisfied or the CPU becomes oversubscribed",
+// combined with the usage check ("whether or not the application uses the
+// allocation it is given"). The desire is sized from measured consumption
+// with headroom, capped by the constant-pressure target K·MiscPressure: a
+// busy hog's desire climbs geometrically to the cap and stays flat there —
+// crucially, NOT integrated — so under overload its desire holds steady
+// while a falling-behind real-rate job's pressure (and hence desire) grows
+// past it and wins the squish: exactly the Figure 7 dynamic. An idle job's
+// desire follows its usage back down, which is the reclamation.
+func (c *Controller) estimateMisc(j *Job, dt float64) int {
+	usage := c.observeUsage(j, dt)
+	target := clampPPT(int(c.cfg.K*c.cfg.MiscPressure), c.cfg.MinProportion, c.cfg.MaxProportion)
+	// Hysteresis on the usage test keeps the decision away from the
+	// boundary: a squished busy hog uses ≥100% of its (quantized) grant,
+	// an idle job ≈0%.
+	if j.reclaiming && usage > c.cfg.ReclaimFraction+0.2 {
+		j.reclaiming = false
+	} else if !j.reclaiming && usage < c.cfg.ReclaimFraction-0.1 {
+		j.reclaiming = true
+	}
+	if j.reclaiming {
+		// Reclaim: follow measured consumption down (with headroom so the
+		// job can ramp back).
+		d := int(1.3*j.usedPPT) + c.cfg.ReclaimC
+		if d > target {
+			d = target
+		}
+		return clampPPT(d, c.cfg.MinProportion, c.cfg.MaxProportion)
+	}
+	// The job uses what it gets: the paper's constant pressure, verbatim.
+	// Every busy miscellaneous job desires the same target, which is what
+	// makes proportional squish "result in equal allocation of the CPU to
+	// all competing jobs over time".
+	return target
+}
+
+// estimateInteractive sizes an interactive job from its typical burst: the
+// proportion that would fit its average run-before-block into each period,
+// with headroom.
+func (c *Controller) estimateInteractive(j *Job) int {
+	blocks := j.blockedCount() - j.lastBlocked
+	if blocks > 0 {
+		used := j.cpuTime() - j.cpuBlockMark
+		j.cpuBlockMark = j.cpuTime()
+		burst := sim.Duration(int64(used) / int64(blocks))
+		if j.burstEstimate == 0 {
+			j.burstEstimate = burst
+		} else {
+			// Exponential smoothing, 1/4 new.
+			j.burstEstimate = (3*j.burstEstimate + burst) / 4
+		}
+	}
+	if j.burstEstimate == 0 {
+		return c.cfg.MinProportion
+	}
+	prop := int(c.cfg.InteractiveHeadroom * float64(j.burstEstimate) / float64(j.period) * pptDenom)
+	return clampPPT(prop, c.cfg.MinProportion, c.cfg.MaxProportion)
+}
+
+// maybeRaiseQuality raises a quality exception after a sustained stretch of
+// saturated pressure while squished: the machine simply lacks the CPU.
+func (c *Controller) maybeRaiseQuality(j *Job, alloc int, now sim.Time) {
+	saturated := j.class == RealRate && j.lastRaw >= 0.45
+	if saturated && alloc < j.desired {
+		j.overloadStreak++
+	} else {
+		j.overloadStreak = 0
+		return
+	}
+	if j.overloadStreak == c.cfg.OverloadStreak {
+		ex := QualityException{
+			Job: j, Time: now, Pressure: j.g.Output(),
+			Desired: j.desired, Allocated: alloc,
+			Reason: "sustained overload: renegotiate resource requirements",
+		}
+		c.exceptions = append(c.exceptions, ex)
+		if c.onQuality != nil {
+			c.onQuality(ex)
+		}
+		j.overloadStreak = 0
+	}
+}
+
+// actuate pushes the job's reservation into the dispatcher, split evenly
+// across its member threads (the remainder goes to the primary).
+func (c *Controller) actuate(j *Job, prop int, period sim.Duration) {
+	n := len(j.members)
+	share := prop / n
+	rem := prop - share*n
+	for i, t := range j.members {
+		p := share
+		if i == 0 {
+			p += rem
+		}
+		if p < 1 {
+			p = 1 // every live thread keeps a non-zero reservation
+		}
+		if err := c.policy.SetReservation(t, rbs.Reservation{Proportion: p, Period: period}); err != nil {
+			panic(fmt.Sprintf("core: actuation failed: %v", err))
+		}
+	}
+	j.actuations++
+	c.actuations++
+}
+
+// jobPressure sums the registered progress metrics of every member thread,
+// clamped to the paper's [-1/2, 1/2] pressure range.
+func (c *Controller) jobPressure(j *Job, now sim.Time) float64 {
+	var sum float64
+	for _, t := range j.members {
+		// SummedPressure clamps per thread; re-clamp the job total below.
+		sum += c.reg.SummedPressure(t, now)
+	}
+	if sum > 0.5 {
+		sum = 0.5
+	}
+	if sum < -0.5 {
+		sum = -0.5
+	}
+	return sum
+}
+
+// reap drops exited member threads and removes jobs with no live members.
+func (c *Controller) reap() {
+	for i := 0; i < len(c.jobs); {
+		j := c.jobs[i]
+		live := j.members[:0]
+		for _, t := range j.members {
+			if t.State() == kernel.StateExited {
+				delete(c.byThr, t)
+				c.policy.Unregister(t)
+				c.reg.Unregister(t)
+				continue
+			}
+			live = append(live, t)
+		}
+		j.members = live
+		if len(j.members) == 0 {
+			c.Remove(j)
+			continue
+		}
+		j.thread = j.members[0]
+		i++
+	}
+}
+
+func clampPPT(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/progress"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestIOIntensiveConsumerMatchesDiskRate exercises §3.2's I/O-intensive
+// class: a data-crunching application consumes a readahead buffer filled by
+// the disk; the controller must give it exactly enough CPU "to keep the
+// disks busy" — the allocation that matches the device's throughput.
+func TestIOIntensiveConsumerMatchesDiskRate(t *testing.T) {
+	r := newRig(core.Config{})
+	readahead := r.kern.NewQueue("readahead", 1<<20)
+	// 4 MB/s device: at 25 cycles/byte the cruncher needs 100M cycles/s
+	// = 250 ppt of the 400 MHz CPU.
+	disk := &workload.Disk{Queue: readahead, BytesPerSec: 4_000_000, BlockBytes: 16 * 1024}
+	dt := r.kern.Spawn("disk", disk)
+	cruncher := &workload.Consumer{Queue: readahead, BlockBytes: 4096, CyclesPerByte: 25}
+	ct := r.kern.Spawn("cruncher", cruncher)
+
+	// The disk is a device driver: small real-time reservation with a
+	// short period so DMA completions are never delayed.
+	if _, err := r.ctl.AddRealTime(dt, 20, 5*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r.reg.RegisterQueue(dt, readahead, progress.Producer)
+	r.reg.RegisterQueue(ct, readahead, progress.Consumer)
+	r.ctl.AddRealRate(ct, 10*sim.Millisecond)
+
+	// Competing load that would otherwise take everything.
+	hog := r.kern.Spawn("hog", &workload.Hog{Burst: 400_000})
+	r.ctl.AddMiscellaneous(hog)
+
+	r.start()
+	r.run(10 * sim.Second)
+	r.kern.Stop()
+
+	if err := readahead.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// The disk must have stayed busy: total transfer ≈ rate × time.
+	wantBytes := int64(4_000_000 * 10)
+	if readahead.Produced() < wantBytes*85/100 {
+		t.Fatalf("disk transferred %d bytes in 10s, want ≈%d (device starved)",
+			readahead.Produced(), wantBytes)
+	}
+	// The cruncher kept up with the device despite the hog.
+	if readahead.Consumed() < readahead.Produced()*8/10 {
+		t.Fatalf("cruncher lagging the disk: %d of %d", readahead.Consumed(), readahead.Produced())
+	}
+	// And its discovered allocation is near the 250 ppt requirement.
+	j, _ := r.ctl.JobOf(ct)
+	if j.Allocated() < 180 || j.Allocated() > 380 {
+		t.Fatalf("cruncher allocation = %d ppt, want ≈250", j.Allocated())
+	}
+	// The hog got the leftover, not nothing.
+	if hog.CPUTime().Seconds() < 2 {
+		t.Fatalf("hog starved: %v", hog.CPUTime())
+	}
+}
+
+// TestIOIntensiveWithSlowDiskReclaims: when the disk is the bottleneck the
+// cruncher's allocation must track the device rate down, not the queue
+// pressure up.
+func TestIOIntensiveWithSlowDiskReclaims(t *testing.T) {
+	r := newRig(core.Config{})
+	readahead := r.kern.NewQueue("readahead", 1<<20)
+	// A slow 400 kB/s device: the cruncher needs only 25 ppt.
+	disk := &workload.Disk{Queue: readahead, BytesPerSec: 400_000, BlockBytes: 16 * 1024}
+	dt := r.kern.Spawn("disk", disk)
+	cruncher := &workload.Consumer{Queue: readahead, BlockBytes: 4096, CyclesPerByte: 25}
+	ct := r.kern.Spawn("cruncher", cruncher)
+	if _, err := r.ctl.AddRealTime(dt, 20, 5*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r.reg.RegisterQueue(dt, readahead, progress.Producer)
+	r.reg.RegisterQueue(ct, readahead, progress.Consumer)
+	j := r.ctl.AddRealRate(ct, 10*sim.Millisecond)
+
+	r.start()
+	r.run(10 * sim.Second)
+	r.kern.Stop()
+
+	if j.Allocated() > 120 {
+		t.Fatalf("cruncher holds %d ppt for a 25 ppt workload", j.Allocated())
+	}
+	if readahead.Consumed() < readahead.Produced()*8/10 {
+		t.Fatalf("cruncher lagging a slow disk: %d of %d", readahead.Consumed(), readahead.Produced())
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// QualityException is the controller's overload notification (§3.1/§4.2):
+// when the CPU cannot satisfy a job — its queue stays pinned full while its
+// allocation is squished — the controller notifies the job so it can adapt
+// by lowering its resource requirements.
+type QualityException struct {
+	// Job is the affected job.
+	Job *Job
+	// Time is when the exception was raised.
+	Time sim.Time
+	// Pressure is the job's saturated progress pressure.
+	Pressure float64
+	// Desired and Allocated record the squish that triggered the
+	// exception.
+	Desired, Allocated int
+	// Reason distinguishes overload squish from admission rejection and
+	// renegotiation.
+	Reason string
+}
+
+func (q QualityException) String() string {
+	return fmt.Sprintf("quality exception at %v: job %s (%s) pressure %.2f desired %d got %d: %s",
+		q.Time, q.Job.thread.Name(), q.Job.class, q.Pressure, q.Desired, q.Allocated, q.Reason)
+}
+
+// AdmissionError is returned when admission control rejects a real-time
+// reservation request (§3.3: "the controller performs admission control by
+// rejecting new real-time jobs which request more CPU than is currently
+// available").
+type AdmissionError struct {
+	Requested int // ppt
+	Available int // ppt
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("core: admission control rejected reservation of %d ppt (available %d ppt)",
+		e.Requested, e.Available)
+}

@@ -1,0 +1,88 @@
+package core
+
+// squish reduces desired allocations to fit capacity, implementing §3.3's
+// overload response: "it squishes each miscellaneous or real-rate job's
+// proposed allocation by an amount proportional to the allocation",
+// extended to weighted fair share where importance is the weighting factor.
+//
+// Each job's reduction is proportional to desire/weight, so equal-weight
+// jobs are scaled multiplicatively (the paper's proportional squish: over
+// time, constant-pressure jobs equalize), and a more important job gives up
+// less ("importance determines the likelihood that a thread will get its
+// desired allocation"). Reductions clamp at the non-zero floor so no job
+// is ever starved, with the remainder redistributed over the others.
+//
+// squish returns the allocations in the same order as the inputs. It
+// panics if capacity cannot hold the floors — callers must size floor and
+// capacity so that floor·len(desires) ≤ capacity.
+func squish(desires []int, weights []float64, capacity, floor int) []int {
+	n := len(desires)
+	out := make([]int, n)
+	total := 0
+	for i, d := range desires {
+		if d < floor {
+			d = floor
+		}
+		out[i] = d
+		total += d
+	}
+	if total <= capacity {
+		return out
+	}
+	if floor*n > capacity {
+		panic("core: squish capacity cannot hold allocation floors")
+	}
+
+	// Iteratively remove the excess. Jobs pinned at the floor drop out of
+	// the distribution and their share is re-spread; at most n rounds.
+	excess := total - capacity
+	frozen := make([]bool, n)
+	for round := 0; round < n && excess > 0; round++ {
+		// Weight mass of the unfrozen jobs: reduction_i ∝ out_i / w_i.
+		var mass float64
+		for i := range out {
+			if !frozen[i] {
+				mass += float64(out[i]) / weights[i]
+			}
+		}
+		if mass <= 0 {
+			break
+		}
+		remaining := 0
+		for i := range out {
+			if frozen[i] {
+				continue
+			}
+			cut := int(float64(excess) * (float64(out[i]) / weights[i]) / mass)
+			if cut >= out[i]-floor {
+				cut = out[i] - floor
+				frozen[i] = true
+			}
+			out[i] -= cut
+			remaining += cut
+		}
+		excess -= remaining
+		if remaining == 0 {
+			break // integer rounding stalled; the shave below finishes
+		}
+	}
+	// Integer truncation can leave a small residue: shave one ppt at a
+	// time from any job above its floor until the capacity holds.
+	for excess > 0 {
+		shaved := false
+		for i := range out {
+			if excess == 0 {
+				break
+			}
+			if out[i] > floor {
+				out[i]--
+				excess--
+				shaved = true
+			}
+		}
+		if !shaved {
+			break // everyone at the floor; floors were checked above
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func ones(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestSquishNoOverloadPassesThrough(t *testing.T) {
+	out := squish([]int{100, 200, 300}, ones(3), 700, 5)
+	for i, want := range []int{100, 200, 300} {
+		if out[i] != want {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestSquishProportionalWithEqualWeights(t *testing.T) {
+	// §3.3: "squishes each ... job's proposed allocation by an amount
+	// proportional to the allocation."
+	out := squish([]int{600, 300}, ones(2), 600, 5)
+	if sum(out) > 600 {
+		t.Fatalf("sum %d > capacity", sum(out))
+	}
+	// 2:1 desires should stay ≈2:1 after proportional squish.
+	ratio := float64(out[0]) / float64(out[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("squished ratio = %v (out=%v), want ≈2", ratio, out)
+	}
+}
+
+func TestSquishEqualDesiresEqualOut(t *testing.T) {
+	out := squish([]int{800, 800, 800}, ones(3), 600, 5)
+	if sum(out) > 600 {
+		t.Fatalf("sum %d > capacity", sum(out))
+	}
+	for _, o := range out[1:] {
+		if o != out[0] {
+			t.Fatalf("equal desires squished unequally: %v", out)
+		}
+	}
+}
+
+func TestSquishImportanceGivesMore(t *testing.T) {
+	// "For two jobs that both desire more than the available CPU, the
+	// more important job will end up with the higher percentage."
+	out := squish([]int{800, 800}, []float64{4, 1}, 600, 5)
+	if sum(out) > 600 {
+		t.Fatalf("sum %d > capacity", sum(out))
+	}
+	if out[0] <= out[1] {
+		t.Fatalf("important job did not win: %v", out)
+	}
+	// "a more-important job cannot starve a less important job."
+	if out[1] < 5 {
+		t.Fatalf("less important job starved: %v", out)
+	}
+}
+
+func TestSquishRespectsFloor(t *testing.T) {
+	out := squish([]int{900, 900, 900, 10}, ones(4), 500, 10)
+	if sum(out) > 500 {
+		t.Fatalf("sum %d > capacity", sum(out))
+	}
+	for i, o := range out {
+		if o < 10 {
+			t.Fatalf("job %d below floor: %v", i, out)
+		}
+	}
+}
+
+func TestSquishFloorsRaiseTinyDesires(t *testing.T) {
+	out := squish([]int{2, 100}, ones(2), 500, 5)
+	if out[0] != 5 {
+		t.Fatalf("desire below floor not raised: %v", out)
+	}
+}
+
+func TestSquishPanicsWhenFloorsDontFit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when floors exceed capacity")
+		}
+	}()
+	squish([]int{100, 100, 100}, ones(3), 20, 10)
+}
+
+func TestSquishExtremeWeights(t *testing.T) {
+	out := squish([]int{500, 500}, []float64{1000, 0.001}, 400, 5)
+	if sum(out) > 400 {
+		t.Fatalf("sum %d > capacity", sum(out))
+	}
+	if out[0] < 300 {
+		t.Fatalf("overwhelming importance got %v", out)
+	}
+	if out[1] < 5 {
+		t.Fatalf("tiny importance starved: %v", out)
+	}
+}
+
+// Property: output never exceeds desire (after the floor raise), never
+// drops below floor, and the total never exceeds capacity.
+func TestPropertySquishInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 1 + rng.Intn(8)
+		desires := make([]int, n)
+		weights := make([]float64, n)
+		for i := range desires {
+			desires[i] = rng.Intn(950)
+			weights[i] = 0.25 + 4*rng.Float64()
+		}
+		const floor = 5
+		capacity := floor*n + rng.Intn(900)
+		out := squish(desires, weights, capacity, floor)
+		total := 0
+		for i, o := range out {
+			d := desires[i]
+			if d < floor {
+				d = floor
+			}
+			if o > d || o < floor {
+				t.Logf("violation: out=%v desires=%v floor=%d", out, desires, floor)
+				return false
+			}
+			total += o
+		}
+		return total <= capacity || total == sumWithFloor(desires, floor)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sumWithFloor(ds []int, floor int) int {
+	s := 0
+	for _, d := range ds {
+		if d < floor {
+			d = floor
+		}
+		s += d
+	}
+	return s
+}
+
+// Property: with equal weights, squished outputs preserve the order of
+// desires (monotonicity).
+func TestPropertySquishMonotoneInDesire(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		desires := make([]int, n)
+		for i := range desires {
+			desires[i] = 5 + rng.Intn(900)
+		}
+		out := squish(desires, ones(n), 5*n+300, 5)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				// Integer cut rounding may skew a pair by one ppt.
+				if desires[i] > desires[j] && out[i] < out[j]-1 {
+					t.Logf("order flip: desires=%v out=%v", desires, out)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

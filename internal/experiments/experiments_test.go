@@ -1,0 +1,203 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/pid"
+	"repro/internal/sim"
+)
+
+// These tests assert the *shape* of each reproduced figure: who wins, by
+// roughly what factor, and where crossovers fall — the reproduction
+// criteria DESIGN.md sets out. Short windows keep them fast; the full
+// paper-length runs happen in cmd/rrexp and the benchmarks.
+
+func TestFig5LinearAndCalibrated(t *testing.T) {
+	res := experiments.RunFig5(experiments.Fig5Config{
+		MaxProcesses: 40, Step: 10, RunFor: 5 * sim.Second,
+	})
+	if res.Fit.R2 < 0.995 {
+		t.Fatalf("overhead not linear: R² = %v", res.Fit.R2)
+	}
+	// Paper: slope .00066, intercept .00057, 2.7% at 40 jobs.
+	if res.Fit.Slope < 0.0005 || res.Fit.Slope > 0.0008 {
+		t.Fatalf("slope = %v, want ≈0.00066", res.Fit.Slope)
+	}
+	if res.Fit.Intercept < 0.0004 || res.Fit.Intercept > 0.0008 {
+		t.Fatalf("intercept = %v, want ≈0.00057", res.Fit.Intercept)
+	}
+	if res.At40 < 0.022 || res.At40 > 0.032 {
+		t.Fatalf("overhead at 40 jobs = %v, want ≈0.027", res.At40)
+	}
+}
+
+func TestFig5PrintAndCSV(t *testing.T) {
+	res := experiments.RunFig5(experiments.Fig5Config{
+		MaxProcesses: 10, Step: 5, RunFor: 2 * sim.Second,
+	})
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "linear fit") {
+		t.Fatalf("report missing fit: %s", sb.String())
+	}
+	sb.Reset()
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "processes,controller_cpu_fraction\n") {
+		t.Fatalf("bad CSV header: %s", sb.String())
+	}
+}
+
+func TestFig6ShapeHolds(t *testing.T) {
+	res := experiments.RunPipeline(experiments.PipelineConfig{
+		Duration:    12 * sim.Second,
+		PulseWidths: []sim.Duration{2 * sim.Second},
+	})
+	if !res.Settled {
+		t.Fatal("consumer allocation never settled after the rate doubling")
+	}
+	// Paper: ≈1/3 s. Accept anything clearly sub-second.
+	if res.ResponseTime > 800*sim.Millisecond {
+		t.Fatalf("response time = %v, want well under 1s", res.ResponseTime)
+	}
+	if res.MeanFill < 0.35 || res.MeanFill > 0.65 {
+		t.Fatalf("mean fill = %v, want ≈0.5", res.MeanFill)
+	}
+	if res.TrackingError > 0.15 {
+		t.Fatalf("tracking error = %v, want <15%%", res.TrackingError)
+	}
+	// The consumer's allocation roughly follows the drive's square wave:
+	// during the pulse its mean must be well above the pre-pulse mean.
+	pre := res.ConsumerAlloc.TimeWeightedMean(sim.Time(3*sim.Second), sim.Time(4*sim.Second))
+	during := res.ConsumerAlloc.TimeWeightedMean(sim.Time(4500*sim.Millisecond), sim.Time(6*sim.Second))
+	if during < 1.5*pre {
+		t.Fatalf("pulse allocation %.0f not ≈2x pre-pulse %.0f", during, pre)
+	}
+}
+
+func TestFig7HogLosesToConsumer(t *testing.T) {
+	res := experiments.RunPipeline(experiments.PipelineConfig{
+		Duration:    12 * sim.Second,
+		PulseWidths: []sim.Duration{2 * sim.Second},
+		WithHog:     true,
+	})
+	// The hog takes the leftover but must neither starve nor win.
+	if res.HogShare < 0.15 || res.HogShare > 0.75 {
+		t.Fatalf("hog share = %v", res.HogShare)
+	}
+	// The consumer still tracks the producer through the pulse.
+	if res.TrackingError > 0.3 {
+		t.Fatalf("tracking error under load = %v", res.TrackingError)
+	}
+	// Squish evidence: during the pulse, the hog's allocation dips below
+	// its pre-pulse level (it "effectively loses allocation to the
+	// consumer").
+	pre := res.HogAlloc.TimeWeightedMean(sim.Time(3*sim.Second), sim.Time(4*sim.Second))
+	during := res.HogAlloc.TimeWeightedMean(sim.Time(4500*sim.Millisecond), sim.Time(6*sim.Second))
+	if during >= pre {
+		t.Fatalf("hog allocation did not fall under pulse load: pre %.0f during %.0f", pre, during)
+	}
+}
+
+func TestFig8MonotoneWithKnee(t *testing.T) {
+	res := experiments.RunFig8(experiments.Fig8Config{RunFor: 2 * sim.Second})
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Available > res.Points[i-1].Available+0.001 {
+			t.Fatalf("available CPU not monotone: %+v", res.Points)
+		}
+	}
+	if res.KneeHz < 2000 || res.KneeHz > 6000 {
+		t.Fatalf("knee at %d Hz, want ≈4000", res.KneeHz)
+	}
+	if res.OverheadAt4kHz < 0.015 || res.OverheadAt4kHz > 0.04 {
+		t.Fatalf("overhead at 4kHz = %v, want ≈0.027", res.OverheadAt4kHz)
+	}
+}
+
+func TestPathfinderComparison(t *testing.T) {
+	res := experiments.RunPathfinder(30 * sim.Second)
+	if res.PriorityResets == 0 {
+		t.Fatal("fixed priorities produced no resets: inversion missing")
+	}
+	if res.RealRateResets != 0 {
+		t.Fatalf("real-rate scheduling produced %d resets", res.RealRateResets)
+	}
+	// The low task does far more work under real-rate scheduling.
+	if res.RealRateWeatherRuns < 2*res.PriorityWeatherRuns {
+		t.Fatalf("weather runs: priority %d vs real-rate %d",
+			res.PriorityWeatherRuns, res.RealRateWeatherRuns)
+	}
+}
+
+func TestLivelockComparison(t *testing.T) {
+	res := experiments.RunLivelock(5 * sim.Second)
+	if res.PriorityInputs != 0 {
+		t.Fatalf("livelock did not manifest: %d inputs under fixed priority", res.PriorityInputs)
+	}
+	if res.RealRateInputs == 0 {
+		t.Fatal("no inputs flowed under real-rate scheduling")
+	}
+	if res.RealRateSpinCPU <= 0 {
+		t.Fatal("spinner starved under real-rate scheduling")
+	}
+}
+
+func TestGainAblationPIDBeatsPOnFillStability(t *testing.T) {
+	p := experiments.RunGainAblation("P", pid.Config{Kp: 1.0}, 10*sim.Second)
+	full := experiments.RunGainAblation("PID", pid.Config{Kp: 1.0, Ki: 4.0, Kd: 0.05}, 10*sim.Second)
+	if !full.Settled {
+		t.Fatal("PID did not settle")
+	}
+	if full.FillStd > p.FillStd*1.5 {
+		t.Fatalf("PID fill-std %v much worse than P-only %v", full.FillStd, p.FillStd)
+	}
+}
+
+func TestReclaimAblationFreesCapacity(t *testing.T) {
+	on := experiments.RunReclaimAblation(true, 10*sim.Second)
+	off := experiments.RunReclaimAblation(false, 10*sim.Second)
+	if on.ConsumerAlloc >= off.ConsumerAlloc {
+		t.Fatalf("reclaim did not shrink bottlenecked allocation: on=%v off=%v",
+			on.ConsumerAlloc, off.ConsumerAlloc)
+	}
+	if on.HogShare <= off.HogShare {
+		t.Fatalf("reclaimed capacity did not reach the hog: on=%v off=%v",
+			on.HogShare, off.HogShare)
+	}
+}
+
+func TestQuantizationAblation(t *testing.T) {
+	q := experiments.RunQuantizationAblation(false, 5*sim.Second)
+	p := experiments.RunQuantizationAblation(true, 5*sim.Second)
+	if q.Overdelivery < 2 {
+		t.Fatalf("tick-quantized dispatch should over-deliver small budgets: %vx", q.Overdelivery)
+	}
+	if p.Overdelivery > 1.2 {
+		t.Fatalf("precise accounting still over-delivers: %vx", p.Overdelivery)
+	}
+}
+
+func TestPipelineCSVWellFormed(t *testing.T) {
+	res := experiments.RunPipeline(experiments.PipelineConfig{
+		Duration:    4 * sim.Second,
+		PulseWidths: []sim.Duration{sim.Second},
+	})
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 30 {
+		t.Fatalf("CSV has only %d lines", len(lines))
+	}
+	header := lines[0]
+	wantCols := strings.Count(header, ",") + 1
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",")+1 != wantCols {
+			t.Fatalf("row %d has wrong arity: %q", i+1, l)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FrequencyPoint is one controller-rate sample of the §4.3 improvement
+// study: "we plan to lower the overhead of the controller in order to run
+// it at a higher frequency. Calculating the [allocations] more frequently
+// causes the allocation to change faster, and results in a more responsive
+// system without affecting its stability."
+type FrequencyPoint struct {
+	Interval     sim.Duration
+	ResponseTime sim.Duration
+	Settled      bool
+	FillStd      float64
+	// ControllerShare is the controller's own CPU fraction at this rate.
+	ControllerShare float64
+}
+
+// FrequencyResult sweeps the controller interval on the Figure 6 pipeline.
+type FrequencyResult struct {
+	Points []FrequencyPoint
+}
+
+// RunFrequencySweep measures responsiveness and controller overhead across
+// control intervals.
+func RunFrequencySweep(intervals []sim.Duration, duration sim.Duration) FrequencyResult {
+	if len(intervals) == 0 {
+		intervals = []sim.Duration{
+			5 * sim.Millisecond,
+			10 * sim.Millisecond,
+			20 * sim.Millisecond,
+			50 * sim.Millisecond,
+			100 * sim.Millisecond,
+		}
+	}
+	if duration == 0 {
+		duration = 15 * sim.Second
+	}
+	var res FrequencyResult
+	for _, iv := range intervals {
+		cfg := PipelineConfig{
+			Duration:    duration,
+			PulseWidths: []sim.Duration{2 * sim.Second},
+			// Fine sampling so response-time differences between control
+			// rates resolve.
+			SampleEvery: 20 * sim.Millisecond,
+		}
+		interval := iv
+		cfg.Ctl = func(cc *core.Config) {
+			cc.Interval = interval
+			// The controller's own reservation must fit its period.
+			def := core.DefaultConfig()
+			cc.Reservation = def.Reservation
+			cc.Reservation.Period = interval
+		}
+		pr := RunPipeline(cfg)
+		res.Points = append(res.Points, FrequencyPoint{
+			Interval:     iv,
+			ResponseTime: pr.ResponseTime,
+			Settled:      pr.Settled,
+			FillStd:      pr.FillStd,
+		})
+	}
+	// Controller share per rate, measured separately on an otherwise
+	// unloaded machine with 10 controlled dummies.
+	for i, iv := range intervals {
+		res.Points[i].ControllerShare = controllerShareAt(iv)
+	}
+	return res
+}
+
+func controllerShareAt(interval sim.Duration) float64 {
+	r := newRig(nil, func(cc *core.Config) {
+		cc.Interval = interval
+		def := core.DefaultConfig()
+		cc.Reservation = def.Reservation
+		cc.Reservation.Period = interval
+	})
+	for i := 0; i < 10; i++ {
+		th := r.kern.Spawn("dummy", sleepyProgram())
+		r.ctl.AddMiscellaneous(th)
+	}
+	r.start()
+	r.eng.RunFor(10 * sim.Second)
+	r.kern.Stop()
+	return r.ctl.Thread().CPUTime().Seconds() / 10
+}
+
+// Print writes the sweep table.
+func (res FrequencyResult) Print(w io.Writer) {
+	section(w, "Controller frequency sweep (§4.3: higher frequency → faster response)")
+	fmt.Fprintf(w, "%-12s %-12s %-10s %s\n", "interval", "response", "fill-std", "controller CPU")
+	for _, p := range res.Points {
+		resp := "did not settle"
+		if p.Settled {
+			resp = p.ResponseTime.String()
+		}
+		fmt.Fprintf(w, "%-12v %-12s %-10.3f %.4f\n", p.Interval, resp, p.FillStd, p.ControllerShare)
+	}
+}

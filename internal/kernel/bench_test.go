@@ -1,0 +1,80 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// BenchmarkSimulatedSecondOneHog measures wall time per simulated second
+// of machine time with a single CPU-bound thread — the simulator's
+// fundamental speed.
+func BenchmarkSimulatedSecondOneHog(b *testing.B) {
+	eng, k := newRRMachine(10 * sim.Millisecond)
+	k.Spawn("hog", hog(1_000_000))
+	k.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(sim.Second)
+	}
+	b.StopTimer()
+	k.Stop()
+}
+
+// BenchmarkSimulatedSecondPipeline measures a producer/consumer pair with
+// queue blocking — the experiment workloads' hot path.
+func BenchmarkSimulatedSecondPipeline(b *testing.B) {
+	eng, k := newRRMachine(sim.Millisecond)
+	q := k.NewQueue("pipe", 1<<20)
+	k.Spawn("prod", &pcProgram{q: q, cycles: 100_000, bytes: 4096, produce: true})
+	k.Spawn("cons", &pcProgram{q: q, cycles: 100_000, bytes: 4096})
+	k.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(sim.Second)
+	}
+	b.StopTimer()
+	k.Stop()
+}
+
+// BenchmarkContextSwitchStorm measures dispatch cost with 20 runnable
+// threads and 1 ms quanta.
+func BenchmarkContextSwitchStorm(b *testing.B) {
+	eng, k := newRRMachine(sim.Millisecond)
+	for i := 0; i < 20; i++ {
+		k.Spawn("hog", hog(1_000_000))
+	}
+	k.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(100 * sim.Millisecond)
+	}
+	b.StopTimer()
+	k.Stop()
+}
+
+// BenchmarkTimerHeavySleepers measures the do_timers path with 100
+// periodically sleeping threads.
+func BenchmarkTimerHeavySleepers(b *testing.B) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
+	for i := 0; i < 100; i++ {
+		phase := 0
+		k.Spawn("sleeper", kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
+			phase++
+			if phase%2 == 1 {
+				return kernel.OpSleep{D: 5 * sim.Millisecond}
+			}
+			return kernel.OpCompute{Cycles: 10_000}
+		}))
+	}
+	k.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(100 * sim.Millisecond)
+	}
+	b.StopTimer()
+	k.Stop()
+}

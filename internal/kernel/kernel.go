@@ -1,0 +1,669 @@
+// Package kernel simulates the machine the paper's prototype ran on: a
+// single-CPU Linux 2.0.35 box with a 1 ms timer interrupt. It provides
+// threads driven by Programs, a pluggable scheduling Policy, kernel timers
+// processed at timer interrupts (do_timers), in-kernel bounded byte queues
+// (the pipe/socket analog used by the symbiotic interfaces), and mutexes
+// (for the priority-inversion scenarios).
+//
+// The kernel charges configurable cycle costs for dispatches, timer
+// interrupts, and context switches. Those costs are what Figure 8 of the
+// paper measures, so they are first-class simulated work, not bookkeeping.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config sizes the simulated machine.
+type Config struct {
+	// ClockRate is the CPU clock. The paper's testbed is a 400 MHz
+	// Pentium II.
+	ClockRate sim.Hz
+	// TickInterval is the timer-interrupt period; the prototype sets the
+	// timer interval (and hence the upper bound on the dispatch interval)
+	// to 1 millisecond.
+	TickInterval sim.Duration
+	// DispatchCost is charged per schedule() invocation.
+	DispatchCost sim.Cycles
+	// TickCost is charged per timer interrupt (do_timers etc.).
+	TickCost sim.Cycles
+	// SwitchCost is charged when a dispatch picks a different thread than
+	// the one that ran last (context-switch overhead).
+	SwitchCost sim.Cycles
+}
+
+// DefaultConfig matches the paper's testbed calibration (see DESIGN.md):
+// a 400 MHz CPU with ~2700 cycles of total per-dispatch overhead, which
+// puts Figure 8's knee at 4 kHz with ≈2.7% overhead.
+func DefaultConfig() Config {
+	return Config{
+		ClockRate:    400_000_000,
+		TickInterval: sim.Millisecond,
+		DispatchCost: 1900,
+		TickCost:     900,
+		SwitchCost:   200,
+	}
+}
+
+// Tracer receives scheduling events as they happen. Implementations must
+// not mutate kernel state. The zero-cost default is no tracer.
+type Tracer interface {
+	// OnDispatch fires when a thread begins a run segment.
+	OnDispatch(now sim.Time, t *Thread)
+	// OnDeschedule fires when a thread stops running, with the time it
+	// ran and why it stopped.
+	OnDeschedule(now sim.Time, t *Thread, ran sim.Duration)
+	// OnWake fires when a blocked or sleeping thread becomes runnable.
+	OnWake(now sim.Time, t *Thread)
+	// OnBlock fires when a thread blocks voluntarily.
+	OnBlock(now sim.Time, t *Thread, on string)
+}
+
+// Stats aggregates machine-level accounting.
+type Stats struct {
+	Elapsed    sim.Duration
+	Idle       sim.Duration
+	Overhead   sim.Duration
+	Dispatches uint64
+	Ticks      uint64
+	Switches   uint64
+	TimerFires uint64
+	Wakeups    uint64
+}
+
+// ThreadTime returns the portion of Elapsed spent running threads.
+func (s Stats) ThreadTime() sim.Duration {
+	return s.Elapsed - s.Idle - s.Overhead
+}
+
+// Kernel is the simulated machine. It is single-CPU and entirely
+// deterministic; all activity is driven by the sim.Engine event loop.
+type Kernel struct {
+	eng    *sim.Engine
+	cfg    Config
+	policy Policy
+
+	threads []*Thread
+	nextID  int
+
+	current *Thread
+	seg     *segment
+	lastRan *Thread
+
+	timers   *timerList
+	tickEv   *sim.Event
+	started  bool
+	stopped  bool
+	baseTime sim.Time
+
+	idleSince sim.Time
+	idling    bool
+
+	// pendingOverhead is kernel time that must elapse before the next run
+	// segment begins; overhead() accumulates it, startRun consumes it.
+	pendingOverhead sim.Duration
+
+	// busy guards against re-entrant dispatch: wakeups that occur while the
+	// kernel is already inside tick/dispatch processing must not recurse
+	// into the scheduler; the enclosing handler finishes the job.
+	busy int
+
+	tracer Tracer
+
+	stats Stats
+}
+
+// segment is one contiguous stretch of CPU given to a thread.
+type segment struct {
+	t     *Thread
+	start sim.Time
+	end   sim.Time
+	ev    *sim.Event
+}
+
+// New creates a kernel on the given engine with the given policy. The
+// policy must not be shared between kernels.
+func New(eng *sim.Engine, cfg Config, policy Policy) *Kernel {
+	if cfg.ClockRate <= 0 {
+		panic("kernel: ClockRate must be positive")
+	}
+	if cfg.TickInterval <= 0 {
+		panic("kernel: TickInterval must be positive")
+	}
+	k := &Kernel{
+		eng:      eng,
+		cfg:      cfg,
+		policy:   policy,
+		timers:   newTimerList(),
+		baseTime: eng.Now(),
+	}
+	policy.Attach(k)
+	return k
+}
+
+// Engine returns the kernel's simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Policy returns the scheduling policy.
+func (k *Kernel) Policy() Policy { return k.policy }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() sim.Time { return k.eng.Now() }
+
+// Current returns the thread on the CPU, or nil when idle.
+func (k *Kernel) Current() *Thread { return k.current }
+
+// Threads returns all threads ever created, including exited ones. The
+// slice must not be modified.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// Stats returns a snapshot of machine-level accounting. Elapsed is measured
+// from kernel creation; Idle includes a partial in-progress idle span.
+func (k *Kernel) Stats() Stats {
+	s := k.stats
+	s.Elapsed = k.Now().Sub(k.baseTime)
+	if k.idling {
+		s.Idle += k.Now().Sub(k.idleSince)
+	}
+	return s
+}
+
+// SetTracer installs (or clears, with nil) a scheduling-event tracer.
+func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
+// cyclesDur converts a cycle count to a duration at this machine's clock.
+func (k *Kernel) cyclesDur(c sim.Cycles) sim.Duration {
+	return sim.CyclesToDuration(c, k.cfg.ClockRate)
+}
+
+// Spawn creates a thread running program and makes it runnable. Threads
+// can be spawned before Start or at any point during the simulation.
+func (k *Kernel) Spawn(name string, program Program) *Thread {
+	t := &Thread{
+		id:      k.nextID,
+		name:    name,
+		program: program,
+		kern:    k,
+		state:   StateReady,
+	}
+	k.nextID++
+	k.threads = append(k.threads, t)
+	now := k.Now()
+	k.policy.AddThread(t, now)
+	k.policy.Enqueue(t, now)
+	if k.started && !k.stopped {
+		k.reschedule(now)
+	}
+	return t
+}
+
+// Start begins the periodic timer interrupt and performs the first
+// dispatch. It must be called exactly once.
+func (k *Kernel) Start() {
+	if k.started {
+		panic("kernel: Start called twice")
+	}
+	k.started = true
+	k.scheduleTick(k.Now().Add(k.cfg.TickInterval))
+	k.dispatch(k.Now())
+}
+
+// Stop halts the timer interrupt and stops dispatching. The simulation can
+// still drain remaining engine events.
+func (k *Kernel) Stop() {
+	if k.stopped {
+		return
+	}
+	if k.seg != nil {
+		k.chargeSegment(k.Now())
+	}
+	k.endIdle(k.Now())
+	k.stopped = true
+	if k.tickEv != nil {
+		k.tickEv.Cancel()
+	}
+}
+
+func (k *Kernel) scheduleTick(at sim.Time) {
+	k.tickEv = k.eng.At(at, k.tick)
+}
+
+// AddTimer registers fn to run from the timer-interrupt handler at the
+// first tick at or after when.
+func (k *Kernel) AddTimer(when sim.Time, fn func(now sim.Time)) *Timer {
+	tm := &Timer{When: when, fn: fn}
+	k.timers.add(tm)
+	return tm
+}
+
+// PendingTimers returns the number of registered, unexpired timers.
+func (k *Kernel) PendingTimers() int { return k.timers.len() }
+
+// tick is the timer interrupt.
+func (k *Kernel) tick(now sim.Time) {
+	if k.stopped {
+		return
+	}
+	k.stats.Ticks++
+	k.busy++
+	// Interrupt whatever is running and charge the partial segment.
+	k.chargeSegment(now)
+	k.overhead(k.cfg.TickCost)
+	// do_timers: run expired timers; they may wake threads.
+	k.stats.TimerFires += uint64(k.timers.expire(now))
+	resched := k.policy.Tick(now)
+	k.scheduleTick(now.Add(k.cfg.TickInterval))
+	k.busy--
+	switch {
+	case k.current == nil:
+		k.dispatch(now)
+	case resched:
+		cur := k.current
+		k.current = nil
+		if cur.state == StateRunning {
+			cur.state = StateReady
+		}
+		k.dispatch(now)
+	default:
+		// Resume the interrupted thread without a full dispatch.
+		k.beginSegment(k.current, now)
+	}
+}
+
+// overhead records cycles consumed by the kernel itself. The cost is made
+// real by delaying the start of the next run segment.
+func (k *Kernel) overhead(c sim.Cycles) {
+	if c <= 0 {
+		return
+	}
+	d := k.cyclesDur(c)
+	k.stats.Overhead += d
+	k.pendingOverhead += d
+}
+
+// dispatch runs the scheduler: pick a thread and start a run segment, or go
+// idle. The caller must have cleared k.current and k.seg.
+func (k *Kernel) dispatch(now sim.Time) {
+	if k.stopped {
+		return
+	}
+	k.stats.Dispatches++
+	k.busy++
+	defer func() { k.busy-- }()
+	k.overhead(k.cfg.DispatchCost)
+	for {
+		t := k.policy.Pick(now)
+		if t == nil {
+			k.current = nil
+			k.beginIdle(now)
+			return
+		}
+		k.endIdle(now)
+		// Drive the program until it owes CPU; it may block or exit
+		// instead, in which case we pick again.
+		if !k.prepare(t, now) {
+			continue
+		}
+		if k.lastRan != nil && k.lastRan != t {
+			k.stats.Switches++
+			k.overhead(k.cfg.SwitchCost)
+		}
+		k.lastRan = t
+		t.dispatched++
+		k.startRun(t, now)
+		return
+	}
+}
+
+// reschedule triggers a dispatch if the CPU is idle. If a thread is
+// running, enforcement waits for the next dispatch point (tick, syscall, or
+// wakeup preemption), matching the prototype.
+func (k *Kernel) reschedule(now sim.Time) {
+	if k.busy == 0 && k.current == nil && k.seg == nil && k.started && !k.stopped {
+		k.dispatch(now)
+	}
+}
+
+// prepare drives t's program until it owes CPU (an in-progress OpCompute),
+// or blocks/sleeps/exits. It reports whether t is ready to run a segment.
+func (k *Kernel) prepare(t *Thread, now sim.Time) bool {
+	for {
+		if t.op == nil {
+			t.op = t.program.Next(t, now)
+			if t.op == nil {
+				panic(fmt.Sprintf("kernel: program of %v returned nil op", t))
+			}
+		}
+		switch op := t.op.(type) {
+		case OpCompute:
+			if t.remaining == 0 && op.Cycles > 0 {
+				t.remaining = op.Cycles
+			}
+			if t.remaining > 0 {
+				t.zeroOps = 0
+				return true
+			}
+			t.finishOp() // zero-cycle compute completes immediately
+		case OpProduce:
+			if !op.Queue.tryProduce(t, op.Bytes, now) {
+				k.block(t, &op.Queue.notFull, now)
+				return false
+			}
+			t.finishOp()
+		case OpConsume:
+			if !op.Queue.tryConsume(t, op.Bytes, now) {
+				k.block(t, &op.Queue.notEmpty, now)
+				return false
+			}
+			t.finishOp()
+		case OpSleep:
+			deadline := now.Add(op.D)
+			t.finishOp()
+			k.sleepUntil(t, deadline, now)
+			return false
+		case OpSleepUntil:
+			if op.At <= now {
+				t.finishOp()
+				continue
+			}
+			t.finishOp()
+			k.sleepUntil(t, op.At, now)
+			return false
+		case OpLock:
+			if !op.M.tryLock(t) {
+				k.block(t, &op.M.waiters, now)
+				return false
+			}
+			t.finishOp()
+		case OpUnlock:
+			k.unlock(t, op.M, now)
+			t.finishOp()
+		case OpYield:
+			t.finishOp()
+			t.state = StateReady
+			// Rotate: move to the back of the policy's runnable set so
+			// Pick can choose someone else.
+			k.policy.Dequeue(t, now)
+			k.policy.Enqueue(t, now)
+			return false
+		case OpBlock:
+			// One-shot park: when woken the program resumes with its next
+			// op, so the block is complete the moment it begins.
+			t.finishOp()
+			k.block(t, op.WQ, now)
+			return false
+		case OpExit:
+			k.exit(t, now)
+			return false
+		default:
+			panic(fmt.Sprintf("kernel: unknown op %T", t.op))
+		}
+		t.zeroOps++
+		if t.zeroOps > 100000 {
+			panic(fmt.Sprintf("kernel: thread %v executed %d consecutive zero-cost ops", t, t.zeroOps))
+		}
+	}
+}
+
+// finishOp clears the in-progress op so the program is consulted again.
+func (t *Thread) finishOp() {
+	t.op = nil
+	t.remaining = 0
+}
+
+// beginSegment resumes t after a tick. If its burst is already complete it
+// is driven through prepare first.
+func (k *Kernel) beginSegment(t *Thread, now sim.Time) {
+	if t.remaining <= 0 {
+		if !k.prepare(t, now) {
+			k.current = nil
+			k.dispatch(now)
+			return
+		}
+	}
+	k.startRun(t, now)
+}
+
+// startRun begins a run segment for t, bounded by the remaining burst and
+// the policy's time slice, delayed by pending kernel overhead.
+func (k *Kernel) startRun(t *Thread, now sim.Time) {
+	slice := k.policy.TimeSlice(t, now)
+	if slice <= 0 {
+		// The policy refuses to run the thread right now. Give it a
+		// zero-length charge round so it can deschedule the thread.
+		if k.policy.Charge(t, 0, now) || t.state == StateSleeping || t.state == StateBlocked {
+			k.current = nil
+			k.dispatch(now)
+			return
+		}
+		// The policy did nothing; run one tick to avoid livelock.
+		slice = k.cfg.TickInterval
+	}
+	runFor := k.cyclesDur(t.remaining)
+	if slice < runFor {
+		runFor = slice
+	}
+	start := now.Add(k.takeOverhead())
+	end := start.Add(runFor)
+	k.current = t
+	t.state = StateRunning
+	seg := &segment{t: t, start: start, end: end}
+	seg.ev = k.eng.At(end, k.segmentEnd)
+	k.seg = seg
+	if k.tracer != nil {
+		k.tracer.OnDispatch(start, t)
+	}
+}
+
+// takeOverhead consumes the accumulated pending overhead.
+func (k *Kernel) takeOverhead() sim.Duration {
+	d := k.pendingOverhead
+	k.pendingOverhead = 0
+	return d
+}
+
+// chargeSegment ends the active segment at now (early or on time), charging
+// the thread for the time it actually ran and letting the policy account it.
+func (k *Kernel) chargeSegment(now sim.Time) {
+	seg := k.seg
+	if seg == nil {
+		return
+	}
+	seg.ev.Cancel()
+	k.seg = nil
+	t := seg.t
+	ran := sim.Duration(0)
+	if now > seg.start {
+		end := now
+		if end > seg.end {
+			end = seg.end
+		}
+		ran = end.Sub(seg.start)
+	}
+	if ran > 0 {
+		t.cpuTime += ran
+		t.runSinceBlock += ran
+		burned := sim.DurationToCycles(ran, k.cfg.ClockRate)
+		if burned >= t.remaining {
+			t.remaining = 0
+		} else {
+			t.remaining -= burned
+		}
+	}
+	if t.remaining == 0 && t.op != nil {
+		if _, ok := t.op.(OpCompute); ok {
+			t.finishOp()
+		}
+	}
+	if k.tracer != nil {
+		k.tracer.OnDeschedule(now, t, ran)
+	}
+	if k.policy.Charge(t, ran, now) && k.current == t {
+		k.current = nil
+		if t.state == StateRunning {
+			t.state = StateReady
+		}
+	}
+}
+
+// segmentEnd fires when a run segment completes naturally: the burst
+// finished or the policy's slice expired. Both are dispatch points.
+func (k *Kernel) segmentEnd(now sim.Time) {
+	if k.seg == nil || k.stopped {
+		return
+	}
+	k.chargeSegment(now)
+	if t := k.current; t != nil {
+		k.current = nil
+		if t.state == StateRunning {
+			t.state = StateReady
+		}
+	}
+	k.dispatch(now)
+}
+
+// block parks t on wq. Syscalls reach here only via prepare, so no segment
+// is active.
+func (k *Kernel) block(t *Thread, wq *WaitQueue, now sim.Time) {
+	t.state = StateBlocked
+	t.blockedCount++
+	t.runSinceBlock = 0
+	t.waitingOn = wq
+	wq.push(t)
+	if k.tracer != nil {
+		k.tracer.OnBlock(now, t, wq.name)
+	}
+	k.policy.Dequeue(t, now)
+	if k.current == t {
+		k.current = nil
+	}
+}
+
+// sleepUntil parks t until the first tick at or after deadline.
+func (k *Kernel) sleepUntil(t *Thread, deadline, now sim.Time) {
+	t.state = StateSleeping
+	t.runSinceBlock = 0
+	k.policy.Dequeue(t, now)
+	t.wakeTimer = k.AddTimer(deadline, func(wakeAt sim.Time) {
+		t.wakeTimer = nil
+		k.wake(t, wakeAt)
+	})
+	if k.current == t {
+		k.current = nil
+	}
+}
+
+// SleepThreadUntil forcibly deschedules a runnable thread until the given
+// instant. Policies use it for budget exhaustion ("when a thread has used
+// its allocation for its period, it is put to sleep until its next period
+// begins", §3.1). Blocked and exited threads are left alone.
+func (k *Kernel) SleepThreadUntil(t *Thread, deadline sim.Time) {
+	if !t.Runnable() {
+		return
+	}
+	k.sleepUntil(t, deadline, k.Now())
+}
+
+// wake makes a blocked or sleeping thread runnable and applies the policy's
+// preemption rule.
+func (k *Kernel) wake(t *Thread, now sim.Time) {
+	if t.state == StateExited || t.Runnable() {
+		return
+	}
+	if t.waitingOn != nil {
+		t.waitingOn.remove(t)
+		t.waitingOn = nil
+	}
+	if t.wakeTimer != nil {
+		t.wakeTimer.Cancel()
+		t.wakeTimer = nil
+	}
+	t.state = StateReady
+	k.stats.Wakeups++
+	if k.tracer != nil {
+		k.tracer.OnWake(now, t)
+	}
+	k.policy.Enqueue(t, now)
+	k.maybePreempt(t, now)
+	k.reschedule(now)
+}
+
+// Wake wakes a thread parked on a raw wait queue (OpBlock) or sleeping.
+// Waking a runnable thread is a no-op.
+func (k *Kernel) Wake(t *Thread) { k.wake(t, k.Now()) }
+
+// WakeOne wakes the first waiter on wq, reporting whether one was found.
+func (k *Kernel) WakeOne(wq *WaitQueue) bool {
+	t := wq.pop()
+	if t == nil {
+		return false
+	}
+	t.waitingOn = nil
+	k.wake(t, k.Now())
+	return true
+}
+
+// maybePreempt interrupts the running segment if the policy says the woken
+// thread should preempt the current one.
+func (k *Kernel) maybePreempt(woken *Thread, now sim.Time) {
+	cur := k.current
+	if cur == nil || cur == woken || k.seg == nil {
+		return
+	}
+	if !k.policy.WakePreempts(woken, cur, now) {
+		return
+	}
+	k.chargeSegment(now)
+	if k.current == cur {
+		k.current = nil
+		if cur.state == StateRunning {
+			cur.state = StateReady
+		}
+	}
+	k.dispatch(now)
+}
+
+// unlock releases m on behalf of t, handing ownership to the first waiter.
+func (k *Kernel) unlock(t *Thread, m *Mutex, now sim.Time) {
+	next := m.unlock(t)
+	if next != nil {
+		// Direct handoff: the waiter's pending OpLock has succeeded.
+		next.finishOp()
+		k.wake(next, now)
+	}
+}
+
+// exit retires the thread.
+func (k *Kernel) exit(t *Thread, now sim.Time) {
+	t.state = StateExited
+	t.finishOp()
+	k.policy.Dequeue(t, now)
+	k.policy.RemoveThread(t, now)
+	if k.current == t {
+		k.current = nil
+	}
+}
+
+func (k *Kernel) beginIdle(now sim.Time) {
+	// Kernel work accrued on the way into idle overlaps the idle span;
+	// uncount it so Elapsed ≈ ThreadTime + Idle + Overhead stays tight.
+	k.stats.Overhead -= k.pendingOverhead
+	k.pendingOverhead = 0
+	if k.idling {
+		return
+	}
+	k.idling = true
+	k.idleSince = now
+}
+
+func (k *Kernel) endIdle(now sim.Time) {
+	if k.idling {
+		k.idling = false
+		k.stats.Idle += now.Sub(k.idleSince)
+	}
+}

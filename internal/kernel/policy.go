@@ -1,0 +1,54 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Policy is a pluggable scheduling discipline. The kernel owns mechanism —
+// run segments, timer interrupts, blocking, accounting — and calls the
+// policy for every decision: which thread runs next, for how long, and
+// whether a wakeup preempts.
+//
+// The reservation-based dispatcher (internal/rbs) and the baseline
+// priority schedulers (internal/baseline) both implement this interface.
+type Policy interface {
+	// Name identifies the policy in traces and test output.
+	Name() string
+
+	// Attach hands the policy its kernel. It is called exactly once,
+	// before any threads exist.
+	Attach(k *Kernel)
+
+	// AddThread introduces a new thread; it is not yet runnable.
+	AddThread(t *Thread, now sim.Time)
+
+	// RemoveThread retires an exited thread.
+	RemoveThread(t *Thread, now sim.Time)
+
+	// Enqueue marks t runnable (newly created, woken, or preempted).
+	Enqueue(t *Thread, now sim.Time)
+
+	// Dequeue removes t from the runnable set (blocked or sleeping).
+	Dequeue(t *Thread, now sim.Time)
+
+	// Pick selects the next thread to run, or nil to idle. The chosen
+	// thread remains in the policy's runnable set; the kernel will call
+	// Dequeue if it later blocks.
+	Pick(now sim.Time) *Thread
+
+	// TimeSlice returns the longest contiguous time t may run before the
+	// policy needs a dispatch point (quantum or budget boundary). Results
+	// are clamped by the kernel to at least one, at most the horizon to
+	// the next timer interrupt is irrelevant — ticks interrupt anyway.
+	TimeSlice(t *Thread, now sim.Time) sim.Duration
+
+	// Charge accounts ran time against t after a run segment. Returning
+	// resched=true forces a dispatch instead of resuming t.
+	Charge(t *Thread, ran sim.Duration, now sim.Time) (resched bool)
+
+	// Tick is the timer interrupt hook, called after expired timers run.
+	// Returning true forces a dispatch.
+	Tick(now sim.Time) (resched bool)
+
+	// WakePreempts reports whether the newly woken thread should preempt
+	// the currently running one.
+	WakePreempts(woken, current *Thread, now sim.Time) bool
+}

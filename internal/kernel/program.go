@@ -1,0 +1,77 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Program is the behavior of a simulated thread: a state machine that emits
+// one operation at a time. Next is called whenever the previous operation
+// has completed; returning OpExit retires the thread.
+//
+// Programs run "on the CPU" of the simulated machine: compute operations
+// consume simulated cycles under the control of the scheduling policy, and
+// queue/mutex/sleep operations are the analog of system calls.
+type Program interface {
+	Next(t *Thread, now sim.Time) Op
+}
+
+// ProgramFunc adapts a plain function to the Program interface.
+type ProgramFunc func(t *Thread, now sim.Time) Op
+
+// Next calls the function.
+func (f ProgramFunc) Next(t *Thread, now sim.Time) Op { return f(t, now) }
+
+// Op is one operation of a thread program. The concrete types below are the
+// full set the kernel understands.
+type Op interface{ isOp() }
+
+// OpCompute burns the given number of CPU cycles.
+type OpCompute struct{ Cycles sim.Cycles }
+
+// OpProduce enqueues Bytes into Queue, blocking while the queue lacks space.
+type OpProduce struct {
+	Queue *Queue
+	Bytes int64
+}
+
+// OpConsume dequeues Bytes from Queue, blocking while the queue lacks data.
+type OpConsume struct {
+	Queue *Queue
+	Bytes int64
+}
+
+// OpSleep blocks the thread for at least D; the wakeup is processed at the
+// first timer interrupt at or after the deadline, as in the paper's
+// do_timers().
+type OpSleep struct{ D sim.Duration }
+
+// OpSleepUntil blocks the thread until at least the given instant. A
+// deadline at or before the current time completes immediately.
+type OpSleepUntil struct{ At sim.Time }
+
+// OpLock acquires M, blocking while another thread holds it. Ownership is
+// handed off directly to the first waiter on unlock (FIFO).
+type OpLock struct{ M *Mutex }
+
+// OpUnlock releases M. Unlocking a mutex the thread does not own panics:
+// it is always a workload bug.
+type OpUnlock struct{ M *Mutex }
+
+// OpYield gives up the CPU without blocking; the thread stays runnable.
+type OpYield struct{}
+
+// OpBlock parks the thread on a raw wait queue until another thread wakes
+// it. It is the primitive behind interactive jobs waiting for "tty" input.
+type OpBlock struct{ WQ *WaitQueue }
+
+// OpExit retires the thread.
+type OpExit struct{}
+
+func (OpCompute) isOp()    {}
+func (OpProduce) isOp()    {}
+func (OpConsume) isOp()    {}
+func (OpSleep) isOp()      {}
+func (OpSleepUntil) isOp() {}
+func (OpLock) isOp()       {}
+func (OpUnlock) isOp()     {}
+func (OpYield) isOp()      {}
+func (OpBlock) isOp()      {}
+func (OpExit) isOp()       {}

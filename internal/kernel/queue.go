@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Queue is an in-kernel bounded byte buffer — the analog of the shared
+// queues, pipes, and sockets the paper's symbiotic interfaces expose to the
+// scheduler (§3.2). Producers block while the queue lacks space; consumers
+// block while it lacks data. Fill level, size, and transfer totals are
+// visible to the progress monitor.
+type Queue struct {
+	kern *Kernel
+	name string
+	size int64
+	fill int64
+
+	notFull  WaitQueue
+	notEmpty WaitQueue
+
+	produced int64 // total bytes ever enqueued
+	consumed int64 // total bytes ever dequeued
+}
+
+// NewQueue creates a bounded buffer of the given byte capacity.
+func (k *Kernel) NewQueue(name string, size int64) *Queue {
+	if size <= 0 {
+		panic("kernel: queue size must be positive")
+	}
+	return &Queue{
+		kern:     k,
+		name:     name,
+		size:     size,
+		notFull:  WaitQueue{name: name + ".notFull"},
+		notEmpty: WaitQueue{name: name + ".notEmpty"},
+	}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Size returns the queue's capacity in bytes.
+func (q *Queue) Size() int64 { return q.size }
+
+// Fill returns the current fill in bytes.
+func (q *Queue) Fill() int64 { return q.fill }
+
+// FillLevel returns fill/size in [0, 1] — the raw progress signal the
+// controller samples.
+func (q *Queue) FillLevel() float64 { return float64(q.fill) / float64(q.size) }
+
+// Produced returns the total bytes ever enqueued.
+func (q *Queue) Produced() int64 { return q.produced }
+
+// Consumed returns the total bytes ever dequeued.
+func (q *Queue) Consumed() int64 { return q.consumed }
+
+// ProducerWaiting reports whether a producer is blocked on the queue.
+func (q *Queue) ProducerWaiting() bool { return q.notFull.Len() > 0 }
+
+// ConsumerWaiting reports whether a consumer is blocked on the queue.
+func (q *Queue) ConsumerWaiting() bool { return q.notEmpty.Len() > 0 }
+
+// tryProduce transfers bytes into the queue if they fit, waking one blocked
+// consumer. It reports false (and transfers nothing) when full.
+func (q *Queue) tryProduce(t *Thread, bytes int64, now sim.Time) bool {
+	if bytes <= 0 {
+		return true
+	}
+	if bytes > q.size {
+		panic(fmt.Sprintf("kernel: %v producing %d bytes into queue %q of size %d", t, bytes, q.name, q.size))
+	}
+	if q.fill+bytes > q.size {
+		return false
+	}
+	q.fill += bytes
+	q.produced += bytes
+	if w := q.notEmpty.pop(); w != nil {
+		w.waitingOn = nil
+		q.kern.wake(w, now)
+	}
+	return true
+}
+
+// tryConsume transfers bytes out of the queue if available, waking one
+// blocked producer. It reports false (and transfers nothing) when the data
+// is not there yet.
+func (q *Queue) tryConsume(t *Thread, bytes int64, now sim.Time) bool {
+	if bytes <= 0 {
+		return true
+	}
+	if bytes > q.size {
+		panic(fmt.Sprintf("kernel: %v consuming %d bytes from queue %q of size %d", t, bytes, q.name, q.size))
+	}
+	if q.fill < bytes {
+		return false
+	}
+	q.fill -= bytes
+	q.consumed += bytes
+	if w := q.notFull.pop(); w != nil {
+		w.waitingOn = nil
+		q.kern.wake(w, now)
+	}
+	return true
+}
+
+// CheckConservation verifies produced = consumed + fill and 0 ≤ fill ≤
+// size, returning an error describing any violation. Property tests call
+// this after arbitrary op interleavings.
+func (q *Queue) CheckConservation() error {
+	if q.fill < 0 || q.fill > q.size {
+		return fmt.Errorf("queue %q fill %d out of [0,%d]", q.name, q.fill, q.size)
+	}
+	if q.produced != q.consumed+q.fill {
+		return fmt.Errorf("queue %q conservation broken: produced %d != consumed %d + fill %d",
+			q.name, q.produced, q.consumed, q.fill)
+	}
+	return nil
+}

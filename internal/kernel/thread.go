@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// State is a thread's scheduling state.
+type State int
+
+// Thread states.
+const (
+	StateReady    State = iota // runnable, waiting for the CPU
+	StateRunning               // currently on the CPU
+	StateBlocked               // waiting on a queue, mutex, or wait queue
+	StateSleeping              // waiting for a timer
+	StateExited                // retired
+)
+
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateSleeping:
+		return "sleeping"
+	case StateExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Thread is a simulated kernel thread. All fields are managed by the kernel
+// and its policy; workloads interact with threads only through their
+// Program and the read-only accessors.
+type Thread struct {
+	id      int
+	name    string
+	program Program
+	kern    *Kernel
+
+	state State
+	// op is the operation in progress; nil when the program must be asked
+	// for the next one.
+	op Op
+	// remaining is the unburned portion of an in-progress OpCompute.
+	remaining sim.Cycles
+	// zeroOps counts consecutive operations that consumed no CPU, to catch
+	// runaway programs.
+	zeroOps int
+
+	// waitingOn is the wait queue the thread is parked on while Blocked.
+	waitingOn *WaitQueue
+	// wakeTimer is the pending sleep timer while Sleeping.
+	wakeTimer *Timer
+
+	// cpuTime is the total simulated CPU the thread has consumed.
+	cpuTime sim.Duration
+	// dispatched counts how many run segments the thread received.
+	dispatched uint64
+	// blockedCount counts voluntary blocks (queue/mutex/waitq).
+	blockedCount uint64
+	// lastRunStart supports burst-length measurement for the interactive
+	// heuristic: time the thread last went Running after a block.
+	runSinceBlock sim.Duration
+
+	// Sched is the policy's per-thread state; the kernel never touches it.
+	Sched any
+}
+
+// ID returns the thread's kernel-assigned identifier.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's human-readable name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the thread's current scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// CPUTime returns the total simulated CPU time the thread has consumed.
+func (t *Thread) CPUTime() sim.Duration { return t.cpuTime }
+
+// CPUCycles returns the total simulated cycles the thread has consumed.
+func (t *Thread) CPUCycles() sim.Cycles {
+	return sim.DurationToCycles(t.cpuTime, t.kern.cfg.ClockRate)
+}
+
+// Dispatched returns the number of run segments the thread has received.
+func (t *Thread) Dispatched() uint64 { return t.dispatched }
+
+// BlockedCount returns the number of times the thread voluntarily blocked.
+func (t *Thread) BlockedCount() uint64 { return t.blockedCount }
+
+// RunSinceBlock returns the CPU time consumed since the thread last blocked
+// voluntarily. The controller's interactive heuristic estimates proportion
+// from "the amount of time they typically run before blocking" (§1).
+func (t *Thread) RunSinceBlock() sim.Duration { return t.runSinceBlock }
+
+// Runnable reports whether the thread is ready or running.
+func (t *Thread) Runnable() bool {
+	return t.state == StateReady || t.state == StateRunning
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("%s#%d[%s]", t.name, t.id, t.state)
+}
+
+// WaitQueue is a FIFO list of blocked threads. It is the kernel's basic
+// blocking primitive; queues and mutexes are built on top of it.
+type WaitQueue struct {
+	name    string
+	waiters []*Thread
+}
+
+// NewWaitQueue returns an empty named wait queue.
+func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
+
+// Len returns the number of parked threads.
+func (wq *WaitQueue) Len() int { return len(wq.waiters) }
+
+func (wq *WaitQueue) push(t *Thread) { wq.waiters = append(wq.waiters, t) }
+
+func (wq *WaitQueue) pop() *Thread {
+	if len(wq.waiters) == 0 {
+		return nil
+	}
+	t := wq.waiters[0]
+	copy(wq.waiters, wq.waiters[1:])
+	wq.waiters = wq.waiters[:len(wq.waiters)-1]
+	return t
+}
+
+func (wq *WaitQueue) remove(t *Thread) bool {
+	for i, w := range wq.waiters {
+		if w == t {
+			copy(wq.waiters[i:], wq.waiters[i+1:])
+			wq.waiters = wq.waiters[:len(wq.waiters)-1]
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Timer is a kernel timer: a callback that runs from the timer-interrupt
+// handler at the first tick at or after When. This models the paper's
+// do_timers(): "called on timer interrupts, checks for expired timers, and
+// moves threads waiting on expired timers to the run-queue."
+type Timer struct {
+	When     sim.Time
+	fn       func(now sim.Time)
+	canceled bool
+}
+
+// Cancel prevents the timer from firing.
+func (tm *Timer) Cancel() { tm.canceled = true }
+
+// timerList keeps timers sorted by expiry with the next expiration cached,
+// mirroring the prototype's optimization: "We keep a list of timers used by
+// RBS threads, sorted by time of expiry, and cache the next expiration time
+// to avoid doing any work unless at least one timer has expired."
+type timerList struct {
+	sorted []*Timer
+	// next caches the earliest expiry; sim.Time max value when empty.
+	next sim.Time
+}
+
+const timeMax = sim.Time(int64(^uint64(0) >> 1))
+
+func newTimerList() *timerList {
+	return &timerList{next: timeMax}
+}
+
+func (tl *timerList) add(tm *Timer) {
+	// Insertion sort: timer counts are small (one per sleeping thread).
+	i := len(tl.sorted)
+	for i > 0 && tl.sorted[i-1].When > tm.When {
+		i--
+	}
+	tl.sorted = append(tl.sorted, nil)
+	copy(tl.sorted[i+1:], tl.sorted[i:])
+	tl.sorted[i] = tm
+	if tm.When < tl.next {
+		tl.next = tm.When
+	}
+}
+
+// expire pops and runs every non-canceled timer with When <= now. It
+// returns the number of timers fired.
+func (tl *timerList) expire(now sim.Time) int {
+	if now < tl.next {
+		return 0 // the cached check: typically constant time
+	}
+	fired := 0
+	for len(tl.sorted) > 0 && tl.sorted[0].When <= now {
+		tm := tl.sorted[0]
+		copy(tl.sorted, tl.sorted[1:])
+		tl.sorted = tl.sorted[:len(tl.sorted)-1]
+		if tm.canceled {
+			continue
+		}
+		tm.fn(now)
+		fired++
+	}
+	if len(tl.sorted) > 0 {
+		tl.next = tl.sorted[0].When
+	} else {
+		tl.next = timeMax
+	}
+	return fired
+}
+
+func (tl *timerList) len() int { return len(tl.sorted) }

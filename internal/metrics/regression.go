@@ -1,0 +1,59 @@
+package metrics
+
+// Linear is the result of an ordinary least-squares fit y = Slope·x +
+// Intercept. R2 is the coefficient of determination. Figure 5 of the paper
+// reports exactly these three numbers for controller overhead versus the
+// number of controlled processes (y = .00066x + .00057, R² = .999), so the
+// experiment harness reproduces them with this fit.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLinear performs an ordinary least-squares fit of ys against xs. The
+// slices must have equal length and at least two points.
+func FitLinear(xs, ys []float64) Linear {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		panic("metrics: FitLinear needs >=2 paired points")
+	}
+	var sumX, sumY float64
+	for i := 0; i < n; i++ {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX := sumX / float64(n)
+	meanY := sumY / float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - meanX
+		dy := ys[i] - meanY
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	var fit Linear
+	if sxx == 0 {
+		// Vertical line; report a flat fit through the mean.
+		fit.Slope = 0
+		fit.Intercept = meanY
+		fit.R2 = 0
+		return fit
+	}
+	fit.Slope = sxy / sxx
+	fit.Intercept = meanY - fit.Slope*meanX
+	if syy == 0 {
+		// All ys identical: the fit is exact.
+		fit.R2 = 1
+		return fit
+	}
+	// R² = 1 - SS_res/SS_tot.
+	var ssRes float64
+	for i := 0; i < n; i++ {
+		r := ys[i] - (fit.Slope*xs[i] + fit.Intercept)
+		ssRes += r * r
+	}
+	fit.R2 = 1 - ssRes/syy
+	return fit
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import "repro/internal/sim"
+
+// Sample schedules fn to run every interval, starting one interval from
+// now, until the horizon (inclusive). Experiments use it to record time
+// series out of the simulation.
+func Sample(eng *sim.Engine, interval sim.Duration, horizon sim.Time, fn func(now sim.Time)) {
+	if interval <= 0 {
+		panic("metrics: non-positive sampling interval")
+	}
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		fn(now)
+		next := now.Add(interval)
+		if next <= horizon {
+			eng.At(next, tick)
+		}
+	}
+	eng.At(eng.Now().Add(interval), tick)
+}
+
+// RateSampler converts a monotone counter into a rate series: each sample
+// records (counter − previous) / interval. The paper's progress-rate plots
+// (bytes/sec) are produced this way from queue transfer totals.
+type RateSampler struct {
+	Series *Series
+	prev   float64
+	last   sim.Time
+	primed bool
+}
+
+// NewRateSampler returns a rate sampler writing into a named series.
+func NewRateSampler(name string) *RateSampler {
+	return &RateSampler{Series: NewSeries(name)}
+}
+
+// Observe records the counter value at now and appends the rate since the
+// previous observation (skipping the first, which has no baseline).
+func (r *RateSampler) Observe(now sim.Time, counter float64) {
+	if r.primed {
+		dt := now.Sub(r.last).Seconds()
+		if dt > 0 {
+			r.Series.Add(now, (counter-r.prev)/dt)
+		}
+	}
+	r.prev = counter
+	r.last = now
+	r.primed = true
+}

@@ -1,0 +1,22 @@
+package pid
+
+import "testing"
+
+func BenchmarkStepPOnly(b *testing.B) {
+	c := New(Config{Kp: 1})
+	for i := 0; i < b.N; i++ {
+		c.Step(0.1, 0.01)
+	}
+}
+
+func BenchmarkStepFullPID(b *testing.B) {
+	c := New(Config{
+		Kp: 1, Ki: 4, Kd: 0.05,
+		IntegralLo: -0.02, IntegralHi: 0.5,
+		DerivativeTau: 0.03, InputTau: 0.04,
+		OutLo: 0, OutHi: 2,
+	})
+	for i := 0; i < b.N; i++ {
+		c.Step(0.1, 0.01)
+	}
+}

@@ -1,0 +1,201 @@
+// Package progress implements the paper's symbiotic interfaces (§3.2): the
+// linkage that exposes application progress to the scheduler. A bounded
+// buffer registers its fill level, size, and each endpoint's role; the
+// controller samples the registry each control interval and computes the
+// progress pressure of Figure 3:
+//
+//	Q_t = G( Σ_i R_{t,i} · F_{t,i} )
+//
+// where F = fill/size − ½ ∈ [−½, ½] and R flips the sign for producers.
+// This package computes the inner sum; the PID filter G lives in the
+// controller.
+package progress
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Role says which side of a bounded buffer a thread is on.
+type Role int
+
+// Roles.
+const (
+	// Producer threads fill the queue; a full queue means they are running
+	// ahead (negative pressure).
+	Producer Role = iota
+	// Consumer threads drain the queue; a full queue means they are
+	// falling behind (positive pressure).
+	Consumer
+)
+
+func (r Role) String() string {
+	if r == Producer {
+		return "producer"
+	}
+	return "consumer"
+}
+
+// Sign returns the paper's R: −1 for producers, +1 for consumers.
+func (r Role) Sign() float64 {
+	if r == Producer {
+		return -1
+	}
+	return 1
+}
+
+// Metric yields one progress-pressure sample for a thread. Pressure is
+// R·F ∈ [−½, ½]: positive means the thread is falling behind and needs more
+// CPU; negative means it is running ahead.
+type Metric interface {
+	// Pressure samples the metric at the given instant.
+	Pressure(now sim.Time) float64
+	// Describe identifies the metric for traces.
+	Describe() string
+}
+
+// QueueMetric is the canonical symbiotic interface: a kernel bounded buffer
+// plus the registering thread's role. "By exposing the fill-level, size,
+// and role of the application (producer or consumer), the scheduler can
+// determine the relative rate of progress of the application."
+type QueueMetric struct {
+	Queue *kernel.Queue
+	Role  Role
+}
+
+// Pressure implements Metric: R · (fill/size − ½).
+func (m QueueMetric) Pressure(now sim.Time) float64 {
+	f := m.Queue.FillLevel() - 0.5
+	return m.Role.Sign() * f
+}
+
+// Describe implements Metric.
+func (m QueueMetric) Describe() string {
+	return fmt.Sprintf("queue(%s,%s)", m.Queue.Name(), m.Role)
+}
+
+// F returns the raw fill-level term before the role sign is applied,
+// exposed for tests of the Figure 3 equation.
+func (m QueueMetric) F() float64 { return m.Queue.FillLevel() - 0.5 }
+
+// VirtualQueue is the pseudo-progress metric of §4.5 for applications with
+// no natural bounded buffer ("a pure computation ... could use a metric
+// such as the number of keys it has attempted"). The application produces
+// completed work units into a virtual buffer that drains at a constant
+// target rate; if the application cannot keep the buffer half full it is
+// falling behind and pressure rises.
+type VirtualQueue struct {
+	name string
+	// size is the buffer depth in work units.
+	size float64
+	// drainPerSec is the target processing rate.
+	drainPerSec float64
+
+	fill      float64
+	lastDrain sim.Time
+}
+
+// NewVirtualQueue creates a pseudo-progress buffer of the given depth that
+// drains at targetRate units/second. It starts half full (zero pressure).
+func NewVirtualQueue(name string, depth, targetRate float64) *VirtualQueue {
+	if depth <= 0 || targetRate <= 0 {
+		panic("progress: virtual queue needs positive depth and rate")
+	}
+	return &VirtualQueue{name: name, size: depth, drainPerSec: targetRate, fill: depth / 2}
+}
+
+// Complete records n finished work units at the given instant.
+func (v *VirtualQueue) Complete(now sim.Time, n float64) {
+	v.drain(now)
+	v.fill += n
+	if v.fill > v.size {
+		v.fill = v.size
+	}
+}
+
+func (v *VirtualQueue) drain(now sim.Time) {
+	dt := now.Sub(v.lastDrain).Seconds()
+	if dt > 0 {
+		v.fill -= dt * v.drainPerSec
+		if v.fill < 0 {
+			v.fill = 0
+		}
+		v.lastDrain = now
+	}
+}
+
+// FillLevel returns the virtual fill in [0,1].
+func (v *VirtualQueue) FillLevel(now sim.Time) float64 {
+	v.drain(now)
+	return v.fill / v.size
+}
+
+// Pressure implements Metric: the thread is the producer of completed work,
+// so low fill (behind the target rate) yields positive pressure.
+func (v *VirtualQueue) Pressure(now sim.Time) float64 {
+	return Producer.Sign() * (v.FillLevel(now) - 0.5)
+}
+
+// Describe implements Metric.
+func (v *VirtualQueue) Describe() string {
+	return fmt.Sprintf("virtual(%s,%.0f/s)", v.name, v.drainPerSec)
+}
+
+// Registry is the kernel-side table the meta-interface system call fills
+// in: which queues (or other metrics) each thread's progress is linked to.
+type Registry struct {
+	entries map[*kernel.Thread][]Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[*kernel.Thread][]Metric)}
+}
+
+// Register links a metric to a thread. A thread may register several
+// metrics (a pipeline stage is consumer of one queue and producer of the
+// next); their pressures sum per Figure 3.
+func (r *Registry) Register(t *kernel.Thread, m Metric) {
+	r.entries[t] = append(r.entries[t], m)
+}
+
+// RegisterQueue is shorthand for the common producer/consumer linkage.
+func (r *Registry) RegisterQueue(t *kernel.Thread, q *kernel.Queue, role Role) {
+	r.Register(t, QueueMetric{Queue: q, Role: role})
+}
+
+// Unregister removes all linkage for a thread (e.g. on exit).
+func (r *Registry) Unregister(t *kernel.Thread) {
+	delete(r.entries, t)
+}
+
+// HasMetrics reports whether t supplied any progress metric — the
+// controller's real-rate versus miscellaneous classification hinges on it.
+func (r *Registry) HasMetrics(t *kernel.Thread) bool {
+	return len(r.entries[t]) > 0
+}
+
+// Metrics returns the metrics registered for t.
+func (r *Registry) Metrics(t *kernel.Thread) []Metric {
+	return r.entries[t]
+}
+
+// SummedPressure computes Σ_i R·F for thread t, clamped to [−½, ½] so a
+// many-queue pipeline stage cannot swamp the controller. The clamp
+// preserves the paper's invariant that pressure "is a number between −½
+// and ½".
+func (r *Registry) SummedPressure(t *kernel.Thread, now sim.Time) float64 {
+	var sum float64
+	for _, m := range r.entries[t] {
+		sum += m.Pressure(now)
+	}
+	if sum > 0.5 {
+		sum = 0.5
+	}
+	if sum < -0.5 {
+		sum = -0.5
+	}
+	return sum
+}

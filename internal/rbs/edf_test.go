@@ -1,0 +1,73 @@
+package rbs_test
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+// runDisciplineTaskSet runs the classic Liu-Layland counterexample: two
+// CPU-bound tasks with non-harmonic periods at 95% total utilization
+// (50%/10ms + 45%/15ms). RMS cannot schedule this set — the longer-period
+// task misses — while EDF schedules any feasible set up to 100%.
+func runDisciplineTaskSet(t *testing.T, d rbs.Discipline) (missed uint64) {
+	t.Helper()
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Discipline = d
+	// Precise accounting isolates the discipline from tick-quantization
+	// overruns, which would steal the schedulability margin.
+	p.PreciseAccounting = true
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	t1 := k.Spawn("t1", hog(10_000_000))
+	t2 := k.Spawn("t2", hog(10_000_000))
+	if err := p.SetReservation(t1, rbs.Reservation{Proportion: 500, Period: 10 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetReservation(t2, rbs.Reservation{Proportion: 450, Period: 15 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	k.Start()
+	eng.RunFor(10 * sim.Second)
+	k.Stop()
+	return p.MissedDeadlines()
+}
+
+func TestEDFSchedulesBeyondRMSBound(t *testing.T) {
+	rmsMissed := runDisciplineTaskSet(t, rbs.RMS)
+	edfMissed := runDisciplineTaskSet(t, rbs.EDF)
+	if rmsMissed == 0 {
+		t.Fatal("RMS scheduled a 95% non-harmonic set; the Liu-Layland bound should bite")
+	}
+	if edfMissed > rmsMissed/10 {
+		t.Fatalf("EDF missed %d deadlines vs RMS %d; EDF should schedule this set",
+			edfMissed, rmsMissed)
+	}
+}
+
+func TestEDFDeliversReservations(t *testing.T) {
+	// The whole reservation property-suite must hold under EDF too.
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Discipline = rbs.EDF
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	a := k.Spawn("a", hog(1_000_000))
+	b := k.Spawn("b", hog(1_000_000))
+	um := k.Spawn("um", hog(1_000_000))
+	p.SetReservation(a, rbs.Reservation{Proportion: 300, Period: 10 * sim.Millisecond})
+	p.SetReservation(b, rbs.Reservation{Proportion: 300, Period: 30 * sim.Millisecond})
+	k.Start()
+	eng.RunFor(5 * sim.Second)
+	k.Stop()
+	if sa := share(a, 5*sim.Second); sa < 0.29 {
+		t.Fatalf("a share = %.3f under EDF", sa)
+	}
+	if sb := share(b, 5*sim.Second); sb < 0.29 {
+		t.Fatalf("b share = %.3f under EDF", sb)
+	}
+	if su := share(um, 5*sim.Second); su < 0.2 {
+		t.Fatalf("unmanaged share = %.3f under EDF, want the leftover", su)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Microsecond, func(Time) {})
+		e.step()
+	}
+}
+
+func BenchmarkEngineChainedTimers(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func(Time)
+	tick = func(Time) {
+		n++
+		e.After(Millisecond, tick)
+	}
+	e.After(Millisecond, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+}
+
+func BenchmarkEngineManyPending(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 10_000; i++ {
+		e.After(Duration(i)*Microsecond+Second, func(Time) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Millisecond, func(Time) {}).Cancel()
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkCyclesToDuration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = CyclesToDuration(Cycles(i), 400_000_000)
+	}
+}

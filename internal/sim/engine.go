@@ -1,0 +1,110 @@
+package sim
+
+import "fmt"
+
+// Engine is a deterministic discrete-event simulator. It owns the virtual
+// clock and a queue of pending events; Run drains the queue in time order,
+// advancing the clock to each event as it fires.
+//
+// Engine is not safe for concurrent use: the whole simulation is
+// single-threaded by design so that experiments are exactly reproducible.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	inStep bool
+}
+
+// NewEngine returns an engine with the clock at time zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting to fire, including canceled
+// events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events that have fired so far. It is
+// useful for sanity checks in tests and for instrumentation.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at the absolute instant when. Scheduling in the
+// past (before the current clock) panics: that is always a logic error in a
+// discrete-event simulation.
+func (e *Engine) At(when Time, fn func(Time)) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	e.queue.push(ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. Negative d is
+// treated as zero.
+func (e *Engine) After(d Duration, fn func(Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// step fires the earliest pending non-canceled event. It reports false when
+// the queue is empty.
+func (e *Engine) step() bool {
+	for {
+		ev := e.queue.peek()
+		if ev == nil {
+			return false
+		}
+		e.queue.pop()
+		if ev.canceled {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+}
+
+// Run drains events until the queue is empty. It returns the final clock
+// value. Most experiments use RunUntil instead so that periodic timers do
+// not keep the simulation alive forever.
+func (e *Engine) Run() Time {
+	for e.step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events until the clock reaches the given horizon. Events
+// scheduled exactly at the horizon do fire; later events remain queued. The
+// clock is left at the horizon even if the queue empties early, so that
+// measurement windows have a precise width.
+func (e *Engine) RunUntil(horizon Time) {
+	if horizon < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", horizon, e.now))
+	}
+	for {
+		ev := e.queue.peek()
+		if ev == nil || ev.when > horizon {
+			break
+		}
+		e.step()
+	}
+	e.now = horizon
+}
+
+// RunFor advances the simulation by the given span. See RunUntil.
+func (e *Engine) RunFor(d Duration) {
+	e.RunUntil(e.now.Add(d))
+}

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine has %d pending events", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Time(Millisecond), func(Time) { order = append(order, 3) })
+	e.At(10*Time(Millisecond), func(Time) { order = append(order, 1) })
+	e.At(20*Time(Millisecond), func(Time) { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*Time(Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(Millisecond), func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at index %d: got %v", i, order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(5*Millisecond, func(now Time) {
+		at = now
+		e.After(7*Millisecond, func(now Time) { at = now })
+	})
+	e.Run()
+	if at != Time(12*Millisecond) {
+		t.Fatalf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(Millisecond, func(Time) { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(Millisecond, func(Time) {})
+	ev.Cancel()
+	ev.Cancel()
+	e.Run()
+}
+
+func TestRunUntilStopsAtHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Time(Millisecond), func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(Time(5 * Millisecond))
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events before horizon, want 5", len(fired))
+	}
+	if e.Now() != Time(5*Millisecond) {
+		t.Fatalf("clock = %v, want horizon 5ms", e.Now())
+	}
+	e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events total, want 10", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(Time(Second))
+	if e.Now() != Time(Second) {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(Second)
+	e.RunFor(Second)
+	if e.Now() != Time(2*Second) {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(Time(Millisecond), func(Time) {})
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(Time)
+	tick = func(now Time) {
+		count++
+		if count < 100 {
+			e.After(Millisecond, tick)
+		}
+	}
+	e.After(Millisecond, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("chained ticks = %d, want 100", count)
+	}
+	if e.Now() != Time(100*Millisecond) {
+		t.Fatalf("clock = %v, want 100ms", e.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.After(Duration(i)*Millisecond, func(Time) {})
+	}
+	ev := e.After(Millisecond, func(Time) {})
+	ev.Cancel()
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7 (canceled events do not count)", e.Fired())
+	}
+}
+
+// Property: regardless of insertion order, events fire in non-decreasing
+// time order with FIFO tie-breaking.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		if len(offsets) > 200 {
+			offsets = offsets[:200]
+		}
+		e := NewEngine()
+		type rec struct {
+			when Time
+			seq  int
+		}
+		var fired []rec
+		for i, off := range offsets {
+			when := Time(off) * Time(Microsecond)
+			seq := i
+			e.At(when, func(now Time) { fired = append(fired, rec{now, seq}) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].when < fired[i-1].when {
+				return false
+			}
+			if fired[i].when == fired[i-1].when && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(5 * Second)
+	if got := t0.Add(3 * Second); got != Time(8*Second) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := t0.Sub(Time(2 * Second)); got != 3*Second {
+		t.Fatalf("Sub = %v", got)
+	}
+	if !t0.Before(Time(6 * Second)) {
+		t.Fatal("Before failed")
+	}
+	if !t0.After(Time(4 * Second)) {
+		t.Fatal("After failed")
+	}
+	if t0.Seconds() != 5 {
+		t.Fatalf("Seconds = %v", t0.Seconds())
+	}
+}
+
+func TestCyclesDurationConversion(t *testing.T) {
+	const rate Hz = 400_000_000 // 400 MHz: 1 cycle = 2.5 ns
+	if d := CyclesToDuration(400_000_000, rate); d != Second {
+		t.Fatalf("1s of cycles = %v", d)
+	}
+	if d := CyclesToDuration(4, rate); d != 10 {
+		t.Fatalf("4 cycles = %vns, want 10ns", int64(d))
+	}
+	// Round-up: 1 cycle at 400MHz is 2.5ns -> 3ns.
+	if d := CyclesToDuration(1, rate); d != 3 {
+		t.Fatalf("1 cycle = %vns, want 3ns (rounded up)", int64(d))
+	}
+	if c := DurationToCycles(Second, rate); c != 400_000_000 {
+		t.Fatalf("cycles in 1s = %v", c)
+	}
+	if c := DurationToCycles(0, rate); c != 0 {
+		t.Fatalf("cycles in 0 = %v", c)
+	}
+	if d := CyclesToDuration(0, rate); d != 0 {
+		t.Fatalf("0 cycles = %v", d)
+	}
+}
+
+// Property: converting cycles to duration and back never loses more than one
+// cycle (round-trip bound) for positive cycle counts.
+func TestPropertyCycleRoundTrip(t *testing.T) {
+	const rate Hz = 400_000_000
+	f := func(n uint32) bool {
+		c := Cycles(n)
+		d := CyclesToDuration(c, rate)
+		back := DurationToCycles(d, rate)
+		return back >= c && back <= c+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHzPeriod(t *testing.T) {
+	if p := Hz(1000).Period(); p != Millisecond {
+		t.Fatalf("1kHz period = %v", p)
+	}
+	if p := Hz(100).Period(); p != 10*Millisecond {
+		t.Fatalf("100Hz period = %v", p)
+	}
+	if p := Hz(4000).Period(); p != 250*Microsecond {
+		t.Fatalf("4kHz period = %v", p)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGExpPositiveWithSaneMean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("Exp(5) empirical mean = %v, want ≈5", mean)
+	}
+}

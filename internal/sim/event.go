@@ -1,0 +1,72 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are compared by time; events at the
+// same instant fire in the order they were scheduled (FIFO), which keeps the
+// simulation deterministic.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+	fn       func(Time)
+}
+
+// When returns the instant the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or was already canceled is a no-op. Cancel is O(1); the
+// event is dropped lazily when it reaches the top of the queue.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventQueue is a min-heap of events ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+func (q *eventQueue) push(e *Event) { heap.Push(q, e) }
+
+func (q *eventQueue) pop() *Event {
+	return heap.Pop(q).(*Event)
+}
+
+func (q eventQueue) peek() *Event {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}

@@ -1,0 +1,111 @@
+// Package sim provides the discrete-event simulation substrate on which the
+// simulated machine, scheduler, and feedback controller run.
+//
+// All simulated components share a single virtual clock owned by an Engine.
+// Time is measured in integer nanoseconds so that cycle accounting on a
+// simulated CPU of several hundred MHz is exact enough for the millisecond
+// dispatch quanta the paper uses, while a 40-second experiment still fits
+// comfortably in an int64.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant on the simulation clock, in nanoseconds since
+// the start of the simulation. Time zero is the instant the Engine was
+// created.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It deliberately
+// mirrors time.Duration so the familiar constants convert directly.
+type Duration int64
+
+// Handy duration units, aligned with the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// FromStd converts a time.Duration into a sim.Duration.
+func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
+
+// Std converts a sim.Duration into a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from u to t (t − u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string { return fmt.Sprintf("t=%.6fs", t.Seconds()) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Cycles counts simulated CPU clock cycles.
+type Cycles int64
+
+// Hz is a frequency, used for CPU clock rates and controller/dispatcher
+// frequencies.
+type Hz int64
+
+// CyclesToDuration converts a cycle count at the given clock rate into a
+// duration, rounding up so that non-zero work always consumes non-zero time.
+func CyclesToDuration(c Cycles, rate Hz) Duration {
+	if c <= 0 {
+		return 0
+	}
+	if rate <= 0 {
+		panic("sim: non-positive clock rate")
+	}
+	// d = c / rate seconds = c * 1e9 / rate ns, rounded up.
+	num := int64(c) * int64(Second)
+	d := num / int64(rate)
+	if num%int64(rate) != 0 {
+		d++
+	}
+	return Duration(d)
+}
+
+// DurationToCycles converts a duration into the number of whole cycles the
+// CPU completes in it at the given clock rate (rounding down).
+func DurationToCycles(d Duration, rate Hz) Cycles {
+	if d <= 0 {
+		return 0
+	}
+	if rate <= 0 {
+		panic("sim: non-positive clock rate")
+	}
+	return Cycles(int64(d) * int64(rate) / int64(Second))
+}
+
+// Period returns the duration of one cycle of the given frequency,
+// rounding to the nearest nanosecond.
+func (f Hz) Period() Duration {
+	if f <= 0 {
+		panic("sim: non-positive frequency")
+	}
+	return Duration((int64(Second) + int64(f)/2) / int64(f))
+}

@@ -1,0 +1,216 @@
+// Package trace records scheduling events from the simulated kernel and
+// derives the metrics an OS developer would pull from a real trace:
+// per-thread run-segment statistics, wake-to-dispatch scheduling latency
+// distributions, and a raw event log exportable as CSV.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Kind labels a trace event.
+type Kind int
+
+// Event kinds.
+const (
+	Dispatch Kind = iota
+	Deschedule
+	Wake
+	Block
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Dispatch:
+		return "dispatch"
+	case Deschedule:
+		return "deschedule"
+	case Wake:
+		return "wake"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded scheduling event.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Thread string
+	// Ran is the segment length for Deschedule events.
+	Ran sim.Duration
+	// On is the wait-queue name for Block events.
+	On string
+}
+
+// threadStats accumulates per-thread aggregates.
+type threadStats struct {
+	segments  int
+	totalRun  sim.Duration
+	longest   sim.Duration
+	wakes     int
+	lastWake  sim.Time
+	wakePend  bool
+	latencies []float64 // seconds
+}
+
+// Recorder implements kernel.Tracer. It keeps the full event log (bounded
+// by MaxEvents) plus always-on aggregates.
+type Recorder struct {
+	// MaxEvents bounds the raw log; 0 means keep everything. Aggregates
+	// are unaffected by the bound.
+	MaxEvents int
+
+	events  []Event
+	dropped int
+	threads map[string]*threadStats
+}
+
+var _ kernel.Tracer = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{threads: make(map[string]*threadStats)}
+}
+
+func (r *Recorder) stats(t *kernel.Thread) *threadStats {
+	st, ok := r.threads[t.Name()]
+	if !ok {
+		st = &threadStats{}
+		r.threads[t.Name()] = st
+	}
+	return st
+}
+
+func (r *Recorder) log(ev Event) {
+	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// OnDispatch implements kernel.Tracer.
+func (r *Recorder) OnDispatch(now sim.Time, t *kernel.Thread) {
+	st := r.stats(t)
+	st.segments++
+	if st.wakePend {
+		st.wakePend = false
+		st.latencies = append(st.latencies, now.Sub(st.lastWake).Seconds())
+	}
+	r.log(Event{At: now, Kind: Dispatch, Thread: t.Name()})
+}
+
+// OnDeschedule implements kernel.Tracer.
+func (r *Recorder) OnDeschedule(now sim.Time, t *kernel.Thread, ran sim.Duration) {
+	st := r.stats(t)
+	st.totalRun += ran
+	if ran > st.longest {
+		st.longest = ran
+	}
+	r.log(Event{At: now, Kind: Deschedule, Thread: t.Name(), Ran: ran})
+}
+
+// OnWake implements kernel.Tracer.
+func (r *Recorder) OnWake(now sim.Time, t *kernel.Thread) {
+	st := r.stats(t)
+	st.wakes++
+	st.lastWake = now
+	st.wakePend = true
+	r.log(Event{At: now, Kind: Wake, Thread: t.Name()})
+}
+
+// OnBlock implements kernel.Tracer.
+func (r *Recorder) OnBlock(now sim.Time, t *kernel.Thread, on string) {
+	r.log(Event{At: now, Kind: Block, Thread: t.Name(), On: on})
+}
+
+// Events returns the raw log (possibly truncated at MaxEvents).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events the MaxEvents bound discarded.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Summary is the per-thread aggregate view.
+type Summary struct {
+	Thread      string
+	Segments    int
+	TotalRun    sim.Duration
+	MeanSegment sim.Duration
+	Longest     sim.Duration
+	Wakes       int
+	// LatencyP50/P99 are wake-to-dispatch scheduling latencies.
+	LatencyP50, LatencyP99 sim.Duration
+}
+
+// Summaries returns per-thread aggregates sorted by thread name.
+func (r *Recorder) Summaries() []Summary {
+	names := make([]string, 0, len(r.threads))
+	for n := range r.threads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Summary, 0, len(names))
+	for _, n := range names {
+		st := r.threads[n]
+		s := Summary{
+			Thread:   n,
+			Segments: st.segments,
+			TotalRun: st.totalRun,
+			Longest:  st.longest,
+			Wakes:    st.wakes,
+		}
+		if st.segments > 0 {
+			s.MeanSegment = sim.Duration(int64(st.totalRun) / int64(st.segments))
+		}
+		if len(st.latencies) > 0 {
+			s.LatencyP50 = sim.Duration(metrics.Percentile(st.latencies, 50) * float64(sim.Second))
+			s.LatencyP99 = sim.Duration(metrics.Percentile(st.latencies, 99) * float64(sim.Second))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SchedulingLatencies returns the raw wake-to-dispatch latency samples for
+// the named thread, in seconds.
+func (r *Recorder) SchedulingLatencies(thread string) []float64 {
+	if st, ok := r.threads[thread]; ok {
+		return st.latencies
+	}
+	return nil
+}
+
+// WriteCSV dumps the raw event log.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,kind,thread,ran_us,on"); err != nil {
+		return err
+	}
+	for _, ev := range r.events {
+		if _, err := fmt.Fprintf(w, "%.6f,%s,%s,%.1f,%s\n",
+			ev.At.Seconds(), ev.Kind, ev.Thread,
+			float64(ev.Ran)/float64(sim.Microsecond), ev.On); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrintSummaries writes a per-thread table.
+func (r *Recorder) PrintSummaries(w io.Writer) {
+	fmt.Fprintf(w, "%-12s %9s %12s %12s %12s %7s %12s %12s\n",
+		"THREAD", "SEGMENTS", "TOTAL-RUN", "MEAN-SEG", "LONGEST", "WAKES", "LAT-P50", "LAT-P99")
+	for _, s := range r.Summaries() {
+		fmt.Fprintf(w, "%-12s %9d %12v %12v %12v %7d %12v %12v\n",
+			s.Thread, s.Segments, s.TotalRun, s.MeanSegment, s.Longest, s.Wakes,
+			s.LatencyP50, s.LatencyP99)
+	}
+}

@@ -1,0 +1,79 @@
+// Package workload provides the thread programs the experiments run: the
+// pulse-driven producer and fixed-rate consumer of Figures 6 and 7, CPU
+// hogs, interactive jobs, multi-stage pipelines (the video-decoder scenario
+// of §4.4), and the motivation scenarios of §2 (Mars Pathfinder priority
+// inversion and the spin-wait livelock).
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// RateFunc gives a production (or consumption) rate at an instant, in
+// bytes per kilocycle — the unit Figure 7's "Production rate" axis uses.
+type RateFunc func(now sim.Time) float64
+
+// ConstantRate returns a fixed rate.
+func ConstantRate(bytesPerKcycle float64) RateFunc {
+	return func(sim.Time) float64 { return bytesPerKcycle }
+}
+
+// Step is one breakpoint of a stepwise rate schedule.
+type Step struct {
+	At   sim.Time
+	Rate float64 // bytes per kilocycle
+}
+
+// StepSchedule returns a piecewise-constant rate: the rate of the latest
+// breakpoint at or before now. Steps are sorted by time.
+func StepSchedule(steps []Step) RateFunc {
+	s := make([]Step, len(steps))
+	copy(s, steps)
+	sort.Slice(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return func(now sim.Time) float64 {
+		rate := 0.0
+		if len(s) > 0 {
+			rate = s[0].Rate
+		}
+		for _, st := range s {
+			if st.At > now {
+				break
+			}
+			rate = st.Rate
+		}
+		return rate
+	}
+}
+
+// PulseTrain builds the paper's Figure 6 drive signal: starting from base,
+// the rate doubles for each pulse width, returning to base between rising
+// pulses; after the rising pulses the rate holds at double and dips back to
+// base for each falling pulse ("After running for three rising pulses, the
+// producer keeps its default rate high and generates three falling
+// pulses").
+//
+// gap is the recovery time between pulses.
+func PulseTrain(base float64, start sim.Time, widths []sim.Duration, gap sim.Duration) RateFunc {
+	var steps []Step
+	steps = append(steps, Step{At: 0, Rate: base})
+	at := start
+	// Rising pulses: base -> 2·base -> base.
+	for _, w := range widths {
+		steps = append(steps, Step{At: at, Rate: 2 * base})
+		at = at.Add(w)
+		steps = append(steps, Step{At: at, Rate: base})
+		at = at.Add(gap)
+	}
+	// Hold high, then falling pulses: 2·base -> base -> 2·base.
+	steps = append(steps, Step{At: at, Rate: 2 * base})
+	at = at.Add(gap)
+	for _, w := range widths {
+		steps = append(steps, Step{At: at, Rate: base})
+		at = at.Add(w)
+		steps = append(steps, Step{At: at, Rate: 2 * base})
+		at = at.Add(gap)
+	}
+	return StepSchedule(steps)
+}

@@ -1,0 +1,270 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func ms(n int64) sim.Time { return sim.Time(n) * sim.Time(sim.Millisecond) }
+
+func TestConstantRate(t *testing.T) {
+	r := workload.ConstantRate(42)
+	if r(0) != 42 || r(ms(1000)) != 42 {
+		t.Fatal("constant rate not constant")
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	r := workload.StepSchedule([]workload.Step{
+		{At: ms(100), Rate: 2},
+		{At: 0, Rate: 1}, // out of order on purpose: must be sorted
+		{At: ms(200), Rate: 3},
+	})
+	cases := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, 1}, {ms(50), 1}, {ms(100), 2}, {ms(150), 2}, {ms(200), 3}, {ms(999), 3},
+	}
+	for _, c := range cases {
+		if got := r(c.at); got != c.want {
+			t.Fatalf("rate at %v = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestPulseTrainShape(t *testing.T) {
+	base := 50.0
+	r := workload.PulseTrain(base, ms(1000), []sim.Duration{sim.Duration(ms(500))}, sim.Duration(ms(500)))
+	// Before the first pulse: base.
+	if got := r(ms(500)); got != base {
+		t.Fatalf("pre-pulse rate = %v", got)
+	}
+	// During the rising pulse: double.
+	if got := r(ms(1200)); got != 2*base {
+		t.Fatalf("pulse rate = %v, want %v", got, 2*base)
+	}
+	// Between pulse and hold: back to base.
+	if got := r(ms(1600)); got != base {
+		t.Fatalf("post-pulse rate = %v, want %v", got, base)
+	}
+	// Hold phase: high. (pulse ends at 1.5s, gap to 2s, hold from 2s on)
+	if got := r(ms(2100)); got != 2*base {
+		t.Fatalf("hold rate = %v, want %v", got, 2*base)
+	}
+	// Falling pulse: dips to base at 2.5s for 500ms.
+	if got := r(ms(2700)); got != base {
+		t.Fatalf("falling pulse rate = %v, want %v", got, base)
+	}
+	// After everything: high again.
+	if got := r(ms(4000)); got != 2*base {
+		t.Fatalf("final rate = %v, want %v", got, 2*base)
+	}
+}
+
+func TestProducerConsumerThroughRoundRobin(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
+	q := k.NewQueue("pipe", 1<<20)
+	prod := &workload.Producer{Queue: q, CyclesPerBlock: 400_000, Rate: workload.ConstantRate(50)}
+	cons := &workload.Consumer{Queue: q, BlockBytes: 4096, CyclesPerByte: 10}
+	k.Spawn("prod", prod)
+	k.Spawn("cons", cons)
+	k.Start()
+	eng.RunFor(2 * sim.Second)
+	k.Stop()
+	if err := q.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if prod.Blocks() == 0 || cons.Blocks() == 0 {
+		t.Fatalf("pipeline idle: prod=%d cons=%d blocks", prod.Blocks(), cons.Blocks())
+	}
+	// Producer block size at rate 50 with 400k cycles/block is 20kB.
+	wantPerBlock := int64(20_000)
+	if got := q.Produced() / prod.Blocks(); got != wantPerBlock {
+		t.Fatalf("bytes/block = %d, want %d", got, wantPerBlock)
+	}
+}
+
+func TestProducerClampsBlockToQueueSize(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
+	q := k.NewQueue("tiny", 1000)
+	prod := &workload.Producer{Queue: q, CyclesPerBlock: 400_000, Rate: workload.ConstantRate(1000)}
+	cons := &workload.Consumer{Queue: q, BlockBytes: 100, CyclesPerByte: 1}
+	k.Spawn("prod", prod)
+	k.Spawn("cons", cons)
+	k.Start()
+	eng.RunFor(500 * sim.Millisecond)
+	k.Stop()
+	if err := q.CheckConservation(); err != nil {
+		t.Fatal(err) // would panic inside the kernel if unclamped
+	}
+}
+
+func TestStagePipelineFlows(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
+	qa := k.NewQueue("a", 64*1024)
+	qb := k.NewQueue("b", 64*1024)
+	src := &workload.Producer{Queue: qa, CyclesPerBlock: 100_000, Rate: workload.ConstantRate(50)}
+	mid := &workload.Stage{In: qa, Out: qb, BlockBytes: 1024, CyclesPerByte: 5}
+	sink := &workload.Consumer{Queue: qb, BlockBytes: 1024, CyclesPerByte: 2}
+	k.Spawn("src", src)
+	k.Spawn("mid", mid)
+	k.Spawn("sink", sink)
+	k.Start()
+	eng.RunFor(2 * sim.Second)
+	k.Stop()
+	if qb.Consumed() == 0 {
+		t.Fatal("nothing flowed through the two-queue pipeline")
+	}
+	if err := qa.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if mid.Blocks() == 0 {
+		t.Fatal("middle stage did no work")
+	}
+}
+
+func TestHogConsumesEverything(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
+	h := &workload.Hog{Burst: 400_000}
+	th := k.Spawn("hog", h)
+	k.Start()
+	eng.RunFor(sim.Second)
+	k.Stop()
+	if th.CPUTime().Seconds() < 0.95 {
+		t.Fatalf("hog share = %v", th.CPUTime())
+	}
+	if h.Work() == 0 {
+		t.Fatal("work counter empty")
+	}
+}
+
+func TestHogDefaultBurst(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
+	th := k.Spawn("hog", &workload.Hog{}) // zero burst: default applies
+	k.Start()
+	eng.RunFor(100 * sim.Millisecond)
+	k.Stop()
+	if th.CPUTime() == 0 {
+		t.Fatal("defaulted hog never ran")
+	}
+}
+
+func TestInteractiveJobAndEventSource(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
+	tty := kernel.NewWaitQueue("tty")
+	ij := &workload.InteractiveJob{TTY: tty, Burst: 10_000}
+	it := k.Spawn("edit", ij)
+	src := &workload.EventSource{Kernel: k, Target: ij, Interval: 10 * sim.Millisecond}
+	k.Spawn("user", src)
+	k.Start()
+	eng.RunFor(sim.Second)
+	k.Stop()
+	if ij.Handled() < 50 {
+		t.Fatalf("handled %d events, want ≈100", ij.Handled())
+	}
+	if src.Events() < ij.Handled() {
+		t.Fatalf("events %d < handled %d", src.Events(), ij.Handled())
+	}
+	if len(ij.Latencies()) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	for _, l := range ij.Latencies() {
+		if l < 0 {
+			t.Fatal("negative latency")
+		}
+	}
+	_ = it
+}
+
+func TestPathfinderScenarioUnderFixedPriorities(t *testing.T) {
+	eng := sim.NewEngine()
+	lp := baseline.NewLinux()
+	k := kernel.New(eng, kernel.DefaultConfig(), lp)
+	p := workload.NewPathfinder(k, workload.DefaultPathfinderConfig())
+	lp.SetRealtime(p.Bus, 30)
+	lp.SetRealtime(p.Comms, 20)
+	lp.SetRealtime(p.Weather, 10)
+	lp.SetRealtime(p.Watchdog, 99)
+	k.Start()
+	eng.RunFor(30 * sim.Second)
+	k.Stop()
+	if p.Resets() == 0 {
+		t.Fatal("no watchdog resets: priority inversion did not manifest")
+	}
+	if p.BusCompletions() == 0 {
+		t.Fatal("bus task never completed at all")
+	}
+	if len(p.ResetTimes()) != p.Resets() {
+		t.Fatal("reset times out of sync with count")
+	}
+}
+
+func TestSpinWaitLivelockUnderFixedPriorities(t *testing.T) {
+	eng := sim.NewEngine()
+	lp := baseline.NewLinux()
+	k := kernel.New(eng, kernel.DefaultConfig(), lp)
+	s := workload.NewSpinWait(k, 40_000, 2_000_000)
+	lp.SetRealtime(s.Spinner, 50)
+	k.Start()
+	eng.RunFor(5 * sim.Second)
+	k.Stop()
+	if s.Delivered() != 0 {
+		t.Fatalf("server delivered %d inputs past an RT spinner; expected livelock", s.Delivered())
+	}
+	if s.Consumed() != 0 {
+		t.Fatalf("spinner consumed %d inputs from nowhere", s.Consumed())
+	}
+}
+
+func TestSpinWaitFlowsUnderRoundRobin(t *testing.T) {
+	eng := sim.NewEngine()
+	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(5*sim.Millisecond))
+	s := workload.NewSpinWait(k, 40_000, 2_000_000)
+	k.Start()
+	eng.RunFor(5 * sim.Second)
+	k.Stop()
+	if s.Delivered() == 0 || s.Consumed() == 0 {
+		t.Fatalf("no flow under fair scheduling: delivered=%d consumed=%d", s.Delivered(), s.Consumed())
+	}
+	// Most delivered inputs should be observed (flag may coalesce a few).
+	if float64(s.Consumed()) < 0.5*float64(s.Delivered()) {
+		t.Fatalf("spinner observed %d of %d inputs", s.Consumed(), s.Delivered())
+	}
+}
+
+func TestPulseTrainAveragesAboveBase(t *testing.T) {
+	base := 50.0
+	r := workload.PulseTrain(base, ms(1000), []sim.Duration{sim.Duration(ms(1000))}, sim.Duration(ms(1000)))
+	var sum float64
+	n := 0
+	for at := sim.Time(0); at < ms(10_000); at = at.Add(sim.Duration(ms(10))) {
+		v := r(at)
+		if v != base && v != 2*base {
+			t.Fatalf("rate %v is neither base nor double", v)
+		}
+		sum += v
+		n++
+	}
+	mean := sum / float64(n)
+	if mean <= base || mean >= 2*base {
+		t.Fatalf("mean rate %v outside (base, 2·base)", mean)
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("NaN rate")
+	}
+}

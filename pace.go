@@ -1,0 +1,44 @@
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/progress"
+	"repro/internal/sim"
+)
+
+// Pace is a pseudo-progress metric for applications with no natural
+// bounded buffer — §4.5's suggestion that "a pure computation (finding
+// digits of pi or cracking passwords) could use a metric such as the
+// number of keys it has attempted." The application reports completed work
+// units; a virtual buffer drains at the target rate, and the controller
+// allocates exactly the CPU needed to hold that rate.
+type Pace struct {
+	sys *System
+	vq  *progress.VirtualQueue
+}
+
+// Complete reports n finished work units.
+func (p *Pace) Complete(n float64) {
+	p.vq.Complete(p.sys.kern.Now(), n)
+}
+
+// FillLevel returns the virtual buffer's fill in [0,1]; 0.5 means the
+// thread is exactly on rate.
+func (p *Pace) FillLevel() float64 {
+	return p.vq.FillLevel(p.sys.kern.Now())
+}
+
+// SpawnPaced creates a real-rate thread whose progress is a work-unit
+// target instead of a queue: the thread must call Pace.Complete as it
+// works, and the controller sizes its allocation to sustain targetPerSec.
+// depth is the virtual buffer depth in work units (how much burstiness is
+// tolerated before pressure saturates); a depth of a few seconds' worth of
+// units works well.
+func (s *System) SpawnPaced(name string, prog Program, targetPerSec, depth float64) (*Thread, *Pace) {
+	th := s.spawn(name, prog)
+	vq := progress.NewVirtualQueue(name, depth, targetPerSec)
+	s.reg.Register(th.t, vq)
+	th.job = s.ctl.AddRealRate(th.t, sim.FromStd(30*time.Millisecond))
+	return th, &Pace{sys: s, vq: vq}
+}

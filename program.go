@@ -1,0 +1,98 @@
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Program is the behavior of a simulated thread: a state machine that
+// returns one Action at a time. Next is called when the previous action
+// completes; return Exit() to retire the thread.
+type Program interface {
+	Next(t *Thread, now time.Duration) Action
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(t *Thread, now time.Duration) Action
+
+// Next calls the function.
+func (f ProgramFunc) Next(t *Thread, now time.Duration) Action { return f(t, now) }
+
+// Action is one operation of a thread program. Construct actions with
+// Compute, Produce, Consume, Sleep, SleepUntil, Lock, Unlock, Wait, Yield,
+// and Exit.
+type Action struct {
+	op kernel.Op
+}
+
+// Compute burns n simulated CPU cycles.
+func Compute(n int64) Action {
+	return Action{kernel.OpCompute{Cycles: sim.Cycles(n)}}
+}
+
+// ComputeFor burns the CPU for approximately d of simulated time at the
+// system's clock rate; the conversion happens when the action executes.
+func ComputeFor(s *System, d time.Duration) Action {
+	c := sim.DurationToCycles(sim.FromStd(d), s.kern.Config().ClockRate)
+	return Action{kernel.OpCompute{Cycles: c}}
+}
+
+// Produce enqueues n bytes into q, blocking while the queue lacks space.
+func Produce(q *Queue, n int64) Action {
+	return Action{kernel.OpProduce{Queue: q.q, Bytes: n}}
+}
+
+// Consume dequeues n bytes from q, blocking while the data is not there.
+func Consume(q *Queue, n int64) Action {
+	return Action{kernel.OpConsume{Queue: q.q, Bytes: n}}
+}
+
+// Sleep blocks the thread for at least d (wakeups land on dispatch ticks).
+func Sleep(d time.Duration) Action {
+	return Action{kernel.OpSleep{D: sim.FromStd(d)}}
+}
+
+// SleepUntil blocks the thread until the given simulated instant.
+func SleepUntil(at time.Duration) Action {
+	return Action{kernel.OpSleepUntil{At: sim.Time(at)}}
+}
+
+// Lock acquires m, blocking while another thread holds it.
+func Lock(m *Mutex) Action { return Action{kernel.OpLock{M: m.m}} }
+
+// Unlock releases m; unlocking a mutex the thread does not hold panics.
+func Unlock(m *Mutex) Action { return Action{kernel.OpUnlock{M: m.m}} }
+
+// Wait parks the thread on w until another thread calls w.WakeOne.
+func Wait(w *WaitQueue) Action { return Action{kernel.OpBlock{WQ: w.wq}} }
+
+// Yield releases the CPU without blocking.
+func Yield() Action { return Action{kernel.OpYield{}} }
+
+// Exit retires the thread.
+func Exit() Action { return Action{kernel.OpExit{}} }
+
+// programAdapter bridges the public Program to the kernel's interface.
+type programAdapter struct {
+	sys  *System
+	prog Program
+	self *Thread
+}
+
+func (a *programAdapter) Next(t *kernel.Thread, now sim.Time) kernel.Op {
+	act := a.prog.Next(a.self, time.Duration(now))
+	if act.op == nil {
+		panic("realrate: program returned zero Action; use Exit() to retire a thread")
+	}
+	return act.op
+}
+
+// HogProgram returns a program that computes forever in bursts of the
+// given cycle count — the canonical CPU-bound load.
+func HogProgram(burst int64) Program {
+	return ProgramFunc(func(t *Thread, now time.Duration) Action {
+		return Compute(burst)
+	})
+}

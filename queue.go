@@ -1,0 +1,89 @@
+package realrate
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/progress"
+)
+
+// Queue is a bounded byte buffer with a symbiotic interface: its fill
+// level, size, and each endpoint's role are visible to the scheduler, which
+// is how real-rate threads' progress is monitored.
+type Queue struct {
+	sys *System
+	q   *kernel.Queue
+}
+
+// NewQueue creates a bounded buffer of the given capacity in bytes.
+func (s *System) NewQueue(name string, size int64) *Queue {
+	return &Queue{sys: s, q: s.kern.NewQueue(name, size)}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.q.Name() }
+
+// Size returns the capacity in bytes.
+func (q *Queue) Size() int64 { return q.q.Size() }
+
+// Fill returns the bytes currently buffered.
+func (q *Queue) Fill() int64 { return q.q.Fill() }
+
+// FillLevel returns Fill/Size in [0, 1] — the progress signal.
+func (q *Queue) FillLevel() float64 { return q.q.FillLevel() }
+
+// Produced returns total bytes ever enqueued.
+func (q *Queue) Produced() int64 { return q.q.Produced() }
+
+// Consumed returns total bytes ever dequeued.
+func (q *Queue) Consumed() int64 { return q.q.Consumed() }
+
+// QueueLink declares a thread's role on a queue when spawning a real-rate
+// thread; it is the public form of the meta-interface registration call.
+type QueueLink struct {
+	queue *Queue
+	role  progress.Role
+}
+
+// ProducerOf links the spawned thread as the producer of q.
+func ProducerOf(q *Queue) QueueLink {
+	return QueueLink{queue: q, role: progress.Producer}
+}
+
+// ConsumerOf links the spawned thread as the consumer of q.
+func ConsumerOf(q *Queue) QueueLink {
+	return QueueLink{queue: q, role: progress.Consumer}
+}
+
+// Mutex is a simulated kernel mutex with FIFO handoff and, deliberately,
+// no priority inheritance — the Mars Pathfinder scenario depends on it.
+type Mutex struct {
+	m *kernel.Mutex
+}
+
+// NewMutex returns an unlocked mutex.
+func (s *System) NewMutex(name string) *Mutex {
+	return &Mutex{m: kernel.NewMutex(name)}
+}
+
+// Contended returns how many lock attempts had to wait.
+func (m *Mutex) Contended() uint64 { return m.m.Contended() }
+
+// Acquisitions returns how many lock operations succeeded.
+func (m *Mutex) Acquisitions() uint64 { return m.m.Acquisitions() }
+
+// WaitQueue is a raw blocking primitive: threads Wait on it and other
+// threads WakeOne them — the "tty" of interactive jobs.
+type WaitQueue struct {
+	sys *System
+	wq  *kernel.WaitQueue
+}
+
+// NewWaitQueue returns an empty wait queue.
+func (s *System) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{sys: s, wq: kernel.NewWaitQueue(name)}
+}
+
+// WakeOne wakes the longest-waiting thread, reporting whether one waited.
+func (w *WaitQueue) WakeOne() bool { return w.sys.kern.WakeOne(w.wq) }
+
+// Waiters returns the number of parked threads.
+func (w *WaitQueue) Waiters() int { return w.wq.Len() }

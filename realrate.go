@@ -1,0 +1,271 @@
+// Package realrate is a feedback-driven proportion allocator for real-rate
+// scheduling: a reproduction of Steere, Goel, Gruenberg, McNamee, Pu, and
+// Walpole's OSDI 1999 paper as a Go library.
+//
+// The library simulates a single-CPU machine (a 400 MHz Linux 2.0.35 box by
+// default) whose scheduler allocates CPU by proportion and period instead of
+// priority. A feedback controller assigns both automatically from
+// observations of application progress through symbiotic interfaces —
+// bounded buffers that expose their fill level to the kernel:
+//
+//	sys := realrate.NewSystem(realrate.Config{})
+//	q := sys.NewQueue("pipe", 1<<20)
+//	prod, _ := sys.SpawnRealTime("producer", producerProg, 100, 10*time.Millisecond)
+//	cons := sys.SpawnRealRate("consumer", consumerProg, 0,
+//	    realrate.ConsumerOf(q))
+//	sys.Run(10 * time.Second)
+//
+// Threads fall into the paper's Figure 2 taxonomy: real-time threads
+// specify proportion and period (a reservation, honored after admission
+// control); aperiodic real-time threads specify proportion only; real-rate
+// threads supply a progress metric and get both estimated; miscellaneous
+// threads supply nothing and are grown by a constant-pressure heuristic
+// until satisfied or squished. Interactive threads get a small period and a
+// proportion estimated from their burst lengths.
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/progress"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+// PPT is the proportion denominator: allocations are in parts-per-thousand
+// of the CPU.
+const PPT = 1000
+
+// Config configures a System. The zero value reproduces the paper's
+// testbed: 400 MHz CPU, 1 ms dispatch tick, 100 Hz controller.
+type Config struct {
+	// ClockHz is the simulated CPU clock rate (default 400 MHz).
+	ClockHz int64
+	// TickInterval is the timer-interrupt (dispatch) interval, default 1ms.
+	TickInterval time.Duration
+	// ControllerInterval is the feedback controller's period, default 10ms.
+	ControllerInterval time.Duration
+	// OverloadThreshold is the admission/squish ceiling in ppt, default
+	// 900 (the spare 100 covers scheduling and interrupt overhead).
+	OverloadThreshold int
+	// PeriodAdaptation enables the period heuristic of §3.3 (off by
+	// default, as in all the paper's experiments).
+	PeriodAdaptation bool
+	// PreciseAccounting ends run segments exactly at budget exhaustion
+	// instead of at tick granularity (§4.3's proposed improvement).
+	PreciseAccounting bool
+	// DispatchCost, TickCost, SwitchCost override the kernel overhead
+	// model in cycles (defaults reproduce Figure 8's knee).
+	DispatchCost, TickCost, SwitchCost int64
+	// Controller overrides the controller tuning; zero fields keep
+	// defaults. Most users never touch this.
+	Controller ControllerTuning
+}
+
+// ControllerTuning exposes the controller knobs that experiments vary.
+type ControllerTuning struct {
+	// K is the pressure-to-proportion gain (ppt per unit pressure).
+	K float64
+	// Kp, Ki, Kd are the PID gains of the pressure filter G.
+	Kp, Ki, Kd float64
+	// MiscPressure is the constant pressure for miscellaneous threads.
+	MiscPressure float64
+	// ReclaimFraction and ReclaimC tune Figure 4's P−C reclamation.
+	ReclaimFraction float64
+	ReclaimC        int
+	// BaseCost and PerJobCost model the controller's own per-interval
+	// execution cost in cycles (Figure 5's intercept and slope).
+	BaseCost, PerJobCost int64
+}
+
+// System is a simulated machine under real-rate scheduling: kernel,
+// reservation dispatcher, progress registry, and feedback controller.
+type System struct {
+	eng    *sim.Engine
+	kern   *kernel.Kernel
+	policy *rbs.Policy
+	reg    *progress.Registry
+	ctl    *core.Controller
+
+	threads []*Thread
+	started bool
+}
+
+// NewSystem builds a machine from the configuration.
+func NewSystem(cfg Config) *System {
+	kcfg := kernel.DefaultConfig()
+	if cfg.ClockHz > 0 {
+		kcfg.ClockRate = sim.Hz(cfg.ClockHz)
+	}
+	if cfg.TickInterval > 0 {
+		kcfg.TickInterval = sim.FromStd(cfg.TickInterval)
+	}
+	if cfg.DispatchCost > 0 {
+		kcfg.DispatchCost = sim.Cycles(cfg.DispatchCost)
+	}
+	if cfg.TickCost > 0 {
+		kcfg.TickCost = sim.Cycles(cfg.TickCost)
+	}
+	if cfg.SwitchCost > 0 {
+		kcfg.SwitchCost = sim.Cycles(cfg.SwitchCost)
+	}
+
+	eng := sim.NewEngine()
+	policy := rbs.New()
+	policy.PreciseAccounting = cfg.PreciseAccounting
+	kern := kernel.New(eng, kcfg, policy)
+	reg := progress.NewRegistry()
+
+	ccfg := core.Config{}
+	if cfg.ControllerInterval > 0 {
+		ccfg.Interval = sim.FromStd(cfg.ControllerInterval)
+	}
+	if cfg.OverloadThreshold > 0 {
+		ccfg.OverloadThreshold = cfg.OverloadThreshold
+	}
+	ccfg.PeriodAdaptation = cfg.PeriodAdaptation
+	t := cfg.Controller
+	if t.K != 0 {
+		ccfg.K = t.K
+	}
+	def := core.DefaultConfig()
+	if t.Kp != 0 || t.Ki != 0 || t.Kd != 0 {
+		ccfg.PID = def.PID
+		if t.Kp != 0 {
+			ccfg.PID.Kp = t.Kp
+		}
+		if t.Ki != 0 {
+			ccfg.PID.Ki = t.Ki
+		}
+		if t.Kd != 0 {
+			ccfg.PID.Kd = t.Kd
+		}
+	}
+	if t.MiscPressure != 0 {
+		ccfg.MiscPressure = t.MiscPressure
+	}
+	if t.ReclaimFraction != 0 {
+		ccfg.ReclaimFraction = t.ReclaimFraction
+	}
+	if t.ReclaimC != 0 {
+		ccfg.ReclaimC = t.ReclaimC
+	}
+	if t.BaseCost != 0 {
+		ccfg.BaseCost = sim.Cycles(t.BaseCost)
+	}
+	if t.PerJobCost != 0 {
+		ccfg.PerJobCost = sim.Cycles(t.PerJobCost)
+	}
+
+	ctl := core.New(kern, policy, reg, ccfg)
+	return &System{eng: eng, kern: kern, policy: policy, reg: reg, ctl: ctl}
+}
+
+// Run advances the simulation by d, starting the machine and controller on
+// the first call.
+func (s *System) Run(d time.Duration) {
+	if !s.started {
+		s.started = true
+		s.ctl.Start()
+		s.kern.Start()
+	}
+	s.eng.RunFor(sim.FromStd(d))
+}
+
+// Stop halts dispatching; Run may still be used to drain time.
+func (s *System) Stop() { s.kern.Stop() }
+
+// Now returns the current simulated time since system creation.
+func (s *System) Now() time.Duration { return time.Duration(s.kern.Now()) }
+
+// Every schedules fn to be called with the simulated timestamp every
+// interval, forever. Call before or between Runs.
+func (s *System) Every(interval time.Duration, fn func(now time.Duration)) {
+	iv := sim.FromStd(interval)
+	if iv <= 0 {
+		panic("realrate: non-positive sampling interval")
+	}
+	var tick func(sim.Time)
+	tick = func(now sim.Time) {
+		fn(time.Duration(now))
+		s.eng.After(iv, tick)
+	}
+	s.eng.After(iv, tick)
+}
+
+// OnQuality installs a callback for quality exceptions: raised when
+// sustained overload squishes a job below what its progress requires.
+func (s *System) OnQuality(fn func(QualityEvent)) {
+	s.ctl.OnQuality(func(ex core.QualityException) {
+		var th *Thread
+		for _, t := range s.threads {
+			if t.t == ex.Job.Thread() {
+				th = t
+				break
+			}
+		}
+		fn(QualityEvent{
+			Thread:    th,
+			Time:      time.Duration(ex.Time),
+			Pressure:  ex.Pressure,
+			Desired:   ex.Desired,
+			Allocated: ex.Allocated,
+			Reason:    ex.Reason,
+		})
+	})
+}
+
+// QualityEvent is a quality exception surfaced to the application.
+type QualityEvent struct {
+	Thread    *Thread
+	Time      time.Duration
+	Pressure  float64
+	Desired   int
+	Allocated int
+	Reason    string
+}
+
+// Stats is machine-level accounting.
+type Stats struct {
+	Elapsed         time.Duration
+	Idle            time.Duration
+	SchedOverhead   time.Duration
+	Dispatches      uint64
+	Ticks           uint64
+	ContextSwitches uint64
+	MissedDeadlines uint64
+	ControllerSteps uint64
+	Actuations      uint64
+}
+
+// Stats returns a snapshot of machine accounting.
+func (s *System) Stats() Stats {
+	ks := s.kern.Stats()
+	return Stats{
+		Elapsed:         time.Duration(ks.Elapsed),
+		Idle:            time.Duration(ks.Idle),
+		SchedOverhead:   time.Duration(ks.Overhead),
+		Dispatches:      ks.Dispatches,
+		Ticks:           ks.Ticks,
+		ContextSwitches: ks.Switches,
+		MissedDeadlines: s.policy.MissedDeadlines(),
+		ControllerSteps: s.ctl.Steps(),
+		Actuations:      s.ctl.Actuations(),
+	}
+}
+
+// ControllerCPU returns the CPU time consumed by the controller thread —
+// the overhead Figure 5 measures.
+func (s *System) ControllerCPU() time.Duration {
+	t := s.ctl.Thread()
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.CPUTime())
+}
+
+// TotalProportion returns the summed proportions of all registered threads
+// (the overload signal).
+func (s *System) TotalProportion() int { return s.policy.TotalProportion() }

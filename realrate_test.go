@@ -1,0 +1,498 @@
+package realrate_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	realrate "repro"
+)
+
+// pipeline spawns the canonical reserved-producer / controlled-consumer
+// pair on sys and returns the queue and consumer.
+func pipeline(t *testing.T, sys *realrate.System) (*realrate.Queue, *realrate.Thread) {
+	t.Helper()
+	pipe := sys.NewQueue("pipe", 1<<20)
+	pc := true
+	producer := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		pc = !pc
+		if pc {
+			return realrate.Compute(400_000)
+		}
+		return realrate.Produce(pipe, 20_000)
+	})
+	cc := true
+	consumer := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		cc = !cc
+		if cc {
+			return realrate.Consume(pipe, 4096)
+		}
+		return realrate.Compute(40 * 4096)
+	})
+	if _, err := sys.SpawnRealTime("producer", producer, 100, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cons := sys.SpawnRealRate("consumer", consumer, 0, realrate.ConsumerOf(pipe))
+	return pipe, cons
+}
+
+func TestSystemRunAdvancesTime(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	sys.Run(time.Second)
+	if sys.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", sys.Now())
+	}
+	sys.Run(time.Second)
+	if sys.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", sys.Now())
+	}
+}
+
+func TestPublicPipelineConverges(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	pipe, cons := pipeline(t, sys)
+	sys.Run(10 * time.Second)
+
+	if fl := pipe.FillLevel(); fl < 0.35 || fl > 0.65 {
+		t.Fatalf("fill level = %.3f, want ≈0.5", fl)
+	}
+	if a := cons.Allocation(); a < 120 || a > 300 {
+		t.Fatalf("consumer allocation = %d ppt, want ≈200", a)
+	}
+	if cons.Class() != "real-rate" {
+		t.Fatalf("consumer class = %q", cons.Class())
+	}
+	if cons.Period() != 30*time.Millisecond {
+		t.Fatalf("consumer default period = %v, want 30ms", cons.Period())
+	}
+}
+
+func TestAdmissionErrorSurfaced(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	if _, err := sys.SpawnRealTime("big", realrate.HogProgram(1000), 800, 10*time.Millisecond); err != nil {
+		t.Fatalf("first reservation rejected: %v", err)
+	}
+	if _, err := sys.SpawnRealTime("too-big", realrate.HogProgram(1000), 300, 10*time.Millisecond); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+func TestUnmanagedThreadRunsInLeftover(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	um := sys.SpawnUnmanaged("legacy", realrate.HogProgram(400_000))
+	sys.Run(2 * time.Second)
+	if um.CPUTime() < time.Second {
+		t.Fatalf("unmanaged thread got %v of an idle machine", um.CPUTime())
+	}
+	if um.Class() != "unmanaged" || um.Allocation() != 0 {
+		t.Fatalf("unmanaged metadata wrong: class=%q alloc=%d", um.Class(), um.Allocation())
+	}
+}
+
+func TestMiscThreadsShareEqually(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	a := sys.SpawnMiscellaneous("a", realrate.HogProgram(400_000))
+	b := sys.SpawnMiscellaneous("b", realrate.HogProgram(400_000))
+	sys.Run(8 * time.Second)
+	ra := a.CPUTime().Seconds()
+	rb := b.CPUTime().Seconds()
+	if ra/rb < 0.8 || ra/rb > 1.25 {
+		t.Fatalf("misc split %.2f/%.2f, want ≈equal", ra, rb)
+	}
+}
+
+func TestImportanceViaPublicAPI(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	vip := sys.SpawnMiscellaneous("vip", realrate.HogProgram(400_000))
+	std := sys.SpawnMiscellaneous("std", realrate.HogProgram(400_000))
+	vip.SetImportance(4)
+	sys.Run(8 * time.Second)
+	if vip.CPUTime() <= std.CPUTime() {
+		t.Fatalf("importance ignored: vip=%v std=%v", vip.CPUTime(), std.CPUTime())
+	}
+	if std.CPUTime() == 0 {
+		t.Fatal("standard job starved")
+	}
+}
+
+func TestMutexAndWaitQueue(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	m := sys.NewMutex("m")
+	wq := sys.NewWaitQueue("tty")
+
+	handled := 0
+	phase := 0
+	worker := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		phase++
+		switch phase % 4 {
+		case 1:
+			return realrate.Wait(wq)
+		case 2:
+			return realrate.Lock(m)
+		case 3:
+			return realrate.Compute(100_000)
+		default:
+			handled++
+			return realrate.Unlock(m)
+		}
+	})
+	sys.SpawnMiscellaneous("worker", worker)
+
+	wphase := 0
+	waker := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		wphase++
+		if wphase%2 == 1 {
+			return realrate.Sleep(10 * time.Millisecond)
+		}
+		wq.WakeOne()
+		return realrate.Compute(1000)
+	})
+	sys.SpawnMiscellaneous("waker", waker)
+
+	sys.Run(2 * time.Second)
+	if handled < 50 {
+		t.Fatalf("worker handled %d events, want ≈100", handled)
+	}
+	if m.Acquisitions() == 0 {
+		t.Fatal("mutex never used")
+	}
+}
+
+func TestThreadExitViaPublicAPI(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	n := 0
+	mortal := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		n++
+		if n > 5 {
+			return realrate.Exit()
+		}
+		return realrate.Compute(1000)
+	})
+	th := sys.SpawnMiscellaneous("mortal", mortal)
+	sys.Run(time.Second)
+	if th.State() != "exited" {
+		t.Fatalf("state = %q, want exited", th.State())
+	}
+}
+
+func TestEverySampler(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	var samples []time.Duration
+	sys.Every(100*time.Millisecond, func(now time.Duration) {
+		samples = append(samples, now)
+	})
+	sys.Run(time.Second)
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples in 1s at 100ms, want 10", len(samples))
+	}
+	if samples[0] != 100*time.Millisecond {
+		t.Fatalf("first sample at %v", samples[0])
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	sys.SpawnMiscellaneous("hog", realrate.HogProgram(400_000))
+	sys.Run(time.Second)
+	st := sys.Stats()
+	if st.Elapsed != time.Second {
+		t.Fatalf("Elapsed = %v", st.Elapsed)
+	}
+	if st.Ticks < 990 || st.Ticks > 1010 {
+		t.Fatalf("Ticks = %d", st.Ticks)
+	}
+	if st.ControllerSteps < 95 || st.ControllerSteps > 105 {
+		t.Fatalf("ControllerSteps = %d", st.ControllerSteps)
+	}
+	if st.Dispatches == 0 || st.SchedOverhead == 0 {
+		t.Fatal("overhead accounting empty")
+	}
+	if sys.ControllerCPU() == 0 {
+		t.Fatal("controller consumed no CPU")
+	}
+}
+
+func TestQualityEventDelivered(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	pipe := sys.NewQueue("pipe", 1<<20)
+	pc := true
+	producer := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		pc = !pc
+		if pc {
+			return realrate.Compute(400_000)
+		}
+		return realrate.Produce(pipe, 20_000)
+	})
+	// Impossible consumer: needs 400 cycles/byte at 2 MB/s = 2x the CPU.
+	cc := true
+	consumer := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		cc = !cc
+		if cc {
+			return realrate.Consume(pipe, 4096)
+		}
+		return realrate.Compute(400 * 4096)
+	})
+	if _, err := sys.SpawnRealTime("producer", producer, 100, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sys.SpawnRealRate("consumer", consumer, 0, realrate.ConsumerOf(pipe))
+
+	events := 0
+	sys.OnQuality(func(ev realrate.QualityEvent) {
+		events++
+		if ev.Thread == nil || ev.Thread.Name() != "consumer" {
+			t.Errorf("quality event thread = %v", ev.Thread)
+		}
+	})
+	sys.Run(20 * time.Second)
+	if events == 0 {
+		t.Fatal("no quality events under permanent overload")
+	}
+}
+
+func TestPacedComputationHoldsTargetRate(t *testing.T) {
+	// §4.5: a password cracker with a pseudo-progress metric. Each key
+	// costs 100k cycles; the target is 1200 keys/s = 120M cycles/s = 30%
+	// of the CPU. A hog competes for everything else.
+	sys := realrate.NewSystem(realrate.Config{})
+	keys := 0
+	var pace *realrate.Pace
+	cracker := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		if keys > 0 { // report the key finished by the previous burst
+			pace.Complete(1)
+		}
+		keys++
+		return realrate.Compute(100_000)
+	})
+	th, p := sys.SpawnPaced("cracker", cracker, 1200, 2400) // 2s of buffer
+	pace = p
+	sys.SpawnMiscellaneous("hog", realrate.HogProgram(400_000))
+	sys.Run(10 * time.Second)
+
+	rate := float64(keys) / 10
+	if rate < 1050 || rate > 1450 {
+		t.Fatalf("cracking rate = %.0f keys/s, want ≈1200", rate)
+	}
+	if a := th.Allocation(); a < 200 || a > 450 {
+		t.Fatalf("cracker allocation = %d ppt, want ≈300", a)
+	}
+	// On rate means the virtual buffer hovers near half.
+	if fl := p.FillLevel(); fl < 0.2 || fl > 0.8 {
+		t.Fatalf("virtual fill = %.3f, want ≈0.5", fl)
+	}
+}
+
+func TestRenegotiateViaPublicAPI(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	th, err := sys.SpawnRealTime("rt", realrate.HogProgram(400_000), 200, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(time.Second)
+	if err := th.Renegotiate(500); err != nil {
+		t.Fatalf("renegotiate failed: %v", err)
+	}
+	before := th.CPUTime()
+	sys.Run(2 * time.Second)
+	share := (th.CPUTime() - before).Seconds() / 2
+	if share < 0.45 {
+		t.Fatalf("renegotiated share = %.3f, want ≈0.50", share)
+	}
+	if err := th.Renegotiate(5000); err == nil {
+		t.Fatal("impossible renegotiation accepted")
+	}
+}
+
+func TestAperiodicClass(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	th, err := sys.SpawnAperiodic("codec", realrate.HogProgram(400_000), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2 * time.Second)
+	if th.Class() != "aperiodic-real-time" {
+		t.Fatalf("class = %q", th.Class())
+	}
+	if th.Period() != 30*time.Millisecond {
+		t.Fatalf("default period = %v, want 30ms", th.Period())
+	}
+	share := th.CPUTime().Seconds() / 2
+	if share < 0.19 || share > 0.27 {
+		t.Fatalf("aperiodic share = %.3f, want ≈0.20", share)
+	}
+}
+
+func TestInteractiveClassViaPublicAPI(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	tty := sys.NewWaitQueue("tty")
+	served := 0
+	sphase := 0
+	editor := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		sphase++
+		if sphase%2 == 1 {
+			return realrate.Wait(tty)
+		}
+		served++
+		return realrate.Compute(2_000_000)
+	})
+	it := sys.SpawnInteractive("editor", editor)
+	uphase := 0
+	user := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		uphase++
+		if uphase%2 == 1 {
+			return realrate.Sleep(50 * time.Millisecond)
+		}
+		tty.WakeOne()
+		return realrate.Compute(1000)
+	})
+	if _, err := sys.SpawnRealTime("user", user, 20, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sys.SpawnMiscellaneous("hog", realrate.HogProgram(400_000))
+	sys.Run(10 * time.Second)
+
+	if served < 150 {
+		t.Fatalf("editor served %d events under load, want ≈200", served)
+	}
+	if it.Class() != "interactive" {
+		t.Fatalf("class = %q", it.Class())
+	}
+}
+
+func TestTracingViaPublicAPI(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	tr := sys.EnableTracing(0)
+	sys.SpawnMiscellaneous("hog", realrate.HogProgram(400_000))
+	sys.Run(time.Second)
+	sums := tr.Summaries()
+	found := false
+	for _, s := range sums {
+		if s.Thread == "hog" {
+			found = true
+			if s.Segments == 0 || s.TotalRun < 500*time.Millisecond {
+				t.Fatalf("hog trace summary implausible: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hog missing from trace summaries")
+	}
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dispatch,hog") {
+		t.Fatal("CSV missing dispatch events")
+	}
+}
+
+func TestPublicAccessorsAndActions(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{
+		ClockHz:            400_000_000,
+		TickInterval:       time.Millisecond,
+		ControllerInterval: 10 * time.Millisecond,
+		OverloadThreshold:  900,
+		DispatchCost:       1900, TickCost: 900, SwitchCost: 200,
+		Controller: realrate.ControllerTuning{
+			K: 2000, Kp: 1, Ki: 4, Kd: 0.05,
+			MiscPressure: 0.4, ReclaimFraction: 0.5, ReclaimC: 20,
+			BaseCost: 2280, PerJobCost: 2640,
+		},
+	})
+	q := sys.NewQueue("pipe", 4096)
+	if q.Name() != "pipe" || q.Size() != 4096 || q.Fill() != 0 {
+		t.Fatal("queue accessors wrong")
+	}
+	m := sys.NewMutex("m")
+	wq := sys.NewWaitQueue("w")
+	if wq.Waiters() != 0 {
+		t.Fatal("fresh wait queue has waiters")
+	}
+
+	// Exercise every public action constructor in one program.
+	phase := 0
+	prog := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		phase++
+		switch phase {
+		case 1:
+			return realrate.ComputeFor(sys, time.Millisecond)
+		case 2:
+			return realrate.Produce(q, 512)
+		case 3:
+			return realrate.Consume(q, 512)
+		case 4:
+			return realrate.Lock(m)
+		case 5:
+			return realrate.Unlock(m)
+		case 6:
+			return realrate.Yield()
+		case 7:
+			return realrate.SleepUntil(now + 2*time.Millisecond)
+		case 8:
+			return realrate.Sleep(time.Millisecond)
+		default:
+			return realrate.Compute(100_000)
+		}
+	})
+	th := sys.SpawnRealRate("omni", prog, 15*time.Millisecond, realrate.ConsumerOf(q))
+	sys.Run(time.Second)
+
+	if th.Desired() < 0 || th.Allocation() < 0 {
+		t.Fatal("negative allocation")
+	}
+	_ = th.Pressure()
+	_ = th.Squished()
+	if th.Period() != 15*time.Millisecond {
+		t.Fatalf("period = %v", th.Period())
+	}
+	if q.Produced() != q.Consumed() {
+		t.Fatalf("produced %d != consumed %d", q.Produced(), q.Consumed())
+	}
+	if m.Contended() != 0 {
+		t.Fatal("uncontended mutex reported contention")
+	}
+	if sys.TotalProportion() <= 0 {
+		t.Fatal("TotalProportion empty with registered jobs")
+	}
+
+	// Stop freezes the machine.
+	sys.Stop()
+	before := th.CPUTime()
+	sys.Run(100 * time.Millisecond)
+	if th.CPUTime() != before {
+		t.Fatal("thread ran after Stop")
+	}
+}
+
+func TestTracingPrint(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	tr := sys.EnableTracing(100)
+	sys.SpawnMiscellaneous("hog", realrate.HogProgram(400_000))
+	sys.Run(200 * time.Millisecond)
+	var sb strings.Builder
+	tr.Print(&sb)
+	if !strings.Contains(sb.String(), "THREAD") || !strings.Contains(sb.String(), "hog") {
+		t.Fatalf("summary table malformed:\n%s", sb.String())
+	}
+}
+
+func TestSpawnIntoJobSharesAllocation(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	// A two-thread miscellaneous job against a one-thread job: CPU is
+	// allocated per job, so the pairs end up equal.
+	lead := sys.SpawnMiscellaneous("pair0", realrate.HogProgram(400_000))
+	second := sys.SpawnIntoJob(lead, "pair1", realrate.HogProgram(400_000))
+	solo := sys.SpawnMiscellaneous("solo", realrate.HogProgram(400_000))
+	sys.Run(8 * time.Second)
+
+	pair := lead.CPUTime().Seconds() + second.CPUTime().Seconds()
+	single := solo.CPUTime().Seconds()
+	if r := pair / single; r < 0.75 || r > 1.35 {
+		t.Fatalf("2-thread job %.2fs vs 1-thread job %.2fs; want per-job fairness", pair, single)
+	}
+	// Both members report the job's class and allocation.
+	if second.Class() != "miscellaneous" || second.Allocation() != lead.Allocation() {
+		t.Fatalf("member metadata: class=%q alloc=%d vs lead %d",
+			second.Class(), second.Allocation(), lead.Allocation())
+	}
+}

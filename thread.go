@@ -1,0 +1,197 @@
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Thread is a handle to a simulated thread under real-rate scheduling.
+type Thread struct {
+	sys *System
+	t   *kernel.Thread
+	job *core.Job
+}
+
+// spawn creates the kernel thread wired to the public program.
+func (s *System) spawn(name string, prog Program) *Thread {
+	th := &Thread{sys: s}
+	ad := &programAdapter{sys: s, prog: prog, self: th}
+	th.t = s.kern.Spawn(name, ad)
+	s.threads = append(s.threads, th)
+	return th
+}
+
+// SpawnRealTime creates a thread with a hard reservation: proportion in
+// parts-per-thousand over the given period. Admission control may reject
+// the request, in which case the thread is not created.
+func (s *System) SpawnRealTime(name string, prog Program, proportion int, period time.Duration) (*Thread, error) {
+	th := s.spawn(name, prog)
+	job, err := s.ctl.AddRealTime(th.t, proportion, sim.FromStd(period))
+	if err != nil {
+		// Retire the just-created thread; it never ran.
+		s.removeThread(th)
+		return nil, err
+	}
+	th.job = job
+	return th, nil
+}
+
+// SpawnAperiodic creates an aperiodic real-time thread: known proportion,
+// no period; the controller assigns the 30 ms default.
+func (s *System) SpawnAperiodic(name string, prog Program, proportion int) (*Thread, error) {
+	th := s.spawn(name, prog)
+	job, err := s.ctl.AddAperiodicRealTime(th.t, proportion)
+	if err != nil {
+		s.removeThread(th)
+		return nil, err
+	}
+	th.job = job
+	return th, nil
+}
+
+// SpawnRealRate creates a thread whose proportion (and, with period 0, its
+// period) the controller estimates from the progress metrics declared by
+// the queue links.
+func (s *System) SpawnRealRate(name string, prog Program, period time.Duration, links ...QueueLink) *Thread {
+	if len(links) == 0 {
+		panic("realrate: SpawnRealRate needs at least one queue link")
+	}
+	th := s.spawn(name, prog)
+	for _, l := range links {
+		s.reg.RegisterQueue(th.t, l.queue.q, l.role)
+	}
+	th.job = s.ctl.AddRealRate(th.t, sim.FromStd(period))
+	return th
+}
+
+// SpawnMiscellaneous creates a thread with no declared information; the
+// constant-pressure heuristic grows its allocation until satisfied or
+// squished.
+func (s *System) SpawnMiscellaneous(name string, prog Program) *Thread {
+	th := s.spawn(name, prog)
+	th.job = s.ctl.AddMiscellaneous(th.t)
+	return th
+}
+
+// SpawnInteractive creates a tty-server thread: small period, proportion
+// estimated from its bursts.
+func (s *System) SpawnInteractive(name string, prog Program) *Thread {
+	th := s.spawn(name, prog)
+	th.job = s.ctl.AddInteractive(th.t)
+	return th
+}
+
+// SpawnUnmanaged creates a thread outside the controller entirely; it runs
+// round-robin in the leftover CPU below every registered thread, like
+// unregistered jobs under the prototype's default Linux scheduler.
+func (s *System) SpawnUnmanaged(name string, prog Program) *Thread {
+	return s.spawn(name, prog)
+}
+
+func (s *System) removeThread(th *Thread) {
+	for i, other := range s.threads {
+		if other == th {
+			copy(s.threads[i:], s.threads[i+1:])
+			s.threads = s.threads[:len(s.threads)-1]
+			break
+		}
+	}
+}
+
+// Name returns the thread's name.
+func (th *Thread) Name() string { return th.t.Name() }
+
+// CPUTime returns the total simulated CPU the thread has consumed.
+func (th *Thread) CPUTime() time.Duration { return time.Duration(th.t.CPUTime()) }
+
+// State returns the scheduling state as a string (ready, running, blocked,
+// sleeping, exited).
+func (th *Thread) State() string { return th.t.State().String() }
+
+// Allocation returns the thread's current proportion in ppt (0 for
+// unmanaged threads).
+func (th *Thread) Allocation() int {
+	if th.job == nil {
+		return 0
+	}
+	return th.job.Allocated()
+}
+
+// Desired returns the pre-squish proportion the controller last computed.
+func (th *Thread) Desired() int {
+	if th.job == nil {
+		return 0
+	}
+	return th.job.Desired()
+}
+
+// Period returns the thread's current period (0 for unmanaged threads).
+func (th *Thread) Period() time.Duration {
+	if th.job == nil {
+		return 0
+	}
+	return time.Duration(th.job.Period())
+}
+
+// Pressure returns the controller's cumulative progress pressure Q_t for
+// the thread.
+func (th *Thread) Pressure() float64 {
+	if th.job == nil {
+		return 0
+	}
+	return th.job.Pressure()
+}
+
+// Class returns the taxonomy class name, or "unmanaged".
+func (th *Thread) Class() string {
+	if th.job == nil {
+		return "unmanaged"
+	}
+	return th.job.Class().String()
+}
+
+// SetImportance sets the weighted-fair-share weight (default 1). Higher
+// importance loses less under overload but can never starve others.
+func (th *Thread) SetImportance(w float64) {
+	if th.job == nil {
+		panic("realrate: cannot set importance of an unmanaged thread")
+	}
+	th.sys.ctl.SetImportance(th.job, w)
+}
+
+// Squished reports whether overload reduced the thread below its desired
+// allocation in the last control interval.
+func (th *Thread) Squished() bool {
+	if th.job == nil {
+		return false
+	}
+	return th.job.Squished()
+}
+
+// Renegotiate changes a real-time (or aperiodic real-time) thread's
+// reserved proportion, subject to admission control. Applications
+// typically call it from a quality-exception handler to lower their
+// requirements under overload.
+func (th *Thread) Renegotiate(proportion int) error {
+	if th.job == nil {
+		panic("realrate: cannot renegotiate an unmanaged thread")
+	}
+	return th.sys.ctl.Renegotiate(th.job, proportion)
+}
+
+// SpawnIntoJob creates a new thread as a member of th's job: the paper's
+// "job is a collection of cooperating threads". The job's allocation is
+// split across its members; its progress and usage are their combined
+// metrics and CPU.
+func (s *System) SpawnIntoJob(th *Thread, name string, prog Program) *Thread {
+	if th.job == nil {
+		panic("realrate: cannot add members to an unmanaged thread")
+	}
+	member := s.spawn(name, prog)
+	member.job = th.job
+	s.ctl.AddMember(th.job, member.t)
+	return member
+}
