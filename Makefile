@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the sim/kernel hot-path benchmarks with -benchmem and records
+# the results (ns/op, B/op, allocs/op) in BENCH_results.json alongside the
+# pre-rewrite baseline, so the perf trajectory is tracked PR over PR.
+bench:
+	./scripts/bench.sh
+
+# fuzz gives the wheel's differential fuzzer a short budget.
+fuzz:
+	$(GO) test -run '^$$' -fuzz=FuzzWheelDifferential -fuzztime=30s ./internal/sim/
+
+clean:
+	$(GO) clean ./...

@@ -20,6 +20,28 @@ import (
 	"repro/internal/sim"
 )
 
+// BenchmarkFig5SweepSerial and ...SweepParallel A/B the experiment sweep
+// runner itself on Figure 5's process-count sweep: identical per-point
+// results (asserted by TestFig5ParallelMatchesSerial), different wall time
+// on multicore hosts.
+func BenchmarkFig5SweepSerial(b *testing.B) {
+	experiments.SetParallel(false)
+	defer experiments.SetParallel(true)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig5(experiments.Fig5Config{
+			MaxProcesses: 40, Step: 10, RunFor: 5 * sim.Second,
+		})
+	}
+}
+
+func BenchmarkFig5SweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig5(experiments.Fig5Config{
+			MaxProcesses: 40, Step: 10, RunFor: 5 * sim.Second,
+		})
+	}
+}
+
 func BenchmarkFig5ControllerOverhead(b *testing.B) {
 	var fit struct{ slope, intercept, r2, at40 float64 }
 	for i := 0; i < b.N; i++ {

@@ -36,8 +36,10 @@ func main() {
 		freq       = flag.Bool("freq", false, "run the controller-frequency sweep")
 		inter      = flag.Bool("interactive", false, "run the interactive-latency comparison")
 		quick      = flag.Bool("quick", false, "shorter runs (for smoke testing)")
+		seq        = flag.Bool("seq", false, "disable the parallel sweep runner (results are identical; serial is slower)")
 	)
 	flag.Parse()
+	experiments.SetParallel(!*seq)
 
 	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter {
 		flag.Usage()

@@ -158,6 +158,11 @@ type Controller struct {
 	nextWake sim.Time
 	phase    int
 
+	// computeOp/sleepOp are reused every control interval so the
+	// controller's 100 Hz program emits ops without boxing.
+	computeOp kernel.OpCompute
+	sleepOp   kernel.OpSleepUntil
+
 	// admitted sums the proportions of real-time and aperiodic real-time
 	// reservations plus the controller's own.
 	admitted int
@@ -308,13 +313,14 @@ func (c *Controller) Start() {
 func (c *Controller) program(t *kernel.Thread, now sim.Time) kernel.Op {
 	c.phase++
 	if c.phase%2 == 1 {
-		cost := c.cfg.BaseCost + sim.Cycles(len(c.jobs))*c.cfg.PerJobCost
-		return kernel.OpCompute{Cycles: cost}
+		c.computeOp.Cycles = c.cfg.BaseCost + sim.Cycles(len(c.jobs))*c.cfg.PerJobCost
+		return &c.computeOp
 	}
 	c.step(now)
 	wake := c.nextWake
 	c.nextWake = c.nextWake.Add(c.cfg.Interval)
-	return kernel.OpSleepUntil{At: wake}
+	c.sleepOp.At = wake
+	return &c.sleepOp
 }
 
 // AddRealTime admits a reservation-holding job. Admission control rejects

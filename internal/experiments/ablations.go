@@ -88,15 +88,18 @@ func RunReclaimAblation(reclaimOn bool, duration sim.Duration) ReclaimAblationRe
 	// Bottlenecked consumer: tiny compute per block, then a 5 ms wait on a
 	// slow device. The queue pins full; more CPU cannot help.
 	phase := 0
+	consumeOp := kernel.OpConsume{Queue: q, Bytes: 4096}
+	computeOp := kernel.OpCompute{Cycles: 40_000}
+	sleepOp := kernel.OpSleep{D: 5 * sim.Millisecond}
 	ct := r.kern.Spawn("consumer", kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
 		phase++
 		switch phase % 3 {
 		case 1:
-			return kernel.OpConsume{Queue: q, Bytes: 4096}
+			return &consumeOp
 		case 2:
-			return kernel.OpCompute{Cycles: 40_000}
+			return &computeOp
 		default:
-			return kernel.OpSleep{D: 5 * sim.Millisecond}
+			return &sleepOp
 		}
 	}))
 	r.reg.RegisterQueue(pt, q, progress.Producer)
@@ -218,9 +221,10 @@ func RunDisciplineAblation(d rbs.Discipline, duration sim.Duration) DisciplineAb
 	return DisciplineAblationResult{Discipline: name, MissedDeadlines: p.MissedDeadlines()}
 }
 
-// PrintAblations runs and prints the full ablation set.
+// PrintAblations runs and prints the full ablation set. The nine trials are
+// independent machines, so they run as one parallel sweep; printing happens
+// afterwards, in the fixed report order.
 func PrintAblations(w io.Writer, duration sim.Duration) {
-	section(w, "Ablation: pressure filter (P vs PI vs PID)")
 	gains := []struct {
 		name string
 		cfg  pid.Config
@@ -229,30 +233,43 @@ func PrintAblations(w io.Writer, duration sim.Duration) {
 		{"PI", pid.Config{Kp: 1.0, Ki: 4.0}},
 		{"PID", pid.Config{Kp: 1.0, Ki: 4.0, Kd: 0.05}},
 	}
+	var gainRes [3]GainAblationResult
+	var reclaimRes [2]ReclaimAblationResult
+	var discRes [2]DisciplineAblationResult
+	var quantRes [2]QuantizationAblationResult
+	SweepTasks(
+		func() { gainRes[0] = RunGainAblation(gains[0].name, gains[0].cfg, duration) },
+		func() { gainRes[1] = RunGainAblation(gains[1].name, gains[1].cfg, duration) },
+		func() { gainRes[2] = RunGainAblation(gains[2].name, gains[2].cfg, duration) },
+		func() { reclaimRes[0] = RunReclaimAblation(true, duration/2) },
+		func() { reclaimRes[1] = RunReclaimAblation(false, duration/2) },
+		func() { discRes[0] = RunDisciplineAblation(rbs.RMS, duration/4) },
+		func() { discRes[1] = RunDisciplineAblation(rbs.EDF, duration/4) },
+		func() { quantRes[0] = RunQuantizationAblation(false, duration/2) },
+		func() { quantRes[1] = RunQuantizationAblation(true, duration/2) },
+	)
+
+	section(w, "Ablation: pressure filter (P vs PI vs PID)")
 	fmt.Fprintf(w, "%-8s %-12s %-10s %s\n", "filter", "response", "fill-std", "tracking-err")
-	for _, g := range gains {
-		res := RunGainAblation(g.name, g.cfg, duration)
+	for _, res := range gainRes {
 		fmt.Fprintf(w, "%-8s %-12v %-10.3f %.1f%%\n", res.Name, res.ResponseTime, res.FillStd, res.TrackingError*100)
 	}
 
 	section(w, "Ablation: Figure 4 reclamation (P−C) on a bottlenecked consumer")
 	fmt.Fprintf(w, "%-10s %-16s %-16s %s\n", "reclaim", "consumer-alloc", "consumer-use", "hog-share")
-	for _, on := range []bool{true, false} {
-		res := RunReclaimAblation(on, duration/2)
+	for _, res := range reclaimRes {
 		fmt.Fprintf(w, "%-10v %-16.0f %-16.1f %.3f\n", res.ReclaimOn, res.ConsumerAlloc, res.ConsumerUse, res.HogShare)
 	}
 
 	section(w, "Ablation: dispatch discipline (RMS goodness vs EDF, 95% non-harmonic set)")
 	fmt.Fprintf(w, "%-12s %s\n", "discipline", "missed deadlines")
-	for _, d := range []rbs.Discipline{rbs.RMS, rbs.EDF} {
-		res := RunDisciplineAblation(d, duration/4)
+	for _, res := range discRes {
 		fmt.Fprintf(w, "%-12s %d\n", res.Discipline, res.MissedDeadlines)
 	}
 
 	section(w, "Ablation: dispatch quantization (§4.3)")
 	fmt.Fprintf(w, "%-10s %-10s %-12s %s\n", "precise", "need", "delivered", "overdelivery")
-	for _, p := range []bool{false, true} {
-		res := RunQuantizationAblation(p, duration/2)
+	for _, res := range quantRes {
 		fmt.Fprintf(w, "%-10v %-10.0f %-12.1f %.2fx\n", res.Precise, res.NeedPPT, res.GotShare, res.Overdelivery)
 	}
 }

@@ -56,8 +56,9 @@ func (r *rig) startNoController() {
 
 // sleepyProgram returns a controlled-but-idle dummy thread program.
 func sleepyProgram() kernel.Program {
+	op := kernel.OpSleep{D: 50 * sim.Millisecond}
 	return kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
-		return kernel.OpSleep{D: 50 * sim.Millisecond}
+		return &op
 	})
 }
 

@@ -50,12 +50,17 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 		cfg.RunFor = 20 * sim.Second
 	}
 	var res Fig5Result
+	var counts []int
 	for n := 0; n <= cfg.MaxProcesses; n += cfg.Step {
-		res.Points = append(res.Points, Fig5Point{
-			Processes: n,
-			Overhead:  measureControllerOverhead(n, cfg.RunFor),
-		})
+		counts = append(counts, n)
 	}
+	// Each point is an independent machine: shard the sweep across CPUs.
+	res.Points = Sweep(len(counts), func(i int) Fig5Point {
+		return Fig5Point{
+			Processes: counts[i],
+			Overhead:  measureControllerOverhead(counts[i], cfg.RunFor),
+		}
+	})
 	xs := make([]float64, len(res.Points))
 	ys := make([]float64, len(res.Points))
 	for i, p := range res.Points {

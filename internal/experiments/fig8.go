@@ -52,13 +52,21 @@ func RunFig8(cfg Fig8Config) Fig8Result {
 		cfg.RunFor = 5 * sim.Second
 	}
 	var res Fig8Result
-	baseline := measureAvailableCPU(100, cfg.RunFor)
-	for _, f := range cfg.Frequencies {
-		avail := measureAvailableCPU(f, cfg.RunFor)
+	// Index 0 is the 100 Hz normalization baseline; the rest are the swept
+	// frequencies. All points are independent machines, so one parallel
+	// sweep covers baseline and sweep alike.
+	avails := Sweep(len(cfg.Frequencies)+1, func(i int) float64 {
+		if i == 0 {
+			return measureAvailableCPU(100, cfg.RunFor)
+		}
+		return measureAvailableCPU(cfg.Frequencies[i-1], cfg.RunFor)
+	})
+	baseline := avails[0]
+	for i, f := range cfg.Frequencies {
 		res.Points = append(res.Points, Fig8Point{
 			FrequencyHz: f,
-			Available:   avail,
-			Normalized:  avail / baseline,
+			Available:   avails[i+1],
+			Normalized:  avails[i+1] / baseline,
 		})
 	}
 	for _, p := range res.Points {

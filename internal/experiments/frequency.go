@@ -43,34 +43,45 @@ func RunFrequencySweep(intervals []sim.Duration, duration sim.Duration) Frequenc
 		duration = 15 * sim.Second
 	}
 	var res FrequencyResult
-	for _, iv := range intervals {
-		cfg := PipelineConfig{
-			Duration:    duration,
-			PulseWidths: []sim.Duration{2 * sim.Second},
-			// Fine sampling so response-time differences between control
-			// rates resolve.
-			SampleEvery: 20 * sim.Millisecond,
-		}
-		interval := iv
-		cfg.Ctl = func(cc *core.Config) {
-			cc.Interval = interval
-			// The controller's own reservation must fit its period.
-			def := core.DefaultConfig()
-			cc.Reservation = def.Reservation
-			cc.Reservation.Period = interval
-		}
-		pr := RunPipeline(cfg)
-		res.Points = append(res.Points, FrequencyPoint{
-			Interval:     iv,
-			ResponseTime: pr.ResponseTime,
-			Settled:      pr.Settled,
-			FillStd:      pr.FillStd,
-		})
+	// Each interval needs two independent machines: the pulse pipeline and
+	// the controller-share measurement. Flatten both into one sweep.
+	n := len(intervals)
+	type freqHalf struct {
+		pipeline PipelineResult
+		share    float64
 	}
-	// Controller share per rate, measured separately on an otherwise
-	// unloaded machine with 10 controlled dummies.
+	halves := Sweep(2*n, func(i int) freqHalf {
+		interval := intervals[i%n]
+		if i < n {
+			cfg := PipelineConfig{
+				Duration:    duration,
+				PulseWidths: []sim.Duration{2 * sim.Second},
+				// Fine sampling so response-time differences between
+				// control rates resolve.
+				SampleEvery: 20 * sim.Millisecond,
+			}
+			cfg.Ctl = func(cc *core.Config) {
+				cc.Interval = interval
+				// The controller's own reservation must fit its period.
+				def := core.DefaultConfig()
+				cc.Reservation = def.Reservation
+				cc.Reservation.Period = interval
+			}
+			return freqHalf{pipeline: RunPipeline(cfg)}
+		}
+		// Controller share per rate, measured separately on an otherwise
+		// unloaded machine with 10 controlled dummies.
+		return freqHalf{share: controllerShareAt(interval)}
+	})
 	for i, iv := range intervals {
-		res.Points[i].ControllerShare = controllerShareAt(iv)
+		pr := halves[i].pipeline
+		res.Points = append(res.Points, FrequencyPoint{
+			Interval:        iv,
+			ResponseTime:    pr.ResponseTime,
+			Settled:         pr.Settled,
+			FillStd:         pr.FillStd,
+			ControllerShare: halves[n+i].share,
+		})
 	}
 	return res
 }

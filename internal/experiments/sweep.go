@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep runner shards independent simulation points across CPUs. Every
+// point builds its own sim.Engine/kernel/controller stack, so points share
+// no mutable state and the fan-out is embarrassingly parallel; results come
+// back in index order, which keeps every report and CSV byte-identical to a
+// serial run.
+
+// parallelOff disables the parallel sweep runner when set (see SetParallel).
+var parallelOff atomic.Bool
+
+// sweepWorkers overrides the worker count when positive; 0 means
+// GOMAXPROCS. Tests use it to force real goroutine fan-out on small
+// machines.
+var sweepWorkers atomic.Int64
+
+// SetParallel enables or disables the parallel sweep runner. It exists for
+// A/B-ing the runner itself (rrexp -seq) and for determinism tests that
+// compare the two paths; results are identical either way, parallel is just
+// faster.
+func SetParallel(on bool) { parallelOff.Store(!on) }
+
+// ParallelEnabled reports whether sweeps fan out across CPUs.
+func ParallelEnabled() bool { return !parallelOff.Load() }
+
+// Sweep runs fn(i) for every i in [0, n) and returns the results in index
+// order. fn must be self-contained: each call builds and runs its own
+// simulated machine. Points are handed to GOMAXPROCS workers via an atomic
+// counter, so scheduling order is nondeterministic but the result slice is
+// not.
+func Sweep[T any](n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := int(sweepWorkers.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if !ParallelEnabled() || workers < 2 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SweepTasks runs a heterogeneous set of independent simulation tasks
+// (closures over their own machines) and waits for all of them — the shape
+// PrintAblations and RunVariance need, where each point returns a different
+// result type and writes it through its closure.
+func SweepTasks(tasks ...func()) {
+	Sweep(len(tasks), func(i int) struct{} {
+		tasks[i]()
+		return struct{}{}
+	})
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// withWorkers forces a real goroutine fan-out (even on a single-CPU
+// machine) for the duration of fn, restoring the default afterwards.
+func withWorkers(n int64, fn func()) {
+	sweepWorkers.Store(n)
+	defer sweepWorkers.Store(0)
+	fn()
+}
+
+func TestSweepPreservesIndexOrder(t *testing.T) {
+	withWorkers(8, func() {
+		got := Sweep(100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("Sweep result[%d] = %d, want %d", i, v, i*i)
+			}
+		}
+	})
+}
+
+func TestSweepRunsEveryTaskExactlyOnce(t *testing.T) {
+	withWorkers(8, func() {
+		var calls [257]atomic.Int64
+		Sweep(257, func(i int) struct{} {
+			calls[i].Add(1)
+			return struct{}{}
+		})
+		for i := range calls {
+			if n := calls[i].Load(); n != 1 {
+				t.Fatalf("point %d ran %d times, want 1", i, n)
+			}
+		}
+	})
+}
+
+func TestSweepSerialWhenDisabled(t *testing.T) {
+	SetParallel(false)
+	defer SetParallel(true)
+	if ParallelEnabled() {
+		t.Fatal("SetParallel(false) did not take")
+	}
+	order := []int{}
+	Sweep(10, func(i int) struct{} {
+		order = append(order, i) // safe: serial path, single goroutine
+		return struct{}{}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial sweep visited %v, want ascending order", order)
+		}
+	}
+}
+
+// TestFig5ParallelMatchesSerial is the sweep runner's determinism
+// contract: every per-point result must be identical whether the points ran
+// serially or sharded across goroutines.
+func TestFig5ParallelMatchesSerial(t *testing.T) {
+	cfg := Fig5Config{MaxProcesses: 20, Step: 10, RunFor: 2 * sim.Second}
+	SetParallel(false)
+	serial := RunFig5(cfg)
+	SetParallel(true)
+	var parallel Fig5Result
+	withWorkers(4, func() { parallel = RunFig5(cfg) })
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Fig5 diverged from serial:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+func TestFig8ParallelMatchesSerial(t *testing.T) {
+	cfg := Fig8Config{Frequencies: []int64{100, 1000, 4000}, RunFor: sim.Second}
+	SetParallel(false)
+	serial := RunFig8(cfg)
+	SetParallel(true)
+	var parallel Fig8Result
+	withWorkers(4, func() { parallel = RunFig8(cfg) })
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Fig8 diverged from serial:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// TestFig5Deterministic re-runs the same experiment twice on fresh engines
+// and requires bit-identical results — the fixed-seed reproducibility the
+// event-core rewrite must preserve.
+func TestFig5Deterministic(t *testing.T) {
+	cfg := Fig5Config{MaxProcesses: 20, Step: 10, RunFor: 2 * sim.Second}
+	a := RunFig5(cfg)
+	b := RunFig5(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Fig5 not deterministic:\nfirst  %+v\nsecond %+v", a, b)
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	cfg := PipelineConfig{Duration: 5 * sim.Second, PulseWidths: []sim.Duration{sim.Second}}
+	a := RunPipeline(cfg)
+	b := RunPipeline(cfg)
+	if a.ResponseTime != b.ResponseTime || a.MeanFill != b.MeanFill ||
+		a.TrackingError != b.TrackingError || a.FillStd != b.FillStd {
+		t.Fatalf("pipeline not deterministic:\nfirst  %+v\nsecond %+v", a, b)
+	}
+}
+
+func TestVarianceParallelMatchesSerial(t *testing.T) {
+	SetParallel(false)
+	serial := RunVariance(3 * sim.Second)
+	SetParallel(true)
+	var parallel VarianceResult
+	withWorkers(4, func() { parallel = RunVariance(3 * sim.Second) })
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel variance diverged from serial:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}

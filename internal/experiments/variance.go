@@ -57,10 +57,19 @@ func RunVariance(duration sim.Duration) VarianceResult {
 	}
 	const window = 100 * sim.Millisecond
 	res := VarianceResult{NeedShare: 0.4, Window: window}
-	res.Rows = append(res.Rows, varianceRealRate(duration, window))
-	res.Rows = append(res.Rows, varianceLinux(duration, window))
-	res.Rows = append(res.Rows, varianceLottery(duration, window))
-	res.Rows = append(res.Rows, varianceStride(duration, window))
+	// The four schedulers run on four independent machines, in parallel.
+	res.Rows = Sweep(4, func(i int) VarianceRow {
+		switch i {
+		case 0:
+			return varianceRealRate(duration, window)
+		case 1:
+			return varianceLinux(duration, window)
+		case 2:
+			return varianceLottery(duration, window)
+		default:
+			return varianceStride(duration, window)
+		}
+	})
 	return res
 }
 
@@ -75,13 +84,16 @@ func varianceWorkload(k *kernel.Kernel) (*kernel.Thread, *kernel.Thread, *kernel
 	// cycles/byte × 2 MB/s = 40% of the CPU.
 	phase := 0
 	var nextAt sim.Time
+	var sleepOp kernel.OpSleepUntil
+	produceOp := kernel.OpProduce{Queue: q, Bytes: 20_000}
 	pt := k.Spawn("producer", kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
 		phase++
 		if phase%2 == 1 {
 			nextAt = nextAt.Add(10 * sim.Millisecond)
-			return kernel.OpSleepUntil{At: nextAt}
+			sleepOp.At = nextAt
+			return &sleepOp
 		}
-		return kernel.OpProduce{Queue: q, Bytes: 20_000}
+		return &produceOp
 	}))
 	cons := &workload.Consumer{Queue: q, BlockBytes: 4096, CyclesPerByte: 80}
 	ct := k.Spawn("consumer", cons)

@@ -15,6 +15,7 @@ func BenchmarkSimulatedSecondOneHog(b *testing.B) {
 	eng, k := newRRMachine(10 * sim.Millisecond)
 	k.Spawn("hog", hog(1_000_000))
 	k.Start()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.RunFor(sim.Second)
@@ -31,6 +32,7 @@ func BenchmarkSimulatedSecondPipeline(b *testing.B) {
 	k.Spawn("prod", &pcProgram{q: q, cycles: 100_000, bytes: 4096, produce: true})
 	k.Spawn("cons", &pcProgram{q: q, cycles: 100_000, bytes: 4096})
 	k.Start()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.RunFor(sim.Second)
@@ -47,6 +49,7 @@ func BenchmarkContextSwitchStorm(b *testing.B) {
 		k.Spawn("hog", hog(1_000_000))
 	}
 	k.Start()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.RunFor(100 * sim.Millisecond)
@@ -62,15 +65,18 @@ func BenchmarkTimerHeavySleepers(b *testing.B) {
 	k := kernel.New(eng, kernel.DefaultConfig(), baseline.NewRoundRobin(sim.Millisecond))
 	for i := 0; i < 100; i++ {
 		phase := 0
+		sleepOp := kernel.OpSleep{D: 5 * sim.Millisecond}
+		computeOp := kernel.OpCompute{Cycles: 10_000}
 		k.Spawn("sleeper", kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
 			phase++
 			if phase%2 == 1 {
-				return kernel.OpSleep{D: 5 * sim.Millisecond}
+				return &sleepOp
 			}
-			return kernel.OpCompute{Cycles: 10_000}
+			return &computeOp
 		}))
 	}
 	k.Start()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.RunFor(100 * sim.Millisecond)

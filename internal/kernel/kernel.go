@@ -92,11 +92,21 @@ type Kernel struct {
 	seg     *segment
 	lastRan *Thread
 
-	timers   *timerList
-	tickEv   *sim.Event
-	started  bool
-	stopped  bool
-	baseTime sim.Time
+	timers    *timerList
+	freeTimer *Timer
+	tickEv    *sim.Event
+	started   bool
+	stopped   bool
+	baseTime  sim.Time
+
+	// tickFn/segEndFn are the tick and segment-end callbacks bound once at
+	// construction; binding a method value per schedule would allocate on
+	// every tick.
+	tickFn   func(sim.Time)
+	segEndFn func(sim.Time)
+	// segStore is the single segment object, reused across run segments
+	// (the machine has one CPU, so at most one segment is active).
+	segStore segment
 
 	idleSince sim.Time
 	idling    bool
@@ -139,6 +149,8 @@ func New(eng *sim.Engine, cfg Config, policy Policy) *Kernel {
 		timers:   newTimerList(),
 		baseTime: eng.Now(),
 	}
+	k.tickFn = k.tick
+	k.segEndFn = k.segmentEnd
 	policy.Attach(k)
 	return k
 }
@@ -229,14 +241,34 @@ func (k *Kernel) Stop() {
 	}
 }
 
+// scheduleTick arms the next timer interrupt, reusing the single tick
+// event: after the first tick, re-arming is a pool-free Reschedule.
 func (k *Kernel) scheduleTick(at sim.Time) {
-	k.tickEv = k.eng.At(at, k.tick)
+	if k.tickEv == nil {
+		k.tickEv = k.eng.At(at, k.tickFn)
+	} else {
+		k.eng.Reschedule(k.tickEv, at)
+	}
 }
 
 // AddTimer registers fn to run from the timer-interrupt handler at the
-// first tick at or after when.
+// first tick at or after when. The returned Timer belongs to the kernel's
+// pool: it may be reused once it has expired, so callers must not retain it
+// past that point.
 func (k *Kernel) AddTimer(when sim.Time, fn func(now sim.Time)) *Timer {
-	tm := &Timer{When: when, fn: fn}
+	tm := k.allocTimer()
+	tm.When = when
+	tm.fn = fn
+	k.timers.add(tm)
+	return tm
+}
+
+// addWakeTimer registers a sleep wakeup for t — the allocation-free fast
+// path behind every OpSleep/OpSleepUntil and budget nap.
+func (k *Kernel) addWakeTimer(t *Thread, when sim.Time) *Timer {
+	tm := k.allocTimer()
+	tm.When = when
+	tm.thread = t
 	k.timers.add(tm)
 	return tm
 }
@@ -255,7 +287,7 @@ func (k *Kernel) tick(now sim.Time) {
 	k.chargeSegment(now)
 	k.overhead(k.cfg.TickCost)
 	// do_timers: run expired timers; they may wake threads.
-	k.stats.TimerFires += uint64(k.timers.expire(now))
+	k.stats.TimerFires += uint64(k.expireTimers(now))
 	resched := k.policy.Tick(now)
 	k.scheduleTick(now.Add(k.cfg.TickInterval))
 	k.busy--
@@ -329,8 +361,28 @@ func (k *Kernel) reschedule(now sim.Time) {
 	}
 }
 
+// opStatus is the outcome of executing one program operation.
+type opStatus int
+
+const (
+	// opRun: the thread owes CPU; start a run segment.
+	opRun opStatus = iota
+	// opParked: the thread blocked, slept, yielded, or exited.
+	opParked
+	// opNext: the op completed with no CPU cost; consult the program again
+	// (counts toward the zero-cost-op runaway guard).
+	opNext
+	// opNextFree: like opNext but exempt from the runaway guard (an
+	// already-expired OpSleepUntil).
+	opNextFree
+)
+
 // prepare drives t's program until it owes CPU (an in-progress OpCompute),
 // or blocks/sleeps/exits. It reports whether t is ready to run a segment.
+//
+// Each op is accepted both by value and as a pointer: hot programs keep
+// their op structs across iterations and return pointers, so emitting an
+// op does not box a fresh interface value on every call.
 func (k *Kernel) prepare(t *Thread, now sim.Time) bool {
 	for {
 		if t.op == nil {
@@ -339,75 +391,146 @@ func (k *Kernel) prepare(t *Thread, now sim.Time) bool {
 				panic(fmt.Sprintf("kernel: program of %v returned nil op", t))
 			}
 		}
+		var st opStatus
 		switch op := t.op.(type) {
 		case OpCompute:
-			if t.remaining == 0 && op.Cycles > 0 {
-				t.remaining = op.Cycles
-			}
-			if t.remaining > 0 {
-				t.zeroOps = 0
-				return true
-			}
-			t.finishOp() // zero-cycle compute completes immediately
+			st = k.opCompute(t, op)
+		case *OpCompute:
+			st = k.opCompute(t, *op)
 		case OpProduce:
-			if !op.Queue.tryProduce(t, op.Bytes, now) {
-				k.block(t, &op.Queue.notFull, now)
-				return false
-			}
-			t.finishOp()
+			st = k.opProduce(t, op, now)
+		case *OpProduce:
+			st = k.opProduce(t, *op, now)
 		case OpConsume:
-			if !op.Queue.tryConsume(t, op.Bytes, now) {
-				k.block(t, &op.Queue.notEmpty, now)
-				return false
-			}
-			t.finishOp()
+			st = k.opConsume(t, op, now)
+		case *OpConsume:
+			st = k.opConsume(t, *op, now)
 		case OpSleep:
-			deadline := now.Add(op.D)
-			t.finishOp()
-			k.sleepUntil(t, deadline, now)
-			return false
+			st = k.opSleep(t, op.D, now)
+		case *OpSleep:
+			st = k.opSleep(t, op.D, now)
 		case OpSleepUntil:
-			if op.At <= now {
-				t.finishOp()
-				continue
-			}
-			t.finishOp()
-			k.sleepUntil(t, op.At, now)
-			return false
+			st = k.opSleepUntil(t, op.At, now)
+		case *OpSleepUntil:
+			st = k.opSleepUntil(t, op.At, now)
 		case OpLock:
-			if !op.M.tryLock(t) {
-				k.block(t, &op.M.waiters, now)
-				return false
-			}
-			t.finishOp()
+			st = k.opLock(t, op.M, now)
+		case *OpLock:
+			st = k.opLock(t, op.M, now)
 		case OpUnlock:
-			k.unlock(t, op.M, now)
-			t.finishOp()
+			st = k.opUnlock(t, op.M, now)
+		case *OpUnlock:
+			st = k.opUnlock(t, op.M, now)
 		case OpYield:
-			t.finishOp()
-			t.state = StateReady
-			// Rotate: move to the back of the policy's runnable set so
-			// Pick can choose someone else.
-			k.policy.Dequeue(t, now)
-			k.policy.Enqueue(t, now)
-			return false
+			st = k.opYield(t, now)
+		case *OpYield:
+			st = k.opYield(t, now)
 		case OpBlock:
-			// One-shot park: when woken the program resumes with its next
-			// op, so the block is complete the moment it begins.
-			t.finishOp()
-			k.block(t, op.WQ, now)
-			return false
+			st = k.opBlock(t, op.WQ, now)
+		case *OpBlock:
+			st = k.opBlock(t, op.WQ, now)
 		case OpExit:
+			k.exit(t, now)
+			return false
+		case *OpExit:
 			k.exit(t, now)
 			return false
 		default:
 			panic(fmt.Sprintf("kernel: unknown op %T", t.op))
+		}
+		switch st {
+		case opRun:
+			return true
+		case opParked:
+			return false
+		case opNextFree:
+			continue
 		}
 		t.zeroOps++
 		if t.zeroOps > 100000 {
 			panic(fmt.Sprintf("kernel: thread %v executed %d consecutive zero-cost ops", t, t.zeroOps))
 		}
 	}
+}
+
+func (k *Kernel) opCompute(t *Thread, op OpCompute) opStatus {
+	if t.remaining == 0 && op.Cycles > 0 {
+		t.remaining = op.Cycles
+	}
+	if t.remaining > 0 {
+		t.zeroOps = 0
+		return opRun
+	}
+	t.finishOp() // zero-cycle compute completes immediately
+	return opNext
+}
+
+func (k *Kernel) opProduce(t *Thread, op OpProduce, now sim.Time) opStatus {
+	if !op.Queue.tryProduce(t, op.Bytes, now) {
+		k.block(t, &op.Queue.notFull, now)
+		return opParked
+	}
+	t.finishOp()
+	return opNext
+}
+
+func (k *Kernel) opConsume(t *Thread, op OpConsume, now sim.Time) opStatus {
+	if !op.Queue.tryConsume(t, op.Bytes, now) {
+		k.block(t, &op.Queue.notEmpty, now)
+		return opParked
+	}
+	t.finishOp()
+	return opNext
+}
+
+func (k *Kernel) opSleep(t *Thread, d sim.Duration, now sim.Time) opStatus {
+	deadline := now.Add(d)
+	t.finishOp()
+	k.sleepUntil(t, deadline, now)
+	return opParked
+}
+
+func (k *Kernel) opSleepUntil(t *Thread, at, now sim.Time) opStatus {
+	if at <= now {
+		t.finishOp()
+		return opNextFree
+	}
+	t.finishOp()
+	k.sleepUntil(t, at, now)
+	return opParked
+}
+
+func (k *Kernel) opLock(t *Thread, m *Mutex, now sim.Time) opStatus {
+	if !m.tryLock(t) {
+		k.block(t, &m.waiters, now)
+		return opParked
+	}
+	t.finishOp()
+	return opNext
+}
+
+func (k *Kernel) opUnlock(t *Thread, m *Mutex, now sim.Time) opStatus {
+	k.unlock(t, m, now)
+	t.finishOp()
+	return opNext
+}
+
+func (k *Kernel) opYield(t *Thread, now sim.Time) opStatus {
+	t.finishOp()
+	t.state = StateReady
+	// Rotate: move to the back of the policy's runnable set so Pick can
+	// choose someone else.
+	k.policy.Dequeue(t, now)
+	k.policy.Enqueue(t, now)
+	return opParked
+}
+
+func (k *Kernel) opBlock(t *Thread, wq *WaitQueue, now sim.Time) opStatus {
+	// One-shot park: when woken the program resumes with its next op, so
+	// the block is complete the moment it begins.
+	t.finishOp()
+	k.block(t, wq, now)
+	return opParked
 }
 
 // finishOp clears the in-progress op so the program is consulted again.
@@ -452,8 +575,11 @@ func (k *Kernel) startRun(t *Thread, now sim.Time) {
 	end := start.Add(runFor)
 	k.current = t
 	t.state = StateRunning
-	seg := &segment{t: t, start: start, end: end}
-	seg.ev = k.eng.At(end, k.segmentEnd)
+	seg := &k.segStore
+	seg.t = t
+	seg.start = start
+	seg.end = end
+	seg.ev = k.eng.At(end, k.segEndFn)
 	k.seg = seg
 	if k.tracer != nil {
 		k.tracer.OnDispatch(start, t)
@@ -477,6 +603,8 @@ func (k *Kernel) chargeSegment(now sim.Time) {
 	seg.ev.Cancel()
 	k.seg = nil
 	t := seg.t
+	seg.t = nil
+	seg.ev = nil
 	ran := sim.Duration(0)
 	if now > seg.start {
 		end := now
@@ -496,7 +624,8 @@ func (k *Kernel) chargeSegment(now sim.Time) {
 		}
 	}
 	if t.remaining == 0 && t.op != nil {
-		if _, ok := t.op.(OpCompute); ok {
+		switch t.op.(type) {
+		case OpCompute, *OpCompute:
 			t.finishOp()
 		}
 	}
@@ -549,10 +678,7 @@ func (k *Kernel) sleepUntil(t *Thread, deadline, now sim.Time) {
 	t.state = StateSleeping
 	t.runSinceBlock = 0
 	k.policy.Dequeue(t, now)
-	t.wakeTimer = k.AddTimer(deadline, func(wakeAt sim.Time) {
-		t.wakeTimer = nil
-		k.wake(t, wakeAt)
-	})
+	t.wakeTimer = k.addWakeTimer(t, deadline)
 	if k.current == t {
 		k.current = nil
 	}

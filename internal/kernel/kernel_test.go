@@ -9,9 +9,11 @@ import (
 )
 
 // hog returns a program that computes forever in bursts of the given size.
+// The op struct is reused across iterations, so emitting it never allocates.
 func hog(burst sim.Cycles) kernel.Program {
+	op := kernel.OpCompute{Cycles: burst}
 	return kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
-		return kernel.OpCompute{Cycles: burst}
+		return &op
 	})
 }
 
@@ -153,24 +155,31 @@ func TestSpawnDuringSimulation(t *testing.T) {
 	}
 }
 
-// pcProgram alternates compute and a queue op.
+// pcProgram alternates compute and a queue op, reusing its op structs.
 type pcProgram struct {
 	q       *kernel.Queue
 	cycles  sim.Cycles
 	bytes   int64
 	produce bool
 	compute bool // next op is compute
+
+	computeOp kernel.OpCompute
+	produceOp kernel.OpProduce
+	consumeOp kernel.OpConsume
 }
 
 func (p *pcProgram) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 	p.compute = !p.compute
 	if p.compute {
-		return kernel.OpCompute{Cycles: p.cycles}
+		p.computeOp = kernel.OpCompute{Cycles: p.cycles}
+		return &p.computeOp
 	}
 	if p.produce {
-		return kernel.OpProduce{Queue: p.q, Bytes: p.bytes}
+		p.produceOp = kernel.OpProduce{Queue: p.q, Bytes: p.bytes}
+		return &p.produceOp
 	}
-	return kernel.OpConsume{Queue: p.q, Bytes: p.bytes}
+	p.consumeOp = kernel.OpConsume{Queue: p.q, Bytes: p.bytes}
+	return &p.consumeOp
 }
 
 func TestProducerConsumerPipeline(t *testing.T) {

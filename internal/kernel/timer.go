@@ -6,13 +6,25 @@ import "repro/internal/sim"
 // handler at the first tick at or after When. This models the paper's
 // do_timers(): "called on timer interrupts, checks for expired timers, and
 // moves threads waiting on expired timers to the run-queue."
+//
+// Timers are pooled by the kernel: once a timer has expired (fired or was
+// discarded as canceled) the object may be reused for a later AddTimer, so
+// holders must drop their reference after expiry.
 type Timer struct {
-	When     sim.Time
-	fn       func(now sim.Time)
+	When sim.Time
+	// fn is the callback for general timers.
+	fn func(now sim.Time)
+	// thread, when non-nil, is the sleeping thread to wake instead of
+	// calling fn. Sleep wakeups are the overwhelmingly common timer on the
+	// tick path; a direct target avoids allocating a closure per sleep.
+	thread *Thread
+	// next links the timer into the kernel's free list while pooled.
+	next     *Timer
 	canceled bool
 }
 
-// Cancel prevents the timer from firing.
+// Cancel prevents the timer from firing. The timer stays on the list until
+// its expiry tick discards it.
 func (tm *Timer) Cancel() { tm.canceled = true }
 
 // timerList keeps timers sorted by expiry with the next expiration cached,
@@ -45,9 +57,32 @@ func (tl *timerList) add(tm *Timer) {
 	}
 }
 
-// expire pops and runs every non-canceled timer with When <= now. It
-// returns the number of timers fired.
-func (tl *timerList) expire(now sim.Time) int {
+func (tl *timerList) len() int { return len(tl.sorted) }
+
+// allocTimer takes a timer from the kernel's pool, or makes one.
+func (k *Kernel) allocTimer() *Timer {
+	tm := k.freeTimer
+	if tm == nil {
+		return &Timer{}
+	}
+	k.freeTimer = tm.next
+	tm.next = nil
+	tm.canceled = false
+	return tm
+}
+
+// recycleTimer returns an expired timer to the pool.
+func (k *Kernel) recycleTimer(tm *Timer) {
+	tm.fn = nil
+	tm.thread = nil
+	tm.next = k.freeTimer
+	k.freeTimer = tm
+}
+
+// expireTimers pops and runs every non-canceled timer with When <= now —
+// the paper's do_timers(). It returns the number of timers fired.
+func (k *Kernel) expireTimers(now sim.Time) int {
+	tl := k.timers
 	if now < tl.next {
 		return 0 // the cached check: typically constant time
 	}
@@ -55,12 +90,25 @@ func (tl *timerList) expire(now sim.Time) int {
 	for len(tl.sorted) > 0 && tl.sorted[0].When <= now {
 		tm := tl.sorted[0]
 		copy(tl.sorted, tl.sorted[1:])
+		tl.sorted[len(tl.sorted)-1] = nil
 		tl.sorted = tl.sorted[:len(tl.sorted)-1]
-		if tm.canceled {
-			continue
+		switch {
+		case tm.canceled:
+			k.recycleTimer(tm)
+		case tm.thread != nil:
+			// Sleep wakeup: recycle first so the wake path (which may put
+			// the thread right back to sleep) can reuse the object.
+			th := tm.thread
+			th.wakeTimer = nil
+			k.recycleTimer(tm)
+			k.wake(th, now)
+			fired++
+		default:
+			fn := tm.fn
+			k.recycleTimer(tm)
+			fn(now)
+			fired++
 		}
-		tm.fn(now)
-		fired++
 	}
 	if len(tl.sorted) > 0 {
 		tl.next = tl.sorted[0].When
@@ -69,5 +117,3 @@ func (tl *timerList) expire(now sim.Time) int {
 	}
 	return fired
 }
-
-func (tl *timerList) len() int { return len(tl.sorted) }

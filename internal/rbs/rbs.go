@@ -95,6 +95,9 @@ type Policy struct {
 	runnable    []*kernel.Thread
 	needResched bool
 	missedTotal uint64
+
+	// exhausted is Pick's scratch buffer, reused across dispatches.
+	exhausted []*kernel.Thread
 }
 
 // New returns a reservation-based policy with the prototype's defaults.
@@ -306,7 +309,7 @@ func (p *Policy) better(a, b *kernel.Thread) bool {
 // wins. Registered threads that are runnable with an exhausted budget are
 // napped until their next period as a side effect.
 func (p *Policy) Pick(now sim.Time) *kernel.Thread {
-	var exhausted []*kernel.Thread
+	exhausted := p.exhausted[:0]
 	var best *kernel.Thread
 	for _, t := range p.runnable {
 		st := stateOf(t)
@@ -319,11 +322,13 @@ func (p *Policy) Pick(now sim.Time) *kernel.Thread {
 			best = t
 		}
 	}
-	for _, t := range exhausted {
+	for i, t := range exhausted {
 		st := stateOf(t)
 		st.napping = true
 		p.k.SleepThreadUntil(t, p.periodEnd(st))
+		exhausted[i] = nil
 	}
+	p.exhausted = exhausted[:0]
 	return best
 }
 

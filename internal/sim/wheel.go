@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// The event queue is a single-level hierarchical timer wheel with an
+// overflow heap, replacing the earlier container/heap priority queue:
+//
+//   - Near-horizon events (within wheelSlots slot widths of the cursor) go
+//     into an unsorted per-slot bucket: O(1) insert, O(1) eager cancel.
+//   - Far-horizon events go into a conventional min-heap and migrate into
+//     the wheel as the cursor approaches them.
+//   - The slot under the cursor is kept as a (when, seq)-sorted "due"
+//     buffer, so firing preserves the exact global FIFO-at-same-instant
+//     order the old heap provided.
+//
+// Slot width is 2^slotShift ns ≈ 131 µs: a 1 ms kernel tick advances the
+// cursor ~8 slots, so a slot holds only the handful of events of one
+// dispatch instant and the sort inside drainSlot is effectively free. The
+// occupancy bitmap makes skipping empty slots a couple of TrailingZeros
+// calls instead of a 256-entry scan.
+const (
+	wheelBits  = 8
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	slotShift  = 17 // 131072 ns per slot; wheel horizon ≈ 33.5 ms
+)
+
+// slotOf maps an instant to its absolute wheel slot number.
+func slotOf(t Time) int64 { return int64(t) >> slotShift }
+
+// insert places a pending event into the container its deadline calls for.
+// The caller has already set when/seq/fn and accounted the event in live.
+func (eg *Engine) insert(ev *Event) {
+	s := slotOf(ev.when)
+	switch {
+	case s <= eg.cur:
+		eg.insertDue(ev)
+	case s < eg.cur+wheelSlots:
+		idx := int32(s & wheelMask)
+		ev.loc = locWheel
+		ev.slot = idx
+		ev.pos = int32(len(eg.wheel[idx]))
+		eg.wheel[idx] = append(eg.wheel[idx], ev)
+		eg.wheelCount++
+		eg.occupied[idx>>6] |= 1 << (uint(idx) & 63)
+	default:
+		eg.overflowPush(ev)
+	}
+}
+
+// unlink removes a pending event from whichever container holds it.
+func (eg *Engine) unlink(ev *Event) {
+	switch ev.loc {
+	case locDue:
+		eg.removeDue(ev)
+	case locWheel:
+		b := eg.wheel[ev.slot]
+		last := len(b) - 1
+		if int(ev.pos) != last {
+			moved := b[last]
+			b[ev.pos] = moved
+			moved.pos = ev.pos
+		}
+		b[last] = nil
+		eg.wheel[ev.slot] = b[:last]
+		eg.wheelCount--
+		if last == 0 {
+			eg.occupied[ev.slot>>6] &^= 1 << (uint(ev.slot) & 63)
+		}
+	case locOverflow:
+		eg.overflowRemove(int(ev.pos))
+	}
+}
+
+// insertDue binary-inserts an event into the sorted imminent buffer.
+func (eg *Engine) insertDue(ev *Event) {
+	ev.loc = locDue
+	// Fast path: strictly after the current tail (the common case — new
+	// events carry the largest seq, and most land at or after the last
+	// queued instant).
+	n := len(eg.due)
+	if n == eg.dueHead || eventBefore(eg.due[n-1], ev) {
+		eg.due = append(eg.due, ev)
+		return
+	}
+	// Slow path: binary search within the live window and shift.
+	lo, hi := eg.dueHead, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if eventBefore(eg.due[mid], ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > eg.dueHead || eg.dueHead == 0 {
+		eg.due = append(eg.due, nil)
+		copy(eg.due[lo+1:], eg.due[lo:])
+		eg.due[lo] = ev
+		return
+	}
+	// Inserting at the front with drained space available: back-fill.
+	eg.dueHead--
+	eg.due[eg.dueHead] = ev
+}
+
+// removeDue unlinks a canceled/rescheduled event from the due buffer.
+func (eg *Engine) removeDue(ev *Event) {
+	lo, hi := eg.dueHead, len(eg.due)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if eventBefore(eg.due[mid], ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first element not before ev, i.e. ev itself (when/seq are
+	// unique per pending event).
+	copy(eg.due[lo:], eg.due[lo+1:])
+	eg.due[len(eg.due)-1] = nil
+	eg.due = eg.due[:len(eg.due)-1]
+	if eg.dueHead == len(eg.due) {
+		eg.due = eg.due[:0]
+		eg.dueHead = 0
+	}
+}
+
+// eventBefore is the global firing order: by time, then by schedule order.
+func eventBefore(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// advance ensures the due buffer holds the earliest pending events,
+// migrating overflow events and draining the next occupied wheel slot as
+// needed. It reports false when no events are pending at all.
+func (eg *Engine) advance() bool {
+	for {
+		if eg.dueHead < len(eg.due) {
+			return true
+		}
+		if eg.live == 0 {
+			return false
+		}
+		next := int64(math.MaxInt64)
+		if eg.wheelCount > 0 {
+			next = eg.nextOccupiedSlot()
+		}
+		if len(eg.overflow) > 0 {
+			if o := slotOf(eg.overflow[0].when); o < next {
+				next = o
+			}
+		}
+		eg.cur = next
+		idx := int32(next & wheelMask)
+		if b := eg.wheel[idx]; len(b) > 0 {
+			eg.drainSlot(idx)
+		}
+		// Pull far-horizon events that are now inside the wheel window.
+		for len(eg.overflow) > 0 && slotOf(eg.overflow[0].when) < eg.cur+wheelSlots {
+			eg.insert(eg.overflowPop())
+		}
+	}
+}
+
+// nextOccupiedSlot scans the occupancy bitmap for the first nonempty slot
+// strictly after the cursor. The wheel invariant guarantees every wheel
+// event lives within (cur, cur+wheelSlots), so exactly one revolution of
+// the bitmap needs checking.
+func (eg *Engine) nextOccupiedSlot() int64 {
+	start := (eg.cur + 1) & wheelMask
+	// First partial word.
+	const occWords = wheelSlots / 64
+	w := eg.occupied[start>>6] >> (uint(start) & 63)
+	if w != 0 {
+		return eg.cur + 1 + int64(bits.TrailingZeros64(w))
+	}
+	dist := int64(64 - (start & 63))
+	for i := int64(0); i < occWords; i++ {
+		word := eg.occupied[((start>>6)+1+i)%occWords]
+		if word != 0 {
+			return eg.cur + 1 + dist + 64*i + int64(bits.TrailingZeros64(word))
+		}
+	}
+	panic("sim: wheelCount > 0 but occupancy bitmap empty")
+}
+
+// drainSlot moves the cursor's slot into the due buffer in firing order.
+// The due buffer is empty when this is called.
+func (eg *Engine) drainSlot(idx int32) {
+	b := eg.wheel[idx]
+	eg.due = append(eg.due[:0], b...)
+	eg.dueHead = 0
+	for i := range b {
+		b[i] = nil
+	}
+	eg.wheel[idx] = b[:0]
+	eg.wheelCount -= len(eg.due)
+	eg.occupied[idx>>6] &^= 1 << (uint(idx) & 63)
+	// Insertion sort: slots hold the few events of ~131 µs of simulated
+	// time, typically already in schedule (= firing) order.
+	due := eg.due
+	for i := 1; i < len(due); i++ {
+		ev := due[i]
+		j := i - 1
+		for j >= 0 && eventBefore(ev, due[j]) {
+			due[j+1] = due[j]
+			j--
+		}
+		due[j+1] = ev
+	}
+	for _, ev := range due {
+		ev.loc = locDue
+	}
+}
+
+// --- overflow: a plain (when, seq) min-heap for far-horizon events ---
+
+func (eg *Engine) overflowPush(ev *Event) {
+	ev.loc = locOverflow
+	ev.pos = int32(len(eg.overflow))
+	eg.overflow = append(eg.overflow, ev)
+	eg.overflowUp(len(eg.overflow) - 1)
+}
+
+func (eg *Engine) overflowPop() *Event {
+	ev := eg.overflow[0]
+	eg.overflowRemove(0)
+	return ev
+}
+
+func (eg *Engine) overflowRemove(i int) {
+	h := eg.overflow
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		h[i].pos = int32(i)
+	}
+	h[last] = nil
+	eg.overflow = h[:last]
+	if i < last {
+		if !eg.overflowUp(i) {
+			eg.overflowDown(i)
+		}
+	}
+}
+
+// overflowUp restores the heap above i, reporting whether it moved anything.
+func (eg *Engine) overflowUp(i int) bool {
+	h := eg.overflow
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].pos = int32(i)
+		h[parent].pos = int32(parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (eg *Engine) overflowDown(i int) {
+	h := eg.overflow
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && eventBefore(h[right], h[left]) {
+			least = right
+		}
+		if !eventBefore(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		h[i].pos = int32(i)
+		h[least].pos = int32(least)
+		i = least
+	}
+}

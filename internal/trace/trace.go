@@ -53,6 +53,9 @@ type Event struct {
 
 // threadStats accumulates per-thread aggregates.
 type threadStats struct {
+	// name is the interned thread-name string, shared by every log record
+	// of the thread.
+	name      string
 	segments  int
 	totalRun  sim.Duration
 	longest   sim.Duration
@@ -64,38 +67,71 @@ type threadStats struct {
 
 // Recorder implements kernel.Tracer. It keeps the full event log (bounded
 // by MaxEvents) plus always-on aggregates.
+//
+// The hot path is allocation-conscious so that tracing-enabled runs do not
+// distort overhead measurements (Figure 8): per-thread stats are cached by
+// thread pointer (no string hashing per event), thread-name strings are
+// interned once per thread, and the event log grows into a buffer that
+// Reset reuses across runs.
 type Recorder struct {
 	// MaxEvents bounds the raw log; 0 means keep everything. Aggregates
-	// are unaffected by the bound.
+	// are unaffected by the bound. When set, the buffer is preallocated to
+	// the bound so logging never reallocates.
 	MaxEvents int
 
 	events  []Event
 	dropped int
 	threads map[string]*threadStats
+	// byThread caches the stats entry (and the interned name string) per
+	// thread pointer, so the per-event path is two map-free field reads.
+	byThread map[*kernel.Thread]*threadStats
 }
 
 var _ kernel.Tracer = (*Recorder)(nil)
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{threads: make(map[string]*threadStats)}
+	return &Recorder{
+		threads:  make(map[string]*threadStats),
+		byThread: make(map[*kernel.Thread]*threadStats),
+	}
+}
+
+// Reset clears the event log and aggregates while keeping the log buffer's
+// capacity, so a recorder can be reused across experiment runs without
+// reallocating.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+	clear(r.threads)
+	clear(r.byThread)
 }
 
 func (r *Recorder) stats(t *kernel.Thread) *threadStats {
-	st, ok := r.threads[t.Name()]
-	if !ok {
-		st = &threadStats{}
-		r.threads[t.Name()] = st
+	if st, ok := r.byThread[t]; ok {
+		return st
 	}
+	name := t.Name()
+	st, ok := r.threads[name]
+	if !ok {
+		st = &threadStats{name: name}
+		r.threads[name] = st
+	}
+	r.byThread[t] = st
 	return st
 }
 
-func (r *Recorder) log(ev Event) {
-	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
-		r.dropped++
-		return
+func (r *Recorder) log(at sim.Time, kind Kind, thread string, ran sim.Duration, on string) {
+	if r.MaxEvents > 0 {
+		if len(r.events) >= r.MaxEvents {
+			r.dropped++
+			return
+		}
+		if cap(r.events) == 0 {
+			r.events = make([]Event, 0, r.MaxEvents)
+		}
 	}
-	r.events = append(r.events, ev)
+	r.events = append(r.events, Event{At: at, Kind: kind, Thread: thread, Ran: ran, On: on})
 }
 
 // OnDispatch implements kernel.Tracer.
@@ -106,7 +142,7 @@ func (r *Recorder) OnDispatch(now sim.Time, t *kernel.Thread) {
 		st.wakePend = false
 		st.latencies = append(st.latencies, now.Sub(st.lastWake).Seconds())
 	}
-	r.log(Event{At: now, Kind: Dispatch, Thread: t.Name()})
+	r.log(now, Dispatch, st.name, 0, "")
 }
 
 // OnDeschedule implements kernel.Tracer.
@@ -116,7 +152,7 @@ func (r *Recorder) OnDeschedule(now sim.Time, t *kernel.Thread, ran sim.Duration
 	if ran > st.longest {
 		st.longest = ran
 	}
-	r.log(Event{At: now, Kind: Deschedule, Thread: t.Name(), Ran: ran})
+	r.log(now, Deschedule, st.name, ran, "")
 }
 
 // OnWake implements kernel.Tracer.
@@ -125,12 +161,14 @@ func (r *Recorder) OnWake(now sim.Time, t *kernel.Thread) {
 	st.wakes++
 	st.lastWake = now
 	st.wakePend = true
-	r.log(Event{At: now, Kind: Wake, Thread: t.Name()})
+	r.log(now, Wake, st.name, 0, "")
 }
 
-// OnBlock implements kernel.Tracer.
+// OnBlock implements kernel.Tracer. It logs without touching aggregates
+// (matching the original recorder), so a thread that only ever blocks does
+// not grow a summary row.
 func (r *Recorder) OnBlock(now sim.Time, t *kernel.Thread, on string) {
-	r.log(Event{At: now, Kind: Block, Thread: t.Name(), On: on})
+	r.log(now, Block, t.Name(), 0, on)
 }
 
 // Events returns the raw log (possibly truncated at MaxEvents).

@@ -27,6 +27,9 @@ type Disk struct {
 	phase  int
 	nextAt sim.Time
 	blocks int64
+
+	sleepOp   kernel.OpSleepUntil
+	produceOp kernel.OpProduce
 }
 
 // Next implements kernel.Program.
@@ -42,10 +45,12 @@ func (d *Disk) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 	if d.phase%2 == 1 {
 		// Seek + transfer time for one block, on an absolute schedule.
 		d.nextAt = d.nextAt.Add(sim.Duration(block * int64(sim.Second) / d.BytesPerSec))
-		return kernel.OpSleepUntil{At: d.nextAt}
+		d.sleepOp = kernel.OpSleepUntil{At: d.nextAt}
+		return &d.sleepOp
 	}
 	d.blocks++
-	return kernel.OpProduce{Queue: d.Queue, Bytes: block}
+	d.produceOp = kernel.OpProduce{Queue: d.Queue, Bytes: block}
+	return &d.produceOp
 }
 
 // Blocks returns the number of blocks transferred.

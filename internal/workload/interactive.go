@@ -18,19 +18,24 @@ type InteractiveJob struct {
 	// latency bookkeeping: set by the event source at wake time.
 	lastEvent sim.Time
 	latencies []sim.Duration
+
+	blockOp   kernel.OpBlock
+	computeOp kernel.OpCompute
 }
 
 // Next implements kernel.Program.
 func (ij *InteractiveJob) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 	ij.waiting = !ij.waiting
 	if ij.waiting {
-		return kernel.OpBlock{WQ: ij.TTY}
+		ij.blockOp = kernel.OpBlock{WQ: ij.TTY}
+		return &ij.blockOp
 	}
 	if ij.lastEvent > 0 {
 		ij.latencies = append(ij.latencies, now.Sub(ij.lastEvent))
 	}
 	ij.handled++
-	return kernel.OpCompute{Cycles: ij.Burst}
+	ij.computeOp = kernel.OpCompute{Cycles: ij.Burst}
+	return &ij.computeOp
 }
 
 // Handled returns the number of events processed.
@@ -48,18 +53,23 @@ type EventSource struct {
 
 	sleeping bool
 	events   int64
+
+	sleepOp   kernel.OpSleep
+	computeOp kernel.OpCompute
 }
 
 // Next implements kernel.Program.
 func (es *EventSource) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 	es.sleeping = !es.sleeping
 	if es.sleeping {
-		return kernel.OpSleep{D: es.Interval}
+		es.sleepOp = kernel.OpSleep{D: es.Interval}
+		return &es.sleepOp
 	}
 	es.Target.lastEvent = now
 	es.events++
 	es.Kernel.WakeOne(es.Target.TTY)
-	return kernel.OpCompute{Cycles: 1000}
+	es.computeOp = kernel.OpCompute{Cycles: 1000}
+	return &es.computeOp
 }
 
 // Events returns the number of events generated.

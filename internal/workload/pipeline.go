@@ -20,13 +20,19 @@ type Producer struct {
 
 	computing bool
 	blocks    int64
+
+	// Op structs are reused across iterations so emitting one does not box
+	// a fresh interface value per call (see kernel.Program).
+	computeOp kernel.OpCompute
+	produceOp kernel.OpProduce
 }
 
 // Next implements kernel.Program.
 func (p *Producer) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 	p.computing = !p.computing
 	if p.computing {
-		return kernel.OpCompute{Cycles: p.CyclesPerBlock}
+		p.computeOp = kernel.OpCompute{Cycles: p.CyclesPerBlock}
+		return &p.computeOp
 	}
 	bytes := int64(p.Rate(now) * float64(p.CyclesPerBlock) / 1000)
 	if bytes < 1 {
@@ -36,7 +42,8 @@ func (p *Producer) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 		bytes = p.Queue.Size()
 	}
 	p.blocks++
-	return kernel.OpProduce{Queue: p.Queue, Bytes: bytes}
+	p.produceOp = kernel.OpProduce{Queue: p.Queue, Bytes: bytes}
+	return &p.produceOp
 }
 
 // Blocks returns the number of blocks enqueued so far.
@@ -55,20 +62,25 @@ type Consumer struct {
 
 	computing bool
 	blocks    int64
+
+	computeOp kernel.OpCompute
+	consumeOp kernel.OpConsume
 }
 
 // Next implements kernel.Program.
 func (c *Consumer) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 	c.computing = !c.computing
 	if !c.computing {
-		return kernel.OpConsume{Queue: c.Queue, Bytes: c.BlockBytes}
+		c.consumeOp = kernel.OpConsume{Queue: c.Queue, Bytes: c.BlockBytes}
+		return &c.consumeOp
 	}
 	c.blocks++
 	cycles := sim.Cycles(c.CyclesPerByte * float64(c.BlockBytes))
 	if cycles < 1 {
 		cycles = 1
 	}
-	return kernel.OpCompute{Cycles: cycles}
+	c.computeOp = kernel.OpCompute{Cycles: cycles}
+	return &c.computeOp
 }
 
 // Blocks returns the number of blocks dequeued so far.
@@ -85,6 +97,10 @@ type Stage struct {
 
 	phase  int
 	blocks int64
+
+	computeOp kernel.OpCompute
+	consumeOp kernel.OpConsume
+	produceOp kernel.OpProduce
 }
 
 // Next implements kernel.Program.
@@ -96,21 +112,25 @@ func (s *Stage) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 			s.phase++ // skip the consume leg
 			break
 		}
-		return kernel.OpConsume{Queue: s.In, Bytes: s.BlockBytes}
+		s.consumeOp = kernel.OpConsume{Queue: s.In, Bytes: s.BlockBytes}
+		return &s.consumeOp
 	case 2:
 		break
 	default:
 		if s.Out == nil {
-			return kernel.OpCompute{Cycles: 1} // nothing to emit; keep looping
+			s.computeOp = kernel.OpCompute{Cycles: 1} // nothing to emit; keep looping
+			return &s.computeOp
 		}
 		s.blocks++
-		return kernel.OpProduce{Queue: s.Out, Bytes: s.BlockBytes}
+		s.produceOp = kernel.OpProduce{Queue: s.Out, Bytes: s.BlockBytes}
+		return &s.produceOp
 	}
 	cycles := sim.Cycles(s.CyclesPerByte * float64(s.BlockBytes))
 	if cycles < 1 {
 		cycles = 1
 	}
-	return kernel.OpCompute{Cycles: cycles}
+	s.computeOp = kernel.OpCompute{Cycles: cycles}
+	return &s.computeOp
 }
 
 // Blocks returns the number of blocks this stage has emitted.
@@ -121,6 +141,8 @@ func (s *Stage) Blocks() int64 { return s.blocks }
 type Hog struct {
 	Burst sim.Cycles
 	done  sim.Cycles
+
+	computeOp kernel.OpCompute
 }
 
 // Next implements kernel.Program.
@@ -130,7 +152,8 @@ func (h *Hog) Next(t *kernel.Thread, now sim.Time) kernel.Op {
 		b = 100_000
 	}
 	h.done += b
-	return kernel.OpCompute{Cycles: b}
+	h.computeOp = kernel.OpCompute{Cycles: b}
+	return &h.computeOp
 }
 
 // Work returns the total cycles requested so far.
