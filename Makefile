@@ -22,9 +22,11 @@ race:
 bench:
 	./scripts/bench.sh
 
-# fuzz gives the wheel's differential fuzzer a short budget.
+# fuzz gives the wheel's differential fuzzer a short budget (override with
+# FUZZTIME=…; CI uses a tighter budget than the local default).
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -run '^$$' -fuzz=FuzzWheelDifferential -fuzztime=30s ./internal/sim/
+	$(GO) test -run '^$$' -fuzz=FuzzWheelDifferential -fuzztime=$(FUZZTIME) ./internal/sim/
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@
 package realrate_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
@@ -97,6 +98,38 @@ func BenchmarkFig8DispatchOverhead(b *testing.B) {
 	}
 	b.ReportMetric(last.OverheadAt4kHz*100, "overhead-at-4kHz-pct")
 	b.ReportMetric(float64(last.KneeHz), "knee-hz")
+}
+
+// BenchmarkStormDispatch measures wall time per simulated second of a
+// machine saturated with N registered CPU-bound threads — the dispatcher's
+// large-N scaling curve. With the linear-scan runnable queue this grew
+// O(n) per dispatch; the indexed-heap core keeps it near-logarithmic.
+func BenchmarkStormDispatch(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var last experiments.StormResult
+			for i := 0; i < b.N; i++ {
+				last = experiments.RunContextSwitchStorm(experiments.StormConfig{
+					Threads: n, RunFor: sim.Second,
+				})
+			}
+			b.ReportMetric(float64(last.Dispatches), "dispatches")
+			b.ReportMetric(float64(last.Wakeups), "wakeups")
+		})
+	}
+}
+
+// BenchmarkFig5Scale extends Figure 5's x-axis to 1000 controlled
+// processes through the parallel sweep runner.
+func BenchmarkFig5Scale(b *testing.B) {
+	var last experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunFig5(experiments.Fig5Config{
+			MaxProcesses: 1000, Step: 250, RunFor: 2 * sim.Second,
+		})
+	}
+	b.ReportMetric(last.Points[len(last.Points)-1].Overhead*100, "pct-at-1000-jobs")
 }
 
 func BenchmarkPathfinderInversion(b *testing.B) {

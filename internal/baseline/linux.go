@@ -73,6 +73,7 @@ func (p *Linux) RemoveThread(t *kernel.Thread, now sim.Time) {
 	for i, r := range p.threads {
 		if r == t {
 			copy(p.threads[i:], p.threads[i+1:])
+			p.threads[len(p.threads)-1] = nil // keep the exited thread unreachable
 			p.threads = p.threads[:len(p.threads)-1]
 			return
 		}
@@ -144,6 +145,7 @@ func (p *Linux) Dequeue(t *kernel.Thread, now sim.Time) {
 	for i, r := range p.runnable {
 		if r == t {
 			copy(p.runnable[i:], p.runnable[i+1:])
+			p.runnable[len(p.runnable)-1] = nil // clear the vacated tail slot
 			p.runnable = p.runnable[:len(p.runnable)-1]
 			return
 		}

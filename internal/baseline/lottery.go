@@ -7,8 +7,13 @@ import (
 
 // lotteryState is the per-thread state of the lottery policy.
 type lotteryState struct {
-	tickets  int64
-	used     sim.Duration
+	tickets int64
+	used    sim.Duration
+	// slot is the thread's position in the drawing order (-1 when not
+	// runnable). Slots are handed out in enqueue order, so ascending slot
+	// equals the legacy runnable-slice order and a draw walks the same
+	// sequence the linear scan did.
+	slot     int
 	runnable bool
 }
 
@@ -19,12 +24,24 @@ type lotteryState struct {
 // noisy over short windows — the contrast the paper draws when it claims
 // "lower variance in the amount of cycles allocated to a thread" for
 // feedback-assigned reservations.
+//
+// The drawing is O(log n): ticket counts live in a Fenwick tree indexed
+// by slot, and the winning ticket is found by binary descent over prefix
+// sums. Because slots follow enqueue order, the winner for a given random
+// draw is byte-identical to the legacy linear walk's.
 type Lottery struct {
-	k        *kernel.Kernel
-	quantum  sim.Duration
-	rng      *sim.RNG
-	runnable []*kernel.Thread
-	current  *kernel.Thread
+	k       *kernel.Kernel
+	quantum sim.Duration
+	rng     *sim.RNG
+	current *kernel.Thread
+
+	// fen is a 1-based Fenwick tree over ticket counts per slot; slots
+	// holds the thread occupying each slot (nil after dequeue).
+	fen      []int64
+	slots    []*kernel.Thread
+	nextSlot int
+	live     int
+	total    int64
 }
 
 // NewLottery returns a lottery scheduler with the given quantum and seed.
@@ -46,7 +63,7 @@ func lstate(t *kernel.Thread) *lotteryState { return t.Sched.(*lotteryState) }
 
 // AddThread implements kernel.Policy; threads start with 100 tickets.
 func (p *Lottery) AddThread(t *kernel.Thread, now sim.Time) {
-	t.Sched = &lotteryState{tickets: 100}
+	t.Sched = &lotteryState{tickets: 100, slot: -1}
 }
 
 // RemoveThread implements kernel.Policy.
@@ -57,7 +74,12 @@ func (p *Lottery) SetTickets(t *kernel.Thread, n int64) {
 	if n <= 0 {
 		panic("baseline: tickets must be positive")
 	}
-	lstate(t).tickets = n
+	st := lstate(t)
+	if st.runnable {
+		p.fenAdd(st.slot, n-st.tickets)
+		p.total += n - st.tickets
+	}
+	st.tickets = n
 }
 
 // Tickets returns a thread's ticket count.
@@ -70,7 +92,19 @@ func (p *Lottery) Enqueue(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	st.runnable = true
-	p.runnable = append(p.runnable, t)
+	if p.nextSlot == len(p.slots) {
+		if p.live*2 <= len(p.slots) && len(p.slots) >= 64 {
+			p.compact()
+		} else {
+			p.pushLeaf()
+		}
+	}
+	st.slot = p.nextSlot
+	p.nextSlot++
+	p.slots[st.slot] = t
+	p.fenAdd(st.slot, st.tickets)
+	p.total += st.tickets
+	p.live++
 }
 
 // Dequeue implements kernel.Policy.
@@ -80,48 +114,125 @@ func (p *Lottery) Dequeue(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	st.runnable = false
-	for i, r := range p.runnable {
-		if r == t {
-			copy(p.runnable[i:], p.runnable[i+1:])
-			p.runnable = p.runnable[:len(p.runnable)-1]
-			return
-		}
-	}
+	p.fenAdd(st.slot, -st.tickets)
+	p.total -= st.tickets
+	p.slots[st.slot] = nil
+	st.slot = -1
+	p.live--
 	if p.current == t {
 		p.current = nil
 	}
+}
+
+// compact renumbers live slots densely in ascending (enqueue) order, so
+// slot space stays O(live) even though every enqueue consumes a fresh
+// slot. Relative order is preserved, which keeps draws identical.
+func (p *Lottery) compact() {
+	w := 0
+	for r := 0; r < p.nextSlot; r++ {
+		if t := p.slots[r]; t != nil {
+			p.slots[w] = t
+			lstate(t).slot = w
+			w++
+		}
+	}
+	for i := w; i < len(p.slots); i++ {
+		p.slots[i] = nil
+	}
+	p.nextSlot = w
+	p.rebuild()
+}
+
+// pushLeaf grows the slot space by one. The new Fenwick node at 1-based
+// index i summarizes the range (i−lowbit(i), i]; with the new leaf itself
+// zero, that is prefix(i−1) − prefix(i−lowbit(i)), computable from the
+// existing tree in O(log n).
+func (p *Lottery) pushLeaf() {
+	if len(p.fen) == 0 {
+		p.fen = append(p.fen, 0) // index 0 unused
+	}
+	p.slots = append(p.slots, nil)
+	i := len(p.slots)
+	p.fen = append(p.fen, p.prefix(i-1)-p.prefix(i-i&(-i)))
+}
+
+// prefix sums the tickets of 1-based tree indices 1..i (slots 0..i−1).
+func (p *Lottery) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += p.fen[i]
+	}
+	return s
+}
+
+func (p *Lottery) rebuild() {
+	for i := range p.fen {
+		p.fen[i] = 0
+	}
+	for i := 0; i < p.nextSlot; i++ {
+		if t := p.slots[i]; t != nil {
+			p.fenAdd(i, lstate(t).tickets)
+		}
+	}
+}
+
+// fenAdd adds delta at slot (0-based) in the 1-based Fenwick tree.
+func (p *Lottery) fenAdd(slot int, delta int64) {
+	for i := slot + 1; i < len(p.fen); i += i & (-i) {
+		p.fen[i] += delta
+	}
+}
+
+// fenFind returns the thread at the smallest slot whose prefix ticket sum
+// exceeds draw — exactly the thread the legacy linear walk would land on.
+func (p *Lottery) fenFind(draw int64) *kernel.Thread {
+	idx := 0
+	// Largest power of two ≤ tree size.
+	bit := 1
+	for bit<<1 < len(p.fen) {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next < len(p.fen) && p.fen[next] <= draw {
+			draw -= p.fen[next]
+			idx = next
+		}
+	}
+	if idx >= len(p.slots) {
+		return nil
+	}
+	return p.slots[idx] // idx is 0-based slot (idx in tree = slot+1 passed)
 }
 
 // Pick implements kernel.Policy: hold a lottery. The winner of the
 // previous drawing keeps the CPU until its quantum expires, so the drawing
 // frequency is the quantum, not the dispatch rate.
 func (p *Lottery) Pick(now sim.Time) *kernel.Thread {
-	if len(p.runnable) == 0 {
+	if p.live == 0 {
 		p.current = nil
 		return nil
 	}
 	if p.current != nil && lstate(p.current).runnable && lstate(p.current).used < p.quantum {
 		return p.current
 	}
-	var total int64
-	for _, t := range p.runnable {
-		total += lstate(t).tickets
-	}
-	draw := p.rng.Int63n(total)
-	for _, t := range p.runnable {
-		draw -= lstate(t).tickets
-		if draw < 0 {
-			if t != p.current {
-				if p.current != nil {
-					lstate(p.current).used = 0
-				}
+	draw := p.rng.Int63n(p.total)
+	t := p.fenFind(draw)
+	if t == nil {
+		// Unreachable: draw < total guarantees a live slot.
+		for _, s := range p.slots {
+			if s != nil {
+				t = s
+				break
 			}
-			p.current = t
-			lstate(t).used = 0
-			return t
 		}
 	}
-	return p.runnable[len(p.runnable)-1] // unreachable; satisfies the compiler
+	if t != p.current && p.current != nil {
+		lstate(p.current).used = 0
+	}
+	p.current = t
+	lstate(t).used = 0
+	return t
 }
 
 // TimeSlice implements kernel.Policy.

@@ -100,3 +100,66 @@ func TestLotteryTicketValidation(t *testing.T) {
 	}()
 	lot.SetTickets(th, 0)
 }
+
+// TestLotteryChurnExercisesSlotCompaction cycles many sleepers through the
+// runnable set so enqueues burn through thousands of drawing slots: the
+// Fenwick tree must compact without disturbing proportionality and the
+// slot space must stay O(live threads).
+func TestLotteryChurnExercisesSlotCompaction(t *testing.T) {
+	eng := sim.NewEngine()
+	lot := baseline.NewLottery(sim.Millisecond, 1234)
+	k := kernel.New(eng, kernel.DefaultConfig(), lot)
+	mk := func(name string) *kernel.Thread {
+		phase := 0
+		return k.Spawn(name, kernel.ProgramFunc(func(th *kernel.Thread, now sim.Time) kernel.Op {
+			phase++
+			if phase%2 == 1 {
+				return kernel.OpCompute{Cycles: 100_000}
+			}
+			return kernel.OpSleep{D: 3 * sim.Millisecond}
+		}))
+	}
+	var churners []*kernel.Thread
+	for i := 0; i < 40; i++ {
+		churners = append(churners, mk("churn"))
+	}
+	big := k.Spawn("big", hog(400_000))
+	small := k.Spawn("small", hog(400_000))
+	lot.SetTickets(big, 900)
+	lot.SetTickets(small, 300)
+	k.Start()
+	eng.RunFor(20 * sim.Second)
+	k.Stop()
+	for _, th := range churners {
+		if th.CPUTime() == 0 {
+			t.Fatal("churner starved across slot compactions")
+		}
+	}
+	ratio := big.CPUTime().Seconds() / small.CPUTime().Seconds()
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Fatalf("3:1 tickets gave CPU ratio %.2f under slot churn", ratio)
+	}
+}
+
+// TestLotteryTicketChangeWhileRunnable pins SetTickets' incremental
+// Fenwick update for runnable threads.
+func TestLotteryTicketChangeWhileRunnable(t *testing.T) {
+	eng := sim.NewEngine()
+	lot := baseline.NewLottery(10*sim.Millisecond, 5)
+	k := kernel.New(eng, kernel.DefaultConfig(), lot)
+	a := k.Spawn("a", hog(400_000))
+	b := k.Spawn("b", hog(400_000))
+	k.Start()
+	eng.RunFor(sim.Second)
+	// Flip the odds 1:1 → 9:1 mid-run, while both threads are runnable.
+	lot.SetTickets(a, 900)
+	lot.SetTickets(b, 100)
+	beforeA, beforeB := a.CPUTime(), b.CPUTime()
+	eng.RunFor(20 * sim.Second)
+	k.Stop()
+	da := (a.CPUTime() - beforeA).Seconds()
+	db := (b.CPUTime() - beforeB).Seconds()
+	if ratio := da / db; ratio < 5 {
+		t.Fatalf("9:1 tickets after change gave CPU ratio %.2f", ratio)
+	}
+}

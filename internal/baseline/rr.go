@@ -59,6 +59,7 @@ func (p *RoundRobin) Dequeue(t *kernel.Thread, now sim.Time) {
 	for i, r := range p.runnable {
 		if r == t {
 			copy(p.runnable[i:], p.runnable[i+1:])
+			p.runnable[len(p.runnable)-1] = nil // clear the vacated tail slot
 			p.runnable = p.runnable[:len(p.runnable)-1]
 			return
 		}

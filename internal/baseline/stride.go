@@ -7,9 +7,14 @@ import (
 
 // strideState is the per-thread state of the stride policy.
 type strideState struct {
-	tickets  int64
-	stride   int64
-	pass     int64
+	tickets int64
+	stride  int64
+	pass    int64
+	// seq preserves enqueue order for pass ties, matching the legacy
+	// linear scan's first-minimum selection; heapIdx tracks the thread's
+	// slot in the indexed pass heap (-1 when not runnable).
+	seq      uint64
+	heapIdx  int
 	runnable bool
 }
 
@@ -23,10 +28,16 @@ const strideOne = 1 << 20
 // variance than the lottery, but the tickets still have to be computed by
 // someone — which is exactly the gap the paper's feedback controller
 // closes.
+//
+// The runnable set is an intrusive indexed min-heap on (pass, enqueue
+// seq), so Pick and the waking thread's rejoin-at-minimum rule are O(1)
+// reads and updates are O(log n) — the same large-n treatment as the rbs
+// dispatcher, keeping scheduler comparisons apples-to-apples at scale.
 type Stride struct {
 	k        *kernel.Kernel
 	quantum  sim.Duration
 	runnable []*kernel.Thread
+	seqGen   uint64
 }
 
 // NewStride returns a stride scheduler with the given quantum (default
@@ -48,7 +59,7 @@ func sstate(t *kernel.Thread) *strideState { return t.Sched.(*strideState) }
 
 // AddThread implements kernel.Policy; threads start with 100 tickets.
 func (p *Stride) AddThread(t *kernel.Thread, now sim.Time) {
-	t.Sched = &strideState{tickets: 100, stride: strideOne / 100}
+	t.Sched = &strideState{tickets: 100, stride: strideOne / 100, heapIdx: -1}
 }
 
 // RemoveThread implements kernel.Policy.
@@ -69,30 +80,23 @@ func (p *Stride) SetTickets(t *kernel.Thread, n int64) {
 
 // Enqueue implements kernel.Policy. A waking thread's pass is brought up
 // to the minimum runnable pass so sleepers cannot bank credit — the
-// standard stride rejoin rule.
+// standard stride rejoin rule, now an O(1) heap-top read.
 func (p *Stride) Enqueue(t *kernel.Thread, now sim.Time) {
 	st := sstate(t)
 	if st.runnable {
 		return
 	}
-	if min, ok := p.minPass(); ok && st.pass < min {
-		st.pass = min
-	}
-	st.runnable = true
-	p.runnable = append(p.runnable, t)
-}
-
-func (p *Stride) minPass() (int64, bool) {
-	if len(p.runnable) == 0 {
-		return 0, false
-	}
-	min := sstate(p.runnable[0]).pass
-	for _, t := range p.runnable[1:] {
-		if pass := sstate(t).pass; pass < min {
-			min = pass
+	if len(p.runnable) > 0 {
+		if min := sstate(p.runnable[0]).pass; st.pass < min {
+			st.pass = min
 		}
 	}
-	return min, true
+	st.runnable = true
+	st.seq = p.seqGen
+	p.seqGen++
+	st.heapIdx = len(p.runnable)
+	p.runnable = append(p.runnable, t)
+	p.up(st.heapIdx)
 }
 
 // Dequeue implements kernel.Policy.
@@ -102,25 +106,78 @@ func (p *Stride) Dequeue(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	st.runnable = false
-	for i, r := range p.runnable {
-		if r == t {
-			copy(p.runnable[i:], p.runnable[i+1:])
-			p.runnable = p.runnable[:len(p.runnable)-1]
-			return
-		}
+	i := st.heapIdx
+	st.heapIdx = -1
+	last := len(p.runnable) - 1
+	moved := p.runnable[last]
+	p.runnable[last] = nil // clear the vacated tail slot
+	p.runnable = p.runnable[:last]
+	if i == last {
+		return
+	}
+	p.runnable[i] = moved
+	sstate(moved).heapIdx = i
+	if !p.down(i) {
+		p.up(i)
 	}
 }
 
-// Pick implements kernel.Policy: lowest pass runs.
-func (p *Stride) Pick(now sim.Time) *kernel.Thread {
-	var best *kernel.Thread
-	var bestPass int64
-	for _, t := range p.runnable {
-		if pass := sstate(t).pass; best == nil || pass < bestPass {
-			best, bestPass = t, pass
-		}
+// less orders the pass heap; the seq tie-break reproduces the legacy
+// scan's FIFO-among-equal-passes choice.
+func (p *Stride) less(a, b *kernel.Thread) bool {
+	sa, sb := sstate(a), sstate(b)
+	if sa.pass != sb.pass {
+		return sa.pass < sb.pass
 	}
-	return best
+	return sa.seq < sb.seq
+}
+
+func (p *Stride) up(i int) {
+	t := p.runnable[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.less(t, p.runnable[parent]) {
+			break
+		}
+		p.runnable[i] = p.runnable[parent]
+		sstate(p.runnable[i]).heapIdx = i
+		i = parent
+	}
+	p.runnable[i] = t
+	sstate(t).heapIdx = i
+}
+
+func (p *Stride) down(i int) bool {
+	t := p.runnable[i]
+	n := len(p.runnable)
+	moved := false
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && p.less(p.runnable[r], p.runnable[kid]) {
+			kid = r
+		}
+		if !p.less(p.runnable[kid], t) {
+			break
+		}
+		p.runnable[i] = p.runnable[kid]
+		sstate(p.runnable[i]).heapIdx = i
+		i = kid
+		moved = true
+	}
+	p.runnable[i] = t
+	sstate(t).heapIdx = i
+	return moved
+}
+
+// Pick implements kernel.Policy: lowest pass runs — the heap top.
+func (p *Stride) Pick(now sim.Time) *kernel.Thread {
+	if len(p.runnable) == 0 {
+		return nil
+	}
+	return p.runnable[0]
 }
 
 // TimeSlice implements kernel.Policy.
@@ -137,6 +194,9 @@ func (p *Stride) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
 	}
 	st := sstate(t)
 	st.pass += st.stride * int64(ran) / int64(p.quantum)
+	if st.heapIdx >= 0 {
+		p.down(st.heapIdx) // pass only ever grows here
+	}
 	return ran >= p.quantum
 }
 

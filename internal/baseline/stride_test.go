@@ -96,3 +96,33 @@ func TestStrideTicketValidation(t *testing.T) {
 	}()
 	st.SetTickets(th, -1)
 }
+
+// TestStridePassHeapUnderChurn stresses the indexed pass heap: sleepers
+// leave and rejoin at the minimum pass constantly, while two CPU-bound
+// threads with 3:1 tickets must still split the CPU 3:1.
+func TestStridePassHeapUnderChurn(t *testing.T) {
+	eng := sim.NewEngine()
+	str := baseline.NewStride(sim.Millisecond)
+	k := kernel.New(eng, kernel.DefaultConfig(), str)
+	for i := 0; i < 40; i++ {
+		phase := 0
+		k.Spawn("churn", kernel.ProgramFunc(func(th *kernel.Thread, now sim.Time) kernel.Op {
+			phase++
+			if phase%2 == 1 {
+				return kernel.OpCompute{Cycles: 50_000}
+			}
+			return kernel.OpSleep{D: 2 * sim.Millisecond}
+		}))
+	}
+	a := k.Spawn("a", hog(400_000))
+	b := k.Spawn("b", hog(400_000))
+	str.SetTickets(a, 300)
+	str.SetTickets(b, 100)
+	k.Start()
+	eng.RunFor(20 * sim.Second)
+	k.Stop()
+	ratio := a.CPUTime().Seconds() / b.CPUTime().Seconds()
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("3:1 tickets gave CPU ratio %.2f under churn", ratio)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/progress"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+// stepRig builds a controller over n miscellaneous jobs and warms it up so
+// that per-interval state (scratch buffers, converged allocations) is in
+// steady state before measurement.
+func stepRig(n int) (*Controller, sim.Time) {
+	eng := sim.NewEngine()
+	policy := rbs.New()
+	kern := kernel.New(eng, kernel.DefaultConfig(), policy)
+	reg := progress.NewRegistry()
+	ctl := New(kern, policy, reg, Config{})
+	for i := 0; i < n; i++ {
+		op := kernel.OpSleep{D: 50 * sim.Millisecond}
+		th := kern.Spawn("dummy", kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
+			return &op
+		}))
+		ctl.AddMiscellaneous(th)
+	}
+	ctl.Start()
+	kern.Start()
+	eng.RunFor(sim.Second)
+	return ctl, kern.Now()
+}
+
+// TestControllerStepZeroAlloc asserts the acceptance criterion of the
+// allocation-free actuation path: after warm-up, a control interval over
+// miscellaneous and real-time jobs performs zero heap allocations. (Only
+// real-rate jobs may allocate in steady state, when their pressure series
+// grows its backing array.)
+func TestControllerStepZeroAlloc(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		ctl, now := stepRig(n)
+		if avg := testing.AllocsPerRun(100, func() { ctl.step(now) }); avg != 0 {
+			t.Fatalf("n=%d: Controller.step allocates %.1f allocs/op, want 0", n, avg)
+		}
+	}
+}
+
+// TestControllerStepScalesPastFloorLimit pins the graceful floor
+// degradation: with more adaptive jobs than the capacity has ppt for their
+// floors, step must squish to a scaled floor instead of panicking (the
+// legacy behavior at >170 jobs was a squish panic).
+func TestControllerStepScalesPastFloorLimit(t *testing.T) {
+	ctl, now := stepRig(1000)
+	ctl.step(now) // must not panic
+	total := 0
+	for _, j := range ctl.Jobs() {
+		if a := j.Allocated(); a >= 0 {
+			total += a
+		}
+	}
+	if total > ctl.EffectiveThreshold() {
+		t.Fatalf("allocations sum to %d ppt, above the %d threshold", total, ctl.EffectiveThreshold())
+	}
+}
+
+// TestControllerStepNegativeCapacity pins the overload corner: missed
+// deadlines shrink the effective threshold, and once it drops below the
+// already-admitted hard reservations the squish capacity is negative. The
+// step must hand adaptive jobs nothing instead of panicking.
+func TestControllerStepNegativeCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	policy := rbs.New()
+	kern := kernel.New(eng, kernel.DefaultConfig(), policy)
+	reg := progress.NewRegistry()
+	ctl := New(kern, policy, reg, Config{})
+	op := kernel.OpSleep{D: 50 * sim.Millisecond}
+	prog := kernel.ProgramFunc(func(th *kernel.Thread, now sim.Time) kernel.Op { return &op })
+	rt := kern.Spawn("rt", prog)
+	misc := kern.Spawn("misc", prog)
+	ctl.Start()
+	if _, err := ctl.AddRealTime(rt, 800, 10*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ctl.AddMiscellaneous(misc)
+	kern.Start()
+	eng.RunFor(100 * sim.Millisecond)
+	// Misses have driven the threshold below the admitted 800+50 ppt.
+	ctl.effectiveThreshold = ctl.cfg.OverloadThreshold / 2
+	ctl.step(kern.Now()) // must not panic
+	if j, ok := ctl.JobOf(misc); !ok || j.Allocated() != 0 {
+		t.Fatalf("adaptive job under negative capacity allocated %d ppt, want 0", mustJob(ctl, misc).Allocated())
+	}
+}
+
+func mustJob(c *Controller, th *kernel.Thread) *Job {
+	j, ok := c.JobOf(th)
+	if !ok {
+		panic("no job")
+	}
+	return j
+}
+
+// BenchmarkControllerStep measures one control interval (sample, estimate,
+// squish, actuate) at growing job counts. The per-step cost is O(n) by
+// design — the controller must look at every job — but it must be
+// allocation-free after warm-up.
+func BenchmarkControllerStep(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctl, now := stepRig(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl.step(now)
+			}
+		})
+	}
+}

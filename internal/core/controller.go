@@ -166,6 +166,9 @@ type Controller struct {
 	// admitted sums the proportions of real-time and aperiodic real-time
 	// reservations plus the controller's own.
 	admitted int
+	// adaptive counts jobs of adaptive classes, so the admission headroom
+	// (available) is O(1) instead of a scan over every job.
+	adaptive int
 	// effectiveThreshold shrinks when the dispatcher reports missed
 	// deadlines ("the RBS ... notifies the controller which can increase
 	// the amount of spare capacity by reducing the admission threshold").
@@ -178,6 +181,15 @@ type Controller struct {
 
 	steps      uint64
 	actuations uint64
+
+	// Persistent per-interval scratch: step reslices these to zero length
+	// each interval instead of allocating, so a controller tick is
+	// allocation-free after warm-up (asserted by TestControllerStepZeroAlloc).
+	squishable []*Job
+	desireBuf  []int
+	weightBuf  []float64
+	allocBuf   []int
+	frozenBuf  []bool
 }
 
 // New creates a controller for the given machine, dispatcher, and progress
@@ -442,21 +454,33 @@ func (c *Controller) SetImportance(j *Job, w float64) {
 }
 
 // Remove stops controlling a job, freeing its admission if it held one.
+// Removing a job that is no longer controlled (e.g. already reaped after
+// its last member exited) is a no-op, so the incremental admission
+// accounting cannot be corrupted by a double Remove.
 func (c *Controller) Remove(j *Job) {
+	found := false
+	for i, other := range c.jobs {
+		if other == j {
+			copy(c.jobs[i:], c.jobs[i+1:])
+			c.jobs[len(c.jobs)-1] = nil // clear the vacated tail slot
+			c.jobs = c.jobs[:len(c.jobs)-1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
 	if j.class == RealTime || j.class == AperiodicRealTime {
 		c.admitted -= j.specified
+	}
+	if j.class.Adaptive() {
+		c.adaptive--
 	}
 	for _, t := range j.members {
 		delete(c.byThr, t)
 		c.policy.Unregister(t)
 		c.reg.Unregister(t)
-	}
-	for i, other := range c.jobs {
-		if other == j {
-			copy(c.jobs[i:], c.jobs[i+1:])
-			c.jobs = c.jobs[:len(c.jobs)-1]
-			break
-		}
 	}
 }
 
@@ -477,6 +501,9 @@ func (c *Controller) addJob(t *kernel.Thread, class Class) *Job {
 	}
 	c.jobs = append(c.jobs, j)
 	c.byThr[t] = j
+	if class.Adaptive() {
+		c.adaptive++
+	}
 	return j
 }
 
@@ -490,15 +517,10 @@ func (c *Controller) bootstrap(j *Job) {
 
 // available returns the admission headroom in ppt: real-rate and
 // miscellaneous jobs are squishable down to their floors, so only hard
-// reservations and floors are unavailable.
+// reservations and floors are unavailable. The adaptive-job count is
+// maintained incrementally, so this is O(1) per admission check.
 func (c *Controller) available() int {
-	floors := 0
-	for _, j := range c.jobs {
-		if j.class.Adaptive() {
-			floors += c.cfg.MinProportion
-		}
-	}
-	return c.effectiveThreshold - c.admitted - floors
+	return c.effectiveThreshold - c.admitted - c.cfg.MinProportion*c.adaptive
 }
 
 // step is one control interval: sample, estimate, squish, actuate.
@@ -520,12 +542,11 @@ func (c *Controller) step(now sim.Time) {
 
 	c.reap()
 
-	// Pass 1: desired allocations.
-	var (
-		squishable []*Job
-		desires    []int
-		weights    []float64
-	)
+	// Pass 1: desired allocations. The squish inputs live in persistent
+	// scratch buffers so the 100 Hz loop does not allocate.
+	squishable := c.squishable[:0]
+	desires := c.desireBuf[:0]
+	weights := c.weightBuf[:0]
 	for _, j := range c.jobs {
 		switch j.class {
 		case RealTime, AperiodicRealTime:
@@ -550,11 +571,38 @@ func (c *Controller) step(now sim.Time) {
 		desires = append(desires, j.desired)
 		weights = append(weights, j.importance)
 	}
+	c.squishable, c.desireBuf, c.weightBuf = squishable, desires, weights
+	// Jobs removed since the scratch's high-water mark must not stay
+	// reachable through the backing array's tail.
+	tail := squishable[len(squishable):cap(squishable)]
+	for i := range tail {
+		tail[i] = nil
+	}
 
-	// Pass 2: squish into the capacity left by hard reservations.
+	// Pass 2: squish into the capacity left by hard reservations. The
+	// capacity can go negative when missed deadlines shrink the effective
+	// threshold below what is already admitted; adaptive jobs then get
+	// nothing rather than panicking the squish.
 	capacity := c.effectiveThreshold - c.admitted
+	if capacity < 0 {
+		capacity = 0
+	}
 	if len(squishable) > 0 {
-		allocs := squish(desires, weights, capacity, c.cfg.MinProportion)
+		// The non-zero floor only fits while floor·n ≤ capacity; past that
+		// point (thousands of adaptive jobs on one CPU) the machine simply
+		// lacks the ppt resolution, so the floor degrades gracefully
+		// instead of panicking the squish.
+		floor := c.cfg.MinProportion
+		if floor*len(squishable) > capacity {
+			floor = capacity / len(squishable)
+			if floor < 0 {
+				floor = 0
+			}
+		}
+		allocs := grow(c.allocBuf, len(squishable))
+		frozen := growBool(c.frozenBuf, len(squishable))
+		c.allocBuf, c.frozenBuf = allocs, frozen
+		squishInto(allocs, frozen, desires, weights, capacity, floor)
 		for i, j := range squishable {
 			if allocs[i] > c.cfg.MaxProportion {
 				allocs[i] = c.cfg.MaxProportion
@@ -766,6 +814,22 @@ func (c *Controller) reap() {
 		j.thread = j.members[0]
 		i++
 	}
+}
+
+// grow returns buf resliced to n, reallocating only when capacity is
+// short — the scratch-buffer idiom behind the allocation-free step.
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
 }
 
 func clampPPT(v, lo, hi int) int {

@@ -18,16 +18,32 @@ package core
 func squish(desires []int, weights []float64, capacity, floor int) []int {
 	n := len(desires)
 	out := make([]int, n)
+	frozen := make([]bool, n)
+	squishInto(out, frozen, desires, weights, capacity, floor)
+	return out
+}
+
+// squishWeightEps stands in for non-positive importance weights, which the
+// public API rejects but the arithmetic must still survive (a zero weight
+// would otherwise put ±Inf into the proportional mass and NaN the cuts).
+const squishWeightEps = 1e-9
+
+// squishInto is squish writing into caller-owned buffers: out and frozen
+// must have the inputs' length. The controller calls it every interval
+// with persistent scratch, so the 100 Hz actuation loop does not allocate.
+func squishInto(out []int, frozen []bool, desires []int, weights []float64, capacity, floor int) {
+	n := len(desires)
 	total := 0
 	for i, d := range desires {
 		if d < floor {
 			d = floor
 		}
 		out[i] = d
+		frozen[i] = false
 		total += d
 	}
 	if total <= capacity {
-		return out
+		return
 	}
 	if floor*n > capacity {
 		panic("core: squish capacity cannot hold allocation floors")
@@ -36,13 +52,12 @@ func squish(desires []int, weights []float64, capacity, floor int) []int {
 	// Iteratively remove the excess. Jobs pinned at the floor drop out of
 	// the distribution and their share is re-spread; at most n rounds.
 	excess := total - capacity
-	frozen := make([]bool, n)
 	for round := 0; round < n && excess > 0; round++ {
 		// Weight mass of the unfrozen jobs: reduction_i ∝ out_i / w_i.
 		var mass float64
 		for i := range out {
 			if !frozen[i] {
-				mass += float64(out[i]) / weights[i]
+				mass += float64(out[i]) / weightOf(weights, i)
 			}
 		}
 		if mass <= 0 {
@@ -53,7 +68,7 @@ func squish(desires []int, weights []float64, capacity, floor int) []int {
 			if frozen[i] {
 				continue
 			}
-			cut := int(float64(excess) * (float64(out[i]) / weights[i]) / mass)
+			cut := int(float64(excess) * (float64(out[i]) / weightOf(weights, i)) / mass)
 			if cut >= out[i]-floor {
 				cut = out[i] - floor
 				frozen[i] = true
@@ -84,5 +99,11 @@ func squish(desires []int, weights []float64, capacity, floor int) []int {
 			break // everyone at the floor; floors were checked above
 		}
 	}
-	return out
+}
+
+func weightOf(weights []float64, i int) float64 {
+	if w := weights[i]; w > 0 {
+		return w
+	}
+	return squishWeightEps
 }

@@ -149,6 +149,112 @@ func TestPropertySquishInvariants(t *testing.T) {
 	}
 }
 
+// --- edge cases: floors vs capacity, degenerate weights, convergence ---
+
+func TestSquishFloorsExactlyFillCapacity(t *testing.T) {
+	// floor·n == capacity: every job collapses to its floor and the rounds
+	// converge with everyone frozen (the all-frozen path).
+	out := squish([]int{100, 100}, ones(2), 10, 5)
+	if out[0] != 5 || out[1] != 5 {
+		t.Fatalf("out = %v, want [5 5]", out)
+	}
+}
+
+func TestSquishFloorTimesNExceedingCapacityPanics(t *testing.T) {
+	// floor·n > capacity is a caller bug: the controller scales the floor
+	// down before squishing (see step), so squish itself refuses.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when floor*n exceeds capacity")
+		}
+	}()
+	squish([]int{500, 500, 500}, ones(3), 14, 5)
+}
+
+func TestSquishZeroFloorAllowsFullSquish(t *testing.T) {
+	// The scaled floor can reach zero when capacity cannot give every job
+	// one ppt; the squish must still converge and respect capacity.
+	out := squish([]int{800, 800, 800}, ones(3), 2, 0)
+	if sum(out) > 2 {
+		t.Fatalf("sum %d > capacity 2 (out=%v)", sum(out), out)
+	}
+	for _, o := range out {
+		if o < 0 {
+			t.Fatalf("negative allocation: %v", out)
+		}
+	}
+}
+
+func TestSquishZeroWeightDoesNotNaN(t *testing.T) {
+	// Importance weights are validated positive at the API boundary, but
+	// the arithmetic must survive a zero anyway (no ±Inf mass, no NaN
+	// cuts): the zero-weight job is treated as minimally important.
+	out := squish([]int{500, 500}, []float64{0, 1}, 400, 5)
+	if sum(out) > 400 {
+		t.Fatalf("sum %d > capacity", sum(out))
+	}
+	for i, o := range out {
+		if o < 5 || o > 500 {
+			t.Fatalf("job %d out of range: %v", i, out)
+		}
+	}
+	// The zero-weight job gives up (at least almost) everything.
+	if out[0] > out[1] {
+		t.Fatalf("zero-weight job won the squish: %v", out)
+	}
+}
+
+func TestSquishEqualWeightsEqualDesiresStayEqual(t *testing.T) {
+	for _, capacity := range []int{30, 100, 399, 900} {
+		out := squish([]int{400, 400, 400}, ones(3), capacity, 5)
+		if sum(out) > capacity && capacity >= 15 {
+			t.Fatalf("cap %d: sum %d", capacity, sum(out))
+		}
+		// Shave order may skew outputs by one ppt; no more.
+		for _, o := range out[1:] {
+			if o > out[0]+1 || o < out[0]-1 {
+				t.Fatalf("cap %d: equal desires diverged: %v", capacity, out)
+			}
+		}
+	}
+}
+
+func TestSquishIntoMatchesSquish(t *testing.T) {
+	// The in-place variant used by the controller's zero-alloc step must
+	// agree with the allocating wrapper for arbitrary inputs.
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 1 + rng.Intn(10)
+		desires := make([]int, n)
+		weights := make([]float64, n)
+		for i := range desires {
+			desires[i] = rng.Intn(900)
+			weights[i] = 0.1 + 5*rng.Float64()
+		}
+		const floor = 5
+		capacity := floor*n + rng.Intn(800)
+		want := squish(desires, weights, capacity, floor)
+		out := make([]int, n)
+		frozen := make([]bool, n)
+		// Dirty scratch must not leak into the result.
+		for i := range out {
+			out[i] = -999
+			frozen[i] = true
+		}
+		squishInto(out, frozen, desires, weights, capacity, floor)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Logf("mismatch at %d: squish=%v squishInto=%v", i, want, out)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func sumWithFloor(ds []int, floor int) int {
 	s := 0
 	for _, d := range ds {

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/kernel"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+// StormConfig sizes the ContextSwitchStorm scaling scenario: a machine
+// saturated with registered CPU-bound threads, all dispatch-point churn.
+// It is the scheduler-core stress test behind the large-N scaling claims:
+// every thread burns its budget, naps to its next period, and wakes in a
+// thundering herd at period boundaries, so the dispatcher's runnable set
+// stays in the hundreds-to-thousands while dispatches fire every tick.
+type StormConfig struct {
+	// Threads is the number of registered CPU-bound threads.
+	Threads int
+	// Unmanaged adds round-robin threads below the registered set.
+	Unmanaged int
+	// RunFor is the simulated window (default 1 s).
+	RunFor sim.Duration
+	// Discipline selects the dispatch order under test (RMS default).
+	Discipline rbs.Discipline
+}
+
+// StormResult reports what the machine did during the storm.
+type StormResult struct {
+	Threads    int
+	Dispatches uint64
+	Switches   uint64
+	Wakeups    uint64
+	ThreadTime sim.Duration
+	Overhead   sim.Duration
+	Idle       sim.Duration
+	Missed     uint64
+}
+
+// RunContextSwitchStorm spawns cfg.Threads registered hogs with mixed
+// periods and proportions summing to ≈90% of the CPU, plus optional
+// unmanaged hogs, and runs the machine for the window. Beyond a few
+// hundred threads the 1 ms minimum allocation oversubscribes the machine
+// by construction (exactly the paper's quantization limit, §4.3), which
+// maximizes budget-exhaustion naps and period-boundary wakeups — the
+// worst case for the dispatcher's data structures.
+func RunContextSwitchStorm(cfg StormConfig) StormResult {
+	n := cfg.Threads
+	if n <= 0 {
+		n = 100
+	}
+	if cfg.RunFor == 0 {
+		cfg.RunFor = sim.Second
+	}
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Discipline = cfg.Discipline
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	periods := [...]sim.Duration{
+		10 * sim.Millisecond,
+		20 * sim.Millisecond,
+		30 * sim.Millisecond,
+		50 * sim.Millisecond,
+		100 * sim.Millisecond,
+	}
+	prop := 900 / n
+	if prop < 1 {
+		prop = 1
+	}
+	for i := 0; i < n; i++ {
+		th := k.Spawn("storm", hogProgram())
+		res := rbs.Reservation{Proportion: prop, Period: periods[i%len(periods)]}
+		if err := p.SetReservation(th, res); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < cfg.Unmanaged; i++ {
+		k.Spawn("rr", hogProgram())
+	}
+	k.Start()
+	eng.RunFor(cfg.RunFor)
+	k.Stop()
+	st := k.Stats()
+	return StormResult{
+		Threads:    n,
+		Dispatches: st.Dispatches,
+		Switches:   st.Switches,
+		Wakeups:    st.Wakeups,
+		ThreadTime: st.ThreadTime(),
+		Overhead:   st.Overhead,
+		Idle:       st.Idle,
+		Missed:     p.MissedDeadlines(),
+	}
+}
+
+// hogProgram returns a CPU-bound program that reuses its op across calls.
+func hogProgram() kernel.Program {
+	op := kernel.OpCompute{Cycles: 1_000_000}
+	return kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
+		return &op
+	})
+}
+
+// ScalePoint is one row of the scaling sweep.
+type ScalePoint struct {
+	Threads    int
+	Dispatches uint64
+	Wakeups    uint64
+}
+
+// ScaleResult is the ContextSwitchStorm sweep over thread counts: the
+// Figure 5 axis pushed far past the paper's 40 processes, toward the
+// thousands-of-threads regime the ROADMAP targets.
+type ScaleResult struct {
+	Points []ScalePoint
+}
+
+// RunStormScale sweeps RunContextSwitchStorm across thread counts through
+// the parallel sweep runner (each point is an independent machine).
+func RunStormScale(counts []int, runFor sim.Duration) ScaleResult {
+	if len(counts) == 0 {
+		counts = []int{10, 100, 1000}
+	}
+	if runFor == 0 {
+		runFor = sim.Second
+	}
+	pts := Sweep(len(counts), func(i int) ScalePoint {
+		r := RunContextSwitchStorm(StormConfig{Threads: counts[i], RunFor: runFor})
+		return ScalePoint{Threads: r.Threads, Dispatches: r.Dispatches, Wakeups: r.Wakeups}
+	})
+	return ScaleResult{Points: pts}
+}
+
+// Print writes the sweep as a table.
+func (res ScaleResult) Print(w io.Writer) {
+	section(w, "Scaling: ContextSwitchStorm sweep")
+	fmt.Fprintf(w, "%-10s %-12s %s\n", "threads", "dispatches", "wakeups")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-10d %-12d %d\n", p.Threads, p.Dispatches, p.Wakeups)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// TestStormScaleRuns drives the ContextSwitchStorm family at increasing
+// thread counts through the parallel sweep runner: the machine must stay
+// live (dispatching and waking) at every scale, and the dispatch count
+// must stay bounded by the tick rate — dispatches are per-tick events, so
+// a thousandfold thread increase must not inflate them more than the
+// storm's own wake churn does (the old linear-scan core got *slower* per
+// dispatch; the indexed core must not change dispatch semantics at all).
+func TestStormScaleRuns(t *testing.T) {
+	res := experiments.RunStormScale([]int{10, 100, 1000}, 200*sim.Millisecond)
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Dispatches == 0 {
+			t.Fatalf("n=%d: machine never dispatched", p.Threads)
+		}
+		// 200 ms at a 1 ms tick with segment-end and wake dispatch points:
+		// far below 10 per tick at any n.
+		if p.Dispatches > 2000 {
+			t.Fatalf("n=%d: %d dispatches in 200ms — dispatch storm out of bounds", p.Threads, p.Dispatches)
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "ContextSwitchStorm") {
+		t.Fatalf("report missing title: %s", sb.String())
+	}
+}
+
+// TestStormOversubscribedCountsMisses sanity-checks the stress shape: at
+// 1000 threads the 1 ms minimum allocation oversubscribes the machine, so
+// the dispatcher must be reporting deadline misses (the controller's
+// overload signal) rather than silently dropping periods.
+func TestStormOversubscribedCountsMisses(t *testing.T) {
+	res := experiments.RunContextSwitchStorm(experiments.StormConfig{
+		Threads: 1000, RunFor: 200 * sim.Millisecond,
+	})
+	if res.Missed == 0 {
+		t.Fatal("oversubscribed storm recorded no missed deadlines")
+	}
+	if res.ThreadTime == 0 {
+		t.Fatal("storm delivered no CPU to its threads")
+	}
+}
+
+// TestFig5ExtendedTo1000 pushes the Figure 5 sweep past the paper's 40
+// processes into the thousands-of-jobs regime: the controller must survive
+// (the legacy floor handling panicked past ~170 adaptive jobs) and its
+// measured overhead must stay a valid CPU fraction, saturating at its own
+// reservation rather than growing without bound.
+func TestFig5ExtendedTo1000(t *testing.T) {
+	res := experiments.RunFig5(experiments.Fig5Config{
+		MaxProcesses: 1000, Step: 500, RunFor: 500 * sim.Millisecond,
+	})
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3 (0, 500, 1000)", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Overhead < 0 || p.Overhead > 1 {
+			t.Fatalf("n=%d: controller CPU fraction %v out of [0,1]", p.Processes, p.Overhead)
+		}
+	}
+	// More controlled processes must cost more controller CPU.
+	if res.Points[2].Overhead <= res.Points[0].Overhead {
+		t.Fatalf("overhead not increasing: %+v", res.Points)
+	}
+}

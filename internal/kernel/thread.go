@@ -131,6 +131,7 @@ func (wq *WaitQueue) pop() *Thread {
 	}
 	t := wq.waiters[0]
 	copy(wq.waiters, wq.waiters[1:])
+	wq.waiters[len(wq.waiters)-1] = nil // clear the vacated tail slot
 	wq.waiters = wq.waiters[:len(wq.waiters)-1]
 	return t
 }
@@ -139,6 +140,7 @@ func (wq *WaitQueue) remove(t *Thread) bool {
 	for i, w := range wq.waiters {
 		if w == t {
 			copy(wq.waiters[i:], wq.waiters[i+1:])
+			wq.waiters[len(wq.waiters)-1] = nil // clear the vacated tail slot
 			wq.waiters = wq.waiters[:len(wq.waiters)-1]
 			return true
 		}

@@ -19,7 +19,10 @@ type Timer struct {
 	// tick path; a direct target avoids allocating a closure per sleep.
 	thread *Thread
 	// next links the timer into the kernel's free list while pooled.
-	next     *Timer
+	next *Timer
+	// seq orders timers with equal When: FIFO in registration order,
+	// exactly the order the old insertion-sorted list preserved.
+	seq      uint64
 	canceled bool
 }
 
@@ -27,12 +30,16 @@ type Timer struct {
 // its expiry tick discards it.
 func (tm *Timer) Cancel() { tm.canceled = true }
 
-// timerList keeps timers sorted by expiry with the next expiration cached,
-// mirroring the prototype's optimization: "We keep a list of timers used by
-// RBS threads, sorted by time of expiry, and cache the next expiration time
-// to avoid doing any work unless at least one timer has expired."
+// timerList keeps timers in a binary min-heap ordered by (When, seq) with
+// the next expiration cached, an O(log n) refinement of the prototype's
+// optimization: "We keep a list of timers used by RBS threads, sorted by
+// time of expiry, and cache the next expiration time to avoid doing any
+// work unless at least one timer has expired." The (When, seq) key makes
+// the pop order identical to the old stable insertion sort, so timer fire
+// order — and hence wake order at a tick — is unchanged at any scale.
 type timerList struct {
-	sorted []*Timer
+	heap []*Timer
+	seq  uint64
 	// next caches the earliest expiry; sim.Time max value when empty.
 	next sim.Time
 }
@@ -43,21 +50,73 @@ func newTimerList() *timerList {
 	return &timerList{next: timeMax}
 }
 
-func (tl *timerList) add(tm *Timer) {
-	// Insertion sort: timer counts are small (one per sleeping thread).
-	i := len(tl.sorted)
-	for i > 0 && tl.sorted[i-1].When > tm.When {
-		i--
+func timerBefore(a, b *Timer) bool {
+	if a.When != b.When {
+		return a.When < b.When
 	}
-	tl.sorted = append(tl.sorted, nil)
-	copy(tl.sorted[i+1:], tl.sorted[i:])
-	tl.sorted[i] = tm
+	return a.seq < b.seq
+}
+
+func (tl *timerList) add(tm *Timer) {
+	tm.seq = tl.seq
+	tl.seq++
+	tl.heap = append(tl.heap, tm)
+	tl.siftUp(len(tl.heap) - 1)
 	if tm.When < tl.next {
 		tl.next = tm.When
 	}
 }
 
-func (tl *timerList) len() int { return len(tl.sorted) }
+// pop removes and returns the earliest timer, or nil when empty.
+func (tl *timerList) pop() *Timer {
+	if len(tl.heap) == 0 {
+		return nil
+	}
+	tm := tl.heap[0]
+	last := len(tl.heap) - 1
+	tl.heap[0] = tl.heap[last]
+	tl.heap[last] = nil
+	tl.heap = tl.heap[:last]
+	if last > 0 {
+		tl.siftDown(0)
+	}
+	return tm
+}
+
+func (tl *timerList) siftUp(i int) {
+	tm := tl.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !timerBefore(tm, tl.heap[parent]) {
+			break
+		}
+		tl.heap[i] = tl.heap[parent]
+		i = parent
+	}
+	tl.heap[i] = tm
+}
+
+func (tl *timerList) siftDown(i int) {
+	tm := tl.heap[i]
+	n := len(tl.heap)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && timerBefore(tl.heap[r], tl.heap[kid]) {
+			kid = r
+		}
+		if !timerBefore(tl.heap[kid], tm) {
+			break
+		}
+		tl.heap[i] = tl.heap[kid]
+		i = kid
+	}
+	tl.heap[i] = tm
+}
+
+func (tl *timerList) len() int { return len(tl.heap) }
 
 // allocTimer takes a timer from the kernel's pool, or makes one.
 func (k *Kernel) allocTimer() *Timer {
@@ -87,11 +146,8 @@ func (k *Kernel) expireTimers(now sim.Time) int {
 		return 0 // the cached check: typically constant time
 	}
 	fired := 0
-	for len(tl.sorted) > 0 && tl.sorted[0].When <= now {
-		tm := tl.sorted[0]
-		copy(tl.sorted, tl.sorted[1:])
-		tl.sorted[len(tl.sorted)-1] = nil
-		tl.sorted = tl.sorted[:len(tl.sorted)-1]
+	for len(tl.heap) > 0 && tl.heap[0].When <= now {
+		tm := tl.pop()
 		switch {
 		case tm.canceled:
 			k.recycleTimer(tm)
@@ -110,8 +166,8 @@ func (k *Kernel) expireTimers(now sim.Time) int {
 			fired++
 		}
 	}
-	if len(tl.sorted) > 0 {
-		tl.next = tl.sorted[0].When
+	if len(tl.heap) > 0 {
+		tl.next = tl.heap[0].When
 	} else {
 		tl.next = timeMax
 	}

@@ -1,0 +1,363 @@
+// Intrusive, index-tracked priority structures for the dispatcher's hot
+// path. Each thread's positions are stored in its scheduling state
+// (heapIdx/boundIdx/exhIdx), so membership tests and removals are O(1)+
+// O(log n) with no allocation and no linear scans.
+//
+// Ordering must reproduce the legacy linear scan bit-for-bit: the scan
+// picked the *first* best thread in runnable-slice order, and slice order
+// was insertion order (append on Enqueue, move-to-back on rotate, with
+// order-preserving removals). A monotonically increasing sequence number,
+// assigned on Enqueue and reassigned on rotate, reconstructs exactly that
+// order, so every comparison ties break FIFO-among-equals like the scan.
+package rbs
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// readyLess orders the ready heap: the thread that should dispatch first
+// is the heap top. It is the strict-weak-order completion of better():
+// registered threads with budget beat unmanaged threads; within the
+// registered class RMS prefers shorter (clamped) periods and EDF earlier
+// period ends; all remaining ties fall back to enqueue order.
+func (p *Policy) readyLess(a, b *kernel.Thread) bool {
+	sa, sb := stateOf(a), stateOf(b)
+	ca := sa.registered && sa.budget > 0
+	cb := sb.registered && sb.budget > 0
+	if ca != cb {
+		return ca
+	}
+	if ca {
+		if p.Discipline == RMS {
+			pa, pb := clampedPeriodMs(sa), clampedPeriodMs(sb)
+			if pa != pb {
+				return pa < pb
+			}
+		} else {
+			ea, eb := p.periodEnd(sa), p.periodEnd(sb)
+			if ea != eb {
+				return ea < eb
+			}
+		}
+	}
+	return sa.seq < sb.seq
+}
+
+// clampedPeriodMs is the period in whole milliseconds with the same
+// clamping goodness() applies, so RMS heap order matches goodness order
+// exactly (including periods that collapse to the same clamped value).
+func clampedPeriodMs(st *state) int64 {
+	ms := int64(st.res.Period / sim.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 1<<20 {
+		ms = 1 << 20
+	}
+	return ms
+}
+
+// --- ready heap: queued threads eligible to run ---
+
+func (p *Policy) readyPush(t *kernel.Thread) {
+	st := stateOf(t)
+	st.heapIdx = len(p.ready)
+	p.ready = append(p.ready, t)
+	p.readyUp(st.heapIdx)
+}
+
+func (p *Policy) readyRemove(t *kernel.Thread) {
+	st := stateOf(t)
+	i := st.heapIdx
+	if i < 0 {
+		return
+	}
+	st.heapIdx = -1
+	last := len(p.ready) - 1
+	moved := p.ready[last]
+	p.ready[last] = nil // clear the vacated tail slot
+	p.ready = p.ready[:last]
+	if i == last {
+		return
+	}
+	p.ready[i] = moved
+	stateOf(moved).heapIdx = i
+	p.readyFixAt(i)
+}
+
+// readyFix restores the heap property after t's key changed in place.
+func (p *Policy) readyFix(t *kernel.Thread) {
+	if i := stateOf(t).heapIdx; i >= 0 {
+		p.readyFixAt(i)
+	}
+}
+
+func (p *Policy) readyFixAt(i int) {
+	if !p.readyDown(i) {
+		p.readyUp(i)
+	}
+}
+
+func (p *Policy) readyTop() *kernel.Thread {
+	if len(p.ready) == 0 {
+		return nil
+	}
+	return p.ready[0]
+}
+
+func (p *Policy) readyUp(i int) {
+	t := p.ready[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.readyLess(t, p.ready[parent]) {
+			break
+		}
+		p.ready[i] = p.ready[parent]
+		stateOf(p.ready[i]).heapIdx = i
+		i = parent
+	}
+	p.ready[i] = t
+	stateOf(t).heapIdx = i
+}
+
+func (p *Policy) readyDown(i int) bool {
+	t := p.ready[i]
+	n := len(p.ready)
+	moved := false
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && p.readyLess(p.ready[r], p.ready[kid]) {
+			kid = r
+		}
+		if !p.readyLess(p.ready[kid], t) {
+			break
+		}
+		p.ready[i] = p.ready[kid]
+		stateOf(p.ready[i]).heapIdx = i
+		i = kid
+		moved = true
+	}
+	p.ready[i] = t
+	stateOf(t).heapIdx = i
+	return moved
+}
+
+// --- period-boundary wheel: queued registered threads by period end ---
+//
+// Period refresh must run for every queued registered thread whose period
+// ended, on every dispatch — but with thousands of oversubscribed threads,
+// boundaries pass at Σ 1/periodᵢ per second, so an ordered heap pays an
+// O(log n) sift per roll and dominates the profile. Period ends are timer
+// deadlines, so they get the same treatment as the sim engine's event
+// queue: a timer wheel of bwSlots buckets, one kernel tick wide each, with
+// O(1) insert/remove (swap-remove; order within a bucket is irrelevant —
+// every due entry is rolled before Pick reads the ready heap) and an
+// overflow min-heap on cached keys for boundaries beyond the horizon.
+
+const (
+	bwSlots = 256
+	bwMask  = bwSlots - 1
+
+	// boundNone/boundOverflow are boundSlot sentinels; values ≥ 0 are
+	// wheel bucket indices.
+	boundNone     = -1
+	boundOverflow = -2
+)
+
+// boundInsert files t under its current period end. t must be queued,
+// registered, and not already filed. Wheel buckets are intrusive doubly
+// linked lists threaded through the scheduling state, so filing and
+// unfiling never allocate no matter how boundaries cluster.
+func (p *Policy) boundInsert(t *kernel.Thread) {
+	st := stateOf(t)
+	key := p.periodEnd(st)
+	st.boundKey = key
+	slot := int64(key) / p.slotW
+	if slot >= p.curSlot+bwSlots {
+		st.boundSlot = boundOverflow
+		st.boundIdx = len(p.overflow)
+		p.overflow = append(p.overflow, t)
+		p.overflowUp(st.boundIdx)
+		return
+	}
+	if slot < p.curSlot {
+		slot = p.curSlot // defensive; boundKey is re-checked when draining
+	}
+	b := int(slot & bwMask)
+	st.boundSlot = b
+	st.boundPrev = nil
+	st.boundNext = p.buckets[b]
+	if st.boundNext != nil {
+		stateOf(st.boundNext).boundPrev = t
+	}
+	p.buckets[b] = t
+}
+
+func (p *Policy) boundRemove(t *kernel.Thread) {
+	st := stateOf(t)
+	switch {
+	case st.boundSlot == boundNone:
+		return
+	case st.boundSlot == boundOverflow:
+		p.overflowRemove(t)
+	default:
+		if st.boundPrev != nil {
+			stateOf(st.boundPrev).boundNext = st.boundNext
+		} else {
+			p.buckets[st.boundSlot] = st.boundNext
+		}
+		if st.boundNext != nil {
+			stateOf(st.boundNext).boundPrev = st.boundPrev
+		}
+		st.boundPrev = nil
+		st.boundNext = nil
+	}
+	st.boundSlot = boundNone
+	st.boundIdx = -1
+}
+
+// boundDrain rolls every queued registered thread whose period ended at or
+// before now: buckets strictly behind now's slot are entirely due, and the
+// current slot plus the overflow heap are filtered by cached key. Entries
+// refiled during the drain always carry a rolled-past-now key, so the walk
+// never revisits them.
+func (p *Policy) boundDrain(now sim.Time) {
+	target := int64(now) / p.slotW
+	if target < p.curSlot {
+		target = p.curSlot
+	}
+	first := p.curSlot
+	if target-first >= bwSlots {
+		first = target - bwSlots + 1 // the wheel holds nothing older
+	}
+	for s := first; s <= target; s++ {
+		t := p.buckets[s&bwMask]
+		for t != nil {
+			st := stateOf(t)
+			next := st.boundNext
+			if st.boundKey <= now {
+				p.boundRemove(t)
+				p.rollDue(t, st, now)
+			}
+			t = next
+		}
+	}
+	p.curSlot = target
+	for len(p.overflow) > 0 {
+		t := p.overflow[0]
+		st := stateOf(t)
+		if st.boundKey > now {
+			break
+		}
+		p.boundRemove(t)
+		p.rollDue(t, st, now)
+	}
+}
+
+// --- overflow min-heap on (boundKey, seq), for far-future boundaries ---
+
+func (p *Policy) overflowLess(a, b *kernel.Thread) bool {
+	sa, sb := stateOf(a), stateOf(b)
+	if sa.boundKey != sb.boundKey {
+		return sa.boundKey < sb.boundKey
+	}
+	return sa.seq < sb.seq
+}
+
+func (p *Policy) overflowRemove(t *kernel.Thread) {
+	st := stateOf(t)
+	i := st.boundIdx
+	last := len(p.overflow) - 1
+	moved := p.overflow[last]
+	p.overflow[last] = nil
+	p.overflow = p.overflow[:last]
+	if i == last {
+		return
+	}
+	p.overflow[i] = moved
+	stateOf(moved).boundIdx = i
+	if !p.overflowDown(i) {
+		p.overflowUp(i)
+	}
+}
+
+func (p *Policy) overflowUp(i int) {
+	t := p.overflow[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.overflowLess(t, p.overflow[parent]) {
+			break
+		}
+		p.overflow[i] = p.overflow[parent]
+		stateOf(p.overflow[i]).boundIdx = i
+		i = parent
+	}
+	p.overflow[i] = t
+	stateOf(t).boundIdx = i
+}
+
+func (p *Policy) overflowDown(i int) bool {
+	t := p.overflow[i]
+	n := len(p.overflow)
+	moved := false
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && p.overflowLess(p.overflow[r], p.overflow[kid]) {
+			kid = r
+		}
+		if !p.overflowLess(p.overflow[kid], t) {
+			break
+		}
+		p.overflow[i] = p.overflow[kid]
+		stateOf(p.overflow[i]).boundIdx = i
+		i = kid
+		moved = true
+	}
+	p.overflow[i] = t
+	stateOf(t).boundIdx = i
+	return moved
+}
+
+// --- exhausted list: queued registered threads with no budget ---
+
+// exhAdd inserts t into the exhausted list keeping it sorted by enqueue
+// sequence, which is the order the legacy scan napped exhausted threads
+// in (their runnable-slice order). The list is almost always tiny.
+func (p *Policy) exhAdd(t *kernel.Thread) {
+	st := stateOf(t)
+	if st.exhIdx >= 0 {
+		return
+	}
+	i := len(p.exhausted)
+	p.exhausted = append(p.exhausted, nil)
+	for i > 0 && stateOf(p.exhausted[i-1]).seq > st.seq {
+		p.exhausted[i] = p.exhausted[i-1]
+		stateOf(p.exhausted[i]).exhIdx = i
+		i--
+	}
+	p.exhausted[i] = t
+	st.exhIdx = i
+}
+
+func (p *Policy) exhRemove(t *kernel.Thread) {
+	st := stateOf(t)
+	i := st.exhIdx
+	if i < 0 {
+		return
+	}
+	st.exhIdx = -1
+	copy(p.exhausted[i:], p.exhausted[i+1:])
+	last := len(p.exhausted) - 1
+	p.exhausted[last] = nil
+	p.exhausted = p.exhausted[:last]
+	for ; i < last; i++ {
+		stateOf(p.exhausted[i]).exhIdx = i
+	}
+}

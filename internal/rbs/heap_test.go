@@ -1,0 +1,205 @@
+package rbs_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+// The dispatcher's indexed-heap core must reproduce the legacy linear
+// scan's decisions bit-for-bit. Policy.Verify makes every Pick replay the
+// scan — runnable threads in enqueue order, first-best wins — and panic on
+// any divergence, so driving a randomized workload with Verify on is a
+// differential heap-vs-scan property test over the full policy surface:
+// enqueue, dequeue, rotation, budget exhaustion, period rolls,
+// re-reservation, unregistration, and both disciplines.
+
+// chaosProgram mixes compute bursts, sleeps, yields, and queue blocking so
+// threads move through every scheduling state.
+func chaosProgram(rng *sim.RNG, q *kernel.Queue) kernel.Program {
+	phase := 0
+	return kernel.ProgramFunc(func(t *kernel.Thread, now sim.Time) kernel.Op {
+		phase++
+		switch rng.Intn(6) {
+		case 0:
+			return kernel.OpSleep{D: sim.Duration(1+rng.Intn(20)) * sim.Millisecond}
+		case 1:
+			return kernel.OpYield{}
+		case 2:
+			if phase%2 == 0 {
+				return kernel.OpProduce{Queue: q, Bytes: int64(64 + rng.Intn(512))}
+			}
+			return kernel.OpCompute{Cycles: sim.Cycles(10_000 + rng.Intn(500_000))}
+		case 3:
+			if phase%2 == 0 {
+				return kernel.OpConsume{Queue: q, Bytes: int64(64 + rng.Intn(512))}
+			}
+			return kernel.OpCompute{Cycles: sim.Cycles(10_000 + rng.Intn(500_000))}
+		default:
+			return kernel.OpCompute{Cycles: sim.Cycles(10_000 + rng.Intn(1_000_000))}
+		}
+	})
+}
+
+func runDifferential(t *testing.T, seed uint64, disc rbs.Discipline) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Discipline = disc
+	p.Verify = true // every Pick cross-checks heap vs linear scan
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	q := k.NewQueue("chaos", 2048)
+
+	n := 4 + rng.Intn(12)
+	threads := make([]*kernel.Thread, n)
+	for i := range threads {
+		threads[i] = k.Spawn(fmt.Sprintf("t%d", i), chaosProgram(rng, q))
+		if rng.Intn(3) > 0 {
+			res := rbs.Reservation{
+				Proportion: 10 + rng.Intn(150),
+				Period:     sim.Duration(2+rng.Intn(60)) * sim.Millisecond,
+			}
+			if err := p.SetReservation(threads[i], res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	k.Start()
+
+	// Mutate reservations mid-run so period phases, budgets, and classes
+	// churn while the machine runs.
+	for step := 0; step < 30; step++ {
+		eng.RunFor(sim.Duration(1+rng.Intn(40)) * sim.Millisecond)
+		th := threads[rng.Intn(n)]
+		switch rng.Intn(4) {
+		case 0:
+			p.Unregister(th)
+		default:
+			res := rbs.Reservation{
+				Proportion: rng.Intn(200), // zero-proportion edge included
+				Period:     sim.Duration(1+rng.Intn(80)) * sim.Millisecond,
+			}
+			if err := p.SetReservation(th, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.RunFor(200 * sim.Millisecond)
+	k.Stop()
+}
+
+func TestDifferentialHeapVsScanRMS(t *testing.T) {
+	f := func(seed uint64) bool {
+		runDifferential(t, seed, rbs.RMS)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialHeapVsScanEDF(t *testing.T) {
+	f := func(seed uint64) bool {
+		runDifferential(t, seed, rbs.EDF)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDequeueUnqueuedIsNoOp is the regression test for Dequeue called on a
+// thread that is not in the runnable set (sleeping, blocked, or already
+// dequeued): it must be a no-op and must not corrupt the structures.
+func TestDequeueUnqueuedIsNoOp(t *testing.T) {
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Verify = true
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	a := k.Spawn("a", hog(1_000_000))
+	b := k.Spawn("b", hog(1_000_000))
+	if err := p.SetReservation(a, rbs.Reservation{Proportion: 100, Period: 10 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	now := k.Now()
+	// Double-dequeue both threads; the second call must be a no-op.
+	p.Dequeue(a, now)
+	p.Dequeue(a, now)
+	p.Dequeue(b, now)
+	p.Dequeue(b, now)
+	if got := p.Pick(now); got != nil {
+		t.Fatalf("Pick after dequeueing everything = %v, want nil", got)
+	}
+	// Re-enqueue and make sure the machine still schedules both.
+	p.Enqueue(a, now)
+	p.Enqueue(b, now)
+	k.Start()
+	eng.RunFor(100 * sim.Millisecond)
+	k.Stop()
+	if a.CPUTime() == 0 || b.CPUTime() == 0 {
+		t.Fatalf("threads starved after double dequeue: a=%v b=%v", a.CPUTime(), b.CPUTime())
+	}
+}
+
+// TestTotalProportionDropsOnExit pins the incremental proportion total to
+// the legacy scan semantics: exited threads leave the sum immediately.
+func TestTotalProportionDropsOnExit(t *testing.T) {
+	eng := sim.NewEngine()
+	p := rbs.New()
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	done := 0
+	exiting := k.Spawn("exiting", kernel.ProgramFunc(func(th *kernel.Thread, now sim.Time) kernel.Op {
+		done++
+		if done > 1 {
+			return kernel.OpExit{}
+		}
+		return kernel.OpCompute{Cycles: 1000}
+	}))
+	stayer := k.Spawn("stayer", hog(1_000_000))
+	p.SetReservation(exiting, rbs.Reservation{Proportion: 300, Period: 10 * sim.Millisecond})
+	p.SetReservation(stayer, rbs.Reservation{Proportion: 200, Period: 10 * sim.Millisecond})
+	if got := p.TotalProportion(); got != 500 {
+		t.Fatalf("TotalProportion = %d, want 500", got)
+	}
+	k.Start()
+	eng.RunFor(50 * sim.Millisecond)
+	k.Stop()
+	if exiting.State() != kernel.StateExited {
+		t.Fatalf("exiting thread still %v", exiting.State())
+	}
+	if got := p.TotalProportion(); got != 200 {
+		t.Fatalf("TotalProportion after exit = %d, want 200", got)
+	}
+	// Unregistering the exited thread must not double-subtract.
+	p.Unregister(exiting)
+	if got := p.TotalProportion(); got != 200 {
+		t.Fatalf("TotalProportion after unregistering exited = %d, want 200", got)
+	}
+}
+
+// TestZeroProportionReservationParks covers the Budget()==0 edge: the
+// thread stays registered but can never hold budget, so the dispatcher
+// naps it period after period without ever selecting it.
+func TestZeroProportionReservationParks(t *testing.T) {
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Verify = true
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	parked := k.Spawn("parked", hog(1_000_000))
+	running := k.Spawn("running", hog(1_000_000))
+	p.SetReservation(parked, rbs.Reservation{Proportion: 0, Period: 10 * sim.Millisecond})
+	k.Start()
+	eng.RunFor(100 * sim.Millisecond)
+	k.Stop()
+	if parked.CPUTime() != 0 {
+		t.Fatalf("zero-proportion thread ran %v", parked.CPUTime())
+	}
+	if running.CPUTime() == 0 {
+		t.Fatal("unmanaged thread starved by a zero-proportion reservation")
+	}
+}

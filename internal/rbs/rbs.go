@@ -14,10 +14,19 @@
 // prototype's was ("the minimum allocation is 1 msec", §4.3). Setting
 // PreciseAccounting emulates the paper's proposed improvement of
 // microsecond-granularity accounting, and is benchmarked as an ablation.
+//
+// The dispatcher's hot path is O(log n) in the number of queued threads:
+// the runnable set is an intrusive indexed heap ordered by the discipline
+// (see heap.go), period refresh is driven by a period-boundary heap
+// processed at dispatch points instead of a full refresh scan per Pick,
+// and the registered-proportion total is maintained incrementally. The
+// resulting schedule is bit-identical to the legacy linear scan's (the
+// Verify hook cross-checks every Pick against the scan order).
 package rbs
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -68,9 +77,32 @@ type state struct {
 	periodStart sim.Time
 	budget      sim.Duration // remaining allocation this period
 	used        sim.Duration // consumed this period
-	queued      bool
+	// perBudget caches res.Budget() so the per-period roll does no
+	// multiply/divide; SetReservation keeps it in sync.
+	perBudget sim.Duration
+	queued    bool
 	napping     bool // asleep on budget exhaustion (not a voluntary sleep)
 	missed      uint64
+
+	// seq reconstructs the legacy runnable-slice order: assigned when the
+	// thread enters the queue and reassigned on round-robin rotation, so
+	// FIFO-among-equals tie-breaking matches the linear scan exactly.
+	seq uint64
+	// heapIdx/exhIdx track the thread's positions in the ready heap and
+	// the exhausted list (-1 = absent).
+	heapIdx int
+	exhIdx  int
+	// boundSlot/boundIdx/boundKey track the thread's entry in the
+	// period-boundary wheel (bucket or overflow heap, see heap.go);
+	// boundKey caches the period end the entry was filed under, and
+	// boundPrev/boundNext link the intrusive bucket list.
+	boundSlot int
+	boundIdx  int
+	boundKey  sim.Time
+	boundPrev *kernel.Thread
+	boundNext *kernel.Thread
+	// counted marks threads included in the incremental proportion total.
+	counted bool
 
 	// rrUsed is quantum usage for unregistered threads.
 	rrUsed sim.Duration
@@ -91,13 +123,29 @@ type Policy struct {
 	Discipline Discipline
 	// UnmanagedQuantum is the round-robin quantum for unregistered threads.
 	UnmanagedQuantum sim.Duration
+	// Verify cross-checks every Pick against the legacy O(n) linear scan
+	// and panics on divergence. Testing hook; leave false in production.
+	Verify bool
 
-	runnable    []*kernel.Thread
+	// ready is the indexed heap of dispatchable queued threads: registered
+	// threads with budget and the unmanaged round-robin class below them.
+	ready []*kernel.Thread
+	// buckets/overflow/curSlot/slotW form the period-boundary wheel of
+	// queued registered threads by next period end; Pick drains the due
+	// entries instead of refreshing every runnable thread (see heap.go).
+	// Each bucket is the head of an intrusive doubly linked list.
+	buckets  [bwSlots]*kernel.Thread
+	overflow []*kernel.Thread
+	curSlot  int64
+	slotW    int64
+	// exhausted lists queued registered threads with spent budgets, in
+	// enqueue order; Pick naps them until their next period begins.
+	exhausted []*kernel.Thread
+
+	seqGen      uint64
+	totalProp   int
 	needResched bool
 	missedTotal uint64
-
-	// exhausted is Pick's scratch buffer, reused across dispatches.
-	exhausted []*kernel.Thread
 }
 
 // New returns a reservation-based policy with the prototype's defaults.
@@ -108,8 +156,14 @@ func New() *Policy {
 // Name implements kernel.Policy.
 func (p *Policy) Name() string { return "rbs" }
 
-// Attach implements kernel.Policy.
-func (p *Policy) Attach(k *kernel.Kernel) { p.k = k }
+// Attach implements kernel.Policy. The boundary wheel's slot width is the
+// kernel tick: dispatch points arrive at least once per tick, so the wheel
+// cursor advances at most one slot per dispatch.
+func (p *Policy) Attach(k *kernel.Kernel) {
+	p.k = k
+	p.slotW = int64(k.Config().TickInterval)
+	p.curSlot = int64(k.Now()) / p.slotW
+}
 
 // Kernel returns the kernel this policy is attached to.
 func (p *Policy) Kernel() *kernel.Kernel { return p.k }
@@ -118,11 +172,19 @@ func stateOf(t *kernel.Thread) *state { return t.Sched.(*state) }
 
 // AddThread implements kernel.Policy: new threads start unregistered.
 func (p *Policy) AddThread(t *kernel.Thread, now sim.Time) {
-	t.Sched = &state{}
+	t.Sched = &state{heapIdx: -1, exhIdx: -1, boundSlot: boundNone, boundIdx: -1}
 }
 
-// RemoveThread implements kernel.Policy.
-func (p *Policy) RemoveThread(t *kernel.Thread, now sim.Time) {}
+// RemoveThread implements kernel.Policy. The thread leaves the proportion
+// total here rather than at the controller's next reap, matching the old
+// full-scan TotalProportion which skipped exited threads on every call.
+func (p *Policy) RemoveThread(t *kernel.Thread, now sim.Time) {
+	st := stateOf(t)
+	if st.counted {
+		p.totalProp -= st.res.Proportion
+		st.counted = false
+	}
+}
 
 // SetReservation registers t (if needed) and installs a reservation. A
 // proportion increase takes effect immediately within the current period; a
@@ -138,14 +200,25 @@ func (p *Policy) SetReservation(t *kernel.Thread, res Reservation) error {
 	now := p.k.Now()
 	st := stateOf(t)
 	if !st.registered || st.res.Period != res.Period {
+		if st.counted {
+			p.totalProp += res.Proportion - st.res.Proportion
+		} else if t.State() != kernel.StateExited {
+			p.totalProp += res.Proportion
+			st.counted = true
+		}
 		st.registered = true
 		st.res = res
+		st.perBudget = res.Budget()
 		st.periodStart = now
-		st.budget = res.Budget()
+		st.budget = st.perBudget
 		st.used = 0
 		st.totalGranted += st.budget
 	} else {
+		if st.counted {
+			p.totalProp += res.Proportion - st.res.Proportion
+		}
 		st.res = res
+		st.perBudget = res.Budget()
 		p.refresh(t, st, now)
 		// Re-derive the remaining budget from the new proportion so total
 		// usage this period tops out at the new allocation.
@@ -155,6 +228,7 @@ func (p *Policy) SetReservation(t *kernel.Thread, res Reservation) error {
 		}
 		st.budget = b
 	}
+	p.reconcile(t, st)
 	if st.napping && st.budget > 0 {
 		// The nap was based on the old, smaller allocation.
 		st.napping = false
@@ -172,8 +246,13 @@ func (p *Policy) ReservationOf(t *kernel.Thread) (Reservation, bool) {
 // Unregister returns t to the unmanaged round-robin class.
 func (p *Policy) Unregister(t *kernel.Thread) {
 	st := stateOf(t)
+	if st.counted {
+		p.totalProp -= st.res.Proportion
+		st.counted = false
+	}
 	st.registered = false
 	st.res = Reservation{}
+	p.reconcile(t, st)
 }
 
 // UsedThisPeriod returns the CPU t consumed in its current period.
@@ -194,35 +273,94 @@ func (p *Policy) MissedDeadlines() uint64 { return p.missedTotal }
 
 // TotalProportion sums the proportions of all registered live threads, the
 // paper's overload signal ("one can easily detect overload by summing the
-// proportions").
-func (p *Policy) TotalProportion() int {
-	sum := 0
-	for _, t := range p.k.Threads() {
-		if t.State() == kernel.StateExited {
-			continue
-		}
-		if st, ok := t.Sched.(*state); ok && st.registered {
-			sum += st.res.Proportion
-		}
-	}
-	return sum
-}
+// proportions"). The sum is maintained incrementally by SetReservation,
+// Unregister, and thread exit, so admission-control checks are O(1)
+// instead of a scan over every thread ever created.
+func (p *Policy) TotalProportion() int { return p.totalProp }
 
 // refresh rolls t's period forward to contain now, refilling the budget and
-// recording deadline misses.
+// recording deadline misses. The roll is closed-form over the k periods
+// that ended (the legacy loop rolled one at a time): the first ended
+// period misses iff the thread was queued with budget left, and each
+// further one iff it was queued with a non-empty refill. Callers with t in
+// the queue must re-fix the priority structures afterwards (roll does
+// both).
 func (p *Policy) refresh(t *kernel.Thread, st *state, now sim.Time) {
 	if !st.registered {
 		return
 	}
-	for now.Sub(st.periodStart) >= st.res.Period {
-		if st.queued && st.budget > 0 {
-			st.missed++
-			p.missedTotal++
+	elapsed := now.Sub(st.periodStart)
+	if elapsed < st.res.Period {
+		return
+	}
+	k := int64(elapsed / st.res.Period)
+	if st.queued {
+		var miss uint64
+		if st.budget > 0 {
+			miss++
 		}
-		st.periodStart = st.periodStart.Add(st.res.Period)
-		st.budget = st.res.Budget()
-		st.used = 0
-		st.totalGranted += st.budget
+		if k > 1 && st.perBudget > 0 {
+			miss += uint64(k - 1)
+		}
+		st.missed += miss
+		p.missedTotal += miss
+	}
+	st.periodStart = st.periodStart.Add(sim.Duration(k * int64(st.res.Period)))
+	st.budget = st.perBudget
+	st.used = 0
+	st.totalGranted += sim.Duration(k * int64(st.perBudget))
+}
+
+// roll is refresh plus structure maintenance: after the period rolls, the
+// boundary entry moves to its new slot, an exhausted thread whose budget
+// refilled rejoins the ready heap, and an EDF deadline change reorders the
+// ready heap.
+func (p *Policy) roll(t *kernel.Thread, st *state, now sim.Time) {
+	if !st.registered || now.Sub(st.periodStart) < st.res.Period {
+		return
+	}
+	if !st.queued {
+		p.refresh(t, st, now)
+		return
+	}
+	p.boundRemove(t)
+	p.rollDue(t, st, now)
+}
+
+// rollDue rolls a queued registered thread whose boundary entry has been
+// taken out of the wheel, and refiles it.
+func (p *Policy) rollDue(t *kernel.Thread, st *state, now sim.Time) {
+	wasExhausted := st.exhIdx >= 0
+	p.refresh(t, st, now)
+	p.boundInsert(t)
+	if wasExhausted && st.budget > 0 {
+		p.exhRemove(t)
+		p.readyPush(t)
+	} else if p.Discipline == EDF {
+		p.readyFix(t)
+	}
+}
+
+// reconcile re-derives t's structure memberships and keys from its state,
+// after SetReservation/Unregister mutate the reservation arbitrarily.
+func (p *Policy) reconcile(t *kernel.Thread, st *state) {
+	if !st.queued {
+		return
+	}
+	p.boundRemove(t)
+	if st.registered {
+		p.boundInsert(t)
+	}
+	if !st.registered || st.budget > 0 {
+		p.exhRemove(t)
+		if st.heapIdx < 0 {
+			p.readyPush(t)
+		} else {
+			p.readyFix(t)
+		}
+	} else {
+		p.readyRemove(t)
+		p.exhAdd(t)
 	}
 }
 
@@ -240,14 +378,7 @@ func (p *Policy) goodness(t *kernel.Thread) int64 {
 			return 0
 		}
 		g := int64(1) << 40
-		periodMs := int64(st.res.Period / sim.Millisecond)
-		if periodMs < 1 {
-			periodMs = 1
-		}
-		if periodMs > 1<<20 {
-			periodMs = 1 << 20
-		}
-		return g - periodMs
+		return g - clampedPeriodMs(st)
 	}
 	return 1000
 }
@@ -261,7 +392,18 @@ func (p *Policy) Enqueue(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	st.queued = true
-	p.runnable = append(p.runnable, t)
+	st.seq = p.seqGen
+	p.seqGen++
+	if st.registered {
+		p.boundInsert(t)
+		if st.budget > 0 {
+			p.readyPush(t)
+		} else {
+			p.exhAdd(t)
+		}
+	} else {
+		p.readyPush(t)
+	}
 	if cur := p.k.Current(); cur != nil && p.better(t, cur) {
 		p.needResched = true
 	}
@@ -274,13 +416,9 @@ func (p *Policy) Dequeue(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	st.queued = false
-	for i, r := range p.runnable {
-		if r == t {
-			copy(p.runnable[i:], p.runnable[i+1:])
-			p.runnable = p.runnable[:len(p.runnable)-1]
-			return
-		}
-	}
+	p.readyRemove(t)
+	p.boundRemove(t)
+	p.exhRemove(t)
 }
 
 // better reports whether a should be dispatched ahead of b under the
@@ -308,28 +446,60 @@ func (p *Policy) better(a, b *kernel.Thread) bool {
 // Pick implements kernel.Policy: the best thread under the discipline
 // wins. Registered threads that are runnable with an exhausted budget are
 // napped until their next period as a side effect.
+//
+// Instead of refreshing every runnable thread per dispatch, Pick drains
+// the due entries of the period-boundary wheel (refresh runs once per
+// period per thread, at O(1) amortized structure cost), naps the
+// exhausted list, and takes the ready heap top: O(log n) where the legacy
+// scan was O(n) on every dispatch.
 func (p *Policy) Pick(now sim.Time) *kernel.Thread {
-	exhausted := p.exhausted[:0]
+	p.boundDrain(now)
+	if n := len(p.exhausted); n > 0 {
+		// Detach each entry before napping it so SleepThreadUntil's Dequeue
+		// skips the list and the whole drain is O(n), in enqueue order (nap
+		// order fixes timer order at equal deadlines, hence wake order).
+		for i := 0; i < n; i++ {
+			t := p.exhausted[i]
+			p.exhausted[i] = nil
+			st := stateOf(t)
+			st.exhIdx = -1
+			st.napping = true
+			p.k.SleepThreadUntil(t, p.periodEnd(st))
+		}
+		p.exhausted = p.exhausted[:0]
+	}
+	if p.Verify {
+		p.verifyPick(now)
+	}
+	return p.readyTop()
+}
+
+// verifyPick replays the legacy linear scan — runnable threads in slice
+// (enqueue) order, first-best wins via better() — and panics if the heap
+// disagrees. It also asserts the invariants the heap relies on: every due
+// period has been rolled and no exhausted thread lingers in the ready set.
+func (p *Policy) verifyPick(now sim.Time) {
+	scan := make([]*kernel.Thread, len(p.ready))
+	copy(scan, p.ready)
+	sort.Slice(scan, func(i, j int) bool {
+		return stateOf(scan[i]).seq < stateOf(scan[j]).seq
+	})
 	var best *kernel.Thread
-	for _, t := range p.runnable {
+	for _, t := range scan {
 		st := stateOf(t)
-		p.refresh(t, st, now)
+		if st.registered && now.Sub(st.periodStart) >= st.res.Period {
+			panic(fmt.Sprintf("rbs: verify: %v has an unrolled period at Pick", t))
+		}
 		if st.registered && st.budget <= 0 {
-			exhausted = append(exhausted, t)
-			continue
+			panic(fmt.Sprintf("rbs: verify: exhausted %v in ready heap", t))
 		}
 		if best == nil || p.better(t, best) {
 			best = t
 		}
 	}
-	for i, t := range exhausted {
-		st := stateOf(t)
-		st.napping = true
-		p.k.SleepThreadUntil(t, p.periodEnd(st))
-		exhausted[i] = nil
+	if top := p.readyTop(); top != best {
+		panic(fmt.Sprintf("rbs: verify: heap picked %v, scan picked %v", top, best))
 	}
-	p.exhausted = exhausted[:0]
-	return best
 }
 
 // TimeSlice implements kernel.Policy. For registered threads the slice is
@@ -344,7 +514,7 @@ func (p *Policy) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
 		}
 		return rem
 	}
-	p.refresh(t, st, now)
+	p.roll(t, st, now)
 	if st.budget <= 0 {
 		return 0
 	}
@@ -369,7 +539,7 @@ func (p *Policy) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
 		}
 		return false
 	}
-	p.refresh(t, st, now)
+	p.roll(t, st, now)
 	st.used += ran
 	st.budget -= ran
 	if st.budget <= 0 {
@@ -377,20 +547,28 @@ func (p *Policy) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
 		if t.Runnable() {
 			st.napping = true
 			p.k.SleepThreadUntil(t, p.periodEnd(st))
+		} else if st.queued {
+			// Stays queued with a spent budget (the legacy scan kept such
+			// threads in the runnable slice); Pick naps it next dispatch.
+			p.readyRemove(t)
+			p.exhAdd(t)
 		}
 		return true
 	}
 	return false
 }
 
+// rotate moves an unmanaged thread behind every other unmanaged thread, the
+// round-robin step at quantum expiry. Reassigning the enqueue sequence is
+// exactly the legacy move-to-back of the runnable slice.
 func (p *Policy) rotate(t *kernel.Thread) {
-	for i, r := range p.runnable {
-		if r == t {
-			copy(p.runnable[i:], p.runnable[i+1:])
-			p.runnable[len(p.runnable)-1] = t
-			return
-		}
+	st := stateOf(t)
+	if !st.queued {
+		return
 	}
+	st.seq = p.seqGen
+	p.seqGen++
+	p.readyFix(t)
 }
 
 // Tick implements kernel.Policy.

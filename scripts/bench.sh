@@ -1,60 +1,26 @@
 #!/bin/sh
-# bench.sh — run the event-core hot-path benchmarks and record the results
-# in BENCH_results.json, preserving the recorded pre-rewrite baseline so
-# every future PR can compare against both.
+# bench.sh — run the hot-path benchmarks and append a dated entry to
+# BENCH_results.json (via scripts/benchmerge), preserving the recorded
+# pre-rewrite baseline and every previous entry so the performance
+# trajectory accumulates PR over PR.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [label]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_results.json}"
+label="${1:-dev}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# Event-core benches: the simulator's fundamental speed.
 go test -run '^$' -bench 'BenchmarkEngineScheduleAndFire|BenchmarkEngineChainedTimers|BenchmarkEngineManyPending' \
     -benchmem ./internal/sim/ >>"$tmp" 2>&1
 go test -run '^$' -bench 'BenchmarkSimulatedSecondOneHog|BenchmarkSimulatedSecondPipeline|BenchmarkContextSwitchStorm|BenchmarkTimerHeavySleepers' \
     -benchmem ./internal/kernel/ >>"$tmp" 2>&1
 
-# The baseline below was measured at the seed commit, before the timer-
-# wheel/event-pool rewrite (container/heap queue, per-event allocations),
-# on the same benchmarks. It is kept verbatim as the comparison anchor.
-awk '
-BEGIN {
-    print "{"
-    print "  \"note\": \"ns_op is wall time per op; the Simulated* benches are wall time per simulated second\","
-    print "  \"baseline_pre_event_core\": {"
-    print "    \"BenchmarkEngineScheduleAndFire\":   {\"ns_op\": 76.97,   \"b_op\": 48,     \"allocs_op\": 1},"
-    print "    \"BenchmarkEngineChainedTimers\":     {\"ns_op\": 71.49,   \"b_op\": 48,     \"allocs_op\": 1},"
-    print "    \"BenchmarkEngineManyPending\":       {\"ns_op\": 532.1,   \"b_op\": 92,     \"allocs_op\": 1},"
-    print "    \"BenchmarkSimulatedSecondOneHog\":   {\"ns_op\": 421972,  \"b_op\": 201428, \"allocs_op\": 6593},"
-    print "    \"BenchmarkSimulatedSecondPipeline\": {\"ns_op\": 1420188, \"b_op\": 629788, \"allocs_op\": 24574},"
-    print "    \"BenchmarkContextSwitchStorm\":      {\"ns_op\": 100103,  \"b_op\": 27738,  \"allocs_op\": 896},"
-    print "    \"BenchmarkTimerHeavySleepers\":      {\"ns_op\": 771733,  \"b_op\": 273062, \"allocs_op\": 11866}"
-    print "  },"
-    print "  \"current\": {"
-    n = 0
-}
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    ns = ""; b = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      b = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
-    }
-    if (ns == "") next
-    line = sprintf("    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", name, ns, b, allocs)
-    if (n++) printf(",\n")
-    printf("%s", line)
-}
-END {
-    print ""
-    print "  }"
-    print "}"
-}
-' "$tmp" >"$out"
+# Scheduler-core scaling benches: dispatch cost versus thread count and
+# the allocation-free controller tick.
+go test -run '^$' -bench 'BenchmarkStormDispatch' -benchtime 30x -benchmem . >>"$tmp" 2>&1
+go test -run '^$' -bench 'BenchmarkControllerStep' -benchtime 200x -benchmem ./internal/core/ >>"$tmp" 2>&1
 
-echo "wrote $out"
-cat "$out"
+go run ./scripts/benchmerge -file BENCH_results.json -date "$(date -u +%F)" -label "$label" <"$tmp"

@@ -1,0 +1,120 @@
+// Command benchmerge folds `go test -bench` output (stdin) into
+// BENCH_results.json as a dated history entry, so the performance
+// trajectory accumulates PR over PR instead of overwriting itself.
+//
+// Usage: go test -bench … | go run ./scripts/benchmerge -file BENCH_results.json -date 2026-07-28 -label pr2
+//
+// The file's schema after merging:
+//
+//	{
+//	  "note": …,
+//	  "baseline_pre_event_core": {…},   // kept verbatim, the seed anchor
+//	  "history": [ {"date": …, "label": …, "results": {name: {ns_op, b_op, allocs_op, metrics…}}} ]
+//	}
+//
+// A legacy top-level "current" object is migrated into the history on
+// first contact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		file  = flag.String("file", "BENCH_results.json", "results file to update")
+		date  = flag.String("date", "", "date stamp for this entry (YYYY-MM-DD)")
+		label = flag.String("label", "dev", "label for this entry")
+	)
+	flag.Parse()
+
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(*file); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmerge: %s is not valid JSON (%v); starting fresh\n", *file, err)
+			doc = map[string]any{}
+		}
+	}
+
+	history, _ := doc["history"].([]any)
+	if cur, ok := doc["current"]; ok {
+		history = append(history, map[string]any{
+			"date": "", "label": "migrated-current", "results": cur,
+		})
+		delete(doc, "current")
+	}
+
+	results := map[string]any{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		entry := map[string]any{}
+		// fields[1] is the iteration count; value/unit pairs follow:
+		// "BenchmarkX-8 10 123 ns/op 4 B/op 5 allocs/op 6 widgets".
+		for i := 3; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i]; unit {
+			case "ns/op":
+				entry["ns_op"] = v
+			case "B/op":
+				entry["b_op"] = v
+			case "allocs/op":
+				entry["allocs_op"] = v
+			default:
+				entry[strings.NewReplacer("/", "_", "-", "_").Replace(unit)] = v
+			}
+		}
+		if len(entry) > 0 {
+			results[name] = entry
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmerge:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchmerge: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc["history"] = append(history, map[string]any{
+		"date": *date, "label": *label, "results": results,
+	})
+	if _, ok := doc["note"]; !ok {
+		doc["note"] = "ns_op is wall time per op; Simulated*/Storm benches are wall time per simulated window"
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmerge:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmerge:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmerge: appended %q (%d benchmarks) to %s\n", *label, len(results), *file)
+}
