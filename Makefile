@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz clean
+.PHONY: all build examples vet test race bench fuzz goldens clean
 
-all: build vet test
+all: build vet test goldens
 
 build:
 	$(GO) build ./...
+
+# examples builds the runnable examples explicitly (build already covers
+# them via ./..., but CI keeps a dedicated step so a broken example fails
+# with a readable name).
+examples:
+	$(GO) build ./examples/...
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +33,11 @@ bench:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzWheelDifferential -fuzztime=$(FUZZTIME) ./internal/sim/
+
+# goldens byte-compares the Figure 5-8 outputs against the committed
+# goldens in testdata/goldens/ (re-bless with scripts/goldens.sh -update).
+goldens:
+	./scripts/goldens.sh
 
 clean:
 	$(GO) clean ./...

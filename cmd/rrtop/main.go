@@ -1,8 +1,9 @@
 // Command rrtop runs a mixed workload on the real-rate stack and prints a
 // top(1)-style table each simulated second: every thread's class,
-// allocation, period, pressure, and CPU share. It makes the controller's
-// decisions visible at a glance — watch the decoder get its share, the
-// hogs split the leftover, and the editor get sized from its bursts.
+// allocation, period, pressure, CPU share, and — via the observer layer —
+// dispatch and actuation counts. It makes the controller's decisions
+// visible at a glance: watch the decoder get its share, the hogs split the
+// leftover, and the editor get sized from its bursts.
 package main
 
 import (
@@ -13,11 +14,40 @@ import (
 	realrate "repro"
 )
 
+// activity tallies per-thread scheduling events through the public
+// Observer seam, replacing ad-hoc polling of kernel internals.
+type activity struct {
+	realrate.NopObserver
+	dispatches map[*realrate.Thread]uint64
+	actuations map[*realrate.Thread]uint64
+}
+
+func newActivity() *activity {
+	return &activity{
+		dispatches: make(map[*realrate.Thread]uint64),
+		actuations: make(map[*realrate.Thread]uint64),
+	}
+}
+
+func (a *activity) OnDispatch(now time.Duration, th *realrate.Thread) {
+	if th != nil {
+		a.dispatches[th]++
+	}
+}
+
+func (a *activity) OnActuation(now time.Duration, th *realrate.Thread, prop int, period time.Duration) {
+	if th != nil {
+		a.actuations[th]++
+	}
+}
+
 func main() {
 	dur := flag.Duration("dur", 15*time.Second, "simulated duration")
 	flag.Parse()
 
 	sys := realrate.NewSystem(realrate.Config{})
+	act := newActivity()
+	sys.Observe(act)
 
 	// A three-stage media pipeline...
 	compressed := sys.NewQueue("compressed", 1<<20)
@@ -49,20 +79,23 @@ func main() {
 	}
 
 	var threads []*realrate.Thread
-	cap0, err := sys.SpawnRealTime("capture", capture, 100, 10*time.Millisecond)
-	if err != nil {
-		panic(err)
+	mustSpawn := func(name string, prog realrate.Program, opts ...realrate.SpawnOption) *realrate.Thread {
+		th, err := sys.Spawn(name, prog, opts...)
+		if err != nil {
+			panic(err)
+		}
+		threads = append(threads, th)
+		return th
 	}
-	threads = append(threads, cap0)
-	threads = append(threads,
-		sys.SpawnRealRate("decoder", stage(compressed, frames, 4096, 120), 0,
-			realrate.ConsumerOf(compressed), realrate.ProducerOf(frames)),
-		sys.SpawnRealRate("renderer", stage(frames, nil, 4096, 15), 0,
-			realrate.ConsumerOf(frames)),
-	)
+
+	mustSpawn("capture", capture, realrate.Reserve(100, 10*time.Millisecond))
+	mustSpawn("decoder", stage(compressed, frames, 4096, 120),
+		realrate.RealRate(0, realrate.ConsumerOf(compressed), realrate.ProducerOf(frames)))
+	mustSpawn("renderer", stage(frames, nil, 4096, 15),
+		realrate.RealRate(0, realrate.ConsumerOf(frames)))
 
 	// ...a batch hog...
-	threads = append(threads, sys.SpawnMiscellaneous("batch", realrate.HogProgram(400_000)))
+	mustSpawn("batch", realrate.HogProgram(400_000))
 
 	// ...and an interactive editor driven by a user.
 	tty := sys.NewWaitQueue("tty")
@@ -74,7 +107,7 @@ func main() {
 		}
 		return realrate.Compute(1_200_000)
 	})
-	threads = append(threads, sys.SpawnInteractive("editor", editor))
+	mustSpawn("editor", editor, realrate.Interactive())
 	uphase := 0
 	user := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
 		uphase++
@@ -84,22 +117,24 @@ func main() {
 		tty.WakeOne()
 		return realrate.Compute(1000)
 	})
-	if u, err := sys.SpawnRealTime("user", user, 10, 5*time.Millisecond); err == nil {
-		threads = append(threads, u)
-	}
+	mustSpawn("user", user, realrate.Reserve(10, 5*time.Millisecond))
 
 	last := make(map[*realrate.Thread]time.Duration)
+	lastDisp := make(map[*realrate.Thread]uint64)
 	sys.Every(time.Second, func(now time.Duration) {
-		fmt.Printf("\n── t=%-4s  total reserved %d/1000 ───────────────────────────────\n",
+		fmt.Printf("\n── t=%-4s  total reserved %d/1000 ───────────────────────────────────────\n",
 			now, sys.TotalProportion())
-		fmt.Printf("%-10s %-20s %6s %8s %9s %7s %6s\n",
-			"THREAD", "CLASS", "ALLOC", "PERIOD", "PRESSURE", "CPU%", "STATE")
+		fmt.Printf("%-10s %-20s %6s %8s %9s %7s %7s %5s %6s\n",
+			"THREAD", "CLASS", "ALLOC", "PERIOD", "PRESSURE", "CPU%", "DISP/s", "ACT", "STATE")
 		for _, th := range threads {
 			share := 100 * (th.CPUTime() - last[th]).Seconds()
 			last[th] = th.CPUTime()
-			fmt.Printf("%-10s %-20s %5dp %8s %+9.3f %6.1f%% %6s\n",
+			disp := act.dispatches[th] - lastDisp[th]
+			lastDisp[th] = act.dispatches[th]
+			fmt.Printf("%-10s %-20s %5dp %8s %+9.3f %6.1f%% %7d %5d %6s\n",
 				th.Name(), th.Class(), th.Allocation(),
-				th.Period().Truncate(time.Millisecond), th.Pressure(), share, th.State())
+				th.Period().Truncate(time.Millisecond), th.Pressure(), share,
+				disp, act.actuations[th], th.State())
 		}
 	})
 	sys.Run(*dur)

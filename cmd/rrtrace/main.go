@@ -1,12 +1,14 @@
 // Command rrtrace runs a configurable producer/consumer pipeline under
 // feedback-driven real-rate scheduling and dumps the full time series
 // (rates, fill level, allocations) as CSV for plotting. It is the
-// free-form companion to cmd/rrexp's fixed paper figures.
+// free-form companion to cmd/rrexp's fixed paper figures. With
+// -actuations it additionally streams every reservation change the
+// controller pushes, through the observer seam of the public API.
 //
 // Example: a 60-second run with a 2 MiB queue, a doubling pulse at 10 s,
-// and a competing hog, sampled every 50 ms:
+// and a competing hog, sampled every 50 ms, with the actuation stream:
 //
-//	rrtrace -dur 60s -queue 2097152 -pulse-at 10s -pulse-width 5s -hog -sample 50ms > trace.csv
+//	rrtrace -dur 60s -queue 2097152 -pulse-at 10s -pulse-width 5s -hog -sample 50ms -actuations act.csv > trace.csv
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		gap        = flag.Duration("gap", 2*time.Second, "gap between pulses")
 		hog        = flag.Bool("hog", false, "add a competing miscellaneous hog")
 		sample     = flag.Duration("sample", 100*time.Millisecond, "sampling interval")
+		actuations = flag.String("actuations", "", "file to stream controller actuation events into (CSV)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,21 @@ func main() {
 		Duration:              sim.FromStd(*dur),
 		SampleEvery:           sim.FromStd(*sample),
 		WithHog:               *hog,
+	}
+	if *actuations != "" {
+		f, err := os.Create(*actuations)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "time_s,thread,proportion_ppt,period_ms")
+		// The observer seam: every reservation change the controller pushes,
+		// streamed as it happens.
+		cfg.OnActuation = func(now sim.Time, thread string, prop int, period sim.Duration) {
+			fmt.Fprintf(f, "%.6f,%s,%d,%.3f\n",
+				now.Seconds(), thread, prop, period.Seconds()*1e3)
+		}
 	}
 	res := experiments.RunPipeline(cfg)
 	if err := res.WriteCSV(os.Stdout); err != nil {

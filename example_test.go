@@ -1,0 +1,150 @@
+package realrate_test
+
+import (
+	"fmt"
+	"time"
+
+	realrate "repro"
+)
+
+// ExampleSystem_Spawn builds the canonical pipeline with option-based
+// spawning: a reserved producer, a real-rate consumer discovered from its
+// queue role, and a batch hog (miscellaneous is the default class).
+func ExampleSystem_Spawn() {
+	sys := realrate.NewSystem(realrate.Config{})
+	pipe := sys.NewQueue("pipe", 1<<20)
+
+	pc := true
+	producer := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		pc = !pc
+		if pc {
+			return realrate.Compute(400_000)
+		}
+		return realrate.Produce(pipe, 20_000)
+	})
+	cc := true
+	consumer := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		cc = !cc
+		if cc {
+			return realrate.Consume(pipe, 4096)
+		}
+		return realrate.Compute(40 * 4096)
+	})
+
+	prod, _ := sys.Spawn("producer", producer,
+		realrate.Reserve(100, 10*time.Millisecond))
+	cons, _ := sys.Spawn("consumer", consumer,
+		realrate.RealRate(0, realrate.ConsumerOf(pipe)))
+	batch, _ := sys.Spawn("batch", realrate.HogProgram(400_000))
+
+	sys.Run(10 * time.Second)
+
+	fmt.Println("producer:", prod.Class())
+	fmt.Println("consumer:", cons.Class())
+	fmt.Println("batch:", batch.Class())
+	fmt.Println("queue near half-full:", pipe.FillLevel() > 0.35 && pipe.FillLevel() < 0.65)
+	fmt.Println("consumer found its share:", cons.Allocation() > 120 && cons.Allocation() < 300)
+	// Output:
+	// producer: real-time
+	// consumer: real-rate
+	// batch: miscellaneous
+	// queue near half-full: true
+	// consumer found its share: true
+}
+
+// ExampleReserve shows admission control on the reservation option: the
+// second request exceeds the remaining capacity and is rejected, leaving
+// the thread uncreated.
+func ExampleReserve() {
+	sys := realrate.NewSystem(realrate.Config{})
+	_, err1 := sys.Spawn("codec", realrate.HogProgram(400_000),
+		realrate.Reserve(700, 10*time.Millisecond))
+	_, err2 := sys.Spawn("greedy", realrate.HogProgram(400_000),
+		realrate.Reserve(400, 10*time.Millisecond))
+
+	fmt.Println("codec admitted:", err1 == nil)
+	fmt.Println("greedy rejected:", err2 != nil)
+	// Output:
+	// codec admitted: true
+	// greedy rejected: true
+}
+
+// ExampleNewPace attaches §4.5's work-unit progress metric: a password
+// cracker with no queues reports completed keys, and the controller holds
+// it at the target rate while a hog takes the rest.
+func ExampleNewPace() {
+	sys := realrate.NewSystem(realrate.Config{})
+	pace := realrate.NewPace("cracker", 1200, 2400) // 1200 keys/s, 2 s of buffer
+
+	keys := 0
+	cracker := realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		if keys > 0 {
+			pace.Complete(1)
+		}
+		keys++
+		return realrate.Compute(100_000) // 0.25 ms per key
+	})
+	sys.Spawn("cracker", cracker, realrate.RealRate(30*time.Millisecond, pace))
+	sys.Spawn("hog", realrate.HogProgram(400_000))
+	sys.Run(10 * time.Second)
+
+	rate := float64(keys) / 10
+	fmt.Println("held the target rate:", rate > 1050 && rate < 1450)
+	// Output:
+	// held the target rate: true
+}
+
+// ExampleConfig_policy runs the same hog pair under a baseline scheduler
+// selected through the policy seam; with 3:1 tickets stride delivers a 3:1
+// CPU split, no controller involved.
+func ExampleConfig_policy() {
+	sys := realrate.NewSystem(realrate.Config{
+		Policy: realrate.Stride(10 * time.Millisecond),
+	})
+	gold, _ := sys.Spawn("gold", realrate.HogProgram(400_000), realrate.Tickets(300))
+	base, _ := sys.Spawn("base", realrate.HogProgram(400_000), realrate.Tickets(100))
+	sys.Run(8 * time.Second)
+
+	ratio := gold.CPUTime().Seconds() / base.CPUTime().Seconds()
+	fmt.Println("policy:", sys.PolicyName())
+	fmt.Println("3:1 split:", ratio > 2.7 && ratio < 3.3)
+	// Output:
+	// policy: stride
+	// 3:1 split: true
+}
+
+// ExampleObserver taps the control loop: every admission decision and the
+// stream of actuations are visible without touching the scheduler.
+func ExampleObserver() {
+	sys := realrate.NewSystem(realrate.Config{})
+	obs := &admissionLogger{}
+	sys.Observe(obs)
+
+	sys.Spawn("rt", realrate.HogProgram(400_000), realrate.Reserve(300, 10*time.Millisecond))
+	sys.Spawn("greedy", realrate.HogProgram(400_000), realrate.Reserve(800, 10*time.Millisecond))
+	sys.Run(time.Second)
+
+	fmt.Println("actuations observed:", obs.actuations > 0)
+	// Output:
+	// admission rt 300ppt: accepted
+	// admission greedy 800ppt: rejected
+	// actuations observed: true
+}
+
+// admissionLogger prints admission decisions and counts actuations.
+type admissionLogger struct {
+	realrate.NopObserver
+	actuations int
+}
+
+func (l *admissionLogger) OnAdmission(ev realrate.AdmissionEvent) {
+	verdict := "accepted"
+	if !ev.Accepted {
+		verdict = "rejected"
+	}
+	fmt.Printf("admission %s %dppt: %s\n", ev.Thread.Name(), ev.Requested, verdict)
+}
+
+func (l *admissionLogger) OnActuation(now time.Duration, th *realrate.Thread, prop int, period time.Duration) {
+	l.actuations++
+}

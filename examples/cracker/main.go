@@ -28,10 +28,20 @@ func main() {
 		keys++
 		return realrate.Compute(100_000) // 0.25 ms per key
 	})
-	th, p := sys.SpawnPaced("cracker", cracker, 1200, 2400)
+	// The pace is a ProgressSource like any queue link: §4.5's "any
+	// measurable work unit", here keys attempted against 1200 keys/s with
+	// a 2 s (2400-key) burst buffer.
+	p := realrate.NewPace("cracker", 1200, 2400)
+	th, err := sys.Spawn("cracker", cracker, realrate.RealRate(30*time.Millisecond, p))
+	if err != nil {
+		panic(err)
+	}
 	pace = p
 
-	batch := sys.SpawnMiscellaneous("batch", realrate.HogProgram(400_000))
+	batch, err := sys.Spawn("batch", realrate.HogProgram(400_000))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("time    keys/s  cracker(ppt)  batch(ppt)  virtual-fill")
 	lastKeys := 0

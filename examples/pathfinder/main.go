@@ -99,14 +99,20 @@ func main() {
 		}
 	})
 
-	if _, err := sys.SpawnRealTime("bus_mgmt", busMgmt, 50, busPeriod); err != nil {
+	if _, err := sys.Spawn("bus_mgmt", busMgmt, realrate.Reserve(50, busPeriod)); err != nil {
 		panic(err)
 	}
-	if _, err := sys.SpawnRealTime("watchdog", watchdog, 10, deadline/4); err != nil {
+	if _, err := sys.Spawn("watchdog", watchdog, realrate.Reserve(10, deadline/4)); err != nil {
 		panic(err)
 	}
-	c := sys.SpawnMiscellaneous("comms", comms)
-	w := sys.SpawnMiscellaneous("weather", weather)
+	c, err := sys.Spawn("comms", comms)
+	if err != nil {
+		panic(err)
+	}
+	w, err := sys.Spawn("weather", weather)
+	if err != nil {
+		panic(err)
+	}
 
 	sys.Run(30 * time.Second)
 

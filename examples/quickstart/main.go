@@ -48,10 +48,13 @@ func main() {
 		return realrate.Compute(40 * 4096)
 	})
 
-	if _, err := sys.SpawnRealTime("producer", producer, 100, 10*time.Millisecond); err != nil {
+	if _, err := sys.Spawn("producer", producer, realrate.Reserve(100, 10*time.Millisecond)); err != nil {
 		panic(err)
 	}
-	cons := sys.SpawnRealRate("consumer", consumer, 0, realrate.ConsumerOf(pipe))
+	cons, err := sys.Spawn("consumer", consumer, realrate.RealRate(0, realrate.ConsumerOf(pipe)))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("time    fill   consumer-allocation  consumer-pressure")
 	sys.Every(500*time.Millisecond, func(now time.Duration) {

@@ -51,19 +51,25 @@ func main() {
 		}
 		return realrate.Produce(compressed, 20_000)
 	})
-	if _, err := sys.SpawnRealTime("capture", source, 100, 10*time.Millisecond); err != nil {
+	if _, err := sys.Spawn("capture", source, realrate.Reserve(100, 10*time.Millisecond)); err != nil {
 		panic(err)
 	}
 
 	// Decoder: 120 cycles/byte — the expensive stage (needs ≈60% CPU).
-	decoder := sys.SpawnRealRate("decoder",
-		stage(compressed, frames, 4096, 120), 0,
-		realrate.ConsumerOf(compressed), realrate.ProducerOf(frames))
+	decoder, err := sys.Spawn("decoder",
+		stage(compressed, frames, 4096, 120),
+		realrate.RealRate(0, realrate.ConsumerOf(compressed), realrate.ProducerOf(frames)))
+	if err != nil {
+		panic(err)
+	}
 
 	// Renderer: 15 cycles/byte — lightweight (needs ≈7.5% CPU).
-	renderer := sys.SpawnRealRate("renderer",
-		stage(frames, nil, 4096, 15), 0,
-		realrate.ConsumerOf(frames))
+	renderer, err := sys.Spawn("renderer",
+		stage(frames, nil, 4096, 15),
+		realrate.RealRate(0, realrate.ConsumerOf(frames)))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("time    decoder(ppt)  renderer(ppt)  compressed-fill  frames-fill")
 	sys.Every(time.Second, func(now time.Duration) {

@@ -37,7 +37,7 @@ func main() {
 		}
 		return realrate.Produce(requests, requestBytes)
 	})
-	if _, err := sys.SpawnRealTime("nic", source, 20, 5*time.Millisecond); err != nil {
+	if _, err := sys.Spawn("nic", source, realrate.Reserve(20, 5*time.Millisecond)); err != nil {
 		panic(err)
 	}
 
@@ -54,11 +54,19 @@ func main() {
 		served++
 		return realrate.Compute(400_000)
 	})
-	srv := sys.SpawnRealRate("httpd", server, 0, realrate.ConsumerOf(requests))
-	srv.SetImportance(4) // the server matters more than batch work
+	srv, err := sys.Spawn("httpd", server,
+		realrate.RealRate(0, realrate.ConsumerOf(requests)),
+		realrate.Importance(4)) // the server matters more than batch work
+	if err != nil {
+		panic(err)
+	}
 
-	// Background batch job: takes whatever is left.
-	batch := sys.SpawnMiscellaneous("batch", realrate.HogProgram(400_000))
+	// Background batch job: takes whatever is left (miscellaneous is the
+	// default class).
+	batch, err := sys.Spawn("batch", realrate.HogProgram(400_000))
+	if err != nil {
+		panic(err)
+	}
 
 	sys.OnQuality(func(ev realrate.QualityEvent) {
 		fmt.Printf("%5.1fs  QUALITY EXCEPTION: %s squished %d→%d ppt (overloaded burst)\n",

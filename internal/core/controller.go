@@ -178,6 +178,9 @@ type Controller struct {
 	exceptions []QualityException
 	onQuality  func(QualityException)
 	onStep     func(now sim.Time)
+	// onActuate observes every reservation change pushed to the dispatcher.
+	// Nil (the default) keeps actuate's hot path a single branch.
+	onActuate func(j *Job, prop int, period sim.Duration, now sim.Time)
 
 	steps      uint64
 	actuations uint64
@@ -303,6 +306,13 @@ func (c *Controller) OnQuality(fn func(QualityException)) { c.onQuality = fn }
 // OnStep installs a callback invoked at the end of every control interval;
 // experiments use it to sample allocations in phase with the controller.
 func (c *Controller) OnStep(fn func(now sim.Time)) { c.onStep = fn }
+
+// OnActuate installs a callback invoked for every reservation change the
+// controller pushes into the dispatcher — the actuation seam observers and
+// trace tools consume. Pass nil to remove it.
+func (c *Controller) OnActuate(fn func(j *Job, prop int, period sim.Duration, now sim.Time)) {
+	c.onActuate = fn
+}
 
 // EffectiveThreshold returns the current admission/squish ceiling.
 func (c *Controller) EffectiveThreshold() int { return c.effectiveThreshold }
@@ -773,6 +783,9 @@ func (c *Controller) actuate(j *Job, prop int, period sim.Duration) {
 	}
 	j.actuations++
 	c.actuations++
+	if c.onActuate != nil {
+		c.onActuate(j, prop, period, c.kern.Now())
+	}
 }
 
 // jobPressure sums the registered progress metrics of every member thread,

@@ -46,6 +46,10 @@ type PipelineConfig struct {
 	// Ctl, when set, tweaks the controller configuration (used by the
 	// ablation studies).
 	Ctl func(*core.Config)
+	// OnActuation, when set, receives every reservation change the
+	// controller pushes during the run — the observer seam threaded
+	// through the experiment rig (cmd/rrtrace streams it as CSV).
+	OnActuation func(now sim.Time, thread string, proportion int, period sim.Duration)
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -121,6 +125,11 @@ type PipelineResult struct {
 func RunPipeline(cfg PipelineConfig) PipelineResult {
 	cfg.fillDefaults()
 	r := newRig(nil, cfg.Ctl)
+	if cfg.OnActuation != nil {
+		r.ctl.OnActuate(func(j *core.Job, prop int, period sim.Duration, now sim.Time) {
+			cfg.OnActuation(now, j.Thread().Name(), prop, period)
+		})
+	}
 
 	q := r.kern.NewQueue("pipe", cfg.QueueSize)
 	rate := workload.PulseTrain(cfg.BaseRate, cfg.PulseStart, cfg.PulseWidths, cfg.PulseGap)

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
-	"repro/internal/baseline"
+	realrate "repro"
+
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -85,8 +87,8 @@ func RunInteractiveLatency(duration sim.Duration) InteractiveResult {
 	// Linux goodness: everything SCHED_OTHER except the input interrupt.
 	{
 		eng := sim.NewEngine()
-		lp := baseline.NewLinux()
-		k := kernel.New(eng, kernel.DefaultConfig(), lp)
+		lp := realrate.Linux()
+		k := kernel.New(eng, kernel.DefaultConfig(), lp.Linux)
 		ij, _, _, st, _ := interactiveWorkload(k)
 		lp.SetRealtime(st, 50) // input delivery is interrupt-driven
 		k.Start()
@@ -98,8 +100,8 @@ func RunInteractiveLatency(duration sim.Duration) InteractiveResult {
 	// Lottery: editor holds typical tickets, the input device many.
 	{
 		eng := sim.NewEngine()
-		lot := baseline.NewLottery(10*sim.Millisecond, 777)
-		k := kernel.New(eng, kernel.DefaultConfig(), lot)
+		lot := realrate.Lottery(10*time.Millisecond, 777)
+		k := kernel.New(eng, kernel.DefaultConfig(), lot.Lottery)
 		ij, _, it, st, _ := interactiveWorkload(k)
 		lot.SetTickets(st, 20_000)
 		lot.SetTickets(it, 100)

@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/baseline"
+	realrate "repro"
+
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -39,8 +40,8 @@ func RunPathfinder(duration sim.Duration) PathfinderResult {
 	// --- Fixed priorities ---
 	{
 		eng := sim.NewEngine()
-		lp := baseline.NewLinux()
-		k := kernel.New(eng, kernel.DefaultConfig(), lp)
+		lp := realrate.Linux()
+		k := kernel.New(eng, kernel.DefaultConfig(), lp.Linux)
 		p := workload.NewPathfinder(k, cfg)
 		lp.SetRealtime(p.Bus, 30)
 		lp.SetRealtime(p.Comms, 20)
@@ -114,8 +115,8 @@ func RunLivelock(duration sim.Duration) LivelockResult {
 
 	{
 		eng := sim.NewEngine()
-		lp := baseline.NewLinux()
-		k := kernel.New(eng, kernel.DefaultConfig(), lp)
+		lp := realrate.Linux()
+		k := kernel.New(eng, kernel.DefaultConfig(), lp.Linux)
 		s := workload.NewSpinWait(k, spinBurst, serverWork)
 		lp.SetRealtime(s.Spinner, 50) // the fixed real-time priority of §2
 		k.Start()

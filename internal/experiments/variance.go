@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
-	"repro/internal/baseline"
+	realrate "repro"
+
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/progress"
@@ -154,8 +156,8 @@ func varianceRealRate(duration, window sim.Duration) VarianceRow {
 
 func varianceLinux(duration, window sim.Duration) VarianceRow {
 	eng := sim.NewEngine()
-	lp := baseline.NewLinux()
-	k := kernel.New(eng, kernel.DefaultConfig(), lp)
+	lp := realrate.Linux()
+	k := kernel.New(eng, kernel.DefaultConfig(), lp.Linux)
 	_, ct, _ := varianceWorkload(k)
 	s := shareSeries(eng, ct, window, sim.Time(duration))
 	k.Start()
@@ -166,8 +168,8 @@ func varianceLinux(duration, window sim.Duration) VarianceRow {
 
 func varianceLottery(duration, window sim.Duration) VarianceRow {
 	eng := sim.NewEngine()
-	lot := baseline.NewLottery(10*sim.Millisecond, 12345)
-	k := kernel.New(eng, kernel.DefaultConfig(), lot)
+	lot := realrate.Lottery(10*time.Millisecond, 12345)
+	k := kernel.New(eng, kernel.DefaultConfig(), lot.Lottery)
 	pt, ct, _ := varianceWorkload(k)
 	// A-priori correct tickets: consumer 40% of the compute tickets, hogs
 	// the rest. The producer is a device driver: overwhelming tickets so a
@@ -188,8 +190,8 @@ func varianceLottery(duration, window sim.Duration) VarianceRow {
 
 func varianceStride(duration, window sim.Duration) VarianceRow {
 	eng := sim.NewEngine()
-	str := baseline.NewStride(10 * sim.Millisecond)
-	k := kernel.New(eng, kernel.DefaultConfig(), str)
+	str := realrate.Stride(10 * time.Millisecond)
+	k := kernel.New(eng, kernel.DefaultConfig(), str.Stride)
 	pt, ct, _ := varianceWorkload(k)
 	// Same a-priori tickets as the lottery: stride is its deterministic
 	// twin, so this isolates randomness as the variance source.

@@ -86,6 +86,7 @@ type Kernel struct {
 	policy Policy
 
 	threads []*Thread
+	mutexes []*Mutex
 	nextID  int
 
 	current *Thread
@@ -762,6 +763,31 @@ func (k *Kernel) unlock(t *Thread, m *Mutex, now sim.Time) {
 		next.finishOp()
 		k.wake(next, now)
 	}
+}
+
+// Retire forcibly removes a thread from the machine, as if its program had
+// returned OpExit: it is dequeued from the policy, unhooked from any wait
+// queue or wake timer, and marked exited. Callers use it to undo a Spawn
+// whose higher-level registration (e.g. admission control) failed, so the
+// rejected thread does not keep running in the leftover CPU.
+func (k *Kernel) Retire(t *Thread) {
+	if t.state == StateExited {
+		return
+	}
+	now := k.Now()
+	if k.seg != nil && k.seg.t == t {
+		k.chargeSegment(now)
+	}
+	if t.waitingOn != nil {
+		t.waitingOn.remove(t)
+		t.waitingOn = nil
+	}
+	if t.wakeTimer != nil {
+		t.wakeTimer.Cancel()
+		t.wakeTimer = nil
+	}
+	k.exit(t, now)
+	k.reschedule(now)
 }
 
 // exit retires the thread.

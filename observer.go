@@ -1,0 +1,158 @@
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Observer receives scheduling and control events as the simulation runs —
+// the tap that cmd/rrtop, cmd/rrtrace, and the trace recorder consume
+// instead of private wiring. Register one with System.Observe before Run.
+//
+// Callbacks fire synchronously from kernel and controller hot paths: they
+// must not mutate system state, and should be cheap. When no observer is
+// registered the hot paths pay a single nil check, and the no-op fast path
+// allocates nothing.
+//
+// Embed NopObserver to implement only the callbacks you care about.
+type Observer interface {
+	// OnDispatch fires when a thread begins a run segment. th is nil for
+	// threads not created through the public API (the controller's own
+	// thread).
+	OnDispatch(now time.Duration, th *Thread)
+	// OnActuation fires when the feedback controller pushes a new
+	// reservation into the dispatcher for th's job.
+	OnActuation(now time.Duration, th *Thread, proportion int, period time.Duration)
+	// OnQuality fires for every quality exception (see System.OnQuality).
+	OnQuality(ev QualityEvent)
+	// OnAdmission fires for every admission-control decision: reservation
+	// requests from Spawn (Reserve and Aperiodic options) and from
+	// Thread.Renegotiate, accepted or rejected.
+	OnAdmission(ev AdmissionEvent)
+}
+
+// AdmissionEvent is one admission-control decision.
+type AdmissionEvent struct {
+	// Time is the simulated instant of the decision.
+	Time time.Duration
+	// Thread is the requesting thread. On a rejected Spawn the handle is
+	// already retired: it never ran and is not part of the system.
+	Thread *Thread
+	// Requested is the proportion asked for, in ppt.
+	Requested int
+	// Period is the requested period (0 for aperiodic requests).
+	Period time.Duration
+	// Accepted reports the decision; when false Err holds the
+	// admission-control error.
+	Accepted bool
+	Err      error
+}
+
+// NopObserver is an Observer that ignores every event. Embed it to
+// implement only a subset of the callbacks.
+type NopObserver struct{}
+
+// OnDispatch implements Observer.
+func (NopObserver) OnDispatch(time.Duration, *Thread) {}
+
+// OnActuation implements Observer.
+func (NopObserver) OnActuation(time.Duration, *Thread, int, time.Duration) {}
+
+// OnQuality implements Observer.
+func (NopObserver) OnQuality(QualityEvent) {}
+
+// OnAdmission implements Observer.
+func (NopObserver) OnAdmission(AdmissionEvent) {}
+
+// Observe registers an observer. Multiple observers fire in registration
+// order. Call before Run; observers cannot be removed.
+func (s *System) Observe(o Observer) {
+	if o == nil {
+		panic("realrate: Observe(nil)")
+	}
+	s.hub.obs = append(s.hub.obs, o)
+	s.hub.install()
+}
+
+// observerHub multiplexes kernel trace events and controller actuations to
+// the trace recorder and registered observers. It is installed as the
+// kernel tracer (and controller actuation hook) only once tracing or an
+// observer actually exists, so unobserved systems keep the kernel's
+// tracer-nil fast path.
+type observerHub struct {
+	sys *System
+	rec kernel.Tracer // the trace recorder, when tracing is enabled
+	obs []Observer
+
+	installed bool
+}
+
+var _ kernel.Tracer = (*observerHub)(nil)
+
+// install wires the hub into the kernel and controller on first use.
+func (h *observerHub) install() {
+	if h.installed {
+		return
+	}
+	h.installed = true
+	h.sys.kern.SetTracer(h)
+	if h.sys.ctl != nil {
+		h.sys.ctl.OnActuate(h.onActuate)
+	}
+}
+
+// OnDispatch implements kernel.Tracer.
+func (h *observerHub) OnDispatch(now sim.Time, t *kernel.Thread) {
+	if h.rec != nil {
+		h.rec.OnDispatch(now, t)
+	}
+	if len(h.obs) > 0 {
+		th := h.sys.byKern[t]
+		for _, o := range h.obs {
+			o.OnDispatch(time.Duration(now), th)
+		}
+	}
+}
+
+// OnDeschedule implements kernel.Tracer (recorder-only; observers see
+// dispatch edges).
+func (h *observerHub) OnDeschedule(now sim.Time, t *kernel.Thread, ran sim.Duration) {
+	if h.rec != nil {
+		h.rec.OnDeschedule(now, t, ran)
+	}
+}
+
+// OnWake implements kernel.Tracer (recorder-only).
+func (h *observerHub) OnWake(now sim.Time, t *kernel.Thread) {
+	if h.rec != nil {
+		h.rec.OnWake(now, t)
+	}
+}
+
+// OnBlock implements kernel.Tracer (recorder-only).
+func (h *observerHub) OnBlock(now sim.Time, t *kernel.Thread, on string) {
+	if h.rec != nil {
+		h.rec.OnBlock(now, t, on)
+	}
+}
+
+// onActuate is the controller actuation hook.
+func (h *observerHub) onActuate(j *core.Job, prop int, period sim.Duration, now sim.Time) {
+	if len(h.obs) == 0 {
+		return
+	}
+	th := h.sys.byKern[j.Thread()]
+	for _, o := range h.obs {
+		o.OnActuation(time.Duration(now), th, prop, time.Duration(period))
+	}
+}
+
+// fireAdmission fans an admission decision out to observers.
+func (s *System) fireAdmission(ev AdmissionEvent) {
+	for _, o := range s.hub.obs {
+		o.OnAdmission(ev)
+	}
+}

@@ -1,8 +1,11 @@
 package realrate
 
 import (
+	"time"
+
 	"repro/internal/kernel"
 	"repro/internal/progress"
+	"repro/internal/sim"
 )
 
 // Queue is a bounded byte buffer with a symbiotic interface: its fill
@@ -36,8 +39,9 @@ func (q *Queue) Produced() int64 { return q.q.Produced() }
 // Consumed returns total bytes ever dequeued.
 func (q *Queue) Consumed() int64 { return q.q.Consumed() }
 
-// QueueLink declares a thread's role on a queue when spawning a real-rate
-// thread; it is the public form of the meta-interface registration call.
+// QueueLink declares a thread's role on a queue — the canonical
+// ProgressSource, and the public form of the meta-interface registration
+// call.
 type QueueLink struct {
 	queue *Queue
 	role  progress.Role
@@ -53,15 +57,40 @@ func ConsumerOf(q *Queue) QueueLink {
 	return QueueLink{queue: q, role: progress.Consumer}
 }
 
+// Pressure implements ProgressSource: R · (fill/size − ½).
+func (l QueueLink) Pressure(now time.Duration) float64 {
+	return progress.QueueMetric{Queue: l.queue.q, Role: l.role}.Pressure(sim.Time(now))
+}
+
+// Describe implements ProgressSource.
+func (l QueueLink) Describe() string {
+	return progress.QueueMetric{Queue: l.queue.q, Role: l.role}.Describe()
+}
+
 // Mutex is a simulated kernel mutex with FIFO handoff and, deliberately,
 // no priority inheritance — the Mars Pathfinder scenario depends on it.
 type Mutex struct {
 	m *kernel.Mutex
 }
 
-// NewMutex returns an unlocked mutex.
+// NewMutex returns an unlocked mutex registered with the system's kernel,
+// so tracing and monitoring tools can enumerate and name it.
 func (s *System) NewMutex(name string) *Mutex {
-	return &Mutex{m: kernel.NewMutex(name)}
+	return &Mutex{m: s.kern.NewMutex(name)}
+}
+
+// Name returns the mutex's name.
+func (m *Mutex) Name() string { return m.m.Name() }
+
+// MutexNames returns the names of every mutex created through NewMutex, in
+// creation order — the registry tracing and monitoring tools enumerate.
+func (s *System) MutexNames() []string {
+	ms := s.kern.Mutexes()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	return names
 }
 
 // Contended returns how many lock attempts had to wait.

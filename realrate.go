@@ -10,18 +10,29 @@
 //
 //	sys := realrate.NewSystem(realrate.Config{})
 //	q := sys.NewQueue("pipe", 1<<20)
-//	prod, _ := sys.SpawnRealTime("producer", producerProg, 100, 10*time.Millisecond)
-//	cons := sys.SpawnRealRate("consumer", consumerProg, 0,
-//	    realrate.ConsumerOf(q))
+//	prod, _ := sys.Spawn("producer", producerProg,
+//	    realrate.Reserve(100, 10*time.Millisecond))
+//	cons, _ := sys.Spawn("consumer", consumerProg,
+//	    realrate.RealRate(0, realrate.ConsumerOf(q)))
 //	sys.Run(10 * time.Second)
 //
-// Threads fall into the paper's Figure 2 taxonomy: real-time threads
-// specify proportion and period (a reservation, honored after admission
-// control); aperiodic real-time threads specify proportion only; real-rate
-// threads supply a progress metric and get both estimated; miscellaneous
-// threads supply nothing and are grown by a constant-pressure heuristic
-// until satisfied or squished. Interactive threads get a small period and a
-// proportion estimated from their burst lengths.
+// Threads fall into the paper's Figure 2 taxonomy, expressed as Spawn
+// options: Reserve declares proportion and period (a reservation, honored
+// after admission control); Aperiodic declares proportion only; RealRate
+// supplies progress sources and gets both estimated; a thread spawned with
+// no class option is miscellaneous — it supplies nothing and is grown by a
+// constant-pressure heuristic until satisfied or squished. Interactive
+// threads get a small period and a proportion estimated from their burst
+// lengths; Unmanaged threads run outside the controller entirely.
+//
+// Three further seams make the stack pluggable: Config.Policy swaps the
+// scheduling discipline (the paper's RBS against the Stride, Lottery,
+// Linux-goodness, and RoundRobin baselines); ProgressSource generalizes
+// the progress metric (kernel queues via ConsumerOf/ProducerOf, work-unit
+// paces via NewPace, or any user-implemented metric — §4.5's "any
+// measurable work unit"); and Observer taps dispatches, actuations,
+// admission decisions, and quality exceptions without touching the hot
+// paths when unused.
 package realrate
 
 import (
@@ -39,8 +50,15 @@ import (
 const PPT = 1000
 
 // Config configures a System. The zero value reproduces the paper's
-// testbed: 400 MHz CPU, 1 ms dispatch tick, 100 Hz controller.
+// testbed: 400 MHz CPU, 1 ms dispatch tick, 100 Hz controller, feedback
+// reservation scheduling.
 type Config struct {
+	// Policy is the scheduling discipline. Nil selects RBS(), the paper's
+	// feedback reservation scheduler; Stride, Lottery, Linux, and
+	// RoundRobin select the comparison baselines (which run without the
+	// feedback controller). The instance must not be shared between
+	// systems.
+	Policy Policy
 	// ClockHz is the simulated CPU clock rate (default 400 MHz).
 	ClockHz int64
 	// TickInterval is the timer-interrupt (dispatch) interval, default 1ms.
@@ -80,16 +98,27 @@ type ControllerTuning struct {
 	BaseCost, PerJobCost int64
 }
 
-// System is a simulated machine under real-rate scheduling: kernel,
-// reservation dispatcher, progress registry, and feedback controller.
+// System is a simulated machine: kernel, scheduling policy, progress
+// registry, and — under the default RBS policy — the feedback controller.
 type System struct {
 	eng    *sim.Engine
 	kern   *kernel.Kernel
-	policy *rbs.Policy
-	reg    *progress.Registry
-	ctl    *core.Controller
+	policy kernel.Policy
+	// rbs is the reservation dispatcher when the policy is RBS, nil under
+	// a baseline policy.
+	rbs *rbs.Policy
+	reg *progress.Registry
+	// ctl is nil under baseline policies: no feedback allocator runs.
+	ctl *core.Controller
 
 	threads []*Thread
+	// byKern maps kernel threads back to their public handles, so quality
+	// events and observer callbacks stay O(1) at 10k threads.
+	byKern map[*kernel.Thread]*Thread
+
+	hub       observerHub
+	onQuality func(QualityEvent)
+
 	started bool
 }
 
@@ -112,10 +141,25 @@ func NewSystem(cfg Config) *System {
 		kcfg.SwitchCost = sim.Cycles(cfg.SwitchCost)
 	}
 
+	// Resolve the policy seam: unwrap public wrappers so the kernel's
+	// dispatch hot path calls the scheduler directly, and identify RBS so
+	// the feedback controller can be wired to it.
+	var kpol kernel.Policy
+	switch p := cfg.Policy.(type) {
+	case nil:
+		kpol = rbs.New()
+	case kernelPolicyHolder:
+		kpol = p.kernelPolicy()
+	default:
+		kpol = p
+	}
+	rbsPol, _ := kpol.(*rbs.Policy)
+	if rbsPol != nil {
+		rbsPol.PreciseAccounting = cfg.PreciseAccounting
+	}
+
 	eng := sim.NewEngine()
-	policy := rbs.New()
-	policy.PreciseAccounting = cfg.PreciseAccounting
-	kern := kernel.New(eng, kcfg, policy)
+	kern := kernel.New(eng, kcfg, kpol)
 	reg := progress.NewRegistry()
 
 	ccfg := core.Config{}
@@ -159,16 +203,35 @@ func NewSystem(cfg Config) *System {
 		ccfg.PerJobCost = sim.Cycles(t.PerJobCost)
 	}
 
-	ctl := core.New(kern, policy, reg, ccfg)
-	return &System{eng: eng, kern: kern, policy: policy, reg: reg, ctl: ctl}
+	s := &System{
+		eng:    eng,
+		kern:   kern,
+		policy: kpol,
+		rbs:    rbsPol,
+		reg:    reg,
+		byKern: make(map[*kernel.Thread]*Thread),
+	}
+	s.hub.sys = s
+	if rbsPol != nil {
+		s.ctl = core.New(kern, rbsPol, reg, ccfg)
+		// Quality exceptions are rare, so the dispatcher hook is installed
+		// unconditionally; it fans out to OnQuality and to observers.
+		s.ctl.OnQuality(s.fireQuality)
+	}
+	return s
 }
+
+// PolicyName returns the name of the scheduling policy driving the system.
+func (s *System) PolicyName() string { return s.policy.Name() }
 
 // Run advances the simulation by d, starting the machine and controller on
 // the first call.
 func (s *System) Run(d time.Duration) {
 	if !s.started {
 		s.started = true
-		s.ctl.Start()
+		if s.ctl != nil {
+			s.ctl.Start()
+		}
 		s.kern.Start()
 	}
 	s.eng.RunFor(sim.FromStd(d))
@@ -197,24 +260,26 @@ func (s *System) Every(interval time.Duration, fn func(now time.Duration)) {
 
 // OnQuality installs a callback for quality exceptions: raised when
 // sustained overload squishes a job below what its progress requires.
-func (s *System) OnQuality(fn func(QualityEvent)) {
-	s.ctl.OnQuality(func(ex core.QualityException) {
-		var th *Thread
-		for _, t := range s.threads {
-			if t.t == ex.Job.Thread() {
-				th = t
-				break
-			}
-		}
-		fn(QualityEvent{
-			Thread:    th,
-			Time:      time.Duration(ex.Time),
-			Pressure:  ex.Pressure,
-			Desired:   ex.Desired,
-			Allocated: ex.Allocated,
-			Reason:    ex.Reason,
-		})
-	})
+// Under a baseline policy no controller runs, so the callback never fires.
+func (s *System) OnQuality(fn func(QualityEvent)) { s.onQuality = fn }
+
+// fireQuality translates a controller exception to the public event and
+// fans it out to the OnQuality callback and every observer.
+func (s *System) fireQuality(ex core.QualityException) {
+	ev := QualityEvent{
+		Thread:    s.byKern[ex.Job.Thread()],
+		Time:      time.Duration(ex.Time),
+		Pressure:  ex.Pressure,
+		Desired:   ex.Desired,
+		Allocated: ex.Allocated,
+		Reason:    ex.Reason,
+	}
+	if s.onQuality != nil {
+		s.onQuality(ev)
+	}
+	for _, o := range s.hub.obs {
+		o.OnQuality(ev)
+	}
 }
 
 // QualityEvent is a quality exception surfaced to the application.
@@ -240,25 +305,34 @@ type Stats struct {
 	Actuations      uint64
 }
 
-// Stats returns a snapshot of machine accounting.
+// Stats returns a snapshot of machine accounting. Under a baseline policy
+// the controller and missed-deadline counters stay zero.
 func (s *System) Stats() Stats {
 	ks := s.kern.Stats()
-	return Stats{
+	st := Stats{
 		Elapsed:         time.Duration(ks.Elapsed),
 		Idle:            time.Duration(ks.Idle),
 		SchedOverhead:   time.Duration(ks.Overhead),
 		Dispatches:      ks.Dispatches,
 		Ticks:           ks.Ticks,
 		ContextSwitches: ks.Switches,
-		MissedDeadlines: s.policy.MissedDeadlines(),
-		ControllerSteps: s.ctl.Steps(),
-		Actuations:      s.ctl.Actuations(),
 	}
+	if s.rbs != nil {
+		st.MissedDeadlines = s.rbs.MissedDeadlines()
+	}
+	if s.ctl != nil {
+		st.ControllerSteps = s.ctl.Steps()
+		st.Actuations = s.ctl.Actuations()
+	}
+	return st
 }
 
 // ControllerCPU returns the CPU time consumed by the controller thread —
-// the overhead Figure 5 measures.
+// the overhead Figure 5 measures. Zero under baseline policies.
 func (s *System) ControllerCPU() time.Duration {
+	if s.ctl == nil {
+		return 0
+	}
 	t := s.ctl.Thread()
 	if t == nil {
 		return 0
@@ -267,5 +341,11 @@ func (s *System) ControllerCPU() time.Duration {
 }
 
 // TotalProportion returns the summed proportions of all registered threads
-// (the overload signal).
-func (s *System) TotalProportion() int { return s.policy.TotalProportion() }
+// (the overload signal). Zero under baseline policies, which have no
+// reservations.
+func (s *System) TotalProportion() int {
+	if s.rbs == nil {
+		return 0
+	}
+	return s.rbs.TotalProportion()
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates the Figure 5-8 outputs and byte-compares them against the
+# committed goldens in testdata/goldens/. Any drift in the dispatch
+# schedule or controller arithmetic fails the build.
+#
+# To re-bless after an intentional change: scripts/goldens.sh -update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+update=0
+[ "${1:-}" = "-update" ] && update=1
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/rrexp" ./cmd/rrexp
+
+status=0
+for fig in 5 6 7 8; do
+  "$tmp/rrexp" -fig "$fig" > "$tmp/fig$fig.out"
+  golden="testdata/goldens/fig$fig.golden"
+  if [ "$update" = 1 ]; then
+    cp "$tmp/fig$fig.out" "$golden"
+    echo "fig$fig: updated"
+  elif cmp -s "$golden" "$tmp/fig$fig.out"; then
+    echo "fig$fig: byte-identical"
+  else
+    echo "fig$fig: output diverged from $golden:" >&2
+    diff "$golden" "$tmp/fig$fig.out" >&2 || true
+    status=1
+  fi
+done
+exit $status

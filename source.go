@@ -1,0 +1,67 @@
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/progress"
+	"repro/internal/sim"
+)
+
+// ProgressSource is one progress metric attached to a real-rate thread —
+// the public form of the paper's symbiotic interface (§3.2). The
+// controller samples every source of a thread each control interval and
+// sums their pressures per Figure 3.
+//
+// Three kinds exist, all interchangeable where a source is expected:
+// queue roles (ConsumerOf, ProducerOf — fill level of a kernel bounded
+// buffer), paces (NewPace — a virtual buffer draining at a target work
+// rate, §4.5), and user implementations of this interface measuring any
+// work unit at all.
+type ProgressSource interface {
+	// Pressure returns the progress pressure R·F at the simulated instant
+	// now: a value in [−½, ½], positive when the thread falls behind and
+	// needs more CPU, negative when it runs ahead. Values outside the
+	// range are clamped.
+	Pressure(now time.Duration) float64
+	// Describe identifies the source in traces and tools.
+	Describe() string
+}
+
+// registerSource links one progress source to a thread in the internal
+// registry. The built-in kinds register their native internal metrics (so
+// the controller's sampling path is exactly the pre-seam one); custom
+// implementations are wrapped in a clamping adapter.
+func (s *System) registerSource(th *Thread, src ProgressSource) {
+	switch v := src.(type) {
+	case QueueLink:
+		s.reg.RegisterQueue(th.t, v.queue.q, v.role)
+	case *Pace:
+		v.bind(s)
+		s.reg.Register(th.t, v.vq)
+	default:
+		s.reg.Register(th.t, customMetric{src: src})
+	}
+}
+
+// customMetric adapts a user ProgressSource to the internal metric
+// contract, clamping to the paper's pressure range.
+type customMetric struct {
+	src ProgressSource
+}
+
+// Pressure implements progress.Metric.
+func (m customMetric) Pressure(now sim.Time) float64 {
+	p := m.src.Pressure(time.Duration(now))
+	if p > 0.5 {
+		p = 0.5
+	}
+	if p < -0.5 {
+		p = -0.5
+	}
+	return p
+}
+
+// Describe implements progress.Metric.
+func (m customMetric) Describe() string { return m.src.Describe() }
+
+var _ progress.Metric = customMetric{}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
-	"repro/internal/sim"
 )
 
 // Thread is a handle to a simulated thread under real-rate scheduling.
@@ -15,86 +14,103 @@ type Thread struct {
 	job *core.Job
 }
 
-// spawn creates the kernel thread wired to the public program.
+// spawn creates the kernel thread wired to the public program and indexes
+// the handle for O(1) kernel-thread lookups.
 func (s *System) spawn(name string, prog Program) *Thread {
 	th := &Thread{sys: s}
 	ad := &programAdapter{sys: s, prog: prog, self: th}
 	th.t = s.kern.Spawn(name, ad)
 	s.threads = append(s.threads, th)
+	s.byKern[th.t] = th
 	return th
 }
 
 // SpawnRealTime creates a thread with a hard reservation: proportion in
 // parts-per-thousand over the given period. Admission control may reject
 // the request, in which case the thread is not created.
+//
+// Deprecated: use Spawn with the Reserve option.
 func (s *System) SpawnRealTime(name string, prog Program, proportion int, period time.Duration) (*Thread, error) {
-	th := s.spawn(name, prog)
-	job, err := s.ctl.AddRealTime(th.t, proportion, sim.FromStd(period))
-	if err != nil {
-		// Retire the just-created thread; it never ran.
-		s.removeThread(th)
-		return nil, err
-	}
-	th.job = job
-	return th, nil
+	return s.Spawn(name, prog, Reserve(proportion, period))
 }
 
 // SpawnAperiodic creates an aperiodic real-time thread: known proportion,
 // no period; the controller assigns the 30 ms default.
+//
+// Deprecated: use Spawn with the Aperiodic option.
 func (s *System) SpawnAperiodic(name string, prog Program, proportion int) (*Thread, error) {
-	th := s.spawn(name, prog)
-	job, err := s.ctl.AddAperiodicRealTime(th.t, proportion)
-	if err != nil {
-		s.removeThread(th)
-		return nil, err
-	}
-	th.job = job
-	return th, nil
+	return s.Spawn(name, prog, Aperiodic(proportion))
 }
 
 // SpawnRealRate creates a thread whose proportion (and, with period 0, its
 // period) the controller estimates from the progress metrics declared by
 // the queue links.
+//
+// Deprecated: use Spawn with the RealRate option, which accepts any
+// ProgressSource.
 func (s *System) SpawnRealRate(name string, prog Program, period time.Duration, links ...QueueLink) *Thread {
 	if len(links) == 0 {
 		panic("realrate: SpawnRealRate needs at least one queue link")
 	}
-	th := s.spawn(name, prog)
-	for _, l := range links {
-		s.reg.RegisterQueue(th.t, l.queue.q, l.role)
+	sources := make([]ProgressSource, len(links))
+	for i, l := range links {
+		sources[i] = l
 	}
-	th.job = s.ctl.AddRealRate(th.t, sim.FromStd(period))
+	th, err := s.Spawn(name, prog, RealRate(period, sources...))
+	if err != nil {
+		panic(err)
+	}
 	return th
 }
 
 // SpawnMiscellaneous creates a thread with no declared information; the
 // constant-pressure heuristic grows its allocation until satisfied or
 // squished.
+//
+// Deprecated: use Spawn, whose default class is miscellaneous.
 func (s *System) SpawnMiscellaneous(name string, prog Program) *Thread {
-	th := s.spawn(name, prog)
-	th.job = s.ctl.AddMiscellaneous(th.t)
+	th, err := s.Spawn(name, prog, Miscellaneous())
+	if err != nil {
+		panic(err)
+	}
 	return th
 }
 
 // SpawnInteractive creates a tty-server thread: small period, proportion
 // estimated from its bursts.
+//
+// Deprecated: use Spawn with the Interactive option.
 func (s *System) SpawnInteractive(name string, prog Program) *Thread {
-	th := s.spawn(name, prog)
-	th.job = s.ctl.AddInteractive(th.t)
+	th, err := s.Spawn(name, prog, Interactive())
+	if err != nil {
+		panic(err)
+	}
 	return th
 }
 
 // SpawnUnmanaged creates a thread outside the controller entirely; it runs
 // round-robin in the leftover CPU below every registered thread, like
 // unregistered jobs under the prototype's default Linux scheduler.
+//
+// Deprecated: use Spawn with the Unmanaged option.
 func (s *System) SpawnUnmanaged(name string, prog Program) *Thread {
-	return s.spawn(name, prog)
+	th, err := s.Spawn(name, prog, Unmanaged())
+	if err != nil {
+		panic(err)
+	}
+	return th
 }
 
+// removeThread undoes a spawn whose registration failed: the kernel thread
+// is retired (so a rejected program does not keep running in the leftover
+// CPU) and the public handle is unindexed.
 func (s *System) removeThread(th *Thread) {
+	s.kern.Retire(th.t)
+	delete(s.byKern, th.t)
 	for i, other := range s.threads {
 		if other == th {
 			copy(s.threads[i:], s.threads[i+1:])
+			s.threads[len(s.threads)-1] = nil
 			s.threads = s.threads[:len(s.threads)-1]
 			break
 		}
@@ -157,7 +173,7 @@ func (th *Thread) Class() string {
 // importance loses less under overload but can never starve others.
 func (th *Thread) SetImportance(w float64) {
 	if th.job == nil {
-		panic("realrate: cannot set importance of an unmanaged thread")
+		panic("realrate: cannot set importance: thread has no controller-managed job (unmanaged, or a baseline policy without the feedback controller)")
 	}
 	th.sys.ctl.SetImportance(th.job, w)
 }
@@ -177,21 +193,26 @@ func (th *Thread) Squished() bool {
 // requirements under overload.
 func (th *Thread) Renegotiate(proportion int) error {
 	if th.job == nil {
-		panic("realrate: cannot renegotiate an unmanaged thread")
+		panic("realrate: cannot renegotiate: thread has no controller-managed job (unmanaged, or a baseline policy without the feedback controller)")
 	}
-	return th.sys.ctl.Renegotiate(th.job, proportion)
+	err := th.sys.ctl.Renegotiate(th.job, proportion)
+	th.sys.fireAdmission(AdmissionEvent{
+		Time: th.sys.Now(), Thread: th, Requested: proportion,
+		Period: th.Period(), Accepted: err == nil, Err: err,
+	})
+	return err
 }
 
 // SpawnIntoJob creates a new thread as a member of th's job: the paper's
 // "job is a collection of cooperating threads". The job's allocation is
 // split across its members; its progress and usage are their combined
 // metrics and CPU.
+//
+// Deprecated: use Spawn with the InJob option.
 func (s *System) SpawnIntoJob(th *Thread, name string, prog Program) *Thread {
-	if th.job == nil {
-		panic("realrate: cannot add members to an unmanaged thread")
+	member, err := s.Spawn(name, prog, InJob(th))
+	if err != nil {
+		panic(err)
 	}
-	member := s.spawn(name, prog)
-	member.job = th.job
-	s.ctl.AddMember(th.job, member.t)
 	return member
 }

@@ -29,10 +29,14 @@ type Tracing struct {
 // EnableTracing starts recording scheduler events (dispatches, wakes,
 // blocks). maxEvents bounds the raw log (0 keeps everything); aggregates
 // are unaffected by the bound. Call before Run.
+//
+// The recorder is fed through the same observer hub as System.Observe, so
+// tracing and observers compose.
 func (s *System) EnableTracing(maxEvents int) *Tracing {
 	rec := trace.NewRecorder()
 	rec.MaxEvents = maxEvents
-	s.kern.SetTracer(rec)
+	s.hub.rec = rec
+	s.hub.install()
 	return &Tracing{rec: rec}
 }
 
