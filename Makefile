@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build examples vet test race bench fuzz goldens clean
+.PHONY: all build examples vet test race bench fuzz goldens stress clean
 
 all: build vet test goldens
 
@@ -28,11 +28,20 @@ race:
 bench:
 	./scripts/bench.sh
 
-# fuzz gives the wheel's differential fuzzer a short budget (override with
-# FUZZTIME=…; CI uses a tighter budget than the local default).
+# fuzz gives each fuzz target a short budget (override with FUZZTIME=…;
+# CI uses a tighter budget than the local default). Targets run one per
+# invocation — go test refuses multiple -fuzz matches.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzWheelDifferential -fuzztime=$(FUZZTIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz=FuzzSpawnOptions -fuzztime=$(FUZZTIME) .
+
+# stress runs the generated-workload invariant harness wide open: every
+# scenario family × STRESS_SEEDS seeds × all five policies, with failing
+# seeds minimized and printed as replayable rrexp command lines.
+STRESS_SEEDS ?= 25
+stress:
+	$(GO) run ./cmd/rrexp -gen -seeds $(STRESS_SEEDS)
 
 # goldens byte-compares the Figure 5-8 outputs against the committed
 # goldens in testdata/goldens/ (re-bless with scripts/goldens.sh -update).

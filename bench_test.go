@@ -120,6 +120,31 @@ func BenchmarkStormDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnThroughput measures wall time per simulated second of the
+// admission-churn stress: Spawn/Kill/Renegotiate cycles near the admission
+// ceiling with the invariant checker live — the Remove/exit hot path under
+// load. ops/simsec reports how much churn each simulated second absorbed.
+func BenchmarkChurnThroughput(b *testing.B) {
+	for _, rate := range []float64{200, 800} {
+		b.Run(fmt.Sprintf("rate=%.0f", rate), func(b *testing.B) {
+			b.ReportAllocs()
+			var last experiments.ChurnResult
+			for i := 0; i < b.N; i++ {
+				last = experiments.RunChurnStress([]float64{rate}, sim.Second)
+			}
+			ops, violations := 0, 0
+			for _, p := range last.Points {
+				ops += p.Spawned + p.Kills
+				violations += p.Violations
+			}
+			if violations > 0 {
+				b.Fatalf("churn bench found %d invariant violations", violations)
+			}
+			b.ReportMetric(float64(ops)/float64(len(last.Points)), "ops/simsec")
+		})
+	}
+}
+
 // BenchmarkFig5Scale extends Figure 5's x-axis to 1000 controlled
 // processes through the parallel sweep runner.
 func BenchmarkFig5Scale(b *testing.B) {

@@ -1,6 +1,9 @@
 // Command rrexp regenerates the paper's evaluation: one sub-experiment per
 // figure (5–8) plus the §2 motivation scenarios. It prints paper-style
-// tables and can dump the underlying series as CSV for plotting.
+// tables and can dump the underlying series as CSV for plotting. It is
+// also the replay vehicle for the generated-workload invariant harness:
+// a failing seed reported by the harness reproduces with the exact
+// command line it printed.
 //
 // Usage:
 //
@@ -10,7 +13,14 @@
 //	rrexp -fig 8            # dispatch overhead vs. frequency
 //	rrexp -pathfinder       # Mars Pathfinder priority inversion
 //	rrexp -livelock         # spin-wait livelock
+//	rrexp -openloop         # open-loop Poisson arrival sweep vs. policy
+//	rrexp -churn            # admission-churn stress sweep vs. policy
 //	rrexp -all              # everything
+//
+//	rrexp -gen                                   # invariant harness: all families × seeds × policies
+//	rrexp -gen -scenario churn -seed 17 -policy stride   # replay one failing seed
+//	rrexp -gen -scenario mixed -seeds 50 -policy all     # wide sweep of one family
+//	rrexp -gen -trace arrivals.csv -policy rbs           # replay a recorded arrival trace
 package main
 
 import (
@@ -19,9 +29,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/workload/gen"
 )
 
 func main() {
@@ -37,11 +49,26 @@ func main() {
 		inter      = flag.Bool("interactive", false, "run the interactive-latency comparison")
 		quick      = flag.Bool("quick", false, "shorter runs (for smoke testing)")
 		seq        = flag.Bool("seq", false, "disable the parallel sweep runner (results are identical; serial is slower)")
+		openloop   = flag.Bool("openloop", false, "run the open-loop arrival sweep")
+		churn      = flag.Bool("churn", false, "run the admission-churn stress sweep")
+
+		genRun   = flag.Bool("gen", false, "run (or replay) generated scenarios through the invariant harness")
+		scenario = flag.String("scenario", "all", "generator family for -gen (or 'all'): "+fmt.Sprint(gen.Families()))
+		seed     = flag.Uint64("seed", 0, "replay exactly this seed for -gen (0: sweep -seeds)")
+		seeds    = flag.Int("seeds", 5, "number of seeds per family for -gen sweeps")
+		policy   = flag.String("policy", "all", "policy for -gen (or 'all'): "+fmt.Sprint(gen.Policies()))
+		scale    = flag.Float64("scale", 1, "workload scale for -gen (the shrinker's axis)")
+		genDur   = flag.Duration("gendur", 0, "duration override for -gen (0: the family's drawn duration)")
+		traceCSV = flag.String("trace", "", "arrival trace CSV to replay for -gen (overrides the family's arrival process)")
 	)
 	flag.Parse()
 	experiments.SetParallel(!*seq)
 
-	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter {
+	if *genRun {
+		os.Exit(runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV))
+	}
+
+	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter && !*openloop && !*churn {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,7 +146,125 @@ func main() {
 		res := experiments.RunFrequencySweep(nil, runDur(15*sim.Second))
 		res.Print(os.Stdout)
 	}
+	if *all || *openloop {
+		res := experiments.RunOpenLoopSweep(nil, runDur(2*sim.Second))
+		res.Print(os.Stdout)
+		dump("openloop.csv", res.WriteCSV)
+	}
+	if *all || *churn {
+		res := experiments.RunChurnStress(nil, runDur(2*sim.Second))
+		res.Print(os.Stdout)
+		dump("churn.csv", res.WriteCSV)
+	}
 	if *all || *ablate {
 		experiments.PrintAblations(os.Stdout, runDur(40*sim.Second))
 	}
+}
+
+// runGenerated is the -gen mode: run seeded scenarios through the
+// cross-policy invariant harness, or replay one exact point. Returns the
+// process exit code: nonzero when any invariant broke.
+func runGenerated(scenario string, seed uint64, seeds int, policy string, scale float64, dur time.Duration, traceCSV string) int {
+	if seeds < 1 {
+		fmt.Fprintf(os.Stderr, "rrexp: -seeds must be at least 1, got %d\n", seeds)
+		return 2
+	}
+	families := gen.Families()
+	if scenario != "all" {
+		families = []string{scenario}
+	}
+	var policies []string
+	if policy != "all" {
+		policies = []string{policy}
+	}
+
+	if traceCSV != "" {
+		return runTraceReplay(traceCSV, policies, dur)
+	}
+
+	lo, hi := uint64(1), uint64(seeds)
+	if seed != 0 {
+		lo, hi = seed, seed
+	}
+	opts := gen.CheckOpts{Policies: policies, Scale: scale, Duration: dur}
+	failed := 0
+	runs := 0
+	for _, family := range families {
+		for s := lo; s <= hi; s++ {
+			violations, reports, err := gen.Check(family, s, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			for _, r := range reports {
+				runs++
+				fmt.Printf("%-9s seed %-4d %-12s threads %-4d exits %-4d kills %-4d admit %d/%d quality %-3d violations %d\n",
+					family, s, r.Policy, r.Threads, r.Exits, r.Kills,
+					r.AdmitOK, r.AdmitOK+r.AdmitRejected, r.QualityEvents,
+					len(r.Violations)+r.TruncatedViolations)
+			}
+			for _, v := range violations {
+				failed++
+				fmt.Printf("FAIL %s\n", v)
+			}
+		}
+	}
+	fmt.Printf("%d runs, %d invariant violations\n", runs, failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runTraceReplay replays a recorded arrival trace CSV through the
+// invariant harness under the requested policies.
+func runTraceReplay(path string, policies []string, dur time.Duration) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	trace, err := gen.ParseTraceCSV(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if dur == 0 {
+		dur = 500 * time.Millisecond
+		if n := len(trace); n > 0 {
+			dur = trace[n-1].At + 100*time.Millisecond
+		}
+	}
+	sp := gen.Spec{
+		Family:   "trace",
+		Seed:     1,
+		Duration: dur,
+		Taskset:  gen.TasksetSpec{Misc: 1, PinnedHog: true},
+		Arrivals: gen.ArrivalSpec{
+			Process: gen.Trace, Trace: trace, MeanLife: 50 * time.Millisecond,
+		},
+	}
+	if len(policies) == 0 {
+		policies = gen.Policies()
+	}
+	failed := 0
+	for _, pol := range policies {
+		res, err := gen.Generate(sp).Run(gen.RunOpts{Policy: pol})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		r := res.Report
+		fmt.Printf("trace %-12s arrivals %-4d threads %-4d exits %-4d violations %d\n",
+			pol, len(trace), r.Threads, r.Exits, len(r.Violations)+r.TruncatedViolations)
+		for _, v := range r.Violations {
+			failed++
+			fmt.Printf("FAIL %s\n", v)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

@@ -783,7 +783,12 @@ func (c *Controller) actuate(j *Job, prop int, period sim.Duration) {
 	}
 	j.actuations++
 	c.actuations++
-	if c.onActuate != nil {
+	// Installing the reservation can run the machine: SetReservation wakes
+	// a napping thread, the wake may preempt, and the dispatched program
+	// may exit — all before this line. An actuation event for a thread
+	// that retired mid-actuation must not escape: observers are promised
+	// that nothing fires after retirement.
+	if c.onActuate != nil && j.thread.State() != kernel.StateExited {
 		c.onActuate(j, prop, period, c.kern.Now())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/progress"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -27,6 +28,68 @@ func TestRenegotiateGrowWithinCapacity(t *testing.T) {
 	grew := (th.CPUTime() - used).Seconds() / 2
 	if grew < 0.45 {
 		t.Fatalf("post-renegotiation share = %.3f, want ≈0.50", grew)
+	}
+}
+
+// TestRenegotiateExitDuringActuationSkipsEvent reproduces a bug the churn
+// harness flushed out: actuating a renegotiation can run the machine —
+// SetReservation wakes the napping thread, the wake preempts, and the
+// dispatched program may exit — all before the actuation event fires. The
+// event for a thread that retired mid-actuation must be suppressed:
+// observers are promised nothing fires after retirement.
+func TestRenegotiateExitDuringActuationSkipsEvent(t *testing.T) {
+	r := newRig(core.Config{})
+	exitNow := false
+	th := r.kern.Spawn("victim", kernel.ProgramFunc(func(th *kernel.Thread, now sim.Time) kernel.Op {
+		if exitNow {
+			return kernel.OpExit{}
+		}
+		// Exactly one period's budget (100 ppt of 10 ms at 400 MHz = 1 ms):
+		// the burst completes just as the budget empties, so the thread
+		// naps at an op boundary and consults its program on wake.
+		return kernel.OpCompute{Cycles: 400_000}
+	}))
+	j, err := r.ctl.AddRealTime(th, 100, 10*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.kern.Spawn("hog", &workload.Hog{Burst: 400_000}) // keeps the CPU busy
+	r.start()
+	// Run into the middle of a period: the victim has burned its 1 ms
+	// budget and naps until the next period boundary.
+	r.run(5500 * sim.Microsecond)
+	if got := th.State(); got != kernel.StateSleeping {
+		t.Fatalf("victim not napping before renegotiation: %v", got)
+	}
+
+	var actuated []*kernel.Thread
+	r.ctl.OnActuate(func(aj *core.Job, prop int, period sim.Duration, now sim.Time) {
+		actuated = append(actuated, aj.Thread())
+	})
+	// Growing the reservation re-arms the budget and wakes the napper; the
+	// wake preempts the hog, the victim is dispatched, and its program
+	// exits — inside the actuate call.
+	exitNow = true
+	if err := r.ctl.Renegotiate(j, 300); err != nil {
+		t.Fatalf("renegotiation rejected: %v", err)
+	}
+	if got := th.State(); got != kernel.StateExited {
+		t.Fatalf("victim did not exit during actuation: %v (the scenario no longer exercises the race)", got)
+	}
+	for _, at := range actuated {
+		if at.State() == kernel.StateExited {
+			t.Fatalf("actuation event fired for retired thread %v", at)
+		}
+	}
+	// The machine stays coherent: the job is reaped at the next interval
+	// and the freed reservation is admittable again.
+	r.run(20 * sim.Millisecond)
+	if _, ok := r.ctl.JobOf(th); ok {
+		t.Fatal("exited thread's job not reaped")
+	}
+	nt := r.kern.Spawn("next", &workload.Hog{Burst: 400_000})
+	if _, err := r.ctl.AddRealTime(nt, 300, 10*sim.Millisecond); err != nil {
+		t.Fatalf("freed reservation not admittable: %v", err)
 	}
 }
 

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload/gen"
+)
+
+// The churn stress drives admission control the way a shared machine
+// would: reservations spawn, renegotiate, and are killed at high rate near
+// the admission ceiling. The columns that matter are the accept/reject
+// split (admission keeps working at rate) and the violation count (the
+// invariant harness runs inside every point — zero means the Remove/exit
+// paths stayed leak-free at rate).
+
+// ChurnPoint is one (churn rate, policy) cell.
+type ChurnPoint struct {
+	Rate          float64 // churn operations per second
+	Policy        string
+	Spawned       int
+	Kills         int
+	AdmitOK       int
+	AdmitRejected int
+	Violations    int
+}
+
+// ChurnResult is the full stress sweep.
+type ChurnResult struct {
+	RunFor sim.Duration
+	Points []ChurnPoint
+}
+
+// RunChurnStress sweeps churn rates across every policy through the
+// parallel sweep runner, with the invariant checker live inside each
+// point.
+func RunChurnStress(rates []float64, runFor sim.Duration) ChurnResult {
+	if len(rates) == 0 {
+		rates = []float64{50, 200, 800}
+	}
+	if runFor == 0 {
+		runFor = 2 * sim.Second
+	}
+	policies := gen.Policies()
+	pts := Sweep(len(rates)*len(policies), func(i int) ChurnPoint {
+		rate := rates[i/len(policies)]
+		policy := policies[i%len(policies)]
+		sp := gen.Spec{
+			Family: "churn",
+			// One seed per rate: every policy runs the identical churn plan.
+			Seed:     uint64(i/len(policies)) + 1,
+			Duration: time.Duration(runFor),
+			Taskset: gen.TasksetSpec{
+				RealTime: 2, Misc: 2, PinnedHog: true,
+			},
+			Churn: gen.ChurnSpec{Rate: rate, ReserveLo: 100, ReserveHi: 500},
+		}
+		res, err := gen.Generate(sp).Run(gen.RunOpts{Policy: policy})
+		if err != nil {
+			panic(err)
+		}
+		return ChurnPoint{
+			Rate:          rate,
+			Policy:        policy,
+			Spawned:       res.Report.Threads,
+			Kills:         res.Report.Kills,
+			AdmitOK:       res.Report.AdmitOK,
+			AdmitRejected: res.Report.AdmitRejected,
+			Violations:    len(res.Report.Violations) + res.Report.TruncatedViolations,
+		}
+	})
+	return ChurnResult{RunFor: runFor, Points: pts}
+}
+
+// Print writes the stress sweep as a table.
+func (res ChurnResult) Print(w io.Writer) {
+	section(w, "Admission churn: Spawn/Kill/Renegotiate near capacity")
+	fmt.Fprintf(w, "window: %v per point\n", res.RunFor)
+	fmt.Fprintf(w, "%-10s %-12s %-9s %-7s %-9s %-9s %s\n",
+		"ops/s", "policy", "spawned", "kills", "admitted", "rejected", "violations")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-10.0f %-12s %-9d %-7d %-9d %-9d %d\n",
+			p.Rate, p.Policy, p.Spawned, p.Kills, p.AdmitOK, p.AdmitRejected, p.Violations)
+	}
+}
+
+// WriteCSV dumps the stress sweep for plotting.
+func (res ChurnResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rate,policy,spawned,kills,admitted,rejected,violations"); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		if _, err := fmt.Fprintf(w, "%.0f,%s,%d,%d,%d,%d,%d\n",
+			p.Rate, p.Policy, p.Spawned, p.Kills, p.AdmitOK, p.AdmitRejected, p.Violations); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -122,6 +122,12 @@ type Kernel struct {
 	busy int
 
 	tracer Tracer
+	// onExit, when set, fires after a thread leaves the machine for good —
+	// whether its program returned OpExit or it was forcibly Retired. The
+	// public layer uses it to drop per-thread indexes, so churn-heavy
+	// workloads (high-rate spawn/remove cycles) cannot accumulate stale
+	// entries.
+	onExit func(t *Thread, now sim.Time)
 
 	stats Stats
 }
@@ -188,6 +194,12 @@ func (k *Kernel) Stats() Stats {
 
 // SetTracer installs (or clears, with nil) a scheduling-event tracer.
 func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
+// SetExitHook installs (or clears, with nil) a callback fired exactly once
+// when a thread exits — via OpExit or Retire. The callback runs after the
+// thread is fully removed from the policy, so it may inspect but must not
+// re-enqueue the thread.
+func (k *Kernel) SetExitHook(fn func(t *Thread, now sim.Time)) { k.onExit = fn }
 
 // cyclesDur converts a cycle count to a duration at this machine's clock.
 func (k *Kernel) cyclesDur(c sim.Cycles) sim.Duration {
@@ -798,6 +810,9 @@ func (k *Kernel) exit(t *Thread, now sim.Time) {
 	k.policy.RemoveThread(t, now)
 	if k.current == t {
 		k.current = nil
+	}
+	if k.onExit != nil {
+		k.onExit(t, now)
 	}
 }
 

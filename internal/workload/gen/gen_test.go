@@ -1,0 +1,243 @@
+package gen_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload/gen"
+)
+
+// seedsPerFamily * len(gen.Families()) is the scenario count of the main
+// invariant sweep: 10 × 6 = 60 distinct seeded scenarios by default, each
+// run under all five policies. GEN_SEEDS widens the sweep (make stress).
+var seedsPerFamily = func() uint64 {
+	if s := os.Getenv("GEN_SEEDS"); s != "" {
+		if n, err := strconv.ParseUint(s, 10, 32); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 10
+}()
+
+// specThreads is the rough thread count of a taskset spec (pipelines
+// counted at their stage bound).
+func specThreads(t gen.TasksetSpec) int {
+	return t.Pipelines*t.MaxStages + t.RealTime + t.Interactive + t.Misc + t.Unmanaged + t.Paced
+}
+
+// TestGeneratedScenarioInvariants is the cross-policy invariant harness:
+// every (family, seed) scenario runs under all five policies and must hold
+// the conformance invariants. A failure prints the minimized replayable
+// rrexp command line.
+func TestGeneratedScenarioInvariants(t *testing.T) {
+	for _, family := range gen.Families() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= seedsPerFamily; seed++ {
+				violations, reports, err := gen.Check(family, seed, gen.CheckOpts{})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range violations {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+				// The harness must actually exercise the machine: every
+				// run schedules work and samples state.
+				for _, r := range reports {
+					if r.Threads == 0 {
+						t.Errorf("seed %d policy %s: no threads spawned", seed, r.Policy)
+					}
+					if r.Samples == 0 {
+						t.Errorf("seed %d policy %s: checker never sampled", seed, r.Policy)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFamiliesCoverAxes pins each family to the workload axis it exists
+// for: open-loop arrivals actually arrive, churn actually churns, traces
+// round-trip through the CSV codec.
+func TestFamiliesCoverAxes(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, family := range gen.Families() {
+			sp, err := gen.ForSeed(family, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := gen.Generate(sp)
+			switch family {
+			case "pipeline":
+				if sc.Pipelines() == 0 {
+					t.Errorf("pipeline/%d: no pipelines", seed)
+				}
+			case "openloop", "bursty", "trace":
+				if sc.Arrivals() == 0 {
+					t.Errorf("%s/%d: no open-loop arrivals", family, seed)
+				}
+			case "churn":
+				if sc.ChurnOps() == 0 {
+					t.Errorf("churn/%d: no churn ops", seed)
+				}
+				if sp.Churn.Rate < 50 {
+					t.Errorf("churn/%d: rate %v too low for stress", seed, sp.Churn.Rate)
+				}
+			case "mixed":
+				if sc.Threads() < 3 {
+					t.Errorf("mixed/%d: taskset too small: %d", seed, sc.Threads())
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedScenarioDeterminism is the seed-replay property: the same
+// (family, seed, policy) produces a byte-identical dispatch trace on every
+// run — including across the serial and parallel sweep runners, which is
+// what makes a CI-reported seed reproducible on a laptop.
+func TestGeneratedScenarioDeterminism(t *testing.T) {
+	type point struct {
+		family string
+		seed   uint64
+		policy string
+	}
+	var points []point
+	for i, family := range gen.Families() {
+		points = append(points, point{family, uint64(100 + i), gen.Policies()[i%len(gen.Policies())]})
+	}
+
+	traceOf := func(p point) []byte {
+		sp, err := gen.ForSeed(p.family, p.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gen.Generate(sp).Run(gen.RunOpts{Policy: p.policy, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.TraceCSV) == 0 {
+			t.Fatalf("%+v: empty dispatch trace", p)
+		}
+		return res.TraceCSV
+	}
+
+	// Serial reference: each point run directly.
+	experiments.SetParallel(false)
+	serial := make([][]byte, len(points))
+	for i, p := range points {
+		serial[i] = traceOf(p)
+	}
+	// Same points again, serially: run-to-run determinism.
+	for i, p := range points {
+		if again := traceOf(p); !bytes.Equal(serial[i], again) {
+			t.Errorf("%+v: trace differs between two serial runs (%d vs %d bytes)",
+				p, len(serial[i]), len(again))
+		}
+	}
+	// Through the parallel sweep runner: worker scheduling must not leak
+	// into the simulations.
+	experiments.SetParallel(true)
+	defer experiments.SetParallel(true)
+	parallel := experiments.Sweep(len(points), func(i int) []byte {
+		return traceOf(points[i])
+	})
+	for i, p := range points {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("%+v: serial and parallel sweep traces differ (%d vs %d bytes)",
+				p, len(serial[i]), len(parallel[i]))
+		}
+	}
+}
+
+// TestTraceCSVRoundTrip pins the arrival-trace codec.
+func TestTraceCSVRoundTrip(t *testing.T) {
+	in := []gen.Arrival{
+		{At: 0, Kind: gen.KindMisc},
+		{At: 1500 * time.Microsecond, Kind: gen.KindRealTime},
+		{At: 2 * time.Millisecond, Kind: gen.KindInteractive},
+		{At: 2 * time.Millisecond, Kind: gen.KindPaced},
+		{At: 70 * time.Millisecond, Kind: gen.KindUnmanaged},
+	}
+	var buf bytes.Buffer
+	if err := gen.WriteTraceCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := gen.ParseTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost arrivals: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("arrival %d: %+v -> %+v", i, in[i], out[i])
+		}
+	}
+	// Defects rejected: out-of-order rows and unknown kinds.
+	if _, err := gen.ParseTraceCSV(bytes.NewBufferString("time_us,kind\n10,misc\n5,misc\n")); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+	if _, err := gen.ParseTraceCSV(bytes.NewBufferString("time_us,kind\n10,warp\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestPointReplayFormat pins the replay command-line syntax the harness
+// prints on failure — it must match the flags cmd/rrexp parses.
+func TestPointReplayFormat(t *testing.T) {
+	p := gen.Point{Family: "churn", Seed: 17, Policy: "stride"}
+	if got, want := p.Replay(), "rrexp -gen -scenario churn -seed 17 -policy stride"; got != want {
+		t.Errorf("replay = %q, want %q", got, want)
+	}
+	p.Scale = 0.25
+	p.Duration = 150 * time.Millisecond
+	want := "rrexp -gen -scenario churn -seed 17 -policy stride -scale 0.25 -gendur 150ms"
+	if got := p.Replay(); got != want {
+		t.Errorf("replay = %q, want %q", got, want)
+	}
+}
+
+// TestScaleShrinksSpec pins the shrinker's axis: scaling reduces counts
+// and rates but never below one surviving task.
+func TestScaleShrinksSpec(t *testing.T) {
+	sp, err := gen.ForSeed("mixed", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := sp.Scale(0.5)
+	if specThreads(half.Taskset) > specThreads(sp.Taskset) {
+		t.Errorf("scale grew the taskset: %d -> %d", specThreads(sp.Taskset), specThreads(half.Taskset))
+	}
+	if half.Arrivals.Rate >= sp.Arrivals.Rate {
+		t.Errorf("scale did not reduce the arrival rate: %v -> %v", sp.Arrivals.Rate, half.Arrivals.Rate)
+	}
+	if sp.Taskset.Misc > 0 && half.Taskset.Misc < 1 {
+		t.Error("scale erased the last misc task")
+	}
+}
+
+// TestDistinctSeedsDistinctScenarios guards against a degenerate generator:
+// different seeds must draw different scenarios.
+func TestDistinctSeedsDistinctScenarios(t *testing.T) {
+	for _, family := range gen.Families() {
+		a, err := gen.ForSeed(family, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gen.ForSeed(family, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", b) {
+			t.Errorf("%s: seeds 1 and 2 drew identical specs", family)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Point identifies one replayable scenario execution: everything needed to
+// regenerate and re-run it is in these five values, so a Point converts to
+// (and from) an rrexp command line.
+type Point struct {
+	Family string
+	Seed   uint64
+	Policy string
+	// Scale multiplies taskset counts and arrival/churn rates (the
+	// shrinker's axis); 0 or 1 means full size.
+	Scale float64
+	// Duration overrides the family's drawn duration (0: keep it).
+	Duration time.Duration
+}
+
+// Replay formats the rrexp invocation that reproduces this point
+// deterministically.
+func (p Point) Replay() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rrexp -gen -scenario %s -seed %d -policy %s", p.Family, p.Seed, p.Policy)
+	if p.Scale > 0 && p.Scale != 1 {
+		fmt.Fprintf(&b, " -scale %g", p.Scale)
+	}
+	if p.Duration > 0 {
+		fmt.Fprintf(&b, " -gendur %dms", p.Duration.Milliseconds())
+	}
+	return b.String()
+}
+
+// Spec derives the point's declarative spec.
+func (p Point) Spec() (Spec, error) {
+	sp, err := ForSeed(p.Family, p.Seed)
+	if err != nil {
+		return Spec{}, err
+	}
+	if p.Scale > 0 && p.Scale != 1 {
+		sp = sp.Scale(p.Scale)
+	}
+	if p.Duration > 0 {
+		sp.Duration = p.Duration
+	}
+	return sp, nil
+}
+
+// RunPoint generates and executes one point.
+func RunPoint(p Point) (*RunResult, error) {
+	sp, err := p.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return Generate(sp).Run(RunOpts{Policy: p.Policy})
+}
+
+// CheckOpts configures a harness sweep.
+type CheckOpts struct {
+	// Policies restricts the disciplines (nil: all five).
+	Policies []string
+	// NoShrink skips minimizing failing points.
+	NoShrink bool
+	// Scale/Duration pass through to every point.
+	Scale    float64
+	Duration time.Duration
+}
+
+// Check runs one (family, seed) scenario under the requested policies and
+// returns every violation, each carrying a minimized replayable command
+// line, plus the per-policy reports.
+func Check(family string, seed uint64, opts CheckOpts) ([]Violation, []Report, error) {
+	policies := opts.Policies
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	var (
+		all     []Violation
+		reports []Report
+	)
+	for _, pol := range policies {
+		p := Point{Family: family, Seed: seed, Policy: pol,
+			Scale: opts.Scale, Duration: opts.Duration}
+		res, err := RunPoint(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, res.Report)
+		if len(res.Report.Violations) == 0 {
+			continue
+		}
+		rp := p
+		if !opts.NoShrink {
+			rp = Shrink(p)
+		}
+		replay := rp.Replay()
+		for _, v := range res.Report.Violations {
+			v.Replay = replay
+			all = append(all, v)
+		}
+	}
+	return all, reports, nil
+}
+
+// stillFails re-runs a candidate point and reports whether any invariant
+// still breaks. Errors count as not failing (the shrinker must not wander
+// into invalid specs).
+func stillFails(p Point) bool {
+	res, err := RunPoint(p)
+	return err == nil && len(res.Report.Violations) > 0
+}
+
+// Shrink greedily minimizes a failing point along the two axes that stay
+// expressible on the rrexp command line: run duration and workload scale.
+// Generation is deterministic, so the returned point reproduces a failure
+// exactly; if no smaller point still fails, the original is returned.
+func Shrink(p Point) Point {
+	sp, err := p.Spec()
+	if err != nil {
+		return p
+	}
+	best := p
+	if best.Duration == 0 {
+		best.Duration = sp.Duration
+	}
+	if best.Scale == 0 {
+		best.Scale = 1
+	}
+	improved := true
+	for tries := 0; improved && tries < 8; tries++ {
+		improved = false
+		if half := best.Duration / 2; half >= 50*time.Millisecond {
+			cand := best
+			cand.Duration = half.Round(time.Millisecond)
+			if stillFails(cand) {
+				best, improved = cand, true
+				continue
+			}
+		}
+		if half := best.Scale / 2; half >= 0.1 {
+			cand := best
+			cand.Scale = half
+			if stillFails(cand) {
+				best, improved = cand, true
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,473 @@
+package gen
+
+import (
+	"fmt"
+	"time"
+
+	realrate "repro"
+)
+
+// Violation is one invariant breach observed while running a scenario.
+type Violation struct {
+	// Invariant is the short name of the breached invariant.
+	Invariant string
+	// Policy is the scheduling discipline the scenario ran under.
+	Policy string
+	// Time is the simulated instant of detection (post-run checks use the
+	// scenario end time).
+	Time time.Duration
+	// Detail is a human-readable description.
+	Detail string
+	// Replay, when set by the harness, is the rrexp command line that
+	// reproduces the failing scenario deterministically.
+	Replay string
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("[%s/%s @%v] %s", v.Invariant, v.Policy, v.Time, v.Detail)
+	if v.Replay != "" {
+		s += "\n    replay: " + v.Replay
+	}
+	return s
+}
+
+// Report aggregates one scenario execution.
+type Report struct {
+	Policy        string
+	Threads       int // successfully spawned, arrivals and churn included
+	SpawnRejected int // spawns refused (admission control or bad options)
+	Exits         int
+	Kills         int
+	AdmitOK       int
+	AdmitRejected int
+	QualityEvents int
+	Samples       int
+	Violations    []Violation
+	// TruncatedViolations counts breaches beyond the recording cap.
+	TruncatedViolations int
+}
+
+// maxViolations caps recorded breaches per run: a broken invariant tends to
+// fire every sample, and 40 instances identify it as well as 4000.
+const maxViolations = 40
+
+// sampleInterval is the checker's observation period; it matches the
+// controller interval so feedback windows line up with control decisions.
+const sampleInterval = 10 * time.Millisecond
+
+// feedbackWindow is the number of samples over which the RBS feedback
+// properties are judged.
+const feedbackWindow = 12
+
+// overloadThreshold mirrors the default admission/squish ceiling of the
+// zero-value realrate.Config the harness runs under (the spare 100 ppt
+// covers scheduling and interrupt overhead).
+const overloadThreshold = 900
+
+// feedbackSample is one per-thread observation.
+type feedbackSample struct {
+	q        float64 // cumulative pressure Q_t
+	desired  int
+	alloc    int
+	squished bool
+	cpu      time.Duration
+}
+
+// trackedThread is the checker's view of one spawned thread.
+type trackedThread struct {
+	th     *realrate.Thread
+	name   string
+	exited bool
+	exits  int
+	killed bool
+	pinned bool
+	// rtProp is the currently negotiated reservation for RT threads under
+	// RBS (0 otherwise); Allocation must equal it at every sample.
+	rtProp int
+	// realRate marks threads whose desired allocation is the controller's
+	// clamp(K·Q) — the feedback-tracking invariant applies to them.
+	realRate bool
+	window   []feedbackSample
+}
+
+// checker observes one scenario execution and accumulates violations. It
+// implements realrate.Observer and additionally samples system state every
+// control interval.
+type checker struct {
+	sys    *realrate.System
+	policy string
+	sc     *Scenario
+	rbs    bool
+
+	queues  []*realrate.Queue
+	tracked []*trackedThread
+	byTh    map[*realrate.Thread]*trackedThread
+
+	admitOK, admitRej int
+	spawnRejected     int
+	exits, kills      int
+	quality           int
+	samples           int
+	overCommitStreak  int
+	lastAdmitOK       int
+
+	violations []Violation
+	truncated  int
+}
+
+func newChecker(sys *realrate.System, policy string, sc *Scenario) *checker {
+	return &checker{
+		sys:    sys,
+		policy: policy,
+		sc:     sc,
+		rbs:    policy == "rbs",
+		byTh:   make(map[*realrate.Thread]*trackedThread),
+	}
+}
+
+// violate records a breach, capped.
+func (c *checker) violate(invariant string, now time.Duration, format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.truncated++
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Invariant: invariant,
+		Policy:    c.policy,
+		Time:      now,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// spawned records a public Spawn outcome.
+func (c *checker) spawned(th *realrate.Thread, err error, pinned bool) {
+	if err != nil {
+		c.spawnRejected++
+		return
+	}
+	tt := &trackedThread{th: th, name: th.Name(), pinned: pinned}
+	c.tracked = append(c.tracked, tt)
+	c.byTh[th] = tt
+}
+
+// watchQueue adds a queue to the conservation checks.
+func (c *checker) watchQueue(q *realrate.Queue) { c.queues = append(c.queues, q) }
+
+// watchRealRate marks a thread for the feedback-tracking invariant.
+func (c *checker) watchRealRate(th *realrate.Thread, err error) {
+	if err != nil || th == nil || !c.rbs {
+		return
+	}
+	if tt := c.byTh[th]; tt != nil {
+		tt.realRate = true
+	}
+}
+
+// setNegotiated records the reservation an RT thread currently holds.
+func (c *checker) setNegotiated(th *realrate.Thread, prop int) {
+	if tt := c.byTh[th]; tt != nil && c.rbs {
+		tt.rtProp = prop
+	}
+}
+
+// killed records a forced removal.
+func (c *checker) killed(th *realrate.Thread, now time.Duration) {
+	c.kills++
+	if tt := c.byTh[th]; tt != nil {
+		tt.killed = true
+	}
+}
+
+// --- realrate.Observer ---
+
+// OnDispatch implements realrate.Observer.
+func (c *checker) OnDispatch(now time.Duration, th *realrate.Thread) {
+	if th == nil {
+		return // the controller's own thread has no public handle
+	}
+	if tt := c.byTh[th]; tt != nil && tt.exited {
+		c.violate("dispatch-after-exit", now, "thread %s dispatched after retirement", tt.name)
+	}
+}
+
+// OnActuation implements realrate.Observer. An actuation that cannot be
+// resolved to a public handle means the controller actuated a job whose
+// thread already retired (stale byKern or a missed reap).
+func (c *checker) OnActuation(now time.Duration, th *realrate.Thread, prop int, period time.Duration) {
+	if prop < 0 {
+		c.violate("floor", now, "negative actuation %d ppt", prop)
+	}
+	if period <= 0 {
+		c.violate("floor", now, "non-positive actuated period %v", period)
+	}
+	if th == nil {
+		c.violate("actuation-unindexed", now, "actuation of %d ppt for an unindexed thread", prop)
+		return
+	}
+	if tt := c.byTh[th]; tt != nil && tt.exited {
+		c.violate("actuation-after-exit", now, "thread %s actuated after retirement", tt.name)
+	}
+}
+
+// OnQuality implements realrate.Observer.
+func (c *checker) OnQuality(ev realrate.QualityEvent) { c.quality++ }
+
+// OnAdmission implements realrate.Observer.
+func (c *checker) OnAdmission(ev realrate.AdmissionEvent) {
+	if ev.Accepted {
+		c.admitOK++
+	} else {
+		c.admitRej++
+		if ev.Err == nil {
+			c.violate("admission", ev.Time, "rejection without error for %d ppt", ev.Requested)
+		}
+	}
+}
+
+// OnExit implements realrate.Observer.
+func (c *checker) OnExit(now time.Duration, th *realrate.Thread) {
+	c.exits++
+	tt := c.byTh[th]
+	if tt == nil {
+		c.violate("exit-unknown", now, "OnExit for a thread never spawned publicly")
+		return
+	}
+	tt.exits++
+	if tt.exits > 1 {
+		c.violate("double-exit", now, "thread %s exited %d times", tt.name, tt.exits)
+	}
+	if tt.pinned {
+		c.violate("lost-thread", now, "pinned hog %s exited", tt.name)
+	}
+	tt.exited = true
+}
+
+// startSampling arms the periodic observation.
+func (c *checker) startSampling() {
+	c.sys.Every(sampleInterval, c.sample)
+}
+
+// sample is one periodic observation: queue conservation, admission
+// accounting, floors, and the RBS feedback windows.
+func (c *checker) sample(now time.Duration) {
+	c.samples++
+	c.checkQueues(now)
+	if !c.rbs {
+		return
+	}
+	// Admission never over-commits — in the paper's sense. Hard
+	// reservations are admitted against the threshold counting only the
+	// FLOORS of squishable jobs, so the instantaneous policy total may
+	// transiently exceed the machine between an admission and the next
+	// squish; under sustained churn every interval can re-create a fresh
+	// overshoot. What must hold: the squish reclaims within a control
+	// interval — the total cannot stay above the machine across intervals
+	// in which nothing new was admitted — and the live hard reservations
+	// alone never exceed the admission ceiling.
+	if tp := c.sys.TotalProportion(); tp > realrate.PPT {
+		if c.admitOK != c.lastAdmitOK {
+			c.overCommitStreak = 0 // fresh admission: a new transient is allowed
+		}
+		c.overCommitStreak++
+		if c.overCommitStreak >= 3 {
+			c.violate("over-commit", now,
+				"total proportion %d ppt > %d across %d admission-free intervals (squish failed to reclaim)",
+				tp, realrate.PPT, c.overCommitStreak)
+		}
+	} else {
+		c.overCommitStreak = 0
+	}
+	c.lastAdmitOK = c.admitOK
+	rtSum := 0
+	for _, tt := range c.tracked {
+		if !tt.exited {
+			rtSum += tt.rtProp
+		}
+	}
+	if rtSum > overloadThreshold {
+		c.violate("over-commit", now,
+			"live hard reservations sum to %d ppt > admission ceiling %d", rtSum, overloadThreshold)
+	}
+	for _, tt := range c.tracked {
+		if tt.exited {
+			continue
+		}
+		alloc := tt.th.Allocation()
+		if alloc < 0 {
+			c.violate("floor", now, "thread %s allocation %d < 0", tt.name, alloc)
+		}
+		// Squish preserves floors: an unsquished job with a positive
+		// desire is never starved to zero.
+		if !tt.th.Squished() && tt.th.Desired() > 0 && alloc == 0 && tt.th.Class() != "unmanaged" {
+			c.violate("floor", now, "thread %s unsquished with desired %d but zero allocation",
+				tt.name, tt.th.Desired())
+		}
+		// Reservations are exact: an admitted RT thread holds precisely
+		// what it negotiated, at every instant.
+		if tt.rtProp > 0 && alloc != tt.rtProp {
+			c.violate("reservation", now, "rt thread %s allocated %d ppt, negotiated %d",
+				tt.name, alloc, tt.rtProp)
+		}
+		if tt.realRate {
+			c.feedbackSample(tt, now)
+		}
+	}
+}
+
+// checkQueues asserts conservation on every watched queue: bytes are
+// neither lost nor invented, and the fill respects the bound. The engine
+// is sequential, so this holds at every instant, not just at the end.
+func (c *checker) checkQueues(now time.Duration) {
+	for _, q := range c.queues {
+		if q.Produced() != q.Consumed()+q.Fill() {
+			c.violate("queue-conservation", now,
+				"queue %s: produced %d != consumed %d + fill %d",
+				q.Name(), q.Produced(), q.Consumed(), q.Fill())
+		}
+		if q.Fill() < 0 || q.Fill() > q.Size() {
+			c.violate("queue-bound", now, "queue %s: fill %d outside [0,%d]",
+				q.Name(), q.Fill(), q.Size())
+		}
+	}
+}
+
+// feedbackSample advances one thread's feedback window and judges it when
+// full: over a window where the job was never squished and demonstrably
+// used its allocation, the desired proportion must move with the sign of
+// the cumulative pressure trend (Figure 4: P' = k·Q_t). The tolerance
+// absorbs the P−C reclamation path, which may step the desire down by
+// ReclaimC per interval while usage hovers near the reclaim threshold;
+// what cannot happen is the desire moving hundreds of ppt against the
+// pressure trend.
+func (c *checker) feedbackSample(tt *trackedThread, now time.Duration) {
+	tt.window = append(tt.window, feedbackSample{
+		q:        tt.th.Pressure(),
+		desired:  tt.th.Desired(),
+		alloc:    tt.th.Allocation(),
+		squished: tt.th.Squished(),
+		cpu:      tt.th.CPUTime(),
+	})
+	if len(tt.window) < feedbackWindow {
+		return
+	}
+	w := tt.window
+	first, last := w[0], w[len(w)-1]
+	tt.window = tt.window[1:] // slide
+
+	var granted time.Duration
+	squished := false
+	for _, s := range w[:len(w)-1] {
+		granted += time.Duration(int64(sampleInterval) * int64(s.alloc) / realrate.PPT)
+		squished = squished || s.squished
+	}
+	if squished || granted <= 0 {
+		return
+	}
+	usage := float64(last.cpu-first.cpu) / float64(granted)
+	dq := last.q - first.q
+	const (
+		qTrend    = 0.15 // minimum |ΔQ| that counts as a trend
+		tolerance = 100  // ppt of against-trend movement absorbed
+	)
+	if dq > qTrend && usage >= 0.8 && last.desired < first.desired-tolerance {
+		c.violate("feedback-sign", now,
+			"thread %s: pressure rose %.2f (usage %.0f%%) but desire fell %d -> %d ppt",
+			tt.name, dq, usage*100, first.desired, last.desired)
+	}
+	if dq < -qTrend && last.desired > first.desired+tolerance {
+		c.violate("feedback-sign", now,
+			"thread %s: pressure fell %.2f but desire rose %d -> %d ppt",
+			tt.name, dq, first.desired, last.desired)
+	}
+}
+
+// finish runs the post-run checks.
+func (c *checker) finish() {
+	end := c.sys.Now()
+	c.checkQueues(end)
+
+	var busy time.Duration
+	liveHog := false
+	for _, tt := range c.tracked {
+		busy += tt.th.CPUTime()
+		state := tt.th.State()
+		switch state {
+		case "ready", "running", "blocked", "sleeping", "exited":
+		default:
+			c.violate("lost-thread", end, "thread %s in unknown state %q", tt.name, state)
+		}
+		// Exit bookkeeping closes: a kernel-exited thread must have been
+		// announced exactly once (a miss means a stale byKern entry), and
+		// an announced thread must really be gone.
+		if state == "exited" && !tt.exited {
+			c.violate("exit-hook", end, "thread %s exited without an OnExit (stale index?)", tt.name)
+		}
+		if tt.exited && state != "exited" {
+			c.violate("exit-hook", end, "thread %s got OnExit but is %q", tt.name, state)
+		}
+		if tt.killed && state != "exited" {
+			c.violate("lost-thread", end, "killed thread %s still %q", tt.name, state)
+		}
+		if tt.pinned {
+			if state == "exited" {
+				c.violate("lost-thread", end, "pinned hog %s exited", tt.name)
+			} else {
+				liveHog = true
+				// Lottery is exempt: its guarantees are probabilistic, and
+				// a short run can draw against one thread throughout —
+				// which is precisely the paper's critique of it.
+				if tt.th.CPUTime() == 0 && c.policy != "lottery" {
+					c.violate("starvation", end, "pinned hog %s got zero CPU over %v", tt.name, end)
+				}
+			}
+		}
+	}
+
+	// Closed time accounting: thread time + controller + idle + overhead
+	// equals elapsed. A leak here means the kernel charged (or dropped)
+	// segments it should not have — the bug class Retire-under-churn
+	// exercises.
+	st := c.sys.Stats()
+	total := busy + c.sys.ControllerCPU() + st.Idle + st.SchedOverhead
+	if diff := (st.Elapsed - total).Abs(); diff > 2*time.Millisecond {
+		c.violate("time-accounting", end,
+			"leaks %v (elapsed %v = threads %v + controller %v + idle %v + overhead %v)",
+			diff, st.Elapsed, busy, c.sys.ControllerCPU(), st.Idle, st.SchedOverhead)
+	}
+	if st.Dispatches == 0 || st.Ticks == 0 {
+		c.violate("lost-thread", end, "no scheduling activity: %+v", st)
+	}
+
+	// Work conservation: with an immortal hog runnable the machine cannot
+	// idle much. RBS naps budget-exhausted threads until their next period
+	// (§3.1) — the hog included, once its squished allocation is spent —
+	// so its cap is generous (heavy RT tasksets legitimately idle ~40%);
+	// it still catches a scheduler that wedges the hog outright.
+	if liveHog {
+		idleCap := c.sc.Spec.Duration / 8
+		if c.rbs {
+			idleCap = c.sc.Spec.Duration / 2
+		}
+		if st.Idle > idleCap {
+			c.violate("work-conservation", end,
+				"idled %v of %v with hog runnable (cap %v)", st.Idle, st.Elapsed, idleCap)
+		}
+	}
+}
+
+// report snapshots the run outcome.
+func (c *checker) report() Report {
+	return Report{
+		Policy:              c.policy,
+		Threads:             len(c.tracked),
+		SpawnRejected:       c.spawnRejected,
+		Exits:               c.exits,
+		Kills:               c.kills,
+		AdmitOK:             c.admitOK,
+		AdmitRejected:       c.admitRej,
+		QualityEvents:       c.quality,
+		Samples:             c.samples,
+		Violations:          c.violations,
+		TruncatedViolations: c.truncated,
+	}
+}

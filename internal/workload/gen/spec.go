@@ -1,0 +1,445 @@
+// Package gen is the workload-breadth subsystem: a seeded, deterministic
+// scenario generator that emits executable scenarios from declarative
+// specs, and a cross-policy invariant harness that runs any generated
+// scenario under every public scheduling policy and checks the conformance
+// invariants that must hold regardless of discipline.
+//
+// The paper validates the feedback allocator on a handful of hand-built
+// scenarios (pipeline, hog, interactive). Open-loop feedback-scheduling
+// evaluations show closed-loop allocators behave qualitatively differently
+// under arrival processes they did not shape, so the generator covers three
+// axes the hand-built scenarios do not:
+//
+//   - open-loop arrival traces (Poisson, MMPP bursty, replayed CSV traces)
+//     driving System.Spawn / thread exit through the public API;
+//   - mixed tasksets (real-rate pipelines + reserved real-time +
+//     interactive + paced + miscellaneous threads with drawn periods,
+//     proportions, and queue depths);
+//   - admission churn (high-rate Spawn/Kill/Renegotiate cycles near the
+//     admission ceiling).
+//
+// Everything is derived from (family, seed) through the pinned sim.RNG, so
+// a failing scenario is replayable from a single command line:
+//
+//	rrexp -gen -scenario churn -seed 17 -policy stride
+package gen
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TaskKind classifies a generated task in the paper's Figure 2 taxonomy.
+type TaskKind int
+
+const (
+	// KindMisc is a CPU-bound hog with no declared information.
+	KindMisc TaskKind = iota
+	// KindUnmanaged runs outside the controller entirely.
+	KindUnmanaged
+	// KindRealTime holds a proportion/period reservation and runs a
+	// periodic burst sized to (most of) it.
+	KindRealTime
+	// KindInteractive blocks on a tty wait queue and handles periodic
+	// events with short bursts.
+	KindInteractive
+	// KindPaced is a real-rate thread driven by a work-unit Pace source.
+	KindPaced
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case KindMisc:
+		return "misc"
+	case KindUnmanaged:
+		return "unmanaged"
+	case KindRealTime:
+		return "rt"
+	case KindInteractive:
+		return "interactive"
+	case KindPaced:
+		return "paced"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// parseKind is the inverse of TaskKind.String, for trace CSV decoding.
+func parseKind(s string) (TaskKind, error) {
+	switch s {
+	case "misc":
+		return KindMisc, nil
+	case "unmanaged":
+		return KindUnmanaged, nil
+	case "rt":
+		return KindRealTime, nil
+	case "interactive":
+		return KindInteractive, nil
+	case "paced":
+		return KindPaced, nil
+	}
+	return 0, fmt.Errorf("gen: unknown task kind %q", s)
+}
+
+// TasksetSpec sizes the initial mixed taskset. Per-task parameters
+// (proportions, periods, bursts, queue depths) are drawn from the seed.
+type TasksetSpec struct {
+	// Pipelines is the number of real-rate pipelines: a reserved producer
+	// feeding 1..MaxStages-1 real-rate stages through bounded queues.
+	Pipelines int
+	// MaxStages bounds the stages per pipeline (including the producer);
+	// the generator draws 2..MaxStages.
+	MaxStages int
+	// RealTime is the number of reservation-holding periodic threads.
+	RealTime int
+	// Interactive is the number of tty-server threads (each paired with a
+	// generated event source).
+	Interactive int
+	// Misc is the number of miscellaneous hogs. When PinnedHog is set the
+	// first one is immortal and excluded from churn, which is what makes
+	// the work-conservation invariant checkable.
+	Misc int
+	// Unmanaged is the number of hogs outside the controller.
+	Unmanaged int
+	// Paced is the number of real-rate threads driven by a work-unit pace.
+	Paced int
+	// PinnedHog marks the first misc hog immortal and unkillable.
+	PinnedHog bool
+}
+
+// threads returns the rough initial thread count (pipelines count MaxStages).
+func (t TasksetSpec) threads() int {
+	return t.Pipelines*t.MaxStages + t.RealTime + t.Interactive + t.Misc + t.Unmanaged + t.Paced
+}
+
+// ArrivalProcess selects the open-loop arrival model.
+type ArrivalProcess int
+
+const (
+	// NoArrivals: the taskset is fixed for the whole run.
+	NoArrivals ArrivalProcess = iota
+	// Poisson: exponential inter-arrival times at Rate per second.
+	Poisson
+	// MMPP: a two-phase Markov-modulated Poisson process alternating
+	// between Rate (quiet) and BurstRate (burst) with exponential phase
+	// sojourns of mean PhaseMean — the bursty web-serving shape.
+	MMPP
+	// Trace: the explicit arrival list in Trace, e.g. replayed from CSV.
+	Trace
+)
+
+func (p ArrivalProcess) String() string {
+	switch p {
+	case NoArrivals:
+		return "none"
+	case Poisson:
+		return "poisson"
+	case MMPP:
+		return "mmpp"
+	case Trace:
+		return "trace"
+	default:
+		return fmt.Sprintf("process(%d)", int(p))
+	}
+}
+
+// Arrival is one open-loop task arrival.
+type Arrival struct {
+	At   time.Duration
+	Kind TaskKind
+}
+
+// ArrivalSpec describes the open-loop arrival process.
+type ArrivalSpec struct {
+	Process   ArrivalProcess
+	Rate      float64       // arrivals/sec (Poisson, and MMPP quiet phase)
+	BurstRate float64       // arrivals/sec in the MMPP burst phase
+	PhaseMean time.Duration // mean MMPP phase sojourn
+	Trace     []Arrival     // explicit arrivals when Process == Trace
+	// MeanLife is the mean exponential lifetime of arrived tasks; 0 means
+	// they run to the end of the scenario.
+	MeanLife time.Duration
+	// Mix weights the kinds of arriving tasks; zero value defaults to
+	// miscellaneous only.
+	Mix []TaskKind
+}
+
+// ChurnSpec describes admission-churn stress: timed Spawn/Kill/Renegotiate
+// cycles near the admission ceiling.
+type ChurnSpec struct {
+	// Rate is churn operations per second (0 disables churn).
+	Rate float64
+	// ReserveLo/ReserveHi bound the proportions (ppt) churn-spawned
+	// reservations request; drawing near the ceiling forces rejections.
+	ReserveLo, ReserveHi int
+}
+
+// Spec is the declarative description of one generated scenario. Given the
+// same Spec (same seed), Generate produces the same Scenario, and running
+// it under the same policy produces a byte-identical dispatch trace.
+type Spec struct {
+	// Family names the generator family that drew this spec ("" for a
+	// hand-built spec); it appears in names and replay command lines.
+	Family string
+	// Seed drives every draw.
+	Seed uint64
+	// Duration is the simulated run length.
+	Duration time.Duration
+	Taskset  TasksetSpec
+	Arrivals ArrivalSpec
+	Churn    ChurnSpec
+}
+
+// Scale returns a copy of the spec with taskset counts, arrival rates, and
+// churn rates multiplied by f (0 < f <= 1). The shrinker uses it to
+// minimize failing scenarios along an axis replayable from the command
+// line (rrexp -gen ... -scale f).
+func (s Spec) Scale(f float64) Spec {
+	if f <= 0 || f > 1 {
+		panic("gen: scale must be in (0, 1]")
+	}
+	sc := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		m := int(float64(n) * f)
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+	s.Taskset.Pipelines = sc(s.Taskset.Pipelines)
+	s.Taskset.RealTime = sc(s.Taskset.RealTime)
+	s.Taskset.Interactive = sc(s.Taskset.Interactive)
+	s.Taskset.Misc = sc(s.Taskset.Misc)
+	s.Taskset.Unmanaged = sc(s.Taskset.Unmanaged)
+	s.Taskset.Paced = sc(s.Taskset.Paced)
+	s.Arrivals.Rate *= f
+	s.Arrivals.BurstRate *= f
+	s.Churn.Rate *= f
+	if s.Arrivals.Process == Trace {
+		keep := int(float64(len(s.Arrivals.Trace)) * f)
+		s.Arrivals.Trace = s.Arrivals.Trace[:keep]
+	}
+	return s
+}
+
+// Families lists the scenario families ForSeed accepts, in a fixed order.
+func Families() []string {
+	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace"}
+}
+
+// ForSeed derives the declarative spec for one (family, seed) point. Every
+// parameter is drawn from the pinned RNG, so the mapping is stable across
+// runs and platforms.
+func ForSeed(family string, seed uint64) (Spec, error) {
+	// Separate the family streams: the same seed must not produce
+	// correlated draws across families.
+	var fam uint64
+	for _, c := range family {
+		fam = fam*131 + uint64(c)
+	}
+	rng := sim.NewRNG(seed*0x9E3779B97F4A7C15 + fam + 1)
+	sp := Spec{Family: family, Seed: seed}
+	ms := func(lo, hi int) time.Duration {
+		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Millisecond
+	}
+	n := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+
+	switch family {
+	case "pipeline":
+		// Closed-loop, pipeline-heavy: the paper's own shape, multiplied.
+		sp.Duration = ms(400, 700)
+		sp.Taskset = TasksetSpec{
+			Pipelines: n(1, 3), MaxStages: n(2, 4),
+			Misc: n(1, 2), PinnedHog: true,
+		}
+	case "mixed":
+		// A bit of everything: RT + real-rate + interactive + misc with a
+		// slow trickle of arrivals and mild churn.
+		sp.Duration = ms(400, 700)
+		sp.Taskset = TasksetSpec{
+			Pipelines: n(0, 2), MaxStages: 3,
+			RealTime: n(1, 3), Interactive: n(1, 2),
+			Misc: n(1, 2), Unmanaged: n(0, 1), Paced: n(0, 1),
+			PinnedHog: true,
+		}
+		sp.Arrivals = ArrivalSpec{
+			Process: Poisson, Rate: float64(n(5, 15)),
+			MeanLife: ms(80, 150),
+			Mix:      []TaskKind{KindMisc, KindRealTime, KindInteractive},
+		}
+		sp.Churn = ChurnSpec{Rate: float64(n(5, 20)), ReserveLo: 50, ReserveHi: 300}
+	case "openloop":
+		// Pure open-loop web-serving shape: short-lived arrivals over a
+		// small resident set. No pinned hog: the machine may legitimately
+		// idle between arrivals, so work conservation is not asserted.
+		sp.Duration = ms(400, 700)
+		sp.Taskset = TasksetSpec{RealTime: n(0, 2), Interactive: 1}
+		sp.Arrivals = ArrivalSpec{
+			Process: Poisson, Rate: float64(n(30, 80)),
+			MeanLife: ms(30, 100),
+			Mix:      []TaskKind{KindMisc, KindMisc, KindInteractive, KindRealTime, KindPaced},
+		}
+	case "bursty":
+		// MMPP: quiet trickle punctuated by arrival storms.
+		sp.Duration = ms(400, 700)
+		sp.Taskset = TasksetSpec{Misc: 1, PinnedHog: true, RealTime: n(0, 1)}
+		sp.Arrivals = ArrivalSpec{
+			Process: MMPP, Rate: float64(n(2, 8)), BurstRate: float64(n(100, 250)),
+			PhaseMean: ms(30, 80), MeanLife: ms(20, 60),
+			Mix: []TaskKind{KindMisc, KindInteractive, KindRealTime},
+		}
+	case "churn":
+		// Admission churn near capacity: reservations spawn, die, and
+		// renegotiate at high rate against a base of RT load and hogs.
+		sp.Duration = ms(400, 700)
+		sp.Taskset = TasksetSpec{
+			RealTime: n(2, 3), Misc: n(1, 2), PinnedHog: true,
+		}
+		sp.Churn = ChurnSpec{
+			Rate:      float64(n(80, 200)),
+			ReserveLo: 100, ReserveHi: 500,
+		}
+	case "trace":
+		// Replayed-trace arrivals: draw a trace, round-trip it through the
+		// CSV codec (so the parser is on the tested path), replay it.
+		sp.Duration = ms(400, 700)
+		sp.Taskset = TasksetSpec{Misc: 1, PinnedHog: true}
+		mix := []TaskKind{KindMisc, KindInteractive, KindRealTime}
+		raw := drawArrivals(rng, ArrivalSpec{
+			Process: Poisson, Rate: float64(n(20, 60)), Mix: mix,
+		}, sp.Duration)
+		tr, err := roundTripTrace(raw)
+		if err != nil {
+			return Spec{}, fmt.Errorf("gen: trace round-trip: %w", err)
+		}
+		sp.Arrivals = ArrivalSpec{
+			Process: Trace, Trace: tr, MeanLife: ms(40, 100), Mix: mix,
+		}
+	default:
+		return Spec{}, fmt.Errorf("gen: unknown scenario family %q (have %v)", family, Families())
+	}
+	return sp, nil
+}
+
+// drawArrivals realizes an arrival process over [0, dur) as a concrete
+// arrival list. Trace specs are returned as-is (clipped to dur).
+func drawArrivals(rng *sim.RNG, a ArrivalSpec, dur time.Duration) []Arrival {
+	mix := a.Mix
+	if len(mix) == 0 {
+		mix = []TaskKind{KindMisc}
+	}
+	var out []Arrival
+	switch a.Process {
+	case NoArrivals:
+	case Trace:
+		for _, ar := range a.Trace {
+			if ar.At < dur {
+				out = append(out, ar)
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	case Poisson:
+		if a.Rate <= 0 {
+			break
+		}
+		t := time.Duration(rng.Exp(float64(time.Second) / a.Rate))
+		for t < dur {
+			out = append(out, Arrival{At: t, Kind: mix[rng.Intn(len(mix))]})
+			t += time.Duration(rng.Exp(float64(time.Second) / a.Rate))
+		}
+	case MMPP:
+		if a.Rate <= 0 || a.BurstRate <= 0 || a.PhaseMean <= 0 {
+			break
+		}
+		var t time.Duration
+		burst := false
+		phaseEnd := time.Duration(rng.Exp(float64(a.PhaseMean)))
+		for t < dur {
+			rate := a.Rate
+			if burst {
+				rate = a.BurstRate
+			}
+			t += time.Duration(rng.Exp(float64(time.Second) / rate))
+			for t >= phaseEnd && phaseEnd < dur {
+				// Phase switch; re-draw the sojourn. Arrival times drawn
+				// across the boundary keep the old rate — acceptable for a
+				// workload model and simpler to keep deterministic.
+				burst = !burst
+				phaseEnd += time.Duration(rng.Exp(float64(a.PhaseMean)))
+			}
+			if t < dur {
+				out = append(out, Arrival{At: t, Kind: mix[rng.Intn(len(mix))]})
+			}
+		}
+	}
+	return out
+}
+
+// WriteTraceCSV encodes an arrival trace as CSV: one "time_us,kind" row per
+// arrival, with a header.
+func WriteTraceCSV(w io.Writer, trace []Arrival) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_us", "kind"}); err != nil {
+		return err
+	}
+	for _, a := range trace {
+		err := cw.Write([]string{
+			strconv.FormatInt(a.At.Microseconds(), 10), a.Kind.String(),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseTraceCSV decodes a trace written by WriteTraceCSV (or by hand): a
+// header row followed by "time_us,kind" rows. Rows must be time-ordered.
+func ParseTraceCSV(r io.Reader) ([]Arrival, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gen: trace csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("gen: empty trace")
+	}
+	var out []Arrival
+	for i, row := range rows[1:] {
+		us, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: trace row %d: bad time %q", i+2, row[0])
+		}
+		kind, err := parseKind(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("gen: trace row %d: %w", i+2, err)
+		}
+		at := time.Duration(us) * time.Microsecond
+		if len(out) > 0 && at < out[len(out)-1].At {
+			return nil, fmt.Errorf("gen: trace row %d: out of order", i+2)
+		}
+		out = append(out, Arrival{At: at, Kind: kind})
+	}
+	return out, nil
+}
+
+// roundTripTrace pushes a trace through the CSV codec, so the "trace"
+// family exercises the parser on every generated scenario.
+func roundTripTrace(trace []Arrival) ([]Arrival, error) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, trace); err != nil {
+		return nil, err
+	}
+	return ParseTraceCSV(&buf)
+}

@@ -32,6 +32,10 @@ type Observer interface {
 	// requests from Spawn (Reserve and Aperiodic options) and from
 	// Thread.Renegotiate, accepted or rejected.
 	OnAdmission(ev AdmissionEvent)
+	// OnExit fires exactly once when a thread leaves the machine — its
+	// program returned Exit() or it was killed. It is the last event for
+	// that thread: no OnDispatch or OnActuation follows it.
+	OnExit(now time.Duration, th *Thread)
 }
 
 // AdmissionEvent is one admission-control decision.
@@ -66,6 +70,9 @@ func (NopObserver) OnQuality(QualityEvent) {}
 
 // OnAdmission implements Observer.
 func (NopObserver) OnAdmission(AdmissionEvent) {}
+
+// OnExit implements Observer.
+func (NopObserver) OnExit(time.Duration, *Thread) {}
 
 // Observe registers an observer. Multiple observers fire in registration
 // order. Call before Run; observers cannot be removed.

@@ -36,7 +36,8 @@ func (o *countingObserver) OnActuation(now time.Duration, th *realrate.Thread, p
 	}
 }
 
-func (o *countingObserver) OnQuality(ev realrate.QualityEvent) { o.quality++ }
+func (o *countingObserver) OnQuality(ev realrate.QualityEvent)            { o.quality++ }
+func (o *countingObserver) OnExit(now time.Duration, th *realrate.Thread) {}
 func (o *countingObserver) OnAdmission(ev realrate.AdmissionEvent) {
 	o.admissions = append(o.admissions, ev)
 }

@@ -111,9 +111,10 @@ type System struct {
 	// ctl is nil under baseline policies: no feedback allocator runs.
 	ctl *core.Controller
 
-	threads []*Thread
 	// byKern maps kernel threads back to their public handles, so quality
-	// events and observer callbacks stay O(1) at 10k threads.
+	// events and observer callbacks stay O(1) at 10k threads. Entries are
+	// dropped when the thread exits (see threadExited), so admission churn
+	// cannot grow the map without bound.
 	byKern map[*kernel.Thread]*Thread
 
 	hub       observerHub
@@ -212,6 +213,7 @@ func NewSystem(cfg Config) *System {
 		byKern: make(map[*kernel.Thread]*Thread),
 	}
 	s.hub.sys = s
+	kern.SetExitHook(s.threadExited)
 	if rbsPol != nil {
 		s.ctl = core.New(kern, rbsPol, reg, ccfg)
 		// Quality exceptions are rare, so the dispatcher hook is installed
@@ -242,6 +244,19 @@ func (s *System) Stop() { s.kern.Stop() }
 
 // Now returns the current simulated time since system creation.
 func (s *System) Now() time.Duration { return time.Duration(s.kern.Now()) }
+
+// After schedules fn to be called once, with the simulated timestamp, d
+// after the current simulated instant. Unlike Every it fires exactly once;
+// open-loop workload drivers use it to inject arrivals, removals, and
+// renegotiations at precomputed instants. The callback may spawn or kill
+// threads. Call before or between Runs, or from another callback.
+func (s *System) After(d time.Duration, fn func(now time.Duration)) {
+	iv := sim.FromStd(d)
+	if iv < 0 {
+		panic("realrate: negative delay")
+	}
+	s.eng.After(iv, func(now sim.Time) { fn(time.Duration(now)) })
+}
 
 // Every schedules fn to be called with the simulated timestamp every
 // interval, forever. Call before or between Runs.

@@ -23,4 +23,8 @@ go test -run '^$' -bench 'BenchmarkSimulatedSecondOneHog|BenchmarkSimulatedSecon
 go test -run '^$' -bench 'BenchmarkStormDispatch' -benchtime 30x -benchmem . >>"$tmp" 2>&1
 go test -run '^$' -bench 'BenchmarkControllerStep' -benchtime 200x -benchmem ./internal/core/ >>"$tmp" 2>&1
 
+# Workload-breadth bench: admission-churn throughput (Spawn/Kill/
+# Renegotiate near capacity with the invariant checker live).
+go test -run '^$' -bench 'BenchmarkChurnThroughput' -benchtime 10x -benchmem . >>"$tmp" 2>&1
+
 go run ./scripts/benchmerge -file BENCH_results.json -date "$(date -u +%F)" -label "$label" <"$tmp"

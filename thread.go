@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 )
 
 // Thread is a handle to a simulated thread under real-rate scheduling.
@@ -20,9 +21,27 @@ func (s *System) spawn(name string, prog Program) *Thread {
 	th := &Thread{sys: s}
 	ad := &programAdapter{sys: s, prog: prog, self: th}
 	th.t = s.kern.Spawn(name, ad)
-	s.threads = append(s.threads, th)
 	s.byKern[th.t] = th
 	return th
+}
+
+// threadExited is the kernel exit hook: it unindexes the handle and tells
+// observers the thread is gone. Threads removed by removeThread (rejected
+// spawns) were unindexed before retirement, so they never ran and never
+// surface an OnExit.
+func (s *System) threadExited(t *kernel.Thread, now sim.Time) {
+	th, ok := s.byKern[t]
+	if !ok {
+		return
+	}
+	delete(s.byKern, t)
+	// Unlink progress sources here, not only in the controller's reap:
+	// under a baseline policy no controller runs, so without this an
+	// exited paced/real-rate thread would leak its registration forever.
+	s.reg.Unregister(t)
+	for _, o := range s.hub.obs {
+		o.OnExit(time.Duration(now), th)
+	}
 }
 
 // SpawnRealTime creates a thread with a hard reservation: proportion in
@@ -103,18 +122,28 @@ func (s *System) SpawnUnmanaged(name string, prog Program) *Thread {
 
 // removeThread undoes a spawn whose registration failed: the kernel thread
 // is retired (so a rejected program does not keep running in the leftover
-// CPU) and the public handle is unindexed.
+// CPU), any progress sources registered before the failure are unlinked,
+// and the public handle is unindexed. Unindexing happens before Retire so
+// the exit hook does not announce a thread that never publicly existed.
 func (s *System) removeThread(th *Thread) {
-	s.kern.Retire(th.t)
 	delete(s.byKern, th.t)
-	for i, other := range s.threads {
-		if other == th {
-			copy(s.threads[i:], s.threads[i+1:])
-			s.threads[len(s.threads)-1] = nil
-			s.threads = s.threads[:len(s.threads)-1]
-			break
-		}
-	}
+	s.reg.Unregister(th.t)
+	s.kern.Retire(th.t)
+}
+
+// Kill retires the thread immediately, as if its program had returned
+// Exit(): it is removed from the scheduler, any pending sleep wakeup is
+// canceled, and the partial run segment (if it was on the CPU) is charged.
+// The controller reaps its job — freeing any admitted reservation — at the
+// next control interval, exactly as for a natural exit. Killing an exited
+// thread is a no-op.
+//
+// Kill is the remove half of admission churn (Spawn/Kill/Renegotiate
+// cycles). Call it from outside the simulation or from a timer callback
+// (System.After, System.Every); a program retiring itself must return
+// Exit() instead. A killed thread that holds a Mutex never releases it.
+func (th *Thread) Kill() {
+	th.sys.kern.Retire(th.t)
 }
 
 // Name returns the thread's name.
