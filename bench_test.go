@@ -120,6 +120,34 @@ func BenchmarkStormDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkStormSMP measures wall time to drain a fixed backlog — n
+// registered CPU-bound threads, each owing a fixed amount of work — on
+// machines of 1/2/4/8 CPUs. More CPUs retire the same backlog in fewer
+// simulated seconds (sim_elapsed_s), which is what pulls the wall time
+// down with it: the throughput claim of the SMP kernel, recorded in
+// BENCH_results.json by scripts/bench.sh.
+func BenchmarkStormSMP(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, cpus := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/cpus=%d", n, cpus), func(b *testing.B) {
+				b.ReportAllocs()
+				var last experiments.StormResult
+				for i := 0; i < b.N; i++ {
+					last = experiments.RunContextSwitchStorm(experiments.StormConfig{
+						Threads: n, CPUs: cpus, Work: 4_000_000,
+					})
+				}
+				if last.Completed != n {
+					b.Fatalf("backlog not drained: %d/%d threads completed in %v",
+						last.Completed, n, last.SimElapsed)
+				}
+				b.ReportMetric(last.SimElapsed.Seconds(), "sim_elapsed_s")
+				b.ReportMetric(float64(last.Migrations), "migrations")
+			})
+		}
+	}
+}
+
 // BenchmarkChurnThroughput measures wall time per simulated second of the
 // admission-churn stress: Spawn/Kill/Renegotiate cycles near the admission
 // ceiling with the invariant checker live — the Remove/exit hot path under

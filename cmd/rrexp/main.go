@@ -14,10 +14,13 @@
 //	rrexp -pathfinder       # Mars Pathfinder priority inversion
 //	rrexp -livelock         # spin-wait livelock
 //	rrexp -openloop         # open-loop Poisson arrival sweep vs. policy
+//	rrexp -openloop -cpus 4 # the same sweep on a 4-CPU machine
 //	rrexp -churn            # admission-churn stress sweep vs. policy
+//	rrexp -storm            # SMP storm: fixed backlog drained on 1/2/4/8 CPUs
 //	rrexp -all              # everything
 //
 //	rrexp -gen                                   # invariant harness: all families × seeds × policies
+//	rrexp -gen -cpus 4                           # every family forced onto a 4-CPU machine
 //	rrexp -gen -scenario churn -seed 17 -policy stride   # replay one failing seed
 //	rrexp -gen -scenario mixed -seeds 50 -policy all     # wide sweep of one family
 //	rrexp -gen -trace arrivals.csv -policy rbs           # replay a recorded arrival trace
@@ -51,6 +54,8 @@ func main() {
 		seq        = flag.Bool("seq", false, "disable the parallel sweep runner (results are identical; serial is slower)")
 		openloop   = flag.Bool("openloop", false, "run the open-loop arrival sweep")
 		churn      = flag.Bool("churn", false, "run the admission-churn stress sweep")
+		storm      = flag.Bool("storm", false, "run the SMP storm sweep (fixed backlog, time-to-drain vs. CPUs)")
+		cpus       = flag.Int("cpus", 0, "machine CPU count for -openloop/-gen (0: each scenario's own; storm sweeps 1/2/4/8)")
 
 		genRun   = flag.Bool("gen", false, "run (or replay) generated scenarios through the invariant harness")
 		scenario = flag.String("scenario", "all", "generator family for -gen (or 'all'): "+fmt.Sprint(gen.Families()))
@@ -65,10 +70,10 @@ func main() {
 	experiments.SetParallel(!*seq)
 
 	if *genRun {
-		os.Exit(runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV))
+		os.Exit(runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV, *cpus))
 	}
 
-	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter && !*openloop && !*churn {
+	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter && !*openloop && !*churn && !*storm {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -147,9 +152,22 @@ func main() {
 		res.Print(os.Stdout)
 	}
 	if *all || *openloop {
-		res := experiments.RunOpenLoopSweep(nil, runDur(2*sim.Second))
+		res := experiments.RunOpenLoopSweep(nil, runDur(2*sim.Second), *cpus)
 		res.Print(os.Stdout)
 		dump("openloop.csv", res.WriteCSV)
+	}
+	if *all || *storm {
+		var cc []int
+		if *cpus > 0 {
+			cc = []int{*cpus}
+		}
+		threads := []int{1000, 10000}
+		if *quick {
+			threads = []int{1000}
+		}
+		res := experiments.RunStormSMP(threads, cc, 0)
+		res.Print(os.Stdout)
+		dump("storm_smp.csv", res.WriteCSV)
 	}
 	if *all || *churn {
 		res := experiments.RunChurnStress(nil, runDur(2*sim.Second))
@@ -164,7 +182,7 @@ func main() {
 // runGenerated is the -gen mode: run seeded scenarios through the
 // cross-policy invariant harness, or replay one exact point. Returns the
 // process exit code: nonzero when any invariant broke.
-func runGenerated(scenario string, seed uint64, seeds int, policy string, scale float64, dur time.Duration, traceCSV string) int {
+func runGenerated(scenario string, seed uint64, seeds int, policy string, scale float64, dur time.Duration, traceCSV string, cpus int) int {
 	if seeds < 1 {
 		fmt.Fprintf(os.Stderr, "rrexp: -seeds must be at least 1, got %d\n", seeds)
 		return 2
@@ -179,14 +197,14 @@ func runGenerated(scenario string, seed uint64, seeds int, policy string, scale 
 	}
 
 	if traceCSV != "" {
-		return runTraceReplay(traceCSV, policies, dur)
+		return runTraceReplay(traceCSV, policies, dur, cpus)
 	}
 
 	lo, hi := uint64(1), uint64(seeds)
 	if seed != 0 {
 		lo, hi = seed, seed
 	}
-	opts := gen.CheckOpts{Policies: policies, Scale: scale, Duration: dur}
+	opts := gen.CheckOpts{Policies: policies, Scale: scale, Duration: dur, CPUs: cpus}
 	failed := 0
 	runs := 0
 	for _, family := range families {
@@ -218,7 +236,7 @@ func runGenerated(scenario string, seed uint64, seeds int, policy string, scale 
 
 // runTraceReplay replays a recorded arrival trace CSV through the
 // invariant harness under the requested policies.
-func runTraceReplay(path string, policies []string, dur time.Duration) int {
+func runTraceReplay(path string, policies []string, dur time.Duration, cpus int) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -240,6 +258,7 @@ func runTraceReplay(path string, policies []string, dur time.Duration) int {
 		Family:   "trace",
 		Seed:     1,
 		Duration: dur,
+		CPUs:     cpus,
 		Taskset:  gen.TasksetSpec{Misc: 1, PinnedHog: true},
 		Arrivals: gen.ArrivalSpec{
 			Process: gen.Trace, Trace: trace, MeanLife: 50 * time.Millisecond,

@@ -29,7 +29,7 @@ func newActivity() *activity {
 	}
 }
 
-func (a *activity) OnDispatch(now time.Duration, th *realrate.Thread) {
+func (a *activity) OnDispatch(now time.Duration, th *realrate.Thread, cpu int) {
 	if th != nil {
 		a.dispatches[th]++
 	}
@@ -43,9 +43,10 @@ func (a *activity) OnActuation(now time.Duration, th *realrate.Thread, prop int,
 
 func main() {
 	dur := flag.Duration("dur", 15*time.Second, "simulated duration")
+	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	flag.Parse()
 
-	sys := realrate.NewSystem(realrate.Config{})
+	sys := realrate.NewSystem(realrate.Config{CPUs: *cpus})
 	act := newActivity()
 	sys.Observe(act)
 
@@ -121,9 +122,33 @@ func main() {
 
 	last := make(map[*realrate.Thread]time.Duration)
 	lastDisp := make(map[*realrate.Thread]uint64)
+	lastIdle := make([]time.Duration, sys.CPUs())
+	lastMig := make([]uint64, sys.CPUs())
+	var lastNow time.Duration
 	sys.Every(time.Second, func(now time.Duration) {
-		fmt.Printf("\n── t=%-4s  total reserved %d/1000 ───────────────────────────────────────\n",
-			now, sys.TotalProportion())
+		fmt.Printf("\n── t=%-4s  total reserved %d/%d ───────────────────────────────────────\n",
+			now, sys.TotalProportion(), realrate.PPT*sys.CPUs())
+		if sys.CPUs() > 1 {
+			// Per-CPU columns come from the observer-backed CPU stats, not
+			// a second scan over every thread.
+			dt := now - lastNow
+			fmt.Printf("%-6s %-12s %7s %8s\n", "CPU", "CURRENT", "UTIL%", "MIG/s")
+			for _, cs := range sys.CPUStats() {
+				curName := "(idle)"
+				if cs.Current != nil {
+					curName = cs.Current.Name()
+				}
+				util := 0.0
+				if dt > 0 {
+					util = 100 * (1 - float64(cs.Idle-lastIdle[cs.CPU])/float64(dt))
+				}
+				fmt.Printf("cpu%-3d %-12s %6.1f%% %8d\n",
+					cs.CPU, curName, util, cs.Migrations-lastMig[cs.CPU])
+				lastIdle[cs.CPU] = cs.Idle
+				lastMig[cs.CPU] = cs.Migrations
+			}
+			lastNow = now
+		}
 		fmt.Printf("%-10s %-20s %6s %8s %9s %7s %7s %5s %6s\n",
 			"THREAD", "CLASS", "ALLOC", "PERIOD", "PRESSURE", "CPU%", "DISP/s", "ACT", "STATE")
 		for _, th := range threads {

@@ -153,6 +153,35 @@ func TestRBSDispatchTraceGolden(t *testing.T) {
 	}
 }
 
+// TestSMPOneCPUGoldenEquivalence is the differential anchor of the SMP
+// refactor: a machine built with an explicit Config.CPUs=1 must produce a
+// dispatch trace byte-identical to the committed pre-SMP golden — the
+// per-CPU run structures, the sharded dispatcher, and the capacity
+// generalization must collapse exactly to the paper's single-CPU machine.
+// (scripts/goldens.sh runs this alongside the Figure 5–8 byte-compares.)
+func TestSMPOneCPUGoldenEquivalence(t *testing.T) {
+	want, err := os.ReadFile("testdata/goldens/rbs_dispatch.golden")
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	sys := realrate.NewSystem(realrate.Config{CPUs: 1})
+	tr := sys.EnableTracing(0)
+	conformancePipeline(t, sys)
+	sys.Run(2 * time.Second)
+
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Fatalf("SMP kernel pinned to one CPU diverged from the pre-SMP golden (%d bytes vs %d)",
+			sb.Len(), len(want))
+	}
+	if st := sys.Stats(); st.Migrations != 0 {
+		t.Fatalf("%d migrations on a single-CPU machine", st.Migrations)
+	}
+}
+
 // TestTicketDegradation checks the documented Reserve degradation under
 // ticket policies: proportions become tickets, so two reserved threads
 // split the CPU in ticket proportion.

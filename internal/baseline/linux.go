@@ -42,9 +42,11 @@ type Linux struct {
 	// Linux 2.0's DEF_PRIORITY was 20 ticks of 10 ms (200 ms); with the
 	// prototype's 1 ms tick that is 200 ticks.
 	DefaultPriority int64
-	runnable        []*kernel.Thread
-	threads         []*kernel.Thread
-	needResched     bool
+	// runnable holds one run queue per CPU; counters and priorities stay
+	// global (the epoch recalculation sweeps every thread, as Linux did).
+	runnable    [][]*kernel.Thread
+	threads     []*kernel.Thread
+	needResched []bool
 }
 
 // NewLinux returns a Linux-style goodness policy.
@@ -56,7 +58,11 @@ func NewLinux() *Linux {
 func (p *Linux) Name() string { return "linux-goodness" }
 
 // Attach implements kernel.Policy.
-func (p *Linux) Attach(k *kernel.Kernel) { p.k = k }
+func (p *Linux) Attach(k *kernel.Kernel) {
+	p.k = k
+	p.runnable = make([][]*kernel.Thread, k.NumCPUs())
+	p.needResched = make([]bool, k.NumCPUs())
+}
 
 func state(t *kernel.Thread) *linuxState { return t.Sched.(*linuxState) }
 
@@ -129,9 +135,9 @@ func (p *Linux) Enqueue(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	st.runnable = true
-	p.runnable = append(p.runnable, t)
-	if cur := p.k.Current(); cur != nil && p.goodness(t) > p.goodness(cur) {
-		p.needResched = true
+	p.runnable[t.CPU()] = append(p.runnable[t.CPU()], t)
+	if cur := p.k.CurrentOn(t.CPU()); cur != nil && p.goodness(t) > p.goodness(cur) {
+		p.needResched[t.CPU()] = true
 	}
 }
 
@@ -142,25 +148,26 @@ func (p *Linux) Dequeue(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	st.runnable = false
-	for i, r := range p.runnable {
+	q := p.runnable[t.CPU()]
+	for i, r := range q {
 		if r == t {
-			copy(p.runnable[i:], p.runnable[i+1:])
-			p.runnable[len(p.runnable)-1] = nil // clear the vacated tail slot
-			p.runnable = p.runnable[:len(p.runnable)-1]
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil // clear the vacated tail slot
+			p.runnable[t.CPU()] = q[:len(q)-1]
 			return
 		}
 	}
 }
 
-// Pick implements kernel.Policy: highest goodness wins; when every runnable
-// time-sharing thread has exhausted its counter, recalculate all counters
-// (the epoch boundary of the multilevel feedback scheduler):
-// counter = counter/2 + priority.
-func (p *Linux) Pick(now sim.Time) *kernel.Thread {
-	if len(p.runnable) == 0 {
+// Pick implements kernel.Policy: highest goodness on the CPU's queue wins;
+// when every runnable time-sharing thread there has exhausted its counter,
+// recalculate all counters (the epoch boundary of the multilevel feedback
+// scheduler): counter = counter/2 + priority.
+func (p *Linux) Pick(cpu int, now sim.Time) *kernel.Thread {
+	if len(p.runnable[cpu]) == 0 {
 		return nil
 	}
-	best := p.selectBest()
+	best := p.selectBest(cpu)
 	if best != nil {
 		return best
 	}
@@ -170,13 +177,34 @@ func (p *Linux) Pick(now sim.Time) *kernel.Thread {
 		st := state(t)
 		st.counter = st.counter/2 + st.priority
 	}
-	return p.selectBest()
+	return p.selectBest(cpu)
 }
 
-func (p *Linux) selectBest() *kernel.Thread {
+// Steal implements kernel.Policy: hand over the highest-goodness
+// migratable thread on the victim's queue (first-best in queue order, like
+// the dispatch scan).
+func (p *Linux) Steal(from int, now sim.Time) *kernel.Thread {
+	cur := p.k.CurrentOn(from)
 	var best *kernel.Thread
 	var bestG int64
-	for _, t := range p.runnable {
+	for _, t := range p.runnable[from] {
+		if t == cur || t.Affinity() != kernel.AffinityAny {
+			continue
+		}
+		if g := p.goodness(t); best == nil || g > bestG {
+			best, bestG = t, g
+		}
+	}
+	if best != nil {
+		p.Dequeue(best, now)
+	}
+	return best
+}
+
+func (p *Linux) selectBest(cpu int) *kernel.Thread {
+	var best *kernel.Thread
+	var bestG int64
+	for _, t := range p.runnable[cpu] {
 		if g := p.goodness(t); g > bestG {
 			best, bestG = t, g
 		}
@@ -200,7 +228,7 @@ func (p *Linux) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
 }
 
 // Charge implements kernel.Policy: burn whole ticks off the counter.
-func (p *Linux) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+func (p *Linux) Charge(t *kernel.Thread, cpu int, ran sim.Duration, now sim.Time) bool {
 	st := state(t)
 	if st.class == SchedFIFO {
 		return false
@@ -217,9 +245,9 @@ func (p *Linux) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
 }
 
 // Tick implements kernel.Policy.
-func (p *Linux) Tick(now sim.Time) bool {
-	r := p.needResched
-	p.needResched = false
+func (p *Linux) Tick(cpu int, now sim.Time) bool {
+	r := p.needResched[cpu]
+	p.needResched[cpu] = false
 	return r
 }
 
@@ -229,5 +257,11 @@ func (p *Linux) WakePreempts(woken, current *kernel.Thread, now sim.Time) bool {
 	return p.goodness(woken) > p.goodness(current)
 }
 
-// Runnable returns the current run-queue length, for tests.
-func (p *Linux) Runnable() int { return len(p.runnable) }
+// Runnable returns the total run-queue length over all CPUs, for tests.
+func (p *Linux) Runnable() int {
+	n := 0
+	for _, q := range p.runnable {
+		n += len(q)
+	}
+	return n
+}

@@ -9,12 +9,24 @@ import (
 type lotteryState struct {
 	tickets int64
 	used    sim.Duration
-	// slot is the thread's position in the drawing order (-1 when not
-	// runnable). Slots are handed out in enqueue order, so ascending slot
-	// equals the legacy runnable-slice order and a draw walks the same
-	// sequence the linear scan did.
+	// slot is the thread's position in its CPU's drawing order (-1 when
+	// not runnable). Slots are handed out in enqueue order, so ascending
+	// slot equals the legacy runnable-slice order and a draw walks the
+	// same sequence the linear scan did.
 	slot     int
 	runnable bool
+}
+
+// lotteryShard is one CPU's drawing state: a 1-based Fenwick tree over
+// ticket counts per slot, the threads occupying the slots, and the winner
+// of the last drawing.
+type lotteryShard struct {
+	fen      []int64
+	slots    []*kernel.Thread
+	nextSlot int
+	live     int
+	total    int64
+	current  *kernel.Thread
 }
 
 // Lottery implements lottery scheduling (Waldspurger & Weihl, OSDI 1994 —
@@ -26,22 +38,15 @@ type lotteryState struct {
 // feedback-assigned reservations.
 //
 // The drawing is O(log n): ticket counts live in a Fenwick tree indexed
-// by slot, and the winning ticket is found by binary descent over prefix
-// sums. Because slots follow enqueue order, the winner for a given random
-// draw is byte-identical to the legacy linear walk's.
+// by slot, one tree per CPU (each CPU holds its own lottery over its own
+// shard; the PRNG is shared, so the machine-wide draw sequence stays
+// deterministic). Because slots follow enqueue order, the winner for a
+// given random draw is byte-identical to the legacy linear walk's.
 type Lottery struct {
 	k       *kernel.Kernel
 	quantum sim.Duration
 	rng     *sim.RNG
-	current *kernel.Thread
-
-	// fen is a 1-based Fenwick tree over ticket counts per slot; slots
-	// holds the thread occupying each slot (nil after dequeue).
-	fen      []int64
-	slots    []*kernel.Thread
-	nextSlot int
-	live     int
-	total    int64
+	shards  []lotteryShard
 }
 
 // NewLottery returns a lottery scheduler with the given quantum and seed.
@@ -57,7 +62,10 @@ func NewLottery(quantum sim.Duration, seed uint64) *Lottery {
 func (p *Lottery) Name() string { return "lottery" }
 
 // Attach implements kernel.Policy.
-func (p *Lottery) Attach(k *kernel.Kernel) { p.k = k }
+func (p *Lottery) Attach(k *kernel.Kernel) {
+	p.k = k
+	p.shards = make([]lotteryShard, k.NumCPUs())
+}
 
 func lstate(t *kernel.Thread) *lotteryState { return t.Sched.(*lotteryState) }
 
@@ -76,8 +84,9 @@ func (p *Lottery) SetTickets(t *kernel.Thread, n int64) {
 	}
 	st := lstate(t)
 	if st.runnable {
-		p.fenAdd(st.slot, n-st.tickets)
-		p.total += n - st.tickets
+		sh := &p.shards[t.CPU()]
+		sh.fenAdd(st.slot, n-st.tickets)
+		sh.total += n - st.tickets
 	}
 	st.tickets = n
 }
@@ -91,20 +100,21 @@ func (p *Lottery) Enqueue(t *kernel.Thread, now sim.Time) {
 	if st.runnable {
 		return
 	}
+	sh := &p.shards[t.CPU()]
 	st.runnable = true
-	if p.nextSlot == len(p.slots) {
-		if p.live*2 <= len(p.slots) && len(p.slots) >= 64 {
-			p.compact()
+	if sh.nextSlot == len(sh.slots) {
+		if sh.live*2 <= len(sh.slots) && len(sh.slots) >= 64 {
+			sh.compact()
 		} else {
-			p.pushLeaf()
+			sh.pushLeaf()
 		}
 	}
-	st.slot = p.nextSlot
-	p.nextSlot++
-	p.slots[st.slot] = t
-	p.fenAdd(st.slot, st.tickets)
-	p.total += st.tickets
-	p.live++
+	st.slot = sh.nextSlot
+	sh.nextSlot++
+	sh.slots[st.slot] = t
+	sh.fenAdd(st.slot, st.tickets)
+	sh.total += st.tickets
+	sh.live++
 }
 
 // Dequeue implements kernel.Policy.
@@ -113,126 +123,141 @@ func (p *Lottery) Dequeue(t *kernel.Thread, now sim.Time) {
 	if !st.runnable {
 		return
 	}
+	sh := &p.shards[t.CPU()]
 	st.runnable = false
-	p.fenAdd(st.slot, -st.tickets)
-	p.total -= st.tickets
-	p.slots[st.slot] = nil
+	sh.fenAdd(st.slot, -st.tickets)
+	sh.total -= st.tickets
+	sh.slots[st.slot] = nil
 	st.slot = -1
-	p.live--
-	if p.current == t {
-		p.current = nil
+	sh.live--
+	if sh.current == t {
+		sh.current = nil
 	}
 }
 
 // compact renumbers live slots densely in ascending (enqueue) order, so
 // slot space stays O(live) even though every enqueue consumes a fresh
 // slot. Relative order is preserved, which keeps draws identical.
-func (p *Lottery) compact() {
+func (sh *lotteryShard) compact() {
 	w := 0
-	for r := 0; r < p.nextSlot; r++ {
-		if t := p.slots[r]; t != nil {
-			p.slots[w] = t
+	for r := 0; r < sh.nextSlot; r++ {
+		if t := sh.slots[r]; t != nil {
+			sh.slots[w] = t
 			lstate(t).slot = w
 			w++
 		}
 	}
-	for i := w; i < len(p.slots); i++ {
-		p.slots[i] = nil
+	for i := w; i < len(sh.slots); i++ {
+		sh.slots[i] = nil
 	}
-	p.nextSlot = w
-	p.rebuild()
+	sh.nextSlot = w
+	sh.rebuild()
 }
 
 // pushLeaf grows the slot space by one. The new Fenwick node at 1-based
 // index i summarizes the range (i−lowbit(i), i]; with the new leaf itself
 // zero, that is prefix(i−1) − prefix(i−lowbit(i)), computable from the
 // existing tree in O(log n).
-func (p *Lottery) pushLeaf() {
-	if len(p.fen) == 0 {
-		p.fen = append(p.fen, 0) // index 0 unused
+func (sh *lotteryShard) pushLeaf() {
+	if len(sh.fen) == 0 {
+		sh.fen = append(sh.fen, 0) // index 0 unused
 	}
-	p.slots = append(p.slots, nil)
-	i := len(p.slots)
-	p.fen = append(p.fen, p.prefix(i-1)-p.prefix(i-i&(-i)))
+	sh.slots = append(sh.slots, nil)
+	i := len(sh.slots)
+	sh.fen = append(sh.fen, sh.prefix(i-1)-sh.prefix(i-i&(-i)))
 }
 
 // prefix sums the tickets of 1-based tree indices 1..i (slots 0..i−1).
-func (p *Lottery) prefix(i int) int64 {
+func (sh *lotteryShard) prefix(i int) int64 {
 	var s int64
 	for ; i > 0; i -= i & (-i) {
-		s += p.fen[i]
+		s += sh.fen[i]
 	}
 	return s
 }
 
-func (p *Lottery) rebuild() {
-	for i := range p.fen {
-		p.fen[i] = 0
+func (sh *lotteryShard) rebuild() {
+	for i := range sh.fen {
+		sh.fen[i] = 0
 	}
-	for i := 0; i < p.nextSlot; i++ {
-		if t := p.slots[i]; t != nil {
-			p.fenAdd(i, lstate(t).tickets)
+	for i := 0; i < sh.nextSlot; i++ {
+		if t := sh.slots[i]; t != nil {
+			sh.fenAdd(i, lstate(t).tickets)
 		}
 	}
 }
 
 // fenAdd adds delta at slot (0-based) in the 1-based Fenwick tree.
-func (p *Lottery) fenAdd(slot int, delta int64) {
-	for i := slot + 1; i < len(p.fen); i += i & (-i) {
-		p.fen[i] += delta
+func (sh *lotteryShard) fenAdd(slot int, delta int64) {
+	for i := slot + 1; i < len(sh.fen); i += i & (-i) {
+		sh.fen[i] += delta
 	}
 }
 
 // fenFind returns the thread at the smallest slot whose prefix ticket sum
 // exceeds draw — exactly the thread the legacy linear walk would land on.
-func (p *Lottery) fenFind(draw int64) *kernel.Thread {
+func (sh *lotteryShard) fenFind(draw int64) *kernel.Thread {
 	idx := 0
 	// Largest power of two ≤ tree size.
 	bit := 1
-	for bit<<1 < len(p.fen) {
+	for bit<<1 < len(sh.fen) {
 		bit <<= 1
 	}
 	for ; bit > 0; bit >>= 1 {
 		next := idx + bit
-		if next < len(p.fen) && p.fen[next] <= draw {
-			draw -= p.fen[next]
+		if next < len(sh.fen) && sh.fen[next] <= draw {
+			draw -= sh.fen[next]
 			idx = next
 		}
 	}
-	if idx >= len(p.slots) {
+	if idx >= len(sh.slots) {
 		return nil
 	}
-	return p.slots[idx] // idx is 0-based slot (idx in tree = slot+1 passed)
+	return sh.slots[idx] // idx is 0-based slot (idx in tree = slot+1 passed)
 }
 
-// Pick implements kernel.Policy: hold a lottery. The winner of the
-// previous drawing keeps the CPU until its quantum expires, so the drawing
-// frequency is the quantum, not the dispatch rate.
-func (p *Lottery) Pick(now sim.Time) *kernel.Thread {
-	if p.live == 0 {
-		p.current = nil
+// Pick implements kernel.Policy: hold a lottery on the CPU's shard. The
+// winner of the previous drawing keeps the CPU until its quantum expires,
+// so the drawing frequency is the quantum, not the dispatch rate.
+func (p *Lottery) Pick(cpu int, now sim.Time) *kernel.Thread {
+	sh := &p.shards[cpu]
+	if sh.live == 0 {
+		sh.current = nil
 		return nil
 	}
-	if p.current != nil && lstate(p.current).runnable && lstate(p.current).used < p.quantum {
-		return p.current
+	if sh.current != nil && lstate(sh.current).runnable && lstate(sh.current).used < p.quantum {
+		return sh.current
 	}
-	draw := p.rng.Int63n(p.total)
-	t := p.fenFind(draw)
+	draw := p.rng.Int63n(sh.total)
+	t := sh.fenFind(draw)
 	if t == nil {
 		// Unreachable: draw < total guarantees a live slot.
-		for _, s := range p.slots {
+		for _, s := range sh.slots {
 			if s != nil {
 				t = s
 				break
 			}
 		}
 	}
-	if t != p.current && p.current != nil {
-		lstate(p.current).used = 0
+	if t != sh.current && sh.current != nil {
+		lstate(sh.current).used = 0
 	}
-	p.current = t
+	sh.current = t
 	lstate(t).used = 0
 	return t
+}
+
+// Steal implements kernel.Policy: hand over the first migratable thread in
+// the victim's slot order (enqueue order, like the legacy walk). The
+// shard's reigning lottery winner is excluded along with the CPU's
+// current occupant.
+func (p *Lottery) Steal(from int, now sim.Time) *kernel.Thread {
+	sh := &p.shards[from]
+	if t := kernel.StealCandidate(sh.slots[:sh.nextSlot], p.k.CurrentOn(from), sh.current); t != nil {
+		p.Dequeue(t, now)
+		return t
+	}
+	return nil
 }
 
 // TimeSlice implements kernel.Policy.
@@ -245,7 +270,7 @@ func (p *Lottery) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
 }
 
 // Charge implements kernel.Policy: quantum expiry triggers a fresh lottery.
-func (p *Lottery) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+func (p *Lottery) Charge(t *kernel.Thread, cpu int, ran sim.Duration, now sim.Time) bool {
 	st := lstate(t)
 	st.used += ran
 	if st.used >= p.quantum {
@@ -256,7 +281,7 @@ func (p *Lottery) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool 
 }
 
 // Tick implements kernel.Policy.
-func (p *Lottery) Tick(now sim.Time) bool { return false }
+func (p *Lottery) Tick(cpu int, now sim.Time) bool { return false }
 
 // WakePreempts implements kernel.Policy: lottery winners are not preempted
 // by wakeups; the woken thread joins the next drawing.

@@ -4,6 +4,11 @@
 // fixed real-time priority class. The motivation experiments (§2: Mars
 // Pathfinder priority inversion, spin-wait livelock, starvation) run on
 // these policies; the paper's own scheduler lives in internal/rbs.
+//
+// On a multi-CPU machine every baseline keeps one runnable structure per
+// CPU, keyed by kernel.Thread.CPU(), and supports work-pull migration via
+// Steal — the minimal per-CPU treatment: global share state (tickets,
+// counters, passes) with per-CPU dispatch queues.
 package baseline
 
 import (
@@ -12,12 +17,11 @@ import (
 )
 
 // RoundRobin is the simplest possible policy: runnable threads take equal
-// fixed quanta in FIFO order. It is useful as a neutral substrate in tests
-// and as the degenerate "no information" comparator.
+// fixed quanta in FIFO order, one FIFO per CPU.
 type RoundRobin struct {
 	k        *kernel.Kernel
 	quantum  sim.Duration
-	runnable []*kernel.Thread
+	runnable [][]*kernel.Thread
 	used     map[*kernel.Thread]sim.Duration
 }
 
@@ -34,7 +38,10 @@ func NewRoundRobin(quantum sim.Duration) *RoundRobin {
 func (p *RoundRobin) Name() string { return "round-robin" }
 
 // Attach implements kernel.Policy.
-func (p *RoundRobin) Attach(k *kernel.Kernel) { p.k = k }
+func (p *RoundRobin) Attach(k *kernel.Kernel) {
+	p.k = k
+	p.runnable = make([][]*kernel.Thread, k.NumCPUs())
+}
 
 // AddThread implements kernel.Policy.
 func (p *RoundRobin) AddThread(t *kernel.Thread, now sim.Time) {}
@@ -46,32 +53,45 @@ func (p *RoundRobin) RemoveThread(t *kernel.Thread, now sim.Time) {
 
 // Enqueue implements kernel.Policy.
 func (p *RoundRobin) Enqueue(t *kernel.Thread, now sim.Time) {
-	for _, r := range p.runnable {
+	q := p.runnable[t.CPU()]
+	for _, r := range q {
 		if r == t {
 			return
 		}
 	}
-	p.runnable = append(p.runnable, t)
+	p.runnable[t.CPU()] = append(q, t)
 }
 
 // Dequeue implements kernel.Policy.
 func (p *RoundRobin) Dequeue(t *kernel.Thread, now sim.Time) {
-	for i, r := range p.runnable {
+	q := p.runnable[t.CPU()]
+	for i, r := range q {
 		if r == t {
-			copy(p.runnable[i:], p.runnable[i+1:])
-			p.runnable[len(p.runnable)-1] = nil // clear the vacated tail slot
-			p.runnable = p.runnable[:len(p.runnable)-1]
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil // clear the vacated tail slot
+			p.runnable[t.CPU()] = q[:len(q)-1]
 			return
 		}
 	}
 }
 
-// Pick implements kernel.Policy: the front of the FIFO runs.
-func (p *RoundRobin) Pick(now sim.Time) *kernel.Thread {
-	if len(p.runnable) == 0 {
+// Pick implements kernel.Policy: the front of the CPU's FIFO runs.
+func (p *RoundRobin) Pick(cpu int, now sim.Time) *kernel.Thread {
+	q := p.runnable[cpu]
+	if len(q) == 0 {
 		return nil
 	}
-	return p.runnable[0]
+	return q[0]
+}
+
+// Steal implements kernel.Policy: hand over the first migratable thread in
+// the victim's FIFO.
+func (p *RoundRobin) Steal(from int, now sim.Time) *kernel.Thread {
+	if t := kernel.StealCandidate(p.runnable[from], p.k.CurrentOn(from)); t != nil {
+		p.Dequeue(t, now)
+		return t
+	}
+	return nil
 }
 
 // TimeSlice implements kernel.Policy.
@@ -84,8 +104,8 @@ func (p *RoundRobin) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
 }
 
 // Charge implements kernel.Policy: quantum exhaustion rotates the thread to
-// the back of the queue.
-func (p *RoundRobin) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+// the back of its CPU's queue.
+func (p *RoundRobin) Charge(t *kernel.Thread, cpu int, ran sim.Duration, now sim.Time) bool {
 	p.used[t] += ran
 	if p.used[t] >= p.quantum {
 		p.used[t] = 0
@@ -96,14 +116,15 @@ func (p *RoundRobin) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bo
 }
 
 func (p *RoundRobin) rotate(t *kernel.Thread) {
-	if len(p.runnable) > 1 && p.runnable[0] == t {
-		copy(p.runnable, p.runnable[1:])
-		p.runnable[len(p.runnable)-1] = t
+	q := p.runnable[t.CPU()]
+	if len(q) > 1 && q[0] == t {
+		copy(q, q[1:])
+		q[len(q)-1] = t
 	}
 }
 
 // Tick implements kernel.Policy.
-func (p *RoundRobin) Tick(now sim.Time) bool { return false }
+func (p *RoundRobin) Tick(cpu int, now sim.Time) bool { return false }
 
 // WakePreempts implements kernel.Policy: wakeups never preempt.
 func (p *RoundRobin) WakePreempts(woken, current *kernel.Thread, now sim.Time) bool {

@@ -30,13 +30,15 @@ const strideOne = 1 << 20
 // closes.
 //
 // The runnable set is an intrusive indexed min-heap on (pass, enqueue
-// seq), so Pick and the waking thread's rejoin-at-minimum rule are O(1)
-// reads and updates are O(log n) — the same large-n treatment as the rbs
-// dispatcher, keeping scheduler comparisons apples-to-apples at scale.
+// seq), one per CPU, so Pick and the waking thread's rejoin-at-minimum
+// rule are O(1) reads and updates are O(log n) — the same large-n
+// treatment as the rbs dispatcher, keeping scheduler comparisons
+// apples-to-apples at scale. Passes stay globally comparable; only the
+// queues shard.
 type Stride struct {
 	k        *kernel.Kernel
 	quantum  sim.Duration
-	runnable []*kernel.Thread
+	runnable [][]*kernel.Thread
 	seqGen   uint64
 }
 
@@ -53,7 +55,10 @@ func NewStride(quantum sim.Duration) *Stride {
 func (p *Stride) Name() string { return "stride" }
 
 // Attach implements kernel.Policy.
-func (p *Stride) Attach(k *kernel.Kernel) { p.k = k }
+func (p *Stride) Attach(k *kernel.Kernel) {
+	p.k = k
+	p.runnable = make([][]*kernel.Thread, k.NumCPUs())
+}
 
 func sstate(t *kernel.Thread) *strideState { return t.Sched.(*strideState) }
 
@@ -79,24 +84,25 @@ func (p *Stride) SetTickets(t *kernel.Thread, n int64) {
 }
 
 // Enqueue implements kernel.Policy. A waking thread's pass is brought up
-// to the minimum runnable pass so sleepers cannot bank credit — the
-// standard stride rejoin rule, now an O(1) heap-top read.
+// to the minimum runnable pass on its CPU so sleepers cannot bank credit —
+// the standard stride rejoin rule, now an O(1) heap-top read.
 func (p *Stride) Enqueue(t *kernel.Thread, now sim.Time) {
 	st := sstate(t)
 	if st.runnable {
 		return
 	}
-	if len(p.runnable) > 0 {
-		if min := sstate(p.runnable[0]).pass; st.pass < min {
+	q := p.runnable[t.CPU()]
+	if len(q) > 0 {
+		if min := sstate(q[0]).pass; st.pass < min {
 			st.pass = min
 		}
 	}
 	st.runnable = true
 	st.seq = p.seqGen
 	p.seqGen++
-	st.heapIdx = len(p.runnable)
-	p.runnable = append(p.runnable, t)
-	p.up(st.heapIdx)
+	st.heapIdx = len(q)
+	p.runnable[t.CPU()] = append(q, t)
+	p.up(t.CPU(), st.heapIdx)
 }
 
 // Dequeue implements kernel.Policy.
@@ -105,20 +111,22 @@ func (p *Stride) Dequeue(t *kernel.Thread, now sim.Time) {
 	if !st.runnable {
 		return
 	}
+	cpu := t.CPU()
+	q := p.runnable[cpu]
 	st.runnable = false
 	i := st.heapIdx
 	st.heapIdx = -1
-	last := len(p.runnable) - 1
-	moved := p.runnable[last]
-	p.runnable[last] = nil // clear the vacated tail slot
-	p.runnable = p.runnable[:last]
+	last := len(q) - 1
+	moved := q[last]
+	q[last] = nil // clear the vacated tail slot
+	p.runnable[cpu] = q[:last]
 	if i == last {
 		return
 	}
-	p.runnable[i] = moved
+	q[i] = moved
 	sstate(moved).heapIdx = i
-	if !p.down(i) {
-		p.up(i)
+	if !p.down(cpu, i) {
+		p.up(cpu, i)
 	}
 }
 
@@ -132,52 +140,68 @@ func (p *Stride) less(a, b *kernel.Thread) bool {
 	return sa.seq < sb.seq
 }
 
-func (p *Stride) up(i int) {
-	t := p.runnable[i]
+func (p *Stride) up(cpu, i int) {
+	q := p.runnable[cpu]
+	t := q[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !p.less(t, p.runnable[parent]) {
+		if !p.less(t, q[parent]) {
 			break
 		}
-		p.runnable[i] = p.runnable[parent]
-		sstate(p.runnable[i]).heapIdx = i
+		q[i] = q[parent]
+		sstate(q[i]).heapIdx = i
 		i = parent
 	}
-	p.runnable[i] = t
+	q[i] = t
 	sstate(t).heapIdx = i
 }
 
-func (p *Stride) down(i int) bool {
-	t := p.runnable[i]
-	n := len(p.runnable)
+func (p *Stride) down(cpu, i int) bool {
+	q := p.runnable[cpu]
+	t := q[i]
+	n := len(q)
 	moved := false
 	for {
 		kid := 2*i + 1
 		if kid >= n {
 			break
 		}
-		if r := kid + 1; r < n && p.less(p.runnable[r], p.runnable[kid]) {
+		if r := kid + 1; r < n && p.less(q[r], q[kid]) {
 			kid = r
 		}
-		if !p.less(p.runnable[kid], t) {
+		if !p.less(q[kid], t) {
 			break
 		}
-		p.runnable[i] = p.runnable[kid]
-		sstate(p.runnable[i]).heapIdx = i
+		q[i] = q[kid]
+		sstate(q[i]).heapIdx = i
 		i = kid
 		moved = true
 	}
-	p.runnable[i] = t
+	q[i] = t
 	sstate(t).heapIdx = i
 	return moved
 }
 
-// Pick implements kernel.Policy: lowest pass runs — the heap top.
-func (p *Stride) Pick(now sim.Time) *kernel.Thread {
-	if len(p.runnable) == 0 {
+// Pick implements kernel.Policy: lowest pass on the CPU runs — its heap
+// top.
+func (p *Stride) Pick(cpu int, now sim.Time) *kernel.Thread {
+	q := p.runnable[cpu]
+	if len(q) == 0 {
 		return nil
 	}
-	return p.runnable[0]
+	return q[0]
+}
+
+// Steal implements kernel.Policy: hand over a migratable thread from the
+// victim's pass heap, scanned in index order — the heap top (lowest pass)
+// is preferred when movable; past it the order is the heap's layout, not
+// pass order.
+func (p *Stride) Steal(from int, now sim.Time) *kernel.Thread {
+	if t := kernel.StealCandidate(p.runnable[from], p.k.CurrentOn(from)); t != nil {
+		p.Dequeue(t, now)
+		return t
+	}
+	return nil
 }
 
 // TimeSlice implements kernel.Policy.
@@ -188,20 +212,20 @@ func (p *Stride) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
 // Charge implements kernel.Policy: advance the pass in proportion to the
 // CPU actually consumed (fractional quanta advance fractionally, keeping
 // the accounting exact for threads that block early).
-func (p *Stride) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+func (p *Stride) Charge(t *kernel.Thread, cpu int, ran sim.Duration, now sim.Time) bool {
 	if ran <= 0 {
 		return false
 	}
 	st := sstate(t)
 	st.pass += st.stride * int64(ran) / int64(p.quantum)
 	if st.heapIdx >= 0 {
-		p.down(st.heapIdx) // pass only ever grows here
+		p.down(t.CPU(), st.heapIdx) // pass only ever grows here
 	}
 	return ran >= p.quantum
 }
 
 // Tick implements kernel.Policy.
-func (p *Stride) Tick(now sim.Time) bool { return false }
+func (p *Stride) Tick(cpu int, now sim.Time) bool { return false }
 
 // WakePreempts implements kernel.Policy: a woken thread with a strictly
 // lower pass preempts, which keeps latency low for blocking threads.

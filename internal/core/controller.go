@@ -169,6 +169,12 @@ type Controller struct {
 	// adaptive counts jobs of adaptive classes, so the admission headroom
 	// (available) is O(1) instead of a scan over every job.
 	adaptive int
+	// ncpu is the machine's CPU count; ceiling is the machine-wide
+	// admission/squish ceiling, OverloadThreshold × ncpu. The controller
+	// is phrased against capacity in ppt, so the same control law drives
+	// one CPU or many — only the ceiling scales.
+	ncpu    int
+	ceiling int
 	// effectiveThreshold shrinks when the dispatcher reports missed
 	// deadlines ("the RBS ... notifies the controller which can increase
 	// the amount of spare capacity by reducing the admission threshold").
@@ -265,13 +271,16 @@ func New(kern *kernel.Kernel, policy *rbs.Policy, reg *progress.Registry, cfg Co
 	if cfg.OverloadStreak == 0 {
 		cfg.OverloadStreak = def.OverloadStreak
 	}
+	ncpu := kern.NumCPUs()
 	return &Controller{
 		cfg:                cfg,
 		kern:               kern,
 		policy:             policy,
 		reg:                reg,
 		byThr:              make(map[*kernel.Thread]*Job),
-		effectiveThreshold: cfg.OverloadThreshold,
+		ncpu:               ncpu,
+		ceiling:            cfg.OverloadThreshold * ncpu,
+		effectiveThreshold: cfg.OverloadThreshold * ncpu,
 	}
 }
 
@@ -346,11 +355,16 @@ func (c *Controller) program(t *kernel.Thread, now sim.Time) kernel.Op {
 }
 
 // AddRealTime admits a reservation-holding job. Admission control rejects
-// requests beyond the available capacity.
+// requests beyond the available capacity, and — on a multi-CPU machine —
+// requests beyond one CPU: a reservation is held by one thread, and a
+// thread runs on one CPU at a time.
 func (c *Controller) AddRealTime(t *kernel.Thread, proportion int, period sim.Duration) (*Job, error) {
 	avail := c.available()
 	if proportion > avail {
 		return nil, &AdmissionError{Requested: proportion, Available: avail}
+	}
+	if a := c.perThreadCap(); proportion > a {
+		return nil, &AdmissionError{Requested: proportion, Available: a}
 	}
 	j := c.addJob(t, RealTime)
 	j.specified = proportion
@@ -369,6 +383,9 @@ func (c *Controller) AddAperiodicRealTime(t *kernel.Thread, proportion int) (*Jo
 	avail := c.available()
 	if proportion > avail {
 		return nil, &AdmissionError{Requested: proportion, Available: avail}
+	}
+	if a := c.perThreadCap(); proportion > a {
+		return nil, &AdmissionError{Requested: proportion, Available: a}
 	}
 	j := c.addJob(t, AperiodicRealTime)
 	j.specified = proportion
@@ -394,7 +411,10 @@ func (c *Controller) AddRealRate(t *kernel.Thread, period sim.Duration) *Job {
 	} else {
 		j.period = c.cfg.DefaultPeriod
 	}
-	j.fill = metrics.NewSeries(t.Name() + ".pressure")
+	// The pressure series is only read over recent windows (period
+	// adaptation, tooling), so it is bounded: at 10k+ jobs an unbounded
+	// 100 Hz series per job would dominate the heap.
+	j.fill = metrics.NewSeries(t.Name() + ".pressure").Bound(8192)
 	c.bootstrap(j)
 	return j
 }
@@ -431,6 +451,12 @@ func (c *Controller) Renegotiate(j *Job, proportion int) error {
 	delta := proportion - j.specified
 	if delta > 0 && delta > c.available() {
 		return &AdmissionError{Requested: delta, Available: c.available()}
+	}
+	// The reservation is split across the job's members, so the one-CPU
+	// cap applies to the largest member share (the primary's, which takes
+	// the remainder), not the job total.
+	if a := c.perThreadCap(); c.maxMemberShare(j, proportion) > a {
+		return &AdmissionError{Requested: proportion, Available: a * len(j.members)}
 	}
 	c.admitted += delta
 	j.specified = proportion
@@ -525,12 +551,32 @@ func (c *Controller) bootstrap(j *Job) {
 	c.actuate(j, j.allocated, j.period)
 }
 
-// available returns the admission headroom in ppt: real-rate and
-// miscellaneous jobs are squishable down to their floors, so only hard
-// reservations and floors are unavailable. The adaptive-job count is
-// maintained incrementally, so this is O(1) per admission check.
+// available returns the admission headroom in ppt of machine capacity
+// (CPUs × 1000): real-rate and miscellaneous jobs are squishable down to
+// their floors, so only hard reservations and floors are unavailable. The
+// adaptive-job count is maintained incrementally, so this is O(1) per
+// admission check.
 func (c *Controller) available() int {
 	return c.effectiveThreshold - c.admitted - c.cfg.MinProportion*c.adaptive
+}
+
+// perThreadCap bounds one member thread's reservation share: a thread
+// occupies at most one CPU, so no single thread's reservation may exceed
+// one CPU's overload threshold no matter how much machine-wide capacity
+// is free. On a single-CPU machine the available() check is always the
+// tighter one, so this never fires there.
+func (c *Controller) perThreadCap() int { return c.cfg.OverloadThreshold }
+
+// maxMemberShare is the largest per-thread share actuate would hand out
+// for a job-total proportion: the even split plus the remainder the
+// primary member absorbs.
+func (c *Controller) maxMemberShare(j *Job, proportion int) int {
+	n := len(j.members)
+	if n <= 1 {
+		return proportion
+	}
+	share := proportion / n
+	return share + (proportion - share*n)
 }
 
 // step is one control interval: sample, estimate, squish, actuate.
@@ -542,11 +588,11 @@ func (c *Controller) step(now sim.Time) {
 	// grows), recovering slowly when the dispatcher is healthy.
 	if misses := c.policy.MissedDeadlines(); misses > c.lastMisses {
 		c.effectiveThreshold -= int(misses-c.lastMisses) * 5
-		if c.effectiveThreshold < c.cfg.OverloadThreshold/2 {
-			c.effectiveThreshold = c.cfg.OverloadThreshold / 2
+		if c.effectiveThreshold < c.ceiling/2 {
+			c.effectiveThreshold = c.ceiling / 2
 		}
 		c.lastMisses = misses
-	} else if c.effectiveThreshold < c.cfg.OverloadThreshold {
+	} else if c.effectiveThreshold < c.ceiling {
 		c.effectiveThreshold++
 	}
 

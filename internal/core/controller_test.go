@@ -402,3 +402,57 @@ func kernelProgramCountdown(counter *int, bursts int) kernel.Program {
 		return kernel.OpCompute{Cycles: 400_000}
 	})
 }
+
+// TestSMPCapacityGeneralization pins the multi-CPU capacity math: the
+// admission ceiling scales to OverloadThreshold × CPUs, no single
+// reservation can exceed one CPU's threshold, and the squish hands
+// adaptive jobs capacity beyond 1000 ppt in aggregate.
+func TestSMPCapacityGeneralization(t *testing.T) {
+	eng := sim.NewEngine()
+	p := rbs.New()
+	cfg := kernel.DefaultConfig()
+	cfg.CPUs = 4
+	k := kernel.New(eng, cfg, p)
+	reg := progress.NewRegistry()
+	c := core.New(k, p, reg, core.Config{})
+	c.Start()
+
+	// Per-thread cap: even with ~3550 ppt available on 4 CPUs, one thread
+	// cannot reserve more than one CPU's threshold (900).
+	th := k.Spawn("big", &workload.Hog{Burst: 1_000_000})
+	if _, err := c.AddRealTime(th, 950, 10*sim.Millisecond); err == nil {
+		t.Fatal("a 950 ppt single-thread reservation was admitted on a 4-CPU machine")
+	}
+	k.Retire(th)
+
+	// Aggregate admission goes far beyond one CPU: 4 × 800 = 3200 ppt of
+	// hard reservations fit under the 3600 ceiling (minus the controller's
+	// own 50).
+	for i := 0; i < 4; i++ {
+		th := k.Spawn("rt", &workload.Hog{Burst: 1_000_000})
+		if _, err := c.AddRealTime(th, 800, 10*sim.Millisecond); err != nil {
+			t.Fatalf("reservation %d rejected: %v", i, err)
+		}
+	}
+	// The next 800 must bounce: 50 + 4×800 + 800 > 3600.
+	th2 := k.Spawn("over", &workload.Hog{Burst: 1_000_000})
+	if _, err := c.AddRealTime(th2, 800, 10*sim.Millisecond); err == nil {
+		t.Fatal("admission exceeded the 4-CPU ceiling")
+	}
+	k.Retire(th2)
+
+	// Adaptive jobs squish into the leftover capacity, which is still
+	// several hundred ppt here — on one CPU it would be negative.
+	m := k.Spawn("hog", &workload.Hog{Burst: 1_000_000})
+	c.AddMiscellaneous(m)
+	k.Start()
+	eng.RunFor(2 * sim.Second)
+	k.Stop()
+	j, _ := c.JobOf(m)
+	if j.Allocated() <= 0 {
+		t.Fatalf("misc job got %d ppt on a machine with spare capacity", j.Allocated())
+	}
+	if got := c.EffectiveThreshold(); got > 900*4 {
+		t.Fatalf("effective threshold %d exceeds the scaled ceiling %d", got, 900*4)
+	}
+}

@@ -30,19 +30,24 @@ type OpenLoopPoint struct {
 // OpenLoopResult is the full sweep.
 type OpenLoopResult struct {
 	RunFor sim.Duration
+	CPUs   int
 	Points []OpenLoopPoint
 }
 
 // RunOpenLoopSweep sweeps Poisson arrival rates across every policy
 // through the parallel sweep runner. Each point is an independent machine
 // driven by the seeded workload generator, so the sweep is deterministic
-// and replayable.
-func RunOpenLoopSweep(rates []float64, runFor sim.Duration) OpenLoopResult {
+// and replayable. cpus sizes the machine (0 or 1: the paper's single-CPU
+// testbed; rrexp -openloop -cpus N sweeps an SMP machine).
+func RunOpenLoopSweep(rates []float64, runFor sim.Duration, cpus int) OpenLoopResult {
 	if len(rates) == 0 {
 		rates = []float64{10, 30, 60, 120, 240}
 	}
 	if runFor == 0 {
 		runFor = 2 * sim.Second
+	}
+	if cpus < 1 {
+		cpus = 1
 	}
 	policies := gen.Policies()
 	pts := Sweep(len(rates)*len(policies), func(i int) OpenLoopPoint {
@@ -54,6 +59,7 @@ func RunOpenLoopSweep(rates []float64, runFor sim.Duration) OpenLoopResult {
 			// arrival plan, so the rows compare disciplines, not draws.
 			Seed:     uint64(i/len(policies)) + 1,
 			Duration: time.Duration(runFor),
+			CPUs:     cpus,
 			Taskset:  gen.TasksetSpec{Interactive: 1, RealTime: 1},
 			Arrivals: gen.ArrivalSpec{
 				Process:  gen.Poisson,
@@ -78,13 +84,13 @@ func RunOpenLoopSweep(rates []float64, runFor sim.Duration) OpenLoopResult {
 			Quality:       res.Report.QualityEvents,
 		}
 	})
-	return OpenLoopResult{RunFor: runFor, Points: pts}
+	return OpenLoopResult{RunFor: runFor, CPUs: cpus, Points: pts}
 }
 
 // Print writes the sweep as a table.
 func (res OpenLoopResult) Print(w io.Writer) {
 	section(w, "Open-loop arrivals: Poisson task stream vs. policy")
-	fmt.Fprintf(w, "window: %v per point\n", res.RunFor)
+	fmt.Fprintf(w, "window: %v per point, %d CPU(s)\n", res.RunFor, res.CPUs)
 	fmt.Fprintf(w, "%-10s %-12s %-9s %-10s %-9s %s\n",
 		"rate/s", "policy", "spawned", "completed", "rejected", "quality")
 	for _, p := range res.Points {

@@ -1,9 +1,14 @@
-// Package kernel simulates the machine the paper's prototype ran on: a
-// single-CPU Linux 2.0.35 box with a 1 ms timer interrupt. It provides
-// threads driven by Programs, a pluggable scheduling Policy, kernel timers
-// processed at timer interrupts (do_timers), in-kernel bounded byte queues
-// (the pipe/socket analog used by the symbiotic interfaces), and mutexes
-// (for the priority-inversion scenarios).
+// Package kernel simulates the machine the paper's prototype ran on — a
+// Linux 2.0.35 box with a 1 ms timer interrupt — generalized from the
+// paper's single CPU to Config.CPUs homogeneous CPUs with per-CPU run
+// state, a pluggable migration/placement seam (Migrator, default
+// work-pull), and CPU affinity. With CPUs=1 the machine reproduces the
+// paper's dispatch schedules byte-for-byte. It provides threads driven by
+// Programs, a pluggable scheduling Policy (with per-CPU run-queue
+// shards), kernel timers processed at timer interrupts (do_timers),
+// in-kernel bounded byte queues (the pipe/socket analog used by the
+// symbiotic interfaces), and mutexes (for the priority-inversion
+// scenarios).
 //
 // The kernel charges configurable cycle costs for dispatches, timer
 // interrupts, and context switches. Those costs are what Figure 8 of the
@@ -32,6 +37,20 @@ type Config struct {
 	// SwitchCost is charged when a dispatch picks a different thread than
 	// the one that ran last (context-switch overhead).
 	SwitchCost sim.Cycles
+	// CPUs is the number of CPUs (0 means 1). Each CPU runs at most one
+	// thread at a time; the timer interrupt is processed once per tick
+	// with TickCost charged per CPU, and every CPU gets a dispatch point
+	// at every tick. With CPUs=1 the machine is exactly the paper's
+	// single-CPU testbed.
+	CPUs int
+}
+
+// NumCPUs returns the normalized CPU count (at least 1).
+func (c Config) NumCPUs() int {
+	if c.CPUs < 1 {
+		return 1
+	}
+	return c.CPUs
 }
 
 // DefaultConfig matches the paper's testbed calibration (see DESIGN.md):
@@ -59,9 +78,12 @@ type Tracer interface {
 	OnWake(now sim.Time, t *Thread)
 	// OnBlock fires when a thread blocks voluntarily.
 	OnBlock(now sim.Time, t *Thread, on string)
+	// OnMigration fires when a thread is moved between CPUs (work-pull on
+	// an idle CPU). It never fires on a single-CPU machine.
+	OnMigration(now sim.Time, t *Thread, from, to int)
 }
 
-// Stats aggregates machine-level accounting.
+// Stats aggregates machine-level accounting, summed over all CPUs.
 type Stats struct {
 	Elapsed    sim.Duration
 	Idle       sim.Duration
@@ -71,15 +93,35 @@ type Stats struct {
 	Switches   uint64
 	TimerFires uint64
 	Wakeups    uint64
+	Migrations uint64
+	// CPUs is the machine's CPU count; capacity is Elapsed × CPUs.
+	CPUs int
 }
 
-// ThreadTime returns the portion of Elapsed spent running threads.
+// ThreadTime returns the portion of the machine's capacity (Elapsed per
+// CPU) spent running threads.
 func (s Stats) ThreadTime() sim.Duration {
-	return s.Elapsed - s.Idle - s.Overhead
+	n := s.CPUs
+	if n < 1 {
+		n = 1
+	}
+	return sim.Duration(int64(s.Elapsed)*int64(n)) - s.Idle - s.Overhead
 }
 
-// Kernel is the simulated machine. It is single-CPU and entirely
-// deterministic; all activity is driven by the sim.Engine event loop.
+// CPUStats is per-CPU accounting.
+type CPUStats struct {
+	// Idle is the time this CPU spent with nothing to run.
+	Idle sim.Duration
+	// Dispatches and Switches count scheduler activity on this CPU.
+	Dispatches uint64
+	Switches   uint64
+	// MigrationsIn counts threads pulled onto this CPU.
+	MigrationsIn uint64
+}
+
+// Kernel is the simulated machine: one or more CPUs (Config.CPUs) driven
+// by one timer interrupt, entirely deterministic; all activity is driven
+// by the sim.Engine event loop.
 type Kernel struct {
 	eng    *sim.Engine
 	cfg    Config
@@ -89,9 +131,12 @@ type Kernel struct {
 	mutexes []*Mutex
 	nextID  int
 
-	current *Thread
-	seg     *segment
-	lastRan *Thread
+	// cpus holds the per-CPU run state; cpus[0] is the boot CPU. The
+	// slice is sized once at construction and never moves.
+	cpus []cpu
+	// migrator is the placement/work-pull seam, consulted only when the
+	// machine has more than one CPU.
+	migrator Migrator
 
 	timers    *timerList
 	freeTimer *Timer
@@ -100,21 +145,9 @@ type Kernel struct {
 	stopped   bool
 	baseTime  sim.Time
 
-	// tickFn/segEndFn are the tick and segment-end callbacks bound once at
-	// construction; binding a method value per schedule would allocate on
-	// every tick.
-	tickFn   func(sim.Time)
-	segEndFn func(sim.Time)
-	// segStore is the single segment object, reused across run segments
-	// (the machine has one CPU, so at most one segment is active).
-	segStore segment
-
-	idleSince sim.Time
-	idling    bool
-
-	// pendingOverhead is kernel time that must elapse before the next run
-	// segment begins; overhead() accumulates it, startRun consumes it.
-	pendingOverhead sim.Duration
+	// tickFn is the tick callback bound once at construction; binding a
+	// method value per schedule would allocate on every tick.
+	tickFn func(sim.Time)
 
 	// busy guards against re-entrant dispatch: wakeups that occur while the
 	// kernel is already inside tick/dispatch processing must not recurse
@@ -132,7 +165,33 @@ type Kernel struct {
 	stats Stats
 }
 
-// segment is one contiguous stretch of CPU given to a thread.
+// cpu is the per-CPU run state: the running thread, its active segment,
+// idle bookkeeping, and the pending-overhead account that delays the next
+// run segment on this CPU.
+type cpu struct {
+	id      int
+	current *Thread
+	seg     *segment
+	lastRan *Thread
+
+	idleSince sim.Time
+	idling    bool
+
+	// pendingOverhead is kernel time that must elapse before the next run
+	// segment begins on this CPU; overheadOn accumulates it, startRun
+	// consumes it.
+	pendingOverhead sim.Duration
+
+	// segEndFn is this CPU's segment-end callback, bound once at
+	// construction; segStore is the CPU's single segment object, reused
+	// across run segments (a CPU has at most one segment active).
+	segEndFn func(sim.Time)
+	segStore segment
+
+	stats CPUStats
+}
+
+// segment is one contiguous stretch of one CPU given to a thread.
 type segment struct {
 	t     *Thread
 	start sim.Time
@@ -155,9 +214,16 @@ func New(eng *sim.Engine, cfg Config, policy Policy) *Kernel {
 		policy:   policy,
 		timers:   newTimerList(),
 		baseTime: eng.Now(),
+		migrator: &WorkPull{},
+	}
+	k.stats.CPUs = cfg.NumCPUs()
+	k.cpus = make([]cpu, cfg.NumCPUs())
+	for i := range k.cpus {
+		c := &k.cpus[i]
+		c.id = i
+		c.segEndFn = func(now sim.Time) { k.segmentEnd(c, now) }
 	}
 	k.tickFn = k.tick
-	k.segEndFn = k.segmentEnd
 	policy.Attach(k)
 	return k
 }
@@ -174,20 +240,53 @@ func (k *Kernel) Policy() Policy { return k.policy }
 // Now returns the current simulated time.
 func (k *Kernel) Now() sim.Time { return k.eng.Now() }
 
-// Current returns the thread on the CPU, or nil when idle.
-func (k *Kernel) Current() *Thread { return k.current }
+// NumCPUs returns the number of CPUs.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// Current returns the thread on CPU 0, or nil when it is idle. On a
+// multi-CPU machine use CurrentOn.
+func (k *Kernel) Current() *Thread { return k.cpus[0].current }
+
+// CurrentOn returns the thread running on the given CPU, or nil when idle.
+func (k *Kernel) CurrentOn(cpu int) *Thread { return k.cpus[cpu].current }
+
+// SetMigrator installs a placement/work-pull policy (nil restores the
+// default WorkPull). Call before Start.
+func (k *Kernel) SetMigrator(m Migrator) {
+	if m == nil {
+		m = &WorkPull{}
+	}
+	k.migrator = m
+}
+
+// Migrator returns the installed migration policy.
+func (k *Kernel) Migrator() Migrator { return k.migrator }
 
 // Threads returns all threads ever created, including exited ones. The
 // slice must not be modified.
 func (k *Kernel) Threads() []*Thread { return k.threads }
 
 // Stats returns a snapshot of machine-level accounting. Elapsed is measured
-// from kernel creation; Idle includes a partial in-progress idle span.
+// from kernel creation; Idle includes partial in-progress idle spans and is
+// summed over all CPUs.
 func (k *Kernel) Stats() Stats {
 	s := k.stats
 	s.Elapsed = k.Now().Sub(k.baseTime)
-	if k.idling {
-		s.Idle += k.Now().Sub(k.idleSince)
+	for i := range k.cpus {
+		if k.cpus[i].idling {
+			s.Idle += k.Now().Sub(k.cpus[i].idleSince)
+		}
+	}
+	return s
+}
+
+// CPUStatsOf returns a snapshot of one CPU's accounting, including a
+// partial in-progress idle span.
+func (k *Kernel) CPUStatsOf(cpu int) CPUStats {
+	c := &k.cpus[cpu]
+	s := c.stats
+	if c.idling {
+		s.Idle += k.Now().Sub(c.idleSince)
 	}
 	return s
 }
@@ -206,15 +305,37 @@ func (k *Kernel) cyclesDur(c sim.Cycles) sim.Duration {
 	return sim.CyclesToDuration(c, k.cfg.ClockRate)
 }
 
-// Spawn creates a thread running program and makes it runnable. Threads
-// can be spawned before Start or at any point during the simulation.
+// Spawn creates a thread running program and makes it runnable on any CPU.
+// Threads can be spawned before Start or at any point during the
+// simulation.
 func (k *Kernel) Spawn(name string, program Program) *Thread {
+	return k.SpawnAffinity(name, program, AffinityAny)
+}
+
+// SpawnAffinity is Spawn with a CPU pin: affinity >= 0 fixes the thread to
+// that CPU forever (it is never migrated); AffinityAny lets the migrator
+// place it and work-pull move it.
+func (k *Kernel) SpawnAffinity(name string, program Program, affinity int) *Thread {
+	if affinity != AffinityAny && (affinity < 0 || affinity >= len(k.cpus)) {
+		panic(fmt.Sprintf("kernel: affinity %d outside [0,%d)", affinity, len(k.cpus)))
+	}
 	t := &Thread{
-		id:      k.nextID,
-		name:    name,
-		program: program,
-		kern:    k,
-		state:   StateReady,
+		id:       k.nextID,
+		name:     name,
+		program:  program,
+		kern:     k,
+		state:    StateReady,
+		affinity: affinity,
+	}
+	switch {
+	case affinity != AffinityAny:
+		t.cpu = affinity
+	case len(k.cpus) > 1:
+		t.cpu = k.migrator.Place(t, k)
+		if t.cpu < 0 || t.cpu >= len(k.cpus) {
+			panic(fmt.Sprintf("kernel: migrator %s placed %v on CPU %d outside [0,%d)",
+				k.migrator.Name(), t, t.cpu, len(k.cpus)))
+		}
 	}
 	k.nextID++
 	k.threads = append(k.threads, t)
@@ -235,7 +356,9 @@ func (k *Kernel) Start() {
 	}
 	k.started = true
 	k.scheduleTick(k.Now().Add(k.cfg.TickInterval))
-	k.dispatch(k.Now())
+	for i := range k.cpus {
+		k.dispatch(&k.cpus[i], k.Now())
+	}
 }
 
 // Stop halts the timer interrupt and stops dispatching. The simulation can
@@ -244,10 +367,13 @@ func (k *Kernel) Stop() {
 	if k.stopped {
 		return
 	}
-	if k.seg != nil {
-		k.chargeSegment(k.Now())
+	for i := range k.cpus {
+		c := &k.cpus[i]
+		if c.seg != nil {
+			k.chargeSegment(c, k.Now())
+		}
+		k.endIdle(c, k.Now())
 	}
-	k.endIdle(k.Now())
 	k.stopped = true
 	if k.tickEv != nil {
 		k.tickEv.Cancel()
@@ -289,88 +415,137 @@ func (k *Kernel) addWakeTimer(t *Thread, when sim.Time) *Timer {
 // PendingTimers returns the number of registered, unexpired timers.
 func (k *Kernel) PendingTimers() int { return k.timers.len() }
 
-// tick is the timer interrupt.
+// tick is the timer interrupt: every CPU is interrupted, expired timers
+// run once (globally), and every CPU reaches a dispatch point.
 func (k *Kernel) tick(now sim.Time) {
 	if k.stopped {
 		return
 	}
 	k.stats.Ticks++
 	k.busy++
-	// Interrupt whatever is running and charge the partial segment.
-	k.chargeSegment(now)
-	k.overhead(k.cfg.TickCost)
+	// Interrupt whatever is running and charge the partial segments; each
+	// CPU pays for its own interrupt handler.
+	for i := range k.cpus {
+		c := &k.cpus[i]
+		k.chargeSegment(c, now)
+		k.overheadOn(c, k.cfg.TickCost)
+	}
 	// do_timers: run expired timers; they may wake threads.
 	k.stats.TimerFires += uint64(k.expireTimers(now))
-	resched := k.policy.Tick(now)
 	k.scheduleTick(now.Add(k.cfg.TickInterval))
 	k.busy--
-	switch {
-	case k.current == nil:
-		k.dispatch(now)
-	case resched:
-		cur := k.current
-		k.current = nil
-		if cur.state == StateRunning {
-			cur.state = StateReady
+	for i := range k.cpus {
+		c := &k.cpus[i]
+		// The policy's tick hook is per CPU: only a CPU whose current
+		// thread was beaten by an enqueue re-dispatches; the rest resume
+		// their interrupted threads without paying DispatchCost.
+		resched := k.policy.Tick(c.id, now)
+		switch {
+		case c.current == nil:
+			k.dispatch(c, now)
+		case resched:
+			cur := c.current
+			c.current = nil
+			if cur.state == StateRunning {
+				cur.state = StateReady
+			}
+			k.dispatch(c, now)
+		default:
+			// Resume the interrupted thread without a full dispatch.
+			k.beginSegment(c, c.current, now)
 		}
-		k.dispatch(now)
-	default:
-		// Resume the interrupted thread without a full dispatch.
-		k.beginSegment(k.current, now)
 	}
 }
 
-// overhead records cycles consumed by the kernel itself. The cost is made
-// real by delaying the start of the next run segment.
-func (k *Kernel) overhead(c sim.Cycles) {
-	if c <= 0 {
+// overheadOn records cycles consumed by the kernel on one CPU. The cost is
+// made real by delaying the start of that CPU's next run segment.
+func (k *Kernel) overheadOn(c *cpu, cy sim.Cycles) {
+	if cy <= 0 {
 		return
 	}
-	d := k.cyclesDur(c)
+	d := k.cyclesDur(cy)
 	k.stats.Overhead += d
-	k.pendingOverhead += d
+	c.pendingOverhead += d
 }
 
-// dispatch runs the scheduler: pick a thread and start a run segment, or go
-// idle. The caller must have cleared k.current and k.seg.
-func (k *Kernel) dispatch(now sim.Time) {
+// dispatch runs the scheduler on one CPU: pick a thread and start a run
+// segment, or go idle. The caller must have cleared c.current and c.seg.
+// An idle CPU with an empty shard asks the migrator to pull work from a
+// peer before giving up.
+func (k *Kernel) dispatch(c *cpu, now sim.Time) {
 	if k.stopped {
 		return
 	}
 	k.stats.Dispatches++
+	c.stats.Dispatches++
 	k.busy++
 	defer func() { k.busy-- }()
-	k.overhead(k.cfg.DispatchCost)
+	k.overheadOn(c, k.cfg.DispatchCost)
+	pulled := false
 	for {
-		t := k.policy.Pick(now)
+		t := k.policy.Pick(c.id, now)
 		if t == nil {
-			k.current = nil
-			k.beginIdle(now)
+			if !pulled && len(k.cpus) > 1 {
+				// Work-pull: one migration attempt per dispatch.
+				pulled = true
+				if m := k.migrator.Pull(c.id, now, k); m != nil {
+					k.migrate(m, c.id, now)
+					continue
+				}
+			}
+			c.current = nil
+			k.beginIdle(c, now)
 			return
 		}
-		k.endIdle(now)
+		if t.state == StateRunning {
+			panic(fmt.Sprintf("kernel: Pick(%d) returned %v already running on CPU %d", c.id, t, t.cpu))
+		}
+		k.endIdle(c, now)
 		// Drive the program until it owes CPU; it may block or exit
 		// instead, in which case we pick again.
 		if !k.prepare(t, now) {
 			continue
 		}
-		if k.lastRan != nil && k.lastRan != t {
+		if c.lastRan != nil && c.lastRan != t {
 			k.stats.Switches++
-			k.overhead(k.cfg.SwitchCost)
+			c.stats.Switches++
+			k.overheadOn(c, k.cfg.SwitchCost)
 		}
-		k.lastRan = t
+		c.lastRan = t
 		t.dispatched++
-		k.startRun(t, now)
+		k.startRun(c, t, now)
 		return
 	}
 }
 
-// reschedule triggers a dispatch if the CPU is idle. If a thread is
-// running, enforcement waits for the next dispatch point (tick, syscall, or
-// wakeup preemption), matching the prototype.
+// migrate reassigns a stolen thread (already out of every policy
+// structure) to its new CPU and re-enqueues it there.
+func (k *Kernel) migrate(t *Thread, to int, now sim.Time) {
+	from := t.cpu
+	t.cpu = to
+	t.migrations++
+	k.stats.Migrations++
+	k.cpus[to].stats.MigrationsIn++
+	if k.tracer != nil {
+		k.tracer.OnMigration(now, t, from, to)
+	}
+	k.policy.Enqueue(t, now)
+}
+
+// reschedule triggers a dispatch on every idle CPU. If a thread is
+// running, enforcement waits for the next dispatch point (tick, syscall,
+// or wakeup preemption), matching the prototype. Poking every idle CPU —
+// not just the woken thread's — lets an idle peer work-pull a thread that
+// was enqueued behind a busy CPU's current.
 func (k *Kernel) reschedule(now sim.Time) {
-	if k.busy == 0 && k.current == nil && k.seg == nil && k.started && !k.stopped {
-		k.dispatch(now)
+	if k.busy != 0 || !k.started || k.stopped {
+		return
+	}
+	for i := range k.cpus {
+		c := &k.cpus[i]
+		if c.current == nil && c.seg == nil {
+			k.dispatch(c, now)
+		}
 	}
 }
 
@@ -552,29 +727,29 @@ func (t *Thread) finishOp() {
 	t.remaining = 0
 }
 
-// beginSegment resumes t after a tick. If its burst is already complete it
-// is driven through prepare first.
-func (k *Kernel) beginSegment(t *Thread, now sim.Time) {
+// beginSegment resumes t on its CPU after a tick. If its burst is already
+// complete it is driven through prepare first.
+func (k *Kernel) beginSegment(c *cpu, t *Thread, now sim.Time) {
 	if t.remaining <= 0 {
 		if !k.prepare(t, now) {
-			k.current = nil
-			k.dispatch(now)
+			c.current = nil
+			k.dispatch(c, now)
 			return
 		}
 	}
-	k.startRun(t, now)
+	k.startRun(c, t, now)
 }
 
-// startRun begins a run segment for t, bounded by the remaining burst and
-// the policy's time slice, delayed by pending kernel overhead.
-func (k *Kernel) startRun(t *Thread, now sim.Time) {
+// startRun begins a run segment for t on c, bounded by the remaining burst
+// and the policy's time slice, delayed by the CPU's pending overhead.
+func (k *Kernel) startRun(c *cpu, t *Thread, now sim.Time) {
 	slice := k.policy.TimeSlice(t, now)
 	if slice <= 0 {
 		// The policy refuses to run the thread right now. Give it a
 		// zero-length charge round so it can deschedule the thread.
-		if k.policy.Charge(t, 0, now) || t.state == StateSleeping || t.state == StateBlocked {
-			k.current = nil
-			k.dispatch(now)
+		if k.policy.Charge(t, c.id, 0, now) || t.state == StateSleeping || t.state == StateBlocked {
+			c.current = nil
+			k.dispatch(c, now)
 			return
 		}
 		// The policy did nothing; run one tick to avoid livelock.
@@ -584,37 +759,37 @@ func (k *Kernel) startRun(t *Thread, now sim.Time) {
 	if slice < runFor {
 		runFor = slice
 	}
-	start := now.Add(k.takeOverhead())
+	start := now.Add(k.takeOverhead(c))
 	end := start.Add(runFor)
-	k.current = t
+	c.current = t
 	t.state = StateRunning
-	seg := &k.segStore
+	seg := &c.segStore
 	seg.t = t
 	seg.start = start
 	seg.end = end
-	seg.ev = k.eng.At(end, k.segEndFn)
-	k.seg = seg
+	seg.ev = k.eng.At(end, c.segEndFn)
+	c.seg = seg
 	if k.tracer != nil {
 		k.tracer.OnDispatch(start, t)
 	}
 }
 
-// takeOverhead consumes the accumulated pending overhead.
-func (k *Kernel) takeOverhead() sim.Duration {
-	d := k.pendingOverhead
-	k.pendingOverhead = 0
+// takeOverhead consumes a CPU's accumulated pending overhead.
+func (k *Kernel) takeOverhead(c *cpu) sim.Duration {
+	d := c.pendingOverhead
+	c.pendingOverhead = 0
 	return d
 }
 
-// chargeSegment ends the active segment at now (early or on time), charging
+// chargeSegment ends c's active segment at now (early or on time), charging
 // the thread for the time it actually ran and letting the policy account it.
-func (k *Kernel) chargeSegment(now sim.Time) {
-	seg := k.seg
+func (k *Kernel) chargeSegment(c *cpu, now sim.Time) {
+	seg := c.seg
 	if seg == nil {
 		return
 	}
 	seg.ev.Cancel()
-	k.seg = nil
+	c.seg = nil
 	t := seg.t
 	seg.t = nil
 	seg.ev = nil
@@ -645,28 +820,28 @@ func (k *Kernel) chargeSegment(now sim.Time) {
 	if k.tracer != nil {
 		k.tracer.OnDeschedule(now, t, ran)
 	}
-	if k.policy.Charge(t, ran, now) && k.current == t {
-		k.current = nil
+	if k.policy.Charge(t, c.id, ran, now) && c.current == t {
+		c.current = nil
 		if t.state == StateRunning {
 			t.state = StateReady
 		}
 	}
 }
 
-// segmentEnd fires when a run segment completes naturally: the burst
+// segmentEnd fires when a run segment completes naturally on c: the burst
 // finished or the policy's slice expired. Both are dispatch points.
-func (k *Kernel) segmentEnd(now sim.Time) {
-	if k.seg == nil || k.stopped {
+func (k *Kernel) segmentEnd(c *cpu, now sim.Time) {
+	if c.seg == nil || k.stopped {
 		return
 	}
-	k.chargeSegment(now)
-	if t := k.current; t != nil {
-		k.current = nil
+	k.chargeSegment(c, now)
+	if t := c.current; t != nil {
+		c.current = nil
 		if t.state == StateRunning {
 			t.state = StateReady
 		}
 	}
-	k.dispatch(now)
+	k.dispatch(c, now)
 }
 
 // block parks t on wq. Syscalls reach here only via prepare, so no segment
@@ -681,8 +856,8 @@ func (k *Kernel) block(t *Thread, wq *WaitQueue, now sim.Time) {
 		k.tracer.OnBlock(now, t, wq.name)
 	}
 	k.policy.Dequeue(t, now)
-	if k.current == t {
-		k.current = nil
+	if c := &k.cpus[t.cpu]; c.current == t {
+		c.current = nil
 	}
 }
 
@@ -692,8 +867,8 @@ func (k *Kernel) sleepUntil(t *Thread, deadline, now sim.Time) {
 	t.runSinceBlock = 0
 	k.policy.Dequeue(t, now)
 	t.wakeTimer = k.addWakeTimer(t, deadline)
-	if k.current == t {
-		k.current = nil
+	if c := &k.cpus[t.cpu]; c.current == t {
+		c.current = nil
 	}
 }
 
@@ -747,24 +922,25 @@ func (k *Kernel) WakeOne(wq *WaitQueue) bool {
 	return true
 }
 
-// maybePreempt interrupts the running segment if the policy says the woken
-// thread should preempt the current one.
+// maybePreempt interrupts the running segment on the woken thread's CPU if
+// the policy says it should preempt what is running there.
 func (k *Kernel) maybePreempt(woken *Thread, now sim.Time) {
-	cur := k.current
-	if cur == nil || cur == woken || k.seg == nil {
+	c := &k.cpus[woken.cpu]
+	cur := c.current
+	if cur == nil || cur == woken || c.seg == nil {
 		return
 	}
 	if !k.policy.WakePreempts(woken, cur, now) {
 		return
 	}
-	k.chargeSegment(now)
-	if k.current == cur {
-		k.current = nil
+	k.chargeSegment(c, now)
+	if c.current == cur {
+		c.current = nil
 		if cur.state == StateRunning {
 			cur.state = StateReady
 		}
 	}
-	k.dispatch(now)
+	k.dispatch(c, now)
 }
 
 // unlock releases m on behalf of t, handing ownership to the first waiter.
@@ -787,8 +963,8 @@ func (k *Kernel) Retire(t *Thread) {
 		return
 	}
 	now := k.Now()
-	if k.seg != nil && k.seg.t == t {
-		k.chargeSegment(now)
+	if c := &k.cpus[t.cpu]; c.seg != nil && c.seg.t == t {
+		k.chargeSegment(c, now)
 	}
 	if t.waitingOn != nil {
 		t.waitingOn.remove(t)
@@ -808,29 +984,31 @@ func (k *Kernel) exit(t *Thread, now sim.Time) {
 	t.finishOp()
 	k.policy.Dequeue(t, now)
 	k.policy.RemoveThread(t, now)
-	if k.current == t {
-		k.current = nil
+	if c := &k.cpus[t.cpu]; c.current == t {
+		c.current = nil
 	}
 	if k.onExit != nil {
 		k.onExit(t, now)
 	}
 }
 
-func (k *Kernel) beginIdle(now sim.Time) {
+func (k *Kernel) beginIdle(c *cpu, now sim.Time) {
 	// Kernel work accrued on the way into idle overlaps the idle span;
-	// uncount it so Elapsed ≈ ThreadTime + Idle + Overhead stays tight.
-	k.stats.Overhead -= k.pendingOverhead
-	k.pendingOverhead = 0
-	if k.idling {
+	// uncount it so capacity ≈ ThreadTime + Idle + Overhead stays tight.
+	k.stats.Overhead -= c.pendingOverhead
+	c.pendingOverhead = 0
+	if c.idling {
 		return
 	}
-	k.idling = true
-	k.idleSince = now
+	c.idling = true
+	c.idleSince = now
 }
 
-func (k *Kernel) endIdle(now sim.Time) {
-	if k.idling {
-		k.idling = false
-		k.stats.Idle += now.Sub(k.idleSince)
+func (k *Kernel) endIdle(c *cpu, now sim.Time) {
+	if c.idling {
+		c.idling = false
+		span := now.Sub(c.idleSince)
+		k.stats.Idle += span
+		c.stats.Idle += span
 	}
 }

@@ -7,6 +7,12 @@ import "repro/internal/sim"
 // policy for every decision: which thread runs next, for how long, and
 // whether a wakeup preempts.
 //
+// The machine may have several CPUs (Config.CPUs). The policy keeps one
+// run-queue shard per CPU, keyed by Thread.CPU(): Enqueue and Dequeue
+// operate on t.CPU()'s shard, Pick and Steal address a shard explicitly,
+// and the kernel guarantees it only changes a thread's CPU assignment
+// while the thread is outside every policy structure.
+//
 // The reservation-based dispatcher (internal/rbs) and the baseline
 // priority schedulers (internal/baseline) both implement this interface.
 type Policy interface {
@@ -29,10 +35,18 @@ type Policy interface {
 	// Dequeue removes t from the runnable set (blocked or sleeping).
 	Dequeue(t *Thread, now sim.Time)
 
-	// Pick selects the next thread to run, or nil to idle. The chosen
-	// thread remains in the policy's runnable set; the kernel will call
-	// Dequeue if it later blocks.
-	Pick(now sim.Time) *Thread
+	// Pick selects the next thread to run on the given CPU, or nil to
+	// idle it. The chosen thread remains in the policy's runnable set; the
+	// kernel will call Dequeue if it later blocks.
+	Pick(cpu int, now sim.Time) *Thread
+
+	// Steal removes and returns a migratable runnable thread from the
+	// given CPU's shard so the kernel can reassign it to an idle CPU, or
+	// nil when nothing can move. The returned thread must be out of every
+	// policy structure (as after Dequeue) but still StateReady; it must
+	// not be the thread currently running on that CPU, and must not be
+	// pinned (Thread.Affinity() >= 0).
+	Steal(from int, now sim.Time) *Thread
 
 	// TimeSlice returns the longest contiguous time t may run before the
 	// policy needs a dispatch point (quantum or budget boundary). Results
@@ -40,13 +54,14 @@ type Policy interface {
 	// the next timer interrupt is irrelevant — ticks interrupt anyway.
 	TimeSlice(t *Thread, now sim.Time) sim.Duration
 
-	// Charge accounts ran time against t after a run segment. Returning
-	// resched=true forces a dispatch instead of resuming t.
-	Charge(t *Thread, ran sim.Duration, now sim.Time) (resched bool)
+	// Charge accounts ran time against t after a run segment on the given
+	// CPU. Returning resched=true forces a dispatch instead of resuming t.
+	Charge(t *Thread, cpu int, ran sim.Duration, now sim.Time) (resched bool)
 
-	// Tick is the timer interrupt hook, called after expired timers run.
-	// Returning true forces a dispatch.
-	Tick(now sim.Time) (resched bool)
+	// Tick is the timer interrupt hook, called once per CPU after expired
+	// timers run. Returning true forces a dispatch on that CPU (instead
+	// of resuming its interrupted thread).
+	Tick(cpu int, now sim.Time) (resched bool)
 
 	// WakePreempts reports whether the newly woken thread should preempt
 	// the currently running one.

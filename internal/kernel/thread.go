@@ -45,6 +45,15 @@ type Thread struct {
 	kern    *Kernel
 
 	state State
+	// cpu is the CPU the thread is assigned to: its run-queue shard, and
+	// the CPU it runs on when dispatched. The kernel changes it only while
+	// the thread is outside every policy structure (see Kernel.migrate).
+	cpu int
+	// affinity pins the thread to one CPU (AffinityAny = unpinned). Pinned
+	// threads are never migrated by work-pull.
+	affinity int
+	// migrations counts how many times the thread changed CPUs.
+	migrations uint64
 	// op is the operation in progress; nil when the program must be asked
 	// for the next one.
 	op Op
@@ -75,6 +84,15 @@ type Thread struct {
 
 // ID returns the thread's kernel-assigned identifier.
 func (t *Thread) ID() int { return t.id }
+
+// CPU returns the CPU the thread is currently assigned to.
+func (t *Thread) CPU() int { return t.cpu }
+
+// Affinity returns the CPU the thread is pinned to, or AffinityAny.
+func (t *Thread) Affinity() int { return t.affinity }
+
+// Migrations returns how many times the thread has changed CPUs.
+func (t *Thread) Migrations() uint64 { return t.migrations }
 
 // Name returns the thread's human-readable name.
 func (t *Thread) Name() string { return t.name }

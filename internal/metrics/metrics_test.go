@@ -351,3 +351,45 @@ func TestOscillationAmplitude(t *testing.T) {
 		t.Fatalf("constant amplitude = %v", amp)
 	}
 }
+
+// TestSeriesBound pins the bounded-series contract: past the bound the
+// series holds only the newest samples, capacity stays within 2× the
+// bound, ordering survives compaction, and recent-window queries keep
+// working — the footprint guarantee behind per-job pressure series at
+// 10k+ jobs.
+func TestSeriesBound(t *testing.T) {
+	const bound = 1000
+	s := NewSeries("bounded").Bound(bound)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s.Add(ms(int64(i)), float64(i))
+	}
+	if s.Len() > 2*bound {
+		t.Fatalf("bounded series holds %d points, want <= %d", s.Len(), 2*bound)
+	}
+	if cap(s.points) > 2*bound {
+		t.Fatalf("bounded series capacity %d, want <= %d", cap(s.points), 2*bound)
+	}
+	// The newest samples survive, in order.
+	last, ok := s.Last()
+	if !ok || last.V != n-1 {
+		t.Fatalf("Last = %+v, want newest sample %d", last, n-1)
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.At(i).T < s.At(i-1).T {
+			t.Fatalf("order broken at %d after compaction", i)
+		}
+	}
+	// Recent-window zero-order-hold queries still resolve.
+	if v, ok := s.ValueAt(ms(n - 10)); !ok || v != n-10 {
+		t.Fatalf("ValueAt(n-10) = %v,%v", v, ok)
+	}
+	// Re-bounding tighter trims immediately.
+	s.Bound(100)
+	if s.Len() != 100 {
+		t.Fatalf("re-bound to 100 left %d points", s.Len())
+	}
+	if last, _ := s.Last(); last.V != n-1 {
+		t.Fatalf("re-bound dropped the newest sample: %+v", last)
+	}
+}

@@ -24,6 +24,9 @@ type Point struct {
 type Series struct {
 	Name   string
 	points []Point
+	// maxPoints, when positive, bounds the series to the most recent
+	// maxPoints samples (see Bound).
+	maxPoints int
 }
 
 // NewSeries returns an empty named series.
@@ -31,11 +34,48 @@ func NewSeries(name string) *Series {
 	return &Series{Name: name}
 }
 
+// Bound caps the series at the most recent max samples: once the bound is
+// exceeded, the oldest points are dropped (amortized O(1) via sliding
+// compaction, capacity stays ≤ 2×max). Long-running consumers that only
+// read recent windows — the controller's per-job pressure series, rrtop —
+// use it so 10k-thread machines do not grow per-thread memory without
+// limit. max <= 0 removes the bound. Returns s for chaining.
+func (s *Series) Bound(max int) *Series {
+	s.maxPoints = max
+	s.trim()
+	if max > 0 && cap(s.points) != 2*max {
+		// Pin the backing array at 2×max up front: Add's sliding trim then
+		// keeps len within it, so the series never reallocates again.
+		pts := make([]Point, len(s.points), 2*max)
+		copy(pts, s.points)
+		s.points = pts
+	}
+	return s
+}
+
+// trim enforces the bound, keeping the newest maxPoints samples.
+func (s *Series) trim() {
+	if s.maxPoints <= 0 || len(s.points) <= s.maxPoints {
+		return
+	}
+	keep := s.points[len(s.points)-s.maxPoints:]
+	copy(s.points, keep)
+	tail := s.points[s.maxPoints:]
+	s.points = s.points[:s.maxPoints]
+	// Zero the vacated tail so dropped samples are unreachable.
+	for i := range tail {
+		tail[i] = Point{}
+	}
+}
+
 // Add appends a sample. It panics if time goes backwards, since that would
 // silently corrupt every downstream analysis.
 func (s *Series) Add(t sim.Time, v float64) {
 	if n := len(s.points); n > 0 && t < s.points[n-1].T {
 		panic(fmt.Sprintf("metrics: series %q sample at %v before last %v", s.Name, t, s.points[n-1].T))
+	}
+	if s.maxPoints > 0 && len(s.points) >= 2*s.maxPoints {
+		s.trim()
 	}
 	s.points = append(s.points, Point{t, v})
 }

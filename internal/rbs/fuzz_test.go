@@ -1,0 +1,81 @@
+package rbs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+// FuzzBoundaryWheel interprets fuzz bytes as an op script against a
+// Verify-mode dispatcher: every Pick replays the legacy linear scan and
+// panics on divergence, and asserts that every due period was rolled — so
+// a boundary entry filed in the wrong wheel level, cascaded late from L2,
+// or lost during a level hop fails the fuzz run. Period bytes are scaled
+// so all three levels (L1 buckets, the second 256-slot level, and the
+// overflow heap) are hit.
+//
+//	go test -run '^$' -fuzz=FuzzBoundaryWheel ./internal/rbs
+func FuzzBoundaryWheel(f *testing.F) {
+	f.Add([]byte{0x01, 0x80, 0x40, 0xFF, 0x03, 0x22})
+	f.Add([]byte{0xF0, 0x0F, 0xAA, 0x55, 0x00, 0x99, 0x7F, 0xC3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		eng := sim.NewEngine()
+		p := rbs.New()
+		if data[0]&1 == 1 {
+			p.Discipline = rbs.EDF
+		}
+		p.Verify = true
+		k := kernel.New(eng, kernel.DefaultConfig(), p)
+
+		var threads []*kernel.Thread
+		spawn := func() *kernel.Thread {
+			th := k.Spawn(fmt.Sprintf("t%d", len(threads)), hog(300_000))
+			threads = append(threads, th)
+			return th
+		}
+		// A resident unmanaged thread keeps the machine busy so dispatch
+		// points (and wheel drains) keep firing.
+		spawn()
+		k.Start()
+
+		// Each op consumes two bytes: an opcode/target byte and an
+		// argument byte.
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], int64(data[i+1])
+			th := threads[int(op>>3)%len(threads)]
+			switch op & 7 {
+			case 0, 1: // short period: L1
+				p.SetReservation(th, rbs.Reservation{
+					Proportion: int(arg % 200),
+					Period:     sim.Duration(1+arg%250) * sim.Millisecond,
+				})
+			case 2, 3: // medium period: second wheel level
+				p.SetReservation(th, rbs.Reservation{
+					Proportion: int(arg % 200),
+					Period:     (300 + sim.Duration(arg)*257) * sim.Millisecond,
+				})
+			case 4: // far period: overflow heap
+				p.SetReservation(th, rbs.Reservation{
+					Proportion: int(arg % 200),
+					Period:     66*sim.Second + sim.Duration(arg)*sim.Second,
+				})
+			case 5:
+				p.Unregister(th)
+			case 6:
+				if len(threads) < 24 {
+					spawn()
+				}
+			default: // advance time, crossing L1 wraps and L2 spans
+				eng.RunFor(sim.Duration(1+arg*arg) * sim.Millisecond)
+			}
+		}
+		eng.RunFor(500 * sim.Millisecond)
+		k.Stop()
+	})
+}

@@ -1,7 +1,7 @@
 // Intrusive, index-tracked priority structures for the dispatcher's hot
-// path. Each thread's positions are stored in its scheduling state
-// (heapIdx/boundIdx/exhIdx), so membership tests and removals are O(1)+
-// O(log n) with no allocation and no linear scans.
+// path, one set per CPU (a shard). Each thread's positions are stored in
+// its scheduling state (heapIdx/boundIdx/exhIdx), so membership tests and
+// removals are O(1)+O(log n) with no allocation and no linear scans.
 //
 // Ordering must reproduce the legacy linear scan bit-for-bit: the scan
 // picked the *first* best thread in runnable-slice order, and slice order
@@ -15,6 +15,30 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/sim"
 )
+
+// shard is one CPU's dispatch state: the ready heap, the two-level
+// period-boundary wheel with its overflow heap, and the exhausted list.
+// Threads live in the shard of their assigned CPU (kernel.Thread.CPU());
+// the kernel only reassigns a thread between shards while it is dequeued.
+type shard struct {
+	// ready is the indexed heap of dispatchable queued threads: registered
+	// threads with budget and the unmanaged round-robin class below them.
+	ready []*kernel.Thread
+	// buckets/buckets2/overflow/curSlot form the period-boundary wheel of
+	// queued registered threads by next period end; Pick drains the due
+	// entries instead of refreshing every runnable thread. Each bucket is
+	// the head of an intrusive doubly linked list. Level 1 spans one
+	// kernel tick per slot; level 2 spans bwSlots ticks per slot, so any
+	// boundary within bwSlots² ticks (≈65 s at a 1 ms tick) files in O(1);
+	// only boundaries beyond that fall back to the overflow min-heap.
+	buckets  [bwSlots]*kernel.Thread
+	buckets2 [bwSlots]*kernel.Thread
+	overflow []*kernel.Thread
+	curSlot  int64
+	// exhausted lists queued registered threads with spent budgets, in
+	// enqueue order; Pick naps them until their next period begins.
+	exhausted []*kernel.Thread
+}
 
 // readyLess orders the ready heap: the thread that should dispatch first
 // is the heap top. It is the strict-weak-order completion of better():
@@ -60,88 +84,88 @@ func clampedPeriodMs(st *state) int64 {
 
 // --- ready heap: queued threads eligible to run ---
 
-func (p *Policy) readyPush(t *kernel.Thread) {
+func (p *Policy) readyPush(sh *shard, t *kernel.Thread) {
 	st := stateOf(t)
-	st.heapIdx = len(p.ready)
-	p.ready = append(p.ready, t)
-	p.readyUp(st.heapIdx)
+	st.heapIdx = len(sh.ready)
+	sh.ready = append(sh.ready, t)
+	p.readyUp(sh, st.heapIdx)
 }
 
-func (p *Policy) readyRemove(t *kernel.Thread) {
+func (p *Policy) readyRemove(sh *shard, t *kernel.Thread) {
 	st := stateOf(t)
 	i := st.heapIdx
 	if i < 0 {
 		return
 	}
 	st.heapIdx = -1
-	last := len(p.ready) - 1
-	moved := p.ready[last]
-	p.ready[last] = nil // clear the vacated tail slot
-	p.ready = p.ready[:last]
+	last := len(sh.ready) - 1
+	moved := sh.ready[last]
+	sh.ready[last] = nil // clear the vacated tail slot
+	sh.ready = sh.ready[:last]
 	if i == last {
 		return
 	}
-	p.ready[i] = moved
+	sh.ready[i] = moved
 	stateOf(moved).heapIdx = i
-	p.readyFixAt(i)
+	p.readyFixAt(sh, i)
 }
 
 // readyFix restores the heap property after t's key changed in place.
-func (p *Policy) readyFix(t *kernel.Thread) {
+func (p *Policy) readyFix(sh *shard, t *kernel.Thread) {
 	if i := stateOf(t).heapIdx; i >= 0 {
-		p.readyFixAt(i)
+		p.readyFixAt(sh, i)
 	}
 }
 
-func (p *Policy) readyFixAt(i int) {
-	if !p.readyDown(i) {
-		p.readyUp(i)
+func (p *Policy) readyFixAt(sh *shard, i int) {
+	if !p.readyDown(sh, i) {
+		p.readyUp(sh, i)
 	}
 }
 
-func (p *Policy) readyTop() *kernel.Thread {
-	if len(p.ready) == 0 {
+func (p *Policy) readyTop(sh *shard) *kernel.Thread {
+	if len(sh.ready) == 0 {
 		return nil
 	}
-	return p.ready[0]
+	return sh.ready[0]
 }
 
-func (p *Policy) readyUp(i int) {
-	t := p.ready[i]
+func (p *Policy) readyUp(sh *shard, i int) {
+	t := sh.ready[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !p.readyLess(t, p.ready[parent]) {
+		if !p.readyLess(t, sh.ready[parent]) {
 			break
 		}
-		p.ready[i] = p.ready[parent]
-		stateOf(p.ready[i]).heapIdx = i
+		sh.ready[i] = sh.ready[parent]
+		stateOf(sh.ready[i]).heapIdx = i
 		i = parent
 	}
-	p.ready[i] = t
+	sh.ready[i] = t
 	stateOf(t).heapIdx = i
 }
 
-func (p *Policy) readyDown(i int) bool {
-	t := p.ready[i]
-	n := len(p.ready)
+func (p *Policy) readyDown(sh *shard, i int) bool {
+	t := sh.ready[i]
+	n := len(sh.ready)
 	moved := false
 	for {
 		kid := 2*i + 1
 		if kid >= n {
 			break
 		}
-		if r := kid + 1; r < n && p.readyLess(p.ready[r], p.ready[kid]) {
+		if r := kid + 1; r < n && p.readyLess(sh.ready[r], sh.ready[kid]) {
 			kid = r
 		}
-		if !p.readyLess(p.ready[kid], t) {
+		if !p.readyLess(sh.ready[kid], t) {
 			break
 		}
-		p.ready[i] = p.ready[kid]
-		stateOf(p.ready[i]).heapIdx = i
+		sh.ready[i] = sh.ready[kid]
+		stateOf(sh.ready[i]).heapIdx = i
 		i = kid
 		moved = true
 	}
-	p.ready[i] = t
+	sh.ready[i] = t
 	stateOf(t).heapIdx = i
 	return moved
 }
@@ -153,62 +177,87 @@ func (p *Policy) readyDown(i int) bool {
 // boundaries pass at Σ 1/periodᵢ per second, so an ordered heap pays an
 // O(log n) sift per roll and dominates the profile. Period ends are timer
 // deadlines, so they get the same treatment as the sim engine's event
-// queue: a timer wheel of bwSlots buckets, one kernel tick wide each, with
-// O(1) insert/remove (swap-remove; order within a bucket is irrelevant —
-// every due entry is rolled before Pick reads the ready heap) and an
-// overflow min-heap on cached keys for boundaries beyond the horizon.
+// queue: a hierarchical timer wheel. Level 1 has bwSlots buckets of one
+// kernel tick each; level 2 has bwSlots buckets of bwSlots ticks each, so
+// boundaries up to bwSlots² ticks out (≈65 s at a 1 ms tick) insert and
+// remove in O(1) — L2 entries cascade into L1 as the cursor crosses their
+// span. Only boundaries beyond the L2 horizon go to the overflow min-heap
+// on cached keys. Order within a bucket is irrelevant: every due entry is
+// rolled before Pick reads the ready heap.
 
 const (
 	bwSlots = 256
 	bwMask  = bwSlots - 1
+	bwBits  = 8 // log2(bwSlots): shift from an L1 slot to its L2 span
 
-	// boundNone/boundOverflow are boundSlot sentinels; values ≥ 0 are
-	// wheel bucket indices.
-	boundNone     = -1
-	boundOverflow = -2
+	// boundNone is the boundSlot sentinel for "not filed"; values >= 0 are
+	// bucket indices within the level named by boundLevel.
+	boundNone = -1
 )
 
-// boundInsert files t under its current period end. t must be queued,
-// registered, and not already filed. Wheel buckets are intrusive doubly
-// linked lists threaded through the scheduling state, so filing and
+// Wheel levels, stored in state.boundLevel.
+const (
+	levelNone = iota
+	levelL1
+	levelL2
+	levelHeap
+)
+
+// boundInsert files t under its current period end in t's shard. t must be
+// queued, registered, and not already filed. Wheel buckets are intrusive
+// doubly linked lists threaded through the scheduling state, so filing and
 // unfiling never allocate no matter how boundaries cluster.
-func (p *Policy) boundInsert(t *kernel.Thread) {
+func (p *Policy) boundInsert(sh *shard, t *kernel.Thread) {
 	st := stateOf(t)
 	key := p.periodEnd(st)
 	st.boundKey = key
 	slot := int64(key) / p.slotW
-	if slot >= p.curSlot+bwSlots {
-		st.boundSlot = boundOverflow
-		st.boundIdx = len(p.overflow)
-		p.overflow = append(p.overflow, t)
-		p.overflowUp(st.boundIdx)
+	if slot < sh.curSlot {
+		slot = sh.curSlot // defensive; boundKey is re-checked when draining
+	}
+	if slot < sh.curSlot+bwSlots {
+		p.bucketLink(sh, &sh.buckets, t, levelL1, int(slot&bwMask))
 		return
 	}
-	if slot < p.curSlot {
-		slot = p.curSlot // defensive; boundKey is re-checked when draining
+	if slot>>bwBits < (sh.curSlot>>bwBits)+bwSlots {
+		p.bucketLink(sh, &sh.buckets2, t, levelL2, int((slot>>bwBits)&bwMask))
+		return
 	}
-	b := int(slot & bwMask)
+	st.boundLevel = levelHeap
+	st.boundIdx = len(sh.overflow)
+	sh.overflow = append(sh.overflow, t)
+	p.overflowUp(sh, st.boundIdx)
+}
+
+// bucketLink pushes t onto the head of a wheel bucket's intrusive list.
+func (p *Policy) bucketLink(sh *shard, buckets *[bwSlots]*kernel.Thread, t *kernel.Thread, level, b int) {
+	st := stateOf(t)
+	st.boundLevel = level
 	st.boundSlot = b
 	st.boundPrev = nil
-	st.boundNext = p.buckets[b]
+	st.boundNext = buckets[b]
 	if st.boundNext != nil {
 		stateOf(st.boundNext).boundPrev = t
 	}
-	p.buckets[b] = t
+	buckets[b] = t
 }
 
-func (p *Policy) boundRemove(t *kernel.Thread) {
+func (p *Policy) boundRemove(sh *shard, t *kernel.Thread) {
 	st := stateOf(t)
-	switch {
-	case st.boundSlot == boundNone:
+	switch st.boundLevel {
+	case levelNone:
 		return
-	case st.boundSlot == boundOverflow:
-		p.overflowRemove(t)
-	default:
+	case levelHeap:
+		p.overflowRemove(sh, t)
+	case levelL1, levelL2:
+		buckets := &sh.buckets
+		if st.boundLevel == levelL2 {
+			buckets = &sh.buckets2
+		}
 		if st.boundPrev != nil {
 			stateOf(st.boundPrev).boundNext = st.boundNext
 		} else {
-			p.buckets[st.boundSlot] = st.boundNext
+			buckets[st.boundSlot] = st.boundNext
 		}
 		if st.boundNext != nil {
 			stateOf(st.boundNext).boundPrev = st.boundPrev
@@ -216,44 +265,73 @@ func (p *Policy) boundRemove(t *kernel.Thread) {
 		st.boundPrev = nil
 		st.boundNext = nil
 	}
+	st.boundLevel = levelNone
 	st.boundSlot = boundNone
 	st.boundIdx = -1
 }
 
-// boundDrain rolls every queued registered thread whose period ended at or
-// before now: buckets strictly behind now's slot are entirely due, and the
-// current slot plus the overflow heap are filtered by cached key. Entries
-// refiled during the drain always carry a rolled-past-now key, so the walk
-// never revisits them.
-func (p *Policy) boundDrain(now sim.Time) {
+// boundDrain rolls every queued registered thread in sh whose period ended
+// at or before now. The L1 cursor advances to now's slot; L2 buckets whose
+// span the cursor crossed cascade — due entries roll, the rest refile
+// (necessarily into L1, since their slot is within bwSlots of the new
+// cursor). Entries refiled during the drain always carry a
+// rolled-past-now key, so the walk never revisits them.
+func (p *Policy) boundDrain(sh *shard, now sim.Time) {
 	target := int64(now) / p.slotW
-	if target < p.curSlot {
-		target = p.curSlot
+	if target < sh.curSlot {
+		target = sh.curSlot
 	}
-	first := p.curSlot
+	oldSlot := sh.curSlot
+	sh.curSlot = target
+
+	// L1: buckets strictly behind now's slot are entirely due; the current
+	// slot is filtered by cached key.
+	first := oldSlot
 	if target-first >= bwSlots {
 		first = target - bwSlots + 1 // the wheel holds nothing older
 	}
 	for s := first; s <= target; s++ {
-		t := p.buckets[s&bwMask]
+		t := sh.buckets[s&bwMask]
 		for t != nil {
 			st := stateOf(t)
 			next := st.boundNext
 			if st.boundKey <= now {
-				p.boundRemove(t)
+				p.boundRemove(sh, t)
 				p.rollDue(t, st, now)
 			}
 			t = next
 		}
 	}
-	p.curSlot = target
-	for len(p.overflow) > 0 {
-		t := p.overflow[0]
+
+	// L2: cascade every span the cursor entered or crossed. After a jump
+	// beyond the whole level every bucket is due, so the clamp to bwSlots
+	// visits each index exactly once.
+	old2, tgt2 := oldSlot>>bwBits, target>>bwBits
+	first2 := old2 + 1
+	if tgt2-first2 >= bwSlots {
+		first2 = tgt2 - bwSlots + 1
+	}
+	for s2 := first2; s2 <= tgt2; s2++ {
+		b := int(s2 & bwMask)
+		for sh.buckets2[b] != nil {
+			t := sh.buckets2[b]
+			st := stateOf(t)
+			p.boundRemove(sh, t)
+			if st.boundKey <= now {
+				p.rollDue(t, st, now)
+			} else {
+				p.boundInsert(sh, t) // refiles against the advanced cursor
+			}
+		}
+	}
+
+	for len(sh.overflow) > 0 {
+		t := sh.overflow[0]
 		st := stateOf(t)
 		if st.boundKey > now {
 			break
 		}
-		p.boundRemove(t)
+		p.boundRemove(sh, t)
 		p.rollDue(t, st, now)
 	}
 }
@@ -268,59 +346,59 @@ func (p *Policy) overflowLess(a, b *kernel.Thread) bool {
 	return sa.seq < sb.seq
 }
 
-func (p *Policy) overflowRemove(t *kernel.Thread) {
+func (p *Policy) overflowRemove(sh *shard, t *kernel.Thread) {
 	st := stateOf(t)
 	i := st.boundIdx
-	last := len(p.overflow) - 1
-	moved := p.overflow[last]
-	p.overflow[last] = nil
-	p.overflow = p.overflow[:last]
+	last := len(sh.overflow) - 1
+	moved := sh.overflow[last]
+	sh.overflow[last] = nil
+	sh.overflow = sh.overflow[:last]
 	if i == last {
 		return
 	}
-	p.overflow[i] = moved
+	sh.overflow[i] = moved
 	stateOf(moved).boundIdx = i
-	if !p.overflowDown(i) {
-		p.overflowUp(i)
+	if !p.overflowDown(sh, i) {
+		p.overflowUp(sh, i)
 	}
 }
 
-func (p *Policy) overflowUp(i int) {
-	t := p.overflow[i]
+func (p *Policy) overflowUp(sh *shard, i int) {
+	t := sh.overflow[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !p.overflowLess(t, p.overflow[parent]) {
+		if !p.overflowLess(t, sh.overflow[parent]) {
 			break
 		}
-		p.overflow[i] = p.overflow[parent]
-		stateOf(p.overflow[i]).boundIdx = i
+		sh.overflow[i] = sh.overflow[parent]
+		stateOf(sh.overflow[i]).boundIdx = i
 		i = parent
 	}
-	p.overflow[i] = t
+	sh.overflow[i] = t
 	stateOf(t).boundIdx = i
 }
 
-func (p *Policy) overflowDown(i int) bool {
-	t := p.overflow[i]
-	n := len(p.overflow)
+func (p *Policy) overflowDown(sh *shard, i int) bool {
+	t := sh.overflow[i]
+	n := len(sh.overflow)
 	moved := false
 	for {
 		kid := 2*i + 1
 		if kid >= n {
 			break
 		}
-		if r := kid + 1; r < n && p.overflowLess(p.overflow[r], p.overflow[kid]) {
+		if r := kid + 1; r < n && p.overflowLess(sh.overflow[r], sh.overflow[kid]) {
 			kid = r
 		}
-		if !p.overflowLess(p.overflow[kid], t) {
+		if !p.overflowLess(sh.overflow[kid], t) {
 			break
 		}
-		p.overflow[i] = p.overflow[kid]
-		stateOf(p.overflow[i]).boundIdx = i
+		sh.overflow[i] = sh.overflow[kid]
+		stateOf(sh.overflow[i]).boundIdx = i
 		i = kid
 		moved = true
 	}
-	p.overflow[i] = t
+	sh.overflow[i] = t
 	stateOf(t).boundIdx = i
 	return moved
 }
@@ -330,34 +408,34 @@ func (p *Policy) overflowDown(i int) bool {
 // exhAdd inserts t into the exhausted list keeping it sorted by enqueue
 // sequence, which is the order the legacy scan napped exhausted threads
 // in (their runnable-slice order). The list is almost always tiny.
-func (p *Policy) exhAdd(t *kernel.Thread) {
+func (p *Policy) exhAdd(sh *shard, t *kernel.Thread) {
 	st := stateOf(t)
 	if st.exhIdx >= 0 {
 		return
 	}
-	i := len(p.exhausted)
-	p.exhausted = append(p.exhausted, nil)
-	for i > 0 && stateOf(p.exhausted[i-1]).seq > st.seq {
-		p.exhausted[i] = p.exhausted[i-1]
-		stateOf(p.exhausted[i]).exhIdx = i
+	i := len(sh.exhausted)
+	sh.exhausted = append(sh.exhausted, nil)
+	for i > 0 && stateOf(sh.exhausted[i-1]).seq > st.seq {
+		sh.exhausted[i] = sh.exhausted[i-1]
+		stateOf(sh.exhausted[i]).exhIdx = i
 		i--
 	}
-	p.exhausted[i] = t
+	sh.exhausted[i] = t
 	st.exhIdx = i
 }
 
-func (p *Policy) exhRemove(t *kernel.Thread) {
+func (p *Policy) exhRemove(sh *shard, t *kernel.Thread) {
 	st := stateOf(t)
 	i := st.exhIdx
 	if i < 0 {
 		return
 	}
 	st.exhIdx = -1
-	copy(p.exhausted[i:], p.exhausted[i+1:])
-	last := len(p.exhausted) - 1
-	p.exhausted[last] = nil
-	p.exhausted = p.exhausted[:last]
+	copy(sh.exhausted[i:], sh.exhausted[i+1:])
+	last := len(sh.exhausted) - 1
+	sh.exhausted[last] = nil
+	sh.exhausted = sh.exhausted[:last]
 	for ; i < last; i++ {
-		stateOf(p.exhausted[i]).exhIdx = i
+		stateOf(sh.exhausted[i]).exhIdx = i
 	}
 }

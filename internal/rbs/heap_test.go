@@ -132,7 +132,7 @@ func TestDequeueUnqueuedIsNoOp(t *testing.T) {
 	p.Dequeue(a, now)
 	p.Dequeue(b, now)
 	p.Dequeue(b, now)
-	if got := p.Pick(now); got != nil {
+	if got := p.Pick(0, now); got != nil {
 		t.Fatalf("Pick after dequeueing everything = %v, want nil", got)
 	}
 	// Re-enqueue and make sure the machine still schedules both.
@@ -201,5 +201,116 @@ func TestZeroProportionReservationParks(t *testing.T) {
 	}
 	if running.CPUTime() == 0 {
 		t.Fatal("unmanaged thread starved by a zero-proportion reservation")
+	}
+}
+
+// runDifferentialLongPeriods is runDifferential with periods drawn across
+// all three boundary-wheel levels: L1 (< 256 ticks), L2 (256..65536
+// ticks), and the overflow heap (beyond 65536 ticks = 65.5 s at the 1 ms
+// tick). Verify replays the legacy scan on every Pick, so any mis-filed or
+// late-cascaded boundary entry panics as a heap/scan divergence or an
+// unrolled-period assertion.
+func runDifferentialLongPeriods(t *testing.T, seed uint64, disc rbs.Discipline) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Discipline = disc
+	p.Verify = true
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	q := k.NewQueue("chaos", 2048)
+
+	// Period menu spanning every wheel level; weights favor L2, the new
+	// second level.
+	period := func() sim.Duration {
+		switch rng.Intn(6) {
+		case 0:
+			return sim.Duration(2+rng.Intn(200)) * sim.Millisecond // L1
+		case 5:
+			return sim.Duration(66+rng.Intn(30)) * sim.Second // overflow heap
+		default:
+			return sim.Duration(300+rng.Intn(60_000)) * sim.Millisecond // L2
+		}
+	}
+	n := 4 + rng.Intn(10)
+	threads := make([]*kernel.Thread, n)
+	for i := range threads {
+		threads[i] = k.Spawn(fmt.Sprintf("t%d", i), chaosProgram(rng, q))
+		if rng.Intn(4) > 0 {
+			res := rbs.Reservation{Proportion: 5 + rng.Intn(150), Period: period()}
+			if err := p.SetReservation(threads[i], res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	k.Start()
+	// Long windows so L1 wraps many times and the cursor crosses several
+	// L2 spans; mutate reservations so entries hop between levels.
+	for step := 0; step < 12; step++ {
+		eng.RunFor(sim.Duration(50+rng.Intn(900)) * sim.Millisecond)
+		th := threads[rng.Intn(n)]
+		switch rng.Intn(4) {
+		case 0:
+			p.Unregister(th)
+		default:
+			res := rbs.Reservation{Proportion: rng.Intn(200), Period: period()}
+			if err := p.SetReservation(th, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.RunFor(2 * sim.Second)
+	k.Stop()
+}
+
+func TestDifferentialTwoLevelWheelRMS(t *testing.T) {
+	f := func(seed uint64) bool {
+		runDifferentialLongPeriods(t, seed, rbs.RMS)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialTwoLevelWheelEDF(t *testing.T) {
+	f := func(seed uint64) bool {
+		runDifferentialLongPeriods(t, seed, rbs.EDF)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverflowHeapBeyondL2 pins the far edge: a period beyond the L2
+// horizon files in the overflow heap, still refreshes exactly at its
+// boundary, and a renegotiation back to a short period pulls it into L1.
+func TestOverflowHeapBeyondL2(t *testing.T) {
+	eng := sim.NewEngine()
+	p := rbs.New()
+	p.Verify = true
+	k := kernel.New(eng, kernel.DefaultConfig(), p)
+	far := k.Spawn("far", hog(200_000))
+	near := k.Spawn("near", hog(200_000))
+	if err := p.SetReservation(far, rbs.Reservation{Proportion: 100, Period: 70 * sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetReservation(near, rbs.Reservation{Proportion: 100, Period: 10 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	k.Start()
+	eng.RunFor(2 * sim.Second)
+	if far.CPUTime() == 0 {
+		t.Fatal("overflow-heap thread never ran")
+	}
+	// Renegotiate down into L1 mid-run; Verify keeps checking every Pick.
+	if err := p.SetReservation(far, rbs.Reservation{Proportion: 50, Period: 20 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(2 * sim.Second)
+	k.Stop()
+	if got := p.TotalProportion(); got != 150 {
+		t.Fatalf("TotalProportion = %d, want 150", got)
 	}
 }

@@ -81,8 +81,8 @@ type state struct {
 	// multiply/divide; SetReservation keeps it in sync.
 	perBudget sim.Duration
 	queued    bool
-	napping     bool // asleep on budget exhaustion (not a voluntary sleep)
-	missed      uint64
+	napping   bool // asleep on budget exhaustion (not a voluntary sleep)
+	missed    uint64
 
 	// seq reconstructs the legacy runnable-slice order: assigned when the
 	// thread enters the queue and reassigned on round-robin rotation, so
@@ -92,15 +92,16 @@ type state struct {
 	// the exhausted list (-1 = absent).
 	heapIdx int
 	exhIdx  int
-	// boundSlot/boundIdx/boundKey track the thread's entry in the
-	// period-boundary wheel (bucket or overflow heap, see heap.go);
-	// boundKey caches the period end the entry was filed under, and
-	// boundPrev/boundNext link the intrusive bucket list.
-	boundSlot int
-	boundIdx  int
-	boundKey  sim.Time
-	boundPrev *kernel.Thread
-	boundNext *kernel.Thread
+	// boundLevel/boundSlot/boundIdx/boundKey track the thread's entry in
+	// the two-level period-boundary wheel (L1/L2 bucket or overflow heap,
+	// see heap.go); boundKey caches the period end the entry was filed
+	// under, and boundPrev/boundNext link the intrusive bucket list.
+	boundLevel int
+	boundSlot  int
+	boundIdx   int
+	boundKey   sim.Time
+	boundPrev  *kernel.Thread
+	boundNext  *kernel.Thread
 	// counted marks threads included in the incremental proportion total.
 	counted bool
 
@@ -127,26 +128,24 @@ type Policy struct {
 	// and panics on divergence. Testing hook; leave false in production.
 	Verify bool
 
-	// ready is the indexed heap of dispatchable queued threads: registered
-	// threads with budget and the unmanaged round-robin class below them.
-	ready []*kernel.Thread
-	// buckets/overflow/curSlot/slotW form the period-boundary wheel of
-	// queued registered threads by next period end; Pick drains the due
-	// entries instead of refreshing every runnable thread (see heap.go).
-	// Each bucket is the head of an intrusive doubly linked list.
-	buckets  [bwSlots]*kernel.Thread
-	overflow []*kernel.Thread
-	curSlot  int64
-	slotW    int64
-	// exhausted lists queued registered threads with spent budgets, in
-	// enqueue order; Pick naps them until their next period begins.
-	exhausted []*kernel.Thread
+	// shards holds the per-CPU dispatch structures (ready heap, boundary
+	// wheel, exhausted list), indexed by kernel CPU id. Admission state —
+	// the registered-proportion total, sequence numbers, missed-deadline
+	// counts — stays global: the paper's overload signal sums over the
+	// whole machine.
+	shards []shard
+	slotW  int64
 
-	seqGen      uint64
-	totalProp   int
-	needResched bool
+	seqGen    uint64
+	totalProp int
+	// needResched flags CPUs whose current thread was beaten by an
+	// enqueue; the kernel's per-CPU tick hook consumes them.
+	needResched []bool
 	missedTotal uint64
 }
+
+// shardOf returns the shard of t's assigned CPU.
+func (p *Policy) shardOf(t *kernel.Thread) *shard { return &p.shards[t.CPU()] }
 
 // New returns a reservation-based policy with the prototype's defaults.
 func New() *Policy {
@@ -162,7 +161,11 @@ func (p *Policy) Name() string { return "rbs" }
 func (p *Policy) Attach(k *kernel.Kernel) {
 	p.k = k
 	p.slotW = int64(k.Config().TickInterval)
-	p.curSlot = int64(k.Now()) / p.slotW
+	p.shards = make([]shard, k.NumCPUs())
+	p.needResched = make([]bool, k.NumCPUs())
+	for i := range p.shards {
+		p.shards[i].curSlot = int64(k.Now()) / p.slotW
+	}
 }
 
 // Kernel returns the kernel this policy is attached to.
@@ -172,7 +175,7 @@ func stateOf(t *kernel.Thread) *state { return t.Sched.(*state) }
 
 // AddThread implements kernel.Policy: new threads start unregistered.
 func (p *Policy) AddThread(t *kernel.Thread, now sim.Time) {
-	t.Sched = &state{heapIdx: -1, exhIdx: -1, boundSlot: boundNone, boundIdx: -1}
+	t.Sched = &state{heapIdx: -1, exhIdx: -1, boundLevel: levelNone, boundSlot: boundNone, boundIdx: -1}
 }
 
 // RemoveThread implements kernel.Policy. The thread leaves the proportion
@@ -323,21 +326,22 @@ func (p *Policy) roll(t *kernel.Thread, st *state, now sim.Time) {
 		p.refresh(t, st, now)
 		return
 	}
-	p.boundRemove(t)
+	p.boundRemove(p.shardOf(t), t)
 	p.rollDue(t, st, now)
 }
 
 // rollDue rolls a queued registered thread whose boundary entry has been
 // taken out of the wheel, and refiles it.
 func (p *Policy) rollDue(t *kernel.Thread, st *state, now sim.Time) {
+	sh := p.shardOf(t)
 	wasExhausted := st.exhIdx >= 0
 	p.refresh(t, st, now)
-	p.boundInsert(t)
+	p.boundInsert(sh, t)
 	if wasExhausted && st.budget > 0 {
-		p.exhRemove(t)
-		p.readyPush(t)
+		p.exhRemove(sh, t)
+		p.readyPush(sh, t)
 	} else if p.Discipline == EDF {
-		p.readyFix(t)
+		p.readyFix(sh, t)
 	}
 }
 
@@ -347,20 +351,21 @@ func (p *Policy) reconcile(t *kernel.Thread, st *state) {
 	if !st.queued {
 		return
 	}
-	p.boundRemove(t)
+	sh := p.shardOf(t)
+	p.boundRemove(sh, t)
 	if st.registered {
-		p.boundInsert(t)
+		p.boundInsert(sh, t)
 	}
 	if !st.registered || st.budget > 0 {
-		p.exhRemove(t)
+		p.exhRemove(sh, t)
 		if st.heapIdx < 0 {
-			p.readyPush(t)
+			p.readyPush(sh, t)
 		} else {
-			p.readyFix(t)
+			p.readyFix(sh, t)
 		}
 	} else {
-		p.readyRemove(t)
-		p.exhAdd(t)
+		p.readyRemove(sh, t)
+		p.exhAdd(sh, t)
 	}
 }
 
@@ -383,7 +388,8 @@ func (p *Policy) goodness(t *kernel.Thread) int64 {
 	return 1000
 }
 
-// Enqueue implements kernel.Policy.
+// Enqueue implements kernel.Policy: the thread joins its assigned CPU's
+// shard.
 func (p *Policy) Enqueue(t *kernel.Thread, now sim.Time) {
 	st := stateOf(t)
 	st.napping = false
@@ -391,21 +397,22 @@ func (p *Policy) Enqueue(t *kernel.Thread, now sim.Time) {
 	if st.queued {
 		return
 	}
+	sh := p.shardOf(t)
 	st.queued = true
 	st.seq = p.seqGen
 	p.seqGen++
 	if st.registered {
-		p.boundInsert(t)
+		p.boundInsert(sh, t)
 		if st.budget > 0 {
-			p.readyPush(t)
+			p.readyPush(sh, t)
 		} else {
-			p.exhAdd(t)
+			p.exhAdd(sh, t)
 		}
 	} else {
-		p.readyPush(t)
+		p.readyPush(sh, t)
 	}
-	if cur := p.k.Current(); cur != nil && p.better(t, cur) {
-		p.needResched = true
+	if cur := p.k.CurrentOn(t.CPU()); cur != nil && p.better(t, cur) {
+		p.needResched[t.CPU()] = true
 	}
 }
 
@@ -415,10 +422,24 @@ func (p *Policy) Dequeue(t *kernel.Thread, now sim.Time) {
 	if !st.queued {
 		return
 	}
+	sh := p.shardOf(t)
 	st.queued = false
-	p.readyRemove(t)
-	p.boundRemove(t)
-	p.exhRemove(t)
+	p.readyRemove(sh, t)
+	p.boundRemove(sh, t)
+	p.exhRemove(sh, t)
+}
+
+// Steal implements kernel.Policy: hand over a migratable runnable thread
+// from the given CPU's ready heap, dequeued. The heap array is scanned in
+// index order, so the heap top — the thread that would run there next —
+// is preferred when movable.
+func (p *Policy) Steal(from int, now sim.Time) *kernel.Thread {
+	sh := &p.shards[from]
+	if t := kernel.StealCandidate(sh.ready, p.k.CurrentOn(from)); t != nil {
+		p.Dequeue(t, now)
+		return t
+	}
+	return nil
 }
 
 // better reports whether a should be dispatched ahead of b under the
@@ -452,35 +473,36 @@ func (p *Policy) better(a, b *kernel.Thread) bool {
 // period per thread, at O(1) amortized structure cost), naps the
 // exhausted list, and takes the ready heap top: O(log n) where the legacy
 // scan was O(n) on every dispatch.
-func (p *Policy) Pick(now sim.Time) *kernel.Thread {
-	p.boundDrain(now)
-	if n := len(p.exhausted); n > 0 {
+func (p *Policy) Pick(cpu int, now sim.Time) *kernel.Thread {
+	sh := &p.shards[cpu]
+	p.boundDrain(sh, now)
+	if n := len(sh.exhausted); n > 0 {
 		// Detach each entry before napping it so SleepThreadUntil's Dequeue
 		// skips the list and the whole drain is O(n), in enqueue order (nap
 		// order fixes timer order at equal deadlines, hence wake order).
 		for i := 0; i < n; i++ {
-			t := p.exhausted[i]
-			p.exhausted[i] = nil
+			t := sh.exhausted[i]
+			sh.exhausted[i] = nil
 			st := stateOf(t)
 			st.exhIdx = -1
 			st.napping = true
 			p.k.SleepThreadUntil(t, p.periodEnd(st))
 		}
-		p.exhausted = p.exhausted[:0]
+		sh.exhausted = sh.exhausted[:0]
 	}
 	if p.Verify {
-		p.verifyPick(now)
+		p.verifyPick(sh, now)
 	}
-	return p.readyTop()
+	return p.readyTop(sh)
 }
 
 // verifyPick replays the legacy linear scan — runnable threads in slice
 // (enqueue) order, first-best wins via better() — and panics if the heap
 // disagrees. It also asserts the invariants the heap relies on: every due
 // period has been rolled and no exhausted thread lingers in the ready set.
-func (p *Policy) verifyPick(now sim.Time) {
-	scan := make([]*kernel.Thread, len(p.ready))
-	copy(scan, p.ready)
+func (p *Policy) verifyPick(sh *shard, now sim.Time) {
+	scan := make([]*kernel.Thread, len(sh.ready))
+	copy(scan, sh.ready)
 	sort.Slice(scan, func(i, j int) bool {
 		return stateOf(scan[i]).seq < stateOf(scan[j]).seq
 	})
@@ -497,7 +519,7 @@ func (p *Policy) verifyPick(now sim.Time) {
 			best = t
 		}
 	}
-	if top := p.readyTop(); top != best {
+	if top := p.readyTop(sh); top != best {
 		panic(fmt.Sprintf("rbs: verify: heap picked %v, scan picked %v", top, best))
 	}
 }
@@ -528,7 +550,7 @@ func (p *Policy) TimeSlice(t *kernel.Thread, now sim.Time) sim.Duration {
 
 // Charge implements kernel.Policy: decrement the budget and nap the thread
 // until its next period once the allocation is spent.
-func (p *Policy) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
+func (p *Policy) Charge(t *kernel.Thread, cpu int, ran sim.Duration, now sim.Time) bool {
 	st := stateOf(t)
 	if !st.registered {
 		st.rrUsed += ran
@@ -550,17 +572,18 @@ func (p *Policy) Charge(t *kernel.Thread, ran sim.Duration, now sim.Time) bool {
 		} else if st.queued {
 			// Stays queued with a spent budget (the legacy scan kept such
 			// threads in the runnable slice); Pick naps it next dispatch.
-			p.readyRemove(t)
-			p.exhAdd(t)
+			sh := p.shardOf(t)
+			p.readyRemove(sh, t)
+			p.exhAdd(sh, t)
 		}
 		return true
 	}
 	return false
 }
 
-// rotate moves an unmanaged thread behind every other unmanaged thread, the
-// round-robin step at quantum expiry. Reassigning the enqueue sequence is
-// exactly the legacy move-to-back of the runnable slice.
+// rotate moves an unmanaged thread behind every other unmanaged thread on
+// its CPU, the round-robin step at quantum expiry. Reassigning the enqueue
+// sequence is exactly the legacy move-to-back of the runnable slice.
 func (p *Policy) rotate(t *kernel.Thread) {
 	st := stateOf(t)
 	if !st.queued {
@@ -568,13 +591,13 @@ func (p *Policy) rotate(t *kernel.Thread) {
 	}
 	st.seq = p.seqGen
 	p.seqGen++
-	p.readyFix(t)
+	p.readyFix(p.shardOf(t), t)
 }
 
 // Tick implements kernel.Policy.
-func (p *Policy) Tick(now sim.Time) bool {
-	r := p.needResched
-	p.needResched = false
+func (p *Policy) Tick(cpu int, now sim.Time) bool {
+	r := p.needResched[cpu]
+	p.needResched[cpu] = false
 	return r
 }
 

@@ -23,6 +23,7 @@ const (
 	Deschedule
 	Wake
 	Block
+	Migrate
 )
 
 func (k Kind) String() string {
@@ -35,6 +36,8 @@ func (k Kind) String() string {
 		return "wake"
 	case Block:
 		return "block"
+	case Migrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -49,20 +52,29 @@ type Event struct {
 	Ran sim.Duration
 	// On is the wait-queue name for Block events.
 	On string
+	// CPU is the CPU the event happened on (the destination CPU for
+	// Migrate events); From is the source CPU of a Migrate event.
+	CPU  int
+	From int
 }
 
 // threadStats accumulates per-thread aggregates.
 type threadStats struct {
 	// name is the interned thread-name string, shared by every log record
 	// of the thread.
-	name      string
-	segments  int
-	totalRun  sim.Duration
-	longest   sim.Duration
-	wakes     int
-	lastWake  sim.Time
-	wakePend  bool
-	latencies []float64 // seconds
+	name     string
+	segments int
+	totalRun sim.Duration
+	longest  sim.Duration
+	wakes    int
+	lastWake sim.Time
+	wakePend bool
+	// latencies holds wake-to-dispatch samples in seconds. Above the
+	// recorder's MaxLatencySamples bound it becomes a uniform reservoir
+	// over all latSeen samples, so per-thread memory stays bounded at
+	// 10k+ thread scale while percentiles stay representative.
+	latencies []float64
+	latSeen   int
 }
 
 // Recorder implements kernel.Tracer. It keeps the full event log (bounded
@@ -78,6 +90,14 @@ type Recorder struct {
 	// are unaffected by the bound. When set, the buffer is preallocated to
 	// the bound so logging never reallocates.
 	MaxEvents int
+	// MaxLatencySamples bounds each thread's wake-to-dispatch latency
+	// buffer; past the bound, reservoir sampling keeps a uniform sample
+	// of the whole run (deterministic: the reservoir PRNG is fixed-seed).
+	// 0 keeps every sample. NewRecorder defaults it to 4096.
+	MaxLatencySamples int
+	// MultiCPU adds the cpu column to the CSV log. It is off by default so
+	// single-CPU traces stay byte-identical to the pre-SMP format.
+	MultiCPU bool
 
 	events  []Event
 	dropped int
@@ -85,6 +105,8 @@ type Recorder struct {
 	// byThread caches the stats entry (and the interned name string) per
 	// thread pointer, so the per-event path is two map-free field reads.
 	byThread map[*kernel.Thread]*threadStats
+	// rng drives reservoir replacement; fixed seed keeps runs replayable.
+	rng *sim.RNG
 }
 
 var _ kernel.Tracer = (*Recorder)(nil)
@@ -92,8 +114,10 @@ var _ kernel.Tracer = (*Recorder)(nil)
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		threads:  make(map[string]*threadStats),
-		byThread: make(map[*kernel.Thread]*threadStats),
+		MaxLatencySamples: 4096,
+		threads:           make(map[string]*threadStats),
+		byThread:          make(map[*kernel.Thread]*threadStats),
+		rng:               sim.NewRNG(0x7ace5eed),
 	}
 }
 
@@ -121,7 +145,7 @@ func (r *Recorder) stats(t *kernel.Thread) *threadStats {
 	return st
 }
 
-func (r *Recorder) log(at sim.Time, kind Kind, thread string, ran sim.Duration, on string) {
+func (r *Recorder) log(at sim.Time, kind Kind, thread string, ran sim.Duration, on string, cpu, from int) {
 	if r.MaxEvents > 0 {
 		if len(r.events) >= r.MaxEvents {
 			r.dropped++
@@ -131,7 +155,20 @@ func (r *Recorder) log(at sim.Time, kind Kind, thread string, ran sim.Duration, 
 			r.events = make([]Event, 0, r.MaxEvents)
 		}
 	}
-	r.events = append(r.events, Event{At: at, Kind: kind, Thread: thread, Ran: ran, On: on})
+	r.events = append(r.events, Event{At: at, Kind: kind, Thread: thread, Ran: ran, On: on, CPU: cpu, From: from})
+}
+
+// addLatency records one wake-to-dispatch sample, reservoir-sampling past
+// the recorder's bound so per-thread memory cannot grow without limit.
+func (r *Recorder) addLatency(st *threadStats, v float64) {
+	st.latSeen++
+	if r.MaxLatencySamples <= 0 || len(st.latencies) < r.MaxLatencySamples {
+		st.latencies = append(st.latencies, v)
+		return
+	}
+	if j := r.rng.Intn(st.latSeen); j < len(st.latencies) {
+		st.latencies[j] = v
+	}
 }
 
 // OnDispatch implements kernel.Tracer.
@@ -140,9 +177,9 @@ func (r *Recorder) OnDispatch(now sim.Time, t *kernel.Thread) {
 	st.segments++
 	if st.wakePend {
 		st.wakePend = false
-		st.latencies = append(st.latencies, now.Sub(st.lastWake).Seconds())
+		r.addLatency(st, now.Sub(st.lastWake).Seconds())
 	}
-	r.log(now, Dispatch, st.name, 0, "")
+	r.log(now, Dispatch, st.name, 0, "", t.CPU(), 0)
 }
 
 // OnDeschedule implements kernel.Tracer.
@@ -152,7 +189,7 @@ func (r *Recorder) OnDeschedule(now sim.Time, t *kernel.Thread, ran sim.Duration
 	if ran > st.longest {
 		st.longest = ran
 	}
-	r.log(now, Deschedule, st.name, ran, "")
+	r.log(now, Deschedule, st.name, ran, "", t.CPU(), 0)
 }
 
 // OnWake implements kernel.Tracer.
@@ -161,14 +198,21 @@ func (r *Recorder) OnWake(now sim.Time, t *kernel.Thread) {
 	st.wakes++
 	st.lastWake = now
 	st.wakePend = true
-	r.log(now, Wake, st.name, 0, "")
+	r.log(now, Wake, st.name, 0, "", t.CPU(), 0)
 }
 
 // OnBlock implements kernel.Tracer. It logs without touching aggregates
 // (matching the original recorder), so a thread that only ever blocks does
 // not grow a summary row.
 func (r *Recorder) OnBlock(now sim.Time, t *kernel.Thread, on string) {
-	r.log(now, Block, t.Name(), 0, on)
+	r.log(now, Block, t.Name(), 0, on, t.CPU(), 0)
+}
+
+// OnMigration implements kernel.Tracer. Like OnBlock it logs without
+// touching aggregates, so a thread that migrates before ever running does
+// not grow a summary row.
+func (r *Recorder) OnMigration(now sim.Time, t *kernel.Thread, from, to int) {
+	r.log(now, Migrate, t.Name(), 0, "", to, from)
 }
 
 // Events returns the raw log (possibly truncated at MaxEvents).
@@ -227,15 +271,33 @@ func (r *Recorder) SchedulingLatencies(thread string) []float64 {
 	return nil
 }
 
-// WriteCSV dumps the raw event log.
+// WriteCSV dumps the raw event log. With MultiCPU set a cpu column is
+// appended (migrations show "from>to"); without it the format — and, on a
+// single-CPU machine, every byte — matches the pre-SMP recorder.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time_s,kind,thread,ran_us,on"); err != nil {
+	header := "time_s,kind,thread,ran_us,on"
+	if r.MultiCPU {
+		header += ",cpu"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, ev := range r.events {
-		if _, err := fmt.Fprintf(w, "%.6f,%s,%s,%.1f,%s\n",
-			ev.At.Seconds(), ev.Kind, ev.Thread,
-			float64(ev.Ran)/float64(sim.Microsecond), ev.On); err != nil {
+		var err error
+		if r.MultiCPU {
+			cpu := fmt.Sprintf("%d", ev.CPU)
+			if ev.Kind == Migrate {
+				cpu = fmt.Sprintf("%d>%d", ev.From, ev.CPU)
+			}
+			_, err = fmt.Fprintf(w, "%.6f,%s,%s,%.1f,%s,%s\n",
+				ev.At.Seconds(), ev.Kind, ev.Thread,
+				float64(ev.Ran)/float64(sim.Microsecond), ev.On, cpu)
+		} else {
+			_, err = fmt.Fprintf(w, "%.6f,%s,%s,%.1f,%s\n",
+				ev.At.Seconds(), ev.Kind, ev.Thread,
+				float64(ev.Ran)/float64(sim.Microsecond), ev.On)
+		}
+		if err != nil {
 			return err
 		}
 	}

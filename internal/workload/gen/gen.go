@@ -32,7 +32,13 @@ type taskPlan struct {
 	depth        float64
 	// pinned marks the immortal, unkillable hog work conservation needs.
 	pinned bool
+	// pin is the Affinity CPU plus one (0 = unpinned); the +1 keeps the
+	// zero value meaning "any CPU".
+	pin int
 }
+
+// affinity returns the 0-based pinned CPU, or -1 when unpinned.
+func (tp taskPlan) affinity() int { return tp.pin - 1 }
 
 // pipelinePlan is one generated real-rate pipeline: a reserved producer
 // feeding stages-1 real-rate threads through bounded queues.
@@ -139,6 +145,17 @@ func Generate(spec Spec) *Scenario {
 			burst:  n64(100_000, 400_000),
 			pinned: ts.PinnedHog && i == 0,
 		})
+	}
+	if ts.PinnedPerCPU {
+		// One immortal hog pinned to every CPU: the anchor of the per-CPU
+		// work-conservation invariant on SMP machines.
+		for c := 0; c < spec.NumCPUs(); c++ {
+			sc.tasks = append(sc.tasks, taskPlan{
+				name: fmt.Sprintf("cpuhog%d", c), kind: KindMisc,
+				burst:  n64(100_000, 400_000),
+				pinned: true, pin: c + 1,
+			})
+		}
 	}
 	for i := 0; i < ts.Unmanaged; i++ {
 		sc.tasks = append(sc.tasks, taskPlan{
@@ -321,7 +338,7 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := realrate.NewSystem(realrate.Config{Policy: pol})
+	sys := realrate.NewSystem(realrate.Config{Policy: pol, CPUs: sc.Spec.CPUs})
 	r := &run{
 		sc:     sc,
 		sys:    sys,
@@ -379,7 +396,7 @@ func (r *run) spawnPipeline(pp *pipelinePlan) {
 	prod := producerProgram(queues[0], pp.block, pp.prodCost)
 	th, err := r.sys.Spawn(pp.name+".src", prod,
 		realrate.Reserve(pp.prodProp, pp.prodPeriod))
-	r.chk.spawned(th, err, false)
+	r.chk.spawned(th, err, false, -1)
 	for s := 1; s < pp.stages; s++ {
 		var out *realrate.Queue
 		if s < pp.stages-1 {
@@ -393,7 +410,7 @@ func (r *run) spawnPipeline(pp *pipelinePlan) {
 		}
 		opts = append(opts, realrate.RealRate(0, sources...))
 		sth, err := r.sys.Spawn(fmt.Sprintf("%s.s%d", pp.name, s), stage, opts...)
-		r.chk.spawned(sth, err, false)
+		r.chk.spawned(sth, err, false, -1)
 		r.chk.watchRealRate(sth, err)
 	}
 }
@@ -409,27 +426,34 @@ func (r *run) spawnTask(tp taskPlan) {
 	if tp.life > 0 {
 		dieAt = r.sys.Now() + tp.life
 	}
+	var pin []realrate.SpawnOption
+	if tp.pin > 0 {
+		pin = []realrate.SpawnOption{realrate.Affinity(tp.affinity())}
+	}
+	with := func(opts ...realrate.SpawnOption) []realrate.SpawnOption {
+		return append(opts, pin...)
+	}
 	switch tp.kind {
 	case KindMisc:
-		th, err = r.sys.Spawn(tp.name, hogProgram(tp.burst, dieAt))
+		th, err = r.sys.Spawn(tp.name, hogProgram(tp.burst, dieAt), with()...)
 	case KindUnmanaged:
-		th, err = r.sys.Spawn(tp.name, hogProgram(tp.burst, dieAt), realrate.Unmanaged())
+		th, err = r.sys.Spawn(tp.name, hogProgram(tp.burst, dieAt), with(realrate.Unmanaged())...)
 	case KindRealTime:
 		th, err = r.sys.Spawn(tp.name, rtProgram(tp.burst, tp.period, dieAt),
-			realrate.Reserve(tp.prop, tp.period))
+			with(realrate.Reserve(tp.prop, tp.period))...)
 	case KindInteractive:
 		wq := r.sys.NewWaitQueue(tp.name + ".tty")
 		th, err = r.sys.Spawn(tp.name, interactiveProgram(wq, tp.burst, dieAt),
-			realrate.Interactive())
+			with(realrate.Interactive())...)
 		if err == nil {
 			r.sys.Every(tp.period, func(now time.Duration) { wq.WakeOne() })
 		}
 	case KindPaced:
 		pace := realrate.NewPace(tp.name, tp.targetPerSec, tp.depth)
 		th, err = r.sys.Spawn(tp.name, pacedProgram(pace, tp.burst, dieAt),
-			realrate.RealRate(30*time.Millisecond, pace))
+			with(realrate.RealRate(30*time.Millisecond, pace))...)
 	}
-	r.chk.spawned(th, err, tp.pinned)
+	r.chk.spawned(th, err, tp.pinned, tp.affinity())
 	if err != nil {
 		return
 	}

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	realrate "repro"
+
 	"repro/internal/experiments"
 	"repro/internal/workload/gen"
 )
@@ -239,5 +241,72 @@ func TestDistinctSeedsDistinctScenarios(t *testing.T) {
 		if fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", b) {
 			t.Errorf("%s: seeds 1 and 2 drew identical specs", family)
 		}
+	}
+}
+
+// TestInvariantsAcrossCPUCounts runs the cross-policy invariant harness —
+// including the SMP invariants: no-dual-run, per-CPU work conservation,
+// migration bookkeeping — over CPUs ∈ {1, 2, 4, 8}, forcing the CPU count
+// onto two contrasting families (a closed-loop pipeline shape and the
+// churn stress) plus the smp family's own drawn machines.
+func TestInvariantsAcrossCPUCounts(t *testing.T) {
+	for _, cpus := range []int{1, 2, 4, 8} {
+		cpus := cpus
+		t.Run(fmt.Sprintf("cpus=%d", cpus), func(t *testing.T) {
+			t.Parallel()
+			for _, family := range []string{"pipeline", "churn", "smp"} {
+				for seed := uint64(1); seed <= 3; seed++ {
+					violations, reports, err := gen.Check(family, seed, gen.CheckOpts{CPUs: cpus})
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", family, seed, err)
+					}
+					for _, v := range violations {
+						t.Errorf("%s seed %d: %s", family, seed, v)
+					}
+					for _, r := range reports {
+						if r.Samples == 0 {
+							t.Errorf("%s seed %d policy %s: checker never sampled", family, seed, r.Policy)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// migrationCounter counts OnMigration events through the public observer.
+type migrationCounter struct {
+	realrate.NopObserver
+	n int
+}
+
+func (m *migrationCounter) OnMigration(time.Duration, *realrate.Thread, int, int) { m.n++ }
+
+// TestSMPFamilyMigratesAndBalances asserts the smp family actually
+// exercises the new machinery: the drawn machine has more than one CPU,
+// per-CPU pinned hogs exist, and the runs observe real work-pull
+// migrations (the resident load is drawn wide enough that work-pull must
+// fire somewhere across seeds).
+func TestSMPFamilyMigratesAndBalances(t *testing.T) {
+	migrations := 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		sp, err := gen.ForSeed("smp", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.CPUs < 2 {
+			t.Fatalf("seed %d: smp family drew %d CPUs", seed, sp.CPUs)
+		}
+		if !sp.Taskset.PinnedPerCPU {
+			t.Fatalf("seed %d: smp family without per-CPU pinned hogs", seed)
+		}
+		obs := &migrationCounter{}
+		if _, err := gen.Generate(sp).Run(gen.RunOpts{Policy: "rbs", Observer: obs}); err != nil {
+			t.Fatal(err)
+		}
+		migrations += obs.n
+	}
+	if migrations == 0 {
+		t.Fatal("no work-pull migrations across 5 smp scenarios")
 	}
 }

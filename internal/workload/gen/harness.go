@@ -18,6 +18,9 @@ type Point struct {
 	Scale float64
 	// Duration overrides the family's drawn duration (0: keep it).
 	Duration time.Duration
+	// CPUs overrides the machine's CPU count (0: the family's own, which
+	// is 1 everywhere except the smp family's drawn value).
+	CPUs int
 }
 
 // Replay formats the rrexp invocation that reproduces this point
@@ -30,6 +33,9 @@ func (p Point) Replay() string {
 	}
 	if p.Duration > 0 {
 		fmt.Fprintf(&b, " -gendur %dms", p.Duration.Milliseconds())
+	}
+	if p.CPUs > 0 {
+		fmt.Fprintf(&b, " -cpus %d", p.CPUs)
 	}
 	return b.String()
 }
@@ -45,6 +51,9 @@ func (p Point) Spec() (Spec, error) {
 	}
 	if p.Duration > 0 {
 		sp.Duration = p.Duration
+	}
+	if p.CPUs > 0 {
+		sp.CPUs = p.CPUs
 	}
 	return sp, nil
 }
@@ -64,9 +73,10 @@ type CheckOpts struct {
 	Policies []string
 	// NoShrink skips minimizing failing points.
 	NoShrink bool
-	// Scale/Duration pass through to every point.
+	// Scale/Duration/CPUs pass through to every point.
 	Scale    float64
 	Duration time.Duration
+	CPUs     int
 }
 
 // Check runs one (family, seed) scenario under the requested policies and
@@ -83,7 +93,7 @@ func Check(family string, seed uint64, opts CheckOpts) ([]Violation, []Report, e
 	)
 	for _, pol := range policies {
 		p := Point{Family: family, Seed: seed, Policy: pol,
-			Scale: opts.Scale, Duration: opts.Duration}
+			Scale: opts.Scale, Duration: opts.Duration, CPUs: opts.CPUs}
 		res, err := RunPoint(p)
 		if err != nil {
 			return nil, nil, err

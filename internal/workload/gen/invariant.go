@@ -81,6 +81,9 @@ type trackedThread struct {
 	exits  int
 	killed bool
 	pinned bool
+	// cpuPin is the CPU the thread was spawned with Affinity on (-1:
+	// unpinned). A pinned thread must only ever dispatch there.
+	cpuPin int
 	// rtProp is the currently negotiated reservation for RT threads under
 	// RBS (0 otherwise); Allocation must equal it at every sample.
 	rtProp int
@@ -111,6 +114,11 @@ type checker struct {
 	overCommitStreak  int
 	lastAdmitOK       int
 
+	// cpus is the machine's CPU count; migrations counts OnMigration
+	// events for the migration-bookkeeping invariant.
+	cpus       int
+	migrations uint64
+
 	violations []Violation
 	truncated  int
 }
@@ -122,6 +130,7 @@ func newChecker(sys *realrate.System, policy string, sc *Scenario) *checker {
 		sc:     sc,
 		rbs:    policy == "rbs",
 		byTh:   make(map[*realrate.Thread]*trackedThread),
+		cpus:   sys.CPUs(),
 	}
 }
 
@@ -139,13 +148,14 @@ func (c *checker) violate(invariant string, now time.Duration, format string, ar
 	})
 }
 
-// spawned records a public Spawn outcome.
-func (c *checker) spawned(th *realrate.Thread, err error, pinned bool) {
+// spawned records a public Spawn outcome. cpuPin is the Affinity CPU the
+// spawn requested, or -1.
+func (c *checker) spawned(th *realrate.Thread, err error, pinned bool, cpuPin int) {
 	if err != nil {
 		c.spawnRejected++
 		return
 	}
-	tt := &trackedThread{th: th, name: th.Name(), pinned: pinned}
+	tt := &trackedThread{th: th, name: th.Name(), pinned: pinned, cpuPin: cpuPin}
 	c.tracked = append(c.tracked, tt)
 	c.byTh[th] = tt
 }
@@ -181,12 +191,38 @@ func (c *checker) killed(th *realrate.Thread, now time.Duration) {
 // --- realrate.Observer ---
 
 // OnDispatch implements realrate.Observer.
-func (c *checker) OnDispatch(now time.Duration, th *realrate.Thread) {
+func (c *checker) OnDispatch(now time.Duration, th *realrate.Thread, cpu int) {
+	if cpu < 0 || cpu >= c.cpus {
+		c.violate("cpu-range", now, "dispatch on CPU %d outside [0,%d)", cpu, c.cpus)
+	}
 	if th == nil {
 		return // the controller's own thread has no public handle
 	}
-	if tt := c.byTh[th]; tt != nil && tt.exited {
+	tt := c.byTh[th]
+	if tt == nil {
+		return
+	}
+	if tt.exited {
 		c.violate("dispatch-after-exit", now, "thread %s dispatched after retirement", tt.name)
+	}
+	if tt.cpuPin >= 0 && cpu != tt.cpuPin {
+		c.violate("affinity", now, "thread %s pinned to CPU %d but dispatched on CPU %d",
+			tt.name, tt.cpuPin, cpu)
+	}
+}
+
+// OnMigration implements realrate.Observer: every migration must be
+// between two distinct valid CPUs and must never move a pinned thread.
+// The counts are reconciled against the kernel's books in finish.
+func (c *checker) OnMigration(now time.Duration, th *realrate.Thread, from, to int) {
+	c.migrations++
+	if from == to || from < 0 || to < 0 || from >= c.cpus || to >= c.cpus {
+		c.violate("migration-bookkeeping", now, "migration %d -> %d outside the %d-CPU machine", from, to, c.cpus)
+	}
+	if th != nil {
+		if tt := c.byTh[th]; tt != nil && tt.cpuPin >= 0 {
+			c.violate("affinity", now, "pinned thread %s migrated %d -> %d", tt.name, from, to)
+		}
 	}
 }
 
@@ -247,11 +283,14 @@ func (c *checker) startSampling() {
 	c.sys.Every(sampleInterval, c.sample)
 }
 
-// sample is one periodic observation: queue conservation, admission
-// accounting, floors, and the RBS feedback windows.
+// sample is one periodic observation: queue conservation, no-dual-run,
+// admission accounting, floors, and the RBS feedback windows.
 func (c *checker) sample(now time.Duration) {
 	c.samples++
 	c.checkQueues(now)
+	if c.cpus > 1 {
+		c.checkNoDualRun(now)
+	}
 	if !c.rbs {
 		return
 	}
@@ -264,7 +303,8 @@ func (c *checker) sample(now time.Duration) {
 	// interval — the total cannot stay above the machine across intervals
 	// in which nothing new was admitted — and the live hard reservations
 	// alone never exceed the admission ceiling.
-	if tp := c.sys.TotalProportion(); tp > realrate.PPT {
+	machine := realrate.PPT * c.cpus
+	if tp := c.sys.TotalProportion(); tp > machine {
 		if c.admitOK != c.lastAdmitOK {
 			c.overCommitStreak = 0 // fresh admission: a new transient is allowed
 		}
@@ -272,7 +312,7 @@ func (c *checker) sample(now time.Duration) {
 		if c.overCommitStreak >= 3 {
 			c.violate("over-commit", now,
 				"total proportion %d ppt > %d across %d admission-free intervals (squish failed to reclaim)",
-				tp, realrate.PPT, c.overCommitStreak)
+				tp, machine, c.overCommitStreak)
 		}
 	} else {
 		c.overCommitStreak = 0
@@ -284,9 +324,9 @@ func (c *checker) sample(now time.Duration) {
 			rtSum += tt.rtProp
 		}
 	}
-	if rtSum > overloadThreshold {
+	if ceiling := overloadThreshold * c.cpus; rtSum > ceiling {
 		c.violate("over-commit", now,
-			"live hard reservations sum to %d ppt > admission ceiling %d", rtSum, overloadThreshold)
+			"live hard reservations sum to %d ppt > admission ceiling %d", rtSum, ceiling)
 	}
 	for _, tt := range c.tracked {
 		if tt.exited {
@@ -310,6 +350,25 @@ func (c *checker) sample(now time.Duration) {
 		}
 		if tt.realRate {
 			c.feedbackSample(tt, now)
+		}
+	}
+}
+
+// checkNoDualRun asserts that no thread occupies two CPUs at once. The
+// engine is sequential, so the per-CPU current snapshot is consistent at
+// every sample instant (the kernel additionally panics if a policy ever
+// Picks a running thread, which catches violations between samples).
+func (c *checker) checkNoDualRun(now time.Duration) {
+	stats := c.sys.CPUStats()
+	for i, a := range stats {
+		if a.Current == nil {
+			continue
+		}
+		for _, b := range stats[i+1:] {
+			if b.Current == a.Current {
+				c.violate("no-dual-run", now, "thread %s running on CPU %d and CPU %d at once",
+					a.Current.Name(), a.CPU, b.CPU)
+			}
 		}
 	}
 }
@@ -424,33 +483,71 @@ func (c *checker) finish() {
 	}
 
 	// Closed time accounting: thread time + controller + idle + overhead
-	// equals elapsed. A leak here means the kernel charged (or dropped)
-	// segments it should not have — the bug class Retire-under-churn
-	// exercises.
+	// equals the machine's capacity (elapsed × CPUs). A leak here means
+	// the kernel charged (or dropped) segments it should not have — the
+	// bug class Retire-under-churn exercises.
 	st := c.sys.Stats()
+	capacity := st.Elapsed * time.Duration(c.cpus)
 	total := busy + c.sys.ControllerCPU() + st.Idle + st.SchedOverhead
-	if diff := (st.Elapsed - total).Abs(); diff > 2*time.Millisecond {
+	if diff := (capacity - total).Abs(); diff > 2*time.Millisecond*time.Duration(c.cpus) {
 		c.violate("time-accounting", end,
-			"leaks %v (elapsed %v = threads %v + controller %v + idle %v + overhead %v)",
-			diff, st.Elapsed, busy, c.sys.ControllerCPU(), st.Idle, st.SchedOverhead)
+			"leaks %v (capacity %v = threads %v + controller %v + idle %v + overhead %v)",
+			diff, capacity, busy, c.sys.ControllerCPU(), st.Idle, st.SchedOverhead)
 	}
 	if st.Dispatches == 0 || st.Ticks == 0 {
 		c.violate("lost-thread", end, "no scheduling activity: %+v", st)
+	}
+
+	// Migration bookkeeping closes three ways: the observer event count,
+	// the kernel's machine-wide counter, and the per-CPU pull counters
+	// must all agree; a single-CPU machine must never migrate.
+	cpuStats := c.sys.CPUStats()
+	var pulled uint64
+	for _, cs := range cpuStats {
+		pulled += cs.Migrations
+	}
+	if c.migrations != st.Migrations || pulled != st.Migrations {
+		c.violate("migration-bookkeeping", end,
+			"migration counts disagree: %d observer events, %d kernel total, %d per-CPU pulls",
+			c.migrations, st.Migrations, pulled)
+	}
+	if c.cpus == 1 && st.Migrations != 0 {
+		c.violate("migration-bookkeeping", end, "%d migrations on a single-CPU machine", st.Migrations)
 	}
 
 	// Work conservation: with an immortal hog runnable the machine cannot
 	// idle much. RBS naps budget-exhausted threads until their next period
 	// (§3.1) — the hog included, once its squished allocation is spent —
 	// so its cap is generous (heavy RT tasksets legitimately idle ~40%);
-	// it still catches a scheduler that wedges the hog outright.
+	// it still catches a scheduler that wedges the hog outright. One hog
+	// occupies one CPU, so on an N-CPU machine the other N−1 may idle.
 	if liveHog {
 		idleCap := c.sc.Spec.Duration / 8
 		if c.rbs {
 			idleCap = c.sc.Spec.Duration / 2
 		}
+		idleCap += c.sc.Spec.Duration * time.Duration(c.cpus-1)
 		if st.Idle > idleCap {
 			c.violate("work-conservation", end,
-				"idled %v of %v with hog runnable (cap %v)", st.Idle, st.Elapsed, idleCap)
+				"idled %v of %v capacity with hog runnable (cap %v)", st.Idle, capacity, idleCap)
+		}
+	}
+
+	// Per-CPU work conservation: a CPU with its own immortal pinned hog
+	// can never idle much, no matter what the other CPUs do — the sharded
+	// dispatcher must keep every shard running its own work.
+	for _, tt := range c.tracked {
+		if !tt.pinned || tt.cpuPin < 0 || tt.th.State() == "exited" {
+			continue
+		}
+		idleCap := c.sc.Spec.Duration / 8
+		if c.rbs {
+			idleCap = c.sc.Spec.Duration / 2
+		}
+		if idle := cpuStats[tt.cpuPin].Idle; idle > idleCap {
+			c.violate("cpu-work-conservation", end,
+				"CPU %d idled %v of %v with pinned hog %s runnable (cap %v)",
+				tt.cpuPin, idle, st.Elapsed, tt.name, idleCap)
 		}
 	}
 }

@@ -112,6 +112,10 @@ type TasksetSpec struct {
 	Paced int
 	// PinnedHog marks the first misc hog immortal and unkillable.
 	PinnedHog bool
+	// PinnedPerCPU adds one immortal misc hog pinned to every CPU of the
+	// machine (Spec.CPUs), anchoring the per-CPU work-conservation
+	// invariant on SMP scenarios.
+	PinnedPerCPU bool
 }
 
 // threads returns the rough initial thread count (pipelines count MaxStages).
@@ -192,9 +196,20 @@ type Spec struct {
 	Seed uint64
 	// Duration is the simulated run length.
 	Duration time.Duration
+	// CPUs is the machine's CPU count (0 means 1). The smp family draws
+	// it; every family accepts an override (rrexp -cpus).
+	CPUs     int
 	Taskset  TasksetSpec
 	Arrivals ArrivalSpec
 	Churn    ChurnSpec
+}
+
+// NumCPUs returns the normalized CPU count (at least 1).
+func (s Spec) NumCPUs() int {
+	if s.CPUs < 1 {
+		return 1
+	}
+	return s.CPUs
 }
 
 // Scale returns a copy of the spec with taskset counts, arrival rates, and
@@ -233,7 +248,7 @@ func (s Spec) Scale(f float64) Spec {
 
 // Families lists the scenario families ForSeed accepts, in a fixed order.
 func Families() []string {
-	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace"}
+	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace", "smp"}
 }
 
 // ForSeed derives the declarative spec for one (family, seed) point. Every
@@ -324,6 +339,25 @@ func ForSeed(family string, seed uint64) (Spec, error) {
 		sp.Arrivals = ArrivalSpec{
 			Process: Trace, Trace: tr, MeanLife: ms(40, 100), Mix: mix,
 		}
+	case "smp":
+		// Multi-CPU machine: a pinned hog per CPU (the per-CPU
+		// work-conservation anchor), mixed load with room to migrate, a
+		// trickle of arrivals, and mild churn. CPUs is drawn from the
+		// power-of-two ladder the invariant sweep also covers.
+		sp.Duration = ms(400, 700)
+		sp.CPUs = []int{2, 4, 8}[rng.Intn(3)]
+		sp.Taskset = TasksetSpec{
+			Pipelines: n(0, 1), MaxStages: 3,
+			RealTime: n(1, 3), Interactive: n(0, 1),
+			Misc: n(1, 3), Unmanaged: n(0, 2), Paced: n(0, 1),
+			PinnedPerCPU: true,
+		}
+		sp.Arrivals = ArrivalSpec{
+			Process: Poisson, Rate: float64(n(10, 30)),
+			MeanLife: ms(50, 150),
+			Mix:      []TaskKind{KindMisc, KindRealTime, KindInteractive},
+		}
+		sp.Churn = ChurnSpec{Rate: float64(n(5, 20)), ReserveLo: 50, ReserveHi: 300}
 	default:
 		return Spec{}, fmt.Errorf("gen: unknown scenario family %q (have %v)", family, Families())
 	}

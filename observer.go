@@ -19,10 +19,14 @@ import (
 //
 // Embed NopObserver to implement only the callbacks you care about.
 type Observer interface {
-	// OnDispatch fires when a thread begins a run segment. th is nil for
-	// threads not created through the public API (the controller's own
-	// thread).
-	OnDispatch(now time.Duration, th *Thread)
+	// OnDispatch fires when a thread begins a run segment on the given
+	// CPU. th is nil for threads not created through the public API (the
+	// controller's own thread). cpu is always 0 on a single-CPU machine.
+	OnDispatch(now time.Duration, th *Thread, cpu int)
+	// OnMigration fires when a thread is moved between CPUs (work-pull on
+	// an idle CPU). It never fires when Config.CPUs <= 1. th is nil for
+	// threads not created through the public API.
+	OnMigration(now time.Duration, th *Thread, from, to int)
 	// OnActuation fires when the feedback controller pushes a new
 	// reservation into the dispatcher for th's job.
 	OnActuation(now time.Duration, th *Thread, proportion int, period time.Duration)
@@ -60,7 +64,10 @@ type AdmissionEvent struct {
 type NopObserver struct{}
 
 // OnDispatch implements Observer.
-func (NopObserver) OnDispatch(time.Duration, *Thread) {}
+func (NopObserver) OnDispatch(time.Duration, *Thread, int) {}
+
+// OnMigration implements Observer.
+func (NopObserver) OnMigration(time.Duration, *Thread, int, int) {}
 
 // OnActuation implements Observer.
 func (NopObserver) OnActuation(time.Duration, *Thread, int, time.Duration) {}
@@ -118,8 +125,22 @@ func (h *observerHub) OnDispatch(now sim.Time, t *kernel.Thread) {
 	}
 	if len(h.obs) > 0 {
 		th := h.sys.byKern[t]
+		cpu := t.CPU()
 		for _, o := range h.obs {
-			o.OnDispatch(time.Duration(now), th)
+			o.OnDispatch(time.Duration(now), th, cpu)
+		}
+	}
+}
+
+// OnMigration implements kernel.Tracer.
+func (h *observerHub) OnMigration(now sim.Time, t *kernel.Thread, from, to int) {
+	if h.rec != nil {
+		h.rec.OnMigration(now, t, from, to)
+	}
+	if len(h.obs) > 0 {
+		th := h.sys.byKern[t]
+		for _, o := range h.obs {
+			o.OnMigration(time.Duration(now), th, from, to)
 		}
 	}
 }

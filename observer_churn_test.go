@@ -22,7 +22,7 @@ type orderingObserver struct {
 	events []orderEvent
 }
 
-func (o *orderingObserver) OnDispatch(now time.Duration, th *realrate.Thread) {
+func (o *orderingObserver) OnDispatch(now time.Duration, th *realrate.Thread, cpu int) {
 	o.events = append(o.events, orderEvent{"dispatch", now, th})
 }
 

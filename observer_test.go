@@ -18,7 +18,7 @@ type countingObserver struct {
 	lastAct     map[string]int
 }
 
-func (o *countingObserver) OnDispatch(now time.Duration, th *realrate.Thread) {
+func (o *countingObserver) OnDispatch(now time.Duration, th *realrate.Thread, cpu int) {
 	if th == nil {
 		o.nilDispatch++ // the controller's own thread has no public handle
 		return
@@ -36,8 +36,9 @@ func (o *countingObserver) OnActuation(now time.Duration, th *realrate.Thread, p
 	}
 }
 
-func (o *countingObserver) OnQuality(ev realrate.QualityEvent)            { o.quality++ }
-func (o *countingObserver) OnExit(now time.Duration, th *realrate.Thread) {}
+func (o *countingObserver) OnQuality(ev realrate.QualityEvent)                    { o.quality++ }
+func (o *countingObserver) OnMigration(time.Duration, *realrate.Thread, int, int) {}
+func (o *countingObserver) OnExit(now time.Duration, th *realrate.Thread)         {}
 func (o *countingObserver) OnAdmission(ev realrate.AdmissionEvent) {
 	o.admissions = append(o.admissions, ev)
 }

@@ -2,11 +2,13 @@
 // scheduling: a reproduction of Steere, Goel, Gruenberg, McNamee, Pu, and
 // Walpole's OSDI 1999 paper as a Go library.
 //
-// The library simulates a single-CPU machine (a 400 MHz Linux 2.0.35 box by
-// default) whose scheduler allocates CPU by proportion and period instead of
-// priority. A feedback controller assigns both automatically from
-// observations of application progress through symbiotic interfaces —
-// bounded buffers that expose their fill level to the kernel:
+// The library simulates a machine (a single-CPU 400 MHz Linux 2.0.35 box
+// by default; Config.CPUs builds an SMP machine with work-pull migration
+// and per-thread affinity) whose scheduler allocates CPU by proportion and
+// period instead of priority. A feedback controller assigns both
+// automatically from observations of application progress through
+// symbiotic interfaces — bounded buffers that expose their fill level to
+// the kernel:
 //
 //	sys := realrate.NewSystem(realrate.Config{})
 //	q := sys.NewQueue("pipe", 1<<20)
@@ -59,6 +61,14 @@ type Config struct {
 	// feedback controller). The instance must not be shared between
 	// systems.
 	Policy Policy
+	// CPUs is the number of CPUs of the simulated machine (default 1, the
+	// paper's testbed). With N CPUs the machine's capacity is N×1000 ppt:
+	// the admission ceiling and the squish scale accordingly, threads can
+	// be pinned with the Affinity spawn option, and idle CPUs work-pull
+	// runnable threads from their peers (observable via
+	// Observer.OnMigration). CPUs=1 reproduces the paper's dispatch
+	// schedules byte-for-byte.
+	CPUs int
 	// ClockHz is the simulated CPU clock rate (default 400 MHz).
 	ClockHz int64
 	// TickInterval is the timer-interrupt (dispatch) interval, default 1ms.
@@ -126,6 +136,9 @@ type System struct {
 // NewSystem builds a machine from the configuration.
 func NewSystem(cfg Config) *System {
 	kcfg := kernel.DefaultConfig()
+	if cfg.CPUs > 0 {
+		kcfg.CPUs = cfg.CPUs
+	}
 	if cfg.ClockHz > 0 {
 		kcfg.ClockRate = sim.Hz(cfg.ClockHz)
 	}
@@ -307,7 +320,9 @@ type QualityEvent struct {
 	Reason    string
 }
 
-// Stats is machine-level accounting.
+// Stats is machine-level accounting. Idle, SchedOverhead, and the event
+// counters are summed over all CPUs; the machine's capacity is
+// Elapsed × CPUs.
 type Stats struct {
 	Elapsed         time.Duration
 	Idle            time.Duration
@@ -315,9 +330,27 @@ type Stats struct {
 	Dispatches      uint64
 	Ticks           uint64
 	ContextSwitches uint64
+	Migrations      uint64
+	CPUs            int
 	MissedDeadlines uint64
 	ControllerSteps uint64
 	Actuations      uint64
+}
+
+// CPUStat is one CPU's accounting snapshot.
+type CPUStat struct {
+	// CPU is the CPU index.
+	CPU int
+	// Current is the thread running there right now (nil when idle, or
+	// when the occupant has no public handle, e.g. the controller).
+	Current *Thread
+	// Idle is the time this CPU spent with nothing to run.
+	Idle time.Duration
+	// Dispatches and Switches count scheduler activity on this CPU.
+	Dispatches uint64
+	Switches   uint64
+	// Migrations counts threads pulled onto this CPU by work-pull.
+	Migrations uint64
 }
 
 // Stats returns a snapshot of machine accounting. Under a baseline policy
@@ -331,6 +364,8 @@ func (s *System) Stats() Stats {
 		Dispatches:      ks.Dispatches,
 		Ticks:           ks.Ticks,
 		ContextSwitches: ks.Switches,
+		Migrations:      ks.Migrations,
+		CPUs:            ks.CPUs,
 	}
 	if s.rbs != nil {
 		st.MissedDeadlines = s.rbs.MissedDeadlines()
@@ -340,6 +375,30 @@ func (s *System) Stats() Stats {
 		st.Actuations = s.ctl.Actuations()
 	}
 	return st
+}
+
+// CPUs returns the machine's CPU count.
+func (s *System) CPUs() int { return s.kern.NumCPUs() }
+
+// CPUStats returns a per-CPU accounting snapshot: the thread each CPU is
+// running, its idle time, and its dispatch/switch/migration counters.
+// cmd/rrtop's per-CPU columns read from here instead of scanning threads.
+func (s *System) CPUStats() []CPUStat {
+	out := make([]CPUStat, s.kern.NumCPUs())
+	for i := range out {
+		ks := s.kern.CPUStatsOf(i)
+		out[i] = CPUStat{
+			CPU:        i,
+			Idle:       time.Duration(ks.Idle),
+			Dispatches: ks.Dispatches,
+			Switches:   ks.Switches,
+			Migrations: ks.MigrationsIn,
+		}
+		if t := s.kern.CurrentOn(i); t != nil {
+			out[i].Current = s.byKern[t]
+		}
+	}
+	return out
 }
 
 // ControllerCPU returns the CPU time consumed by the controller thread —

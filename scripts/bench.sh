@@ -27,4 +27,8 @@ go test -run '^$' -bench 'BenchmarkControllerStep' -benchtime 200x -benchmem ./i
 # Renegotiate near capacity with the invariant checker live).
 go test -run '^$' -bench 'BenchmarkChurnThroughput' -benchtime 10x -benchmem . >>"$tmp" 2>&1
 
+# SMP storm bench: fixed backlog drained on 1/2/4/8 CPUs — wall time must
+# fall as CPUs grow (the SMP kernel's throughput claim).
+go test -run '^$' -bench 'BenchmarkStormSMP' -benchtime 3x -benchmem . >>"$tmp" 2>&1
+
 go run ./scripts/benchmerge -file BENCH_results.json -date "$(date -u +%F)" -label "$label" <"$tmp"

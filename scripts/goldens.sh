@@ -15,6 +15,16 @@ trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/rrexp" ./cmd/rrexp
 
 status=0
+
+# CPUs=1 equivalence: the SMP kernel pinned to one CPU must reproduce the
+# committed pre-SMP dispatch trace byte-for-byte.
+if go test -run 'TestRBSDispatchTraceGolden|TestSMPOneCPUGoldenEquivalence' -count=1 . >/dev/null; then
+  echo "rbs_dispatch (CPUs=1): byte-identical"
+else
+  echo "rbs_dispatch (CPUs=1): diverged" >&2
+  status=1
+fi
+
 for fig in 5 6 7 8; do
   "$tmp/rrexp" -fig "$fig" > "$tmp/fig$fig.out"
   golden="testdata/goldens/fig$fig.golden"

@@ -57,6 +57,10 @@ type spawnSpec struct {
 	ticketsSet    bool
 	nice          int
 	niceSet       bool
+	// affinity pins the thread to one CPU; kernel.AffinityAny (the
+	// default) lets the machine place and migrate it.
+	affinity    int
+	affinitySet bool
 }
 
 // setClass records a class-selecting option, rejecting conflicts.
@@ -179,6 +183,42 @@ func Nice(n int) SpawnOption {
 	}
 }
 
+// Affinity pins the thread to one CPU of a multi-CPU machine (see
+// Config.CPUs): it is placed there, only ever dispatched there, and never
+// migrated by work-pull. Spawning with a CPU outside [0, Config.CPUs) is
+// an error. Composes with every class option.
+//
+// Pinning trades load balance for placement control: a pinned thread
+// cannot be pulled to an idle CPU, so a pile-up behind another pinned
+// thread is the caller's to resolve.
+func Affinity(cpu int) SpawnOption {
+	return func(sp *spawnSpec) error {
+		if sp.affinitySet {
+			return fmt.Errorf("realrate: conflicting Affinity/AnyCPU options")
+		}
+		if cpu < 0 {
+			return fmt.Errorf("realrate: Affinity(%d): CPU must be non-negative", cpu)
+		}
+		sp.affinity = cpu
+		sp.affinitySet = true
+		return nil
+	}
+}
+
+// AnyCPU declares the thread runnable on every CPU — the default. It
+// exists to make the placement choice explicit at call sites that mix
+// pinned and unpinned spawns.
+func AnyCPU() SpawnOption {
+	return func(sp *spawnSpec) error {
+		if sp.affinitySet {
+			return fmt.Errorf("realrate: conflicting Affinity/AnyCPU options")
+		}
+		sp.affinity = kernel.AffinityAny
+		sp.affinitySet = true
+		return nil
+	}
+}
+
 // Spawn creates a thread running prog, classified by the given options
 // (see the paper's Figure 2 taxonomy). With no class option the thread is
 // miscellaneous. Spawn is the single entry point behind the deprecated
@@ -191,11 +231,14 @@ func Nice(n int) SpawnOption {
 // express (tickets equal to the requested ppt under Stride and Lottery;
 // nothing under Linux and RoundRobin).
 func (s *System) Spawn(name string, prog Program, opts ...SpawnOption) (*Thread, error) {
-	var sp spawnSpec
+	sp := spawnSpec{affinity: kernel.AffinityAny}
 	for _, opt := range opts {
 		if err := opt(&sp); err != nil {
 			return nil, err
 		}
+	}
+	if sp.affinity != kernel.AffinityAny && sp.affinity >= s.kern.NumCPUs() {
+		return nil, fmt.Errorf("realrate: Affinity(%d) outside the machine's %d CPUs", sp.affinity, s.kern.NumCPUs())
 	}
 	if s.ctl == nil {
 		return s.spawnBaseline(name, prog, &sp)
@@ -213,13 +256,13 @@ func (s *System) Spawn(name string, prog Program, opts ...SpawnOption) (*Thread,
 			// reweighting the job here would be surprising.
 			return nil, fmt.Errorf("realrate: Importance cannot be combined with InJob; set it on the job's primary thread")
 		}
-		member := s.spawn(name, prog)
+		member := s.spawn(name, prog, sp.affinity)
 		member.job = sp.member.job
 		s.ctl.AddMember(member.job, member.t)
 		return member, nil
 	}
 
-	th := s.spawn(name, prog)
+	th := s.spawn(name, prog, sp.affinity)
 	switch sp.class {
 	case classReserve:
 		job, err := s.ctl.AddRealTime(th.t, sp.ppt, sim.FromStd(sp.period))
@@ -272,7 +315,7 @@ func (s *System) spawnBaseline(name string, prog Program, sp *spawnSpec) (*Threa
 	if sp.class == classMember {
 		return nil, fmt.Errorf("realrate: policy %s has no jobs; spawn a plain thread instead", s.policy.Name())
 	}
-	th := s.spawn(name, prog)
+	th := s.spawn(name, prog, sp.affinity)
 	for _, src := range sp.sources {
 		// Progress sources still register, so tools can sample pressure
 		// even though no controller consumes it.

@@ -17,10 +17,10 @@ type Thread struct {
 
 // spawn creates the kernel thread wired to the public program and indexes
 // the handle for O(1) kernel-thread lookups.
-func (s *System) spawn(name string, prog Program) *Thread {
+func (s *System) spawn(name string, prog Program, affinity int) *Thread {
 	th := &Thread{sys: s}
 	ad := &programAdapter{sys: s, prog: prog, self: th}
-	th.t = s.kern.Spawn(name, ad)
+	th.t = s.kern.SpawnAffinity(name, ad, affinity)
 	s.byKern[th.t] = th
 	return th
 }
@@ -148,6 +148,17 @@ func (th *Thread) Kill() {
 
 // Name returns the thread's name.
 func (th *Thread) Name() string { return th.t.Name() }
+
+// CPU returns the CPU the thread is currently assigned to (always 0 on a
+// single-CPU machine).
+func (th *Thread) CPU() int { return th.t.CPU() }
+
+// Pinned reports whether the thread was spawned with the Affinity option.
+func (th *Thread) Pinned() bool { return th.t.Affinity() != kernel.AffinityAny }
+
+// Migrations returns how many times work-pull moved the thread between
+// CPUs.
+func (th *Thread) Migrations() uint64 { return th.t.Migrations() }
 
 // CPUTime returns the total simulated CPU the thread has consumed.
 func (th *Thread) CPUTime() time.Duration { return time.Duration(th.t.CPUTime()) }

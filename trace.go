@@ -35,6 +35,9 @@ type Tracing struct {
 func (s *System) EnableTracing(maxEvents int) *Tracing {
 	rec := trace.NewRecorder()
 	rec.MaxEvents = maxEvents
+	// On a multi-CPU machine the CSV grows a cpu column (migrations show
+	// "from>to"); single-CPU traces keep the pre-SMP format byte-for-byte.
+	rec.MultiCPU = s.kern.NumCPUs() > 1
 	s.hub.rec = rec
 	s.hub.install()
 	return &Tracing{rec: rec}
