@@ -36,18 +36,24 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzWheelDifferential -fuzztime=$(FUZZTIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz=FuzzBoundaryWheel -fuzztime=$(FUZZTIME) ./internal/rbs/
 	$(GO) test -run '^$$' -fuzz=FuzzSpawnOptions -fuzztime=$(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz=FuzzFaultSchedule -fuzztime=$(FUZZTIME) ./internal/workload/gen/
 
 # stress runs the generated-workload invariant harness wide open: every
 # scenario family × STRESS_SEEDS seeds × all five policies, with failing
 # seeds minimized and printed as replayable rrexp command lines — once on
 # each family's own machine, then a slice with every family forced onto a
 # 4-CPU machine (no-dual-run, per-CPU work conservation, and migration
-# bookkeeping under SMP).
+# bookkeeping under SMP), then a deeper chaos slice of the faults family
+# alone (injected signal/timing/actuation faults against the
+# graceful-degradation oracles) on 1 and 4 CPUs.
 STRESS_SEEDS ?= 25
 STRESS_SMP_SEEDS ?= 8
+STRESS_FAULT_SEEDS ?= 15
 stress:
 	$(GO) run ./cmd/rrexp -gen -seeds $(STRESS_SEEDS)
 	$(GO) run ./cmd/rrexp -gen -cpus 4 -seeds $(STRESS_SMP_SEEDS)
+	$(GO) run ./cmd/rrexp -gen -scenario faults -seeds $(STRESS_FAULT_SEEDS)
+	$(GO) run ./cmd/rrexp -gen -scenario faults -cpus 4 -seeds $(STRESS_FAULT_SEEDS)
 
 # goldens byte-compares the Figure 5-8 outputs against the committed
 # goldens in testdata/goldens/ (re-bless with scripts/goldens.sh -update).

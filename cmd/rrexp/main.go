@@ -216,10 +216,14 @@ func runGenerated(scenario string, seed uint64, seeds int, policy string, scale 
 			}
 			for _, r := range reports {
 				runs++
-				fmt.Printf("%-9s seed %-4d %-12s threads %-4d exits %-4d kills %-4d admit %d/%d quality %-3d violations %d\n",
+				ladder := ""
+				if r.FaultEvents > 0 || r.Degradations > 0 || r.Recoveries > 0 {
+					ladder = fmt.Sprintf(" faults %-4d degr %-3d recov %-3d", r.FaultEvents, r.Degradations, r.Recoveries)
+				}
+				fmt.Printf("%-9s seed %-4d %-12s threads %-4d exits %-4d kills %-4d admit %d/%d quality %-3d violations %d%s\n",
 					family, s, r.Policy, r.Threads, r.Exits, r.Kills,
 					r.AdmitOK, r.AdmitOK+r.AdmitRejected, r.QualityEvents,
-					len(r.Violations)+r.TruncatedViolations)
+					len(r.Violations)+r.TruncatedViolations, ladder)
 			}
 			for _, v := range violations {
 				failed++

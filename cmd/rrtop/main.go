@@ -4,6 +4,12 @@
 // dispatch and actuation counts. It makes the controller's decisions
 // visible at a glance: watch the decoder get its share, the hogs split the
 // leftover, and the editor get sized from its bursts.
+//
+// With -faults it adds a sensor thread driven by a custom progress feed,
+// arms a small fault schedule against it (a frozen progress signal, then
+// dropped actuations) and shows the graceful-degradation ladder at work:
+// the RUNG column walks real-rate → fallback → misc and back, and a
+// health line tracks the system-wide fault counters.
 package main
 
 import (
@@ -21,6 +27,16 @@ type activity struct {
 	dispatches map[*realrate.Thread]uint64
 	actuations map[*realrate.Thread]uint64
 }
+
+// sensorFeed is the -faults demo's custom progress source: it wiggles
+// inside the healthy pressure band every sample, so the only way it goes
+// bit-flat is the injected freeze.
+type sensorFeed struct{}
+
+func (sensorFeed) Pressure(now time.Duration) float64 {
+	return 0.1 + float64((now/time.Millisecond)%13)/100
+}
+func (sensorFeed) Describe() string { return "sensor feed" }
 
 func newActivity() *activity {
 	return &activity{
@@ -44,9 +60,19 @@ func (a *activity) OnActuation(now time.Duration, th *realrate.Thread, prop int,
 func main() {
 	dur := flag.Duration("dur", 15*time.Second, "simulated duration")
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
+	faults := flag.Bool("faults", false, "inject a demo fault schedule against a sensor thread and watch the degradation ladder")
 	flag.Parse()
 
-	sys := realrate.NewSystem(realrate.Config{CPUs: *cpus})
+	cfg := realrate.Config{CPUs: *cpus}
+	if *faults {
+		cfg.Faults = &realrate.FaultPlan{Seed: 1, Specs: []realrate.FaultSpec{
+			{Kind: realrate.FaultFreezeSignal, Target: "sensor", At: 4 * time.Second, For: 3 * time.Second},
+			{Kind: realrate.FaultDropActuation, Target: "sensor", At: 9 * time.Second, For: time.Second},
+		}}
+		cfg.Controller.WatchdogIntervals = 20
+		cfg.Controller.WatchdogRecovery = 10
+	}
+	sys := realrate.NewSystem(cfg)
 	act := newActivity()
 	sys.Observe(act)
 
@@ -109,6 +135,13 @@ func main() {
 		return realrate.Compute(1_200_000)
 	})
 	mustSpawn("editor", editor, realrate.Interactive())
+	if *faults {
+		// The fault demo's victim: a CPU-burning real-rate thread whose
+		// custom progress feed wiggles inside the healthy band, so a frozen
+		// signal is unambiguously a fault (not saturation, not idleness).
+		mustSpawn("sensor", realrate.HogProgram(400_000),
+			realrate.RealRate(10*time.Millisecond, sensorFeed{}))
+	}
 	uphase := 0
 	user := realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
 		uphase++
@@ -149,17 +182,26 @@ func main() {
 			}
 			lastNow = now
 		}
-		fmt.Printf("%-10s %-20s %6s %8s %9s %7s %7s %5s %6s\n",
-			"THREAD", "CLASS", "ALLOC", "PERIOD", "PRESSURE", "CPU%", "DISP/s", "ACT", "STATE")
+		fmt.Printf("%-10s %-20s %6s %8s %9s %7s %7s %5s %6s %-9s\n",
+			"THREAD", "CLASS", "ALLOC", "PERIOD", "PRESSURE", "CPU%", "DISP/s", "ACT", "STATE", "RUNG")
 		for _, th := range threads {
 			share := 100 * (th.CPUTime() - last[th]).Seconds()
 			last[th] = th.CPUTime()
 			disp := act.dispatches[th] - lastDisp[th]
 			lastDisp[th] = act.dispatches[th]
-			fmt.Printf("%-10s %-20s %5dp %8s %+9.3f %6.1f%% %7d %5d %6s\n",
+			rung := "-"
+			if th.Class() == "real-rate" {
+				rung = th.Degraded()
+			}
+			fmt.Printf("%-10s %-20s %5dp %8s %+9.3f %6.1f%% %7d %5d %6s %-9s\n",
 				th.Name(), th.Class(), th.Allocation(),
 				th.Period().Truncate(time.Millisecond), th.Pressure(), share,
-				disp, act.actuations[th], th.State())
+				disp, act.actuations[th], th.State(), rung)
+		}
+		if h := sys.Health(); h != (realrate.Health{}) {
+			fmt.Printf("health: %d injected, %d signals rejected, %d degraded now, ladder %d down/%d up, actuations %d dropped/%d delayed\n",
+				h.FaultsInjected, h.SignalsRejected, h.JobsDegraded,
+				h.Degradations, h.Recoveries, h.ActuationsDropped, h.ActuationsDelayed)
 		}
 	})
 	sys.Run(*dur)

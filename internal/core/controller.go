@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/kernel"
 	"repro/internal/metrics"
@@ -101,6 +102,14 @@ type Config struct {
 	// OverloadStreak is how many consecutive saturated, squished intervals
 	// raise a quality exception.
 	OverloadStreak int
+
+	// WatchdogIntervals is how many consecutive flat (or rejected)
+	// progress samples demote a real-rate job one rung down the
+	// degradation ladder. Negative disables the watchdog.
+	WatchdogIntervals int
+	// WatchdogRecovery is how many consecutive moving samples promote a
+	// degraded job one rung back up.
+	WatchdogRecovery int
 }
 
 // DefaultConfig returns the calibration used throughout the experiments.
@@ -141,7 +150,30 @@ func DefaultConfig() Config {
 		PerJobCost:            2640,
 		Reservation:           rbs.Reservation{Proportion: 50, Period: 10 * sim.Millisecond},
 		OverloadStreak:        25,
+		WatchdogIntervals:     50,
+		WatchdogRecovery:      5,
 	}
+}
+
+// FaultInjector is the controller's slice of the fault-injection seam (see
+// internal/faults): consulted when sampling each real-rate job's pressure
+// and before each actuation. Nil (the default) keeps both hot paths a
+// single branch.
+type FaultInjector interface {
+	// PerturbPressure corrupts a job's summed progress pressure; it may
+	// return NaN/±Inf, which the sanitizer then rejects.
+	PerturbPressure(target string, now sim.Time, p float64) float64
+	// ActuationFault reports whether the actuation for the named job must
+	// be dropped or deferred to the next control interval.
+	ActuationFault(target string, now sim.Time) (drop, delay bool)
+}
+
+// delayedActuation is a reservation push deferred by a DelayActuation
+// fault, applied at the start of the next control interval.
+type delayedActuation struct {
+	job    *Job
+	prop   int
+	period sim.Duration
 }
 
 // Controller is the feedback-driven proportion allocator.
@@ -187,6 +219,19 @@ type Controller struct {
 	// onActuate observes every reservation change pushed to the dispatcher.
 	// Nil (the default) keeps actuate's hot path a single branch.
 	onActuate func(j *Job, prop int, period sim.Duration, now sim.Time)
+
+	// faults is the optional fault injector; nil in healthy runs.
+	faults FaultInjector
+	// onFault/onDegrade/onRecover surface fault-tolerance events to the
+	// observer layer.
+	onFault   func(Fault)
+	onDegrade func(Degradation)
+	onRecover func(Degradation)
+	// health accumulates the fault-tolerance counters.
+	health Health
+	// delayed holds actuations deferred by DelayActuation faults until
+	// the next control interval.
+	delayed []delayedActuation
 
 	steps      uint64
 	actuations uint64
@@ -271,6 +316,12 @@ func New(kern *kernel.Kernel, policy *rbs.Policy, reg *progress.Registry, cfg Co
 	if cfg.OverloadStreak == 0 {
 		cfg.OverloadStreak = def.OverloadStreak
 	}
+	if cfg.WatchdogIntervals == 0 {
+		cfg.WatchdogIntervals = def.WatchdogIntervals
+	}
+	if cfg.WatchdogRecovery == 0 {
+		cfg.WatchdogRecovery = def.WatchdogRecovery
+	}
 	ncpu := kern.NumCPUs()
 	return &Controller{
 		cfg:                cfg,
@@ -323,6 +374,34 @@ func (c *Controller) OnActuate(fn func(j *Job, prop int, period sim.Duration, no
 	c.onActuate = fn
 }
 
+// SetFaults installs (or clears, with nil) a fault injector. Healthy runs
+// keep the injector-nil fast path.
+func (c *Controller) SetFaults(fi FaultInjector) { c.faults = fi }
+
+// OnFault installs a callback invoked for every controller-detected fault:
+// rejected progress samples and failed/dropped/delayed actuations.
+func (c *Controller) OnFault(fn func(Fault)) { c.onFault = fn }
+
+// OnDegrade installs a callback invoked when the watchdog demotes a job
+// one rung down the degradation ladder.
+func (c *Controller) OnDegrade(fn func(Degradation)) { c.onDegrade = fn }
+
+// OnRecover installs a callback invoked when a degraded job's signal
+// recovers and the job is promoted one rung back up.
+func (c *Controller) OnRecover(fn func(Degradation)) { c.onRecover = fn }
+
+// Health returns a snapshot of the fault-tolerance counters, including the
+// number of jobs currently degraded.
+func (c *Controller) Health() Health {
+	h := c.health
+	for _, j := range c.jobs {
+		if j.degraded != LevelRealRate {
+			h.JobsDegraded++
+		}
+	}
+	return h
+}
+
 // EffectiveThreshold returns the current admission/squish ceiling.
 func (c *Controller) EffectiveThreshold() int { return c.effectiveThreshold }
 
@@ -359,6 +438,13 @@ func (c *Controller) program(t *kernel.Thread, now sim.Time) kernel.Op {
 // requests beyond one CPU: a reservation is held by one thread, and a
 // thread runs on one CPU at a time.
 func (c *Controller) AddRealTime(t *kernel.Thread, proportion int, period sim.Duration) (*Job, error) {
+	if proportion <= 0 || period <= 0 {
+		// Rejecting here keeps the malformed request out of the admission
+		// accounting (a negative proportion would free capacity that was
+		// never held) and out of the dispatcher (a non-positive period
+		// used to surface only as an actuation failure).
+		return nil, &ReservationError{Proportion: proportion, Period: period}
+	}
 	avail := c.available()
 	if proportion > avail {
 		return nil, &AdmissionError{Requested: proportion, Available: avail}
@@ -380,6 +466,9 @@ func (c *Controller) AddRealTime(t *kernel.Thread, proportion int, period sim.Du
 // AddAperiodicRealTime admits a job that specifies proportion only; the
 // controller assigns the default period (30 ms) as a jitter bound.
 func (c *Controller) AddAperiodicRealTime(t *kernel.Thread, proportion int) (*Job, error) {
+	if proportion <= 0 {
+		return nil, &ReservationError{Proportion: proportion, Period: c.cfg.DefaultPeriod}
+	}
 	avail := c.available()
 	if proportion > avail {
 		return nil, &AdmissionError{Requested: proportion, Available: avail}
@@ -447,6 +536,9 @@ func (c *Controller) Renegotiate(j *Job, proportion int) error {
 	if j.class != RealTime && j.class != AperiodicRealTime {
 		return fmt.Errorf("core: job %s is %s; only reservation-holding jobs renegotiate",
 			j.thread.Name(), j.class)
+	}
+	if proportion <= 0 {
+		return &ReservationError{Proportion: proportion, Period: j.period}
 	}
 	delta := proportion - j.specified
 	if delta > 0 && delta > c.available() {
@@ -598,6 +690,21 @@ func (c *Controller) step(now sim.Time) {
 
 	c.reap()
 
+	if len(c.delayed) > 0 {
+		// Apply actuations deferred by DelayActuation faults. The pending
+		// list is detached first: installing a reservation can run the
+		// machine, and a program running inside it could trigger a fresh
+		// deferral that must not alias this batch's backing array.
+		pend := c.delayed
+		c.delayed = nil
+		for _, d := range pend {
+			if c.byThr[d.job.thread] != d.job {
+				continue // job reaped while the actuation was in flight
+			}
+			c.apply(d.job, d.prop, d.period)
+		}
+	}
+
 	// Pass 1: desired allocations. The squish inputs live in persistent
 	// scratch buffers so the 100 Hz loop does not allocate.
 	squishable := c.squishable[:0]
@@ -612,12 +719,26 @@ func (c *Controller) step(now sim.Time) {
 			j.lastCPU = j.cpuTime()
 			continue
 		case RealRate:
-			p := c.jobPressure(j, now)
+			p, ok := c.samplePressure(j, now)
 			j.lastRaw = p
 			if j.fill != nil {
 				j.fill.Add(now, p)
 			}
-			j.desired = c.estimate(j, p, dt)
+			c.watchdog(j, p, ok, now)
+			switch {
+			case j.degraded == LevelFallback:
+				// Hold the last trusted allocation; the PID filter stays
+				// frozen (anti-windup), so promotion resumes from the
+				// pre-fault integral instead of slamming the allocation.
+				j.desired = j.fallback
+			case j.degraded == LevelMisc:
+				j.desired = c.estimateMisc(j, dt)
+			case ok:
+				j.desired = c.estimate(j, p, dt)
+			default:
+				// Rejected sample on a healthy job: hold the desire and
+				// freeze the filter rather than integrating garbage.
+			}
 		case Miscellaneous:
 			j.desired = c.estimateMisc(j, dt)
 		case Interactive:
@@ -809,9 +930,37 @@ func (c *Controller) maybeRaiseQuality(j *Job, alloc int, now sim.Time) {
 	}
 }
 
-// actuate pushes the job's reservation into the dispatcher, split evenly
-// across its member threads (the remainder goes to the primary).
+// actuate pushes the job's reservation into the dispatcher, after letting
+// the fault injector drop or defer it.
 func (c *Controller) actuate(j *Job, prop int, period sim.Duration) {
+	if c.faults != nil {
+		now := c.kern.Now()
+		if drop, delay := c.faults.ActuationFault(j.thread.Name(), now); drop || delay {
+			if drop {
+				c.health.ActuationsDropped++
+				if c.onFault != nil {
+					c.onFault(Fault{Time: now, Job: j, Kind: "actuation-dropped"})
+				}
+				return
+			}
+			c.health.ActuationsDelayed++
+			c.delayed = append(c.delayed, delayedActuation{job: j, prop: prop, period: period})
+			if c.onFault != nil {
+				c.onFault(Fault{Time: now, Job: j, Kind: "actuation-delayed"})
+			}
+			return
+		}
+	}
+	c.apply(j, prop, period)
+}
+
+// apply installs the job's reservation in the dispatcher, split evenly
+// across its member threads (the remainder goes to the primary). A refused
+// install is a typed, counted fault — the job keeps its previous
+// reservation — not a panic: the dispatcher can reject for reasons that
+// are runtime state (a corrupted period from a faulted source), and one
+// bad job must not take the whole controller down.
+func (c *Controller) apply(j *Job, prop int, period sim.Duration) {
 	n := len(j.members)
 	share := prop / n
 	rem := prop - share*n
@@ -824,7 +973,12 @@ func (c *Controller) actuate(j *Job, prop int, period sim.Duration) {
 			p = 1 // every live thread keeps a non-zero reservation
 		}
 		if err := c.policy.SetReservation(t, rbs.Reservation{Proportion: p, Period: period}); err != nil {
-			panic(fmt.Sprintf("core: actuation failed: %v", err))
+			c.health.ActuationErrors++
+			if c.onFault != nil {
+				aerr := &ActuationError{Job: j, Proportion: p, Period: period, Err: err}
+				c.onFault(Fault{Time: c.kern.Now(), Job: j, Kind: "actuation-error", Err: aerr})
+			}
+			continue
 		}
 	}
 	j.actuations++
@@ -839,13 +993,27 @@ func (c *Controller) actuate(j *Job, prop int, period sim.Duration) {
 	}
 }
 
-// jobPressure sums the registered progress metrics of every member thread,
-// clamped to the paper's [-1/2, 1/2] pressure range.
-func (c *Controller) jobPressure(j *Job, now sim.Time) float64 {
+// samplePressure sums the registered progress metrics of every member
+// thread, clamped to the paper's [-1/2, 1/2] pressure range. It is the
+// controller's signal boundary: the fault injector perturbs here, and
+// NaN/Inf is rejected here — the previous raw sample is returned with
+// ok=false so the estimator never integrates garbage.
+func (c *Controller) samplePressure(j *Job, now sim.Time) (float64, bool) {
 	var sum float64
 	for _, t := range j.members {
 		// SummedPressure clamps per thread; re-clamp the job total below.
 		sum += c.reg.SummedPressure(t, now)
+	}
+	if c.faults != nil {
+		sum = c.faults.PerturbPressure(j.thread.Name(), now, sum)
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		c.health.SignalsRejected++
+		if c.onFault != nil {
+			c.onFault(Fault{Time: now, Job: j, Kind: "signal-rejected",
+				Detail: fmt.Sprintf("pressure %v", sum)})
+		}
+		return j.lastRaw, false
 	}
 	if sum > 0.5 {
 		sum = 0.5
@@ -853,7 +1021,79 @@ func (c *Controller) jobPressure(j *Job, now sim.Time) float64 {
 	if sum < -0.5 {
 		sum = -0.5
 	}
-	return sum
+	return sum, true
+}
+
+// watchdog runs the flat-signal detector for one real-rate job. A sample
+// is flat when it was rejected by the sanitizer, or when it exactly equals
+// the previous sample while the job consumed CPU this interval — a live
+// thread whose progress metric is byte-identical across samples is a
+// stalled signal, not a steady state. Saturated samples (|p| ≥ 0.45) are
+// excluded: a pinned-full queue under overload is the quality-exception
+// path's business, not a signal fault. WatchdogIntervals consecutive flat
+// samples demote the job one rung; WatchdogRecovery consecutive moving
+// samples promote it one rung back.
+func (c *Controller) watchdog(j *Job, p float64, ok bool, now sim.Time) {
+	if c.cfg.WatchdogIntervals < 0 {
+		return
+	}
+	flat := !ok
+	if ok {
+		if j.haveSample {
+			d := p - j.lastSample
+			if d < 1e-12 && d > -1e-12 && p < 0.45 && p > -0.45 && j.cpuTime() > j.lastCPU {
+				flat = true
+			}
+		}
+		j.lastSample = p
+		j.haveSample = true
+	}
+	if flat {
+		j.recoverStreak = 0
+		j.flatStreak++
+		if j.flatStreak >= c.cfg.WatchdogIntervals && j.degraded < LevelMisc {
+			c.demote(j, now)
+			j.flatStreak = 0
+		}
+		return
+	}
+	j.flatStreak = 0
+	if j.degraded > LevelRealRate {
+		j.recoverStreak++
+		if j.recoverStreak >= c.cfg.WatchdogRecovery {
+			c.promote(j, now)
+			j.recoverStreak = 0
+		}
+	}
+}
+
+// demote moves a job one rung down the ladder. Entering LevelFallback
+// freezes the last trusted allocation as the fixed fallback proportion.
+func (c *Controller) demote(j *Job, now sim.Time) {
+	from := j.degraded
+	j.degraded++
+	if j.degraded == LevelFallback {
+		j.fallback = j.allocated
+		if j.fallback < c.cfg.MinProportion {
+			j.fallback = c.cfg.MinProportion
+		}
+	}
+	c.health.Degradations++
+	if c.onDegrade != nil {
+		c.onDegrade(Degradation{Time: now, Job: j, From: from, To: j.degraded,
+			Reason: "flat progress signal"})
+	}
+}
+
+// promote moves a degraded job one rung back up after its signal recovers.
+func (c *Controller) promote(j *Job, now sim.Time) {
+	from := j.degraded
+	j.degraded--
+	c.health.Recoveries++
+	if c.onRecover != nil {
+		c.onRecover(Degradation{Time: now, Job: j, From: from, To: j.degraded,
+			Reason: "progress signal recovered"})
+	}
 }
 
 // reap drops exited member threads and removes jobs with no live members.

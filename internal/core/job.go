@@ -131,6 +131,22 @@ type Job struct {
 	// pressure while squished, used to raise quality exceptions.
 	overloadStreak int
 
+	// degraded is the job's rung on the graceful-degradation ladder
+	// (LevelRealRate when healthy). Only real-rate jobs descend.
+	degraded DegradeLevel
+	// flatStreak counts consecutive control intervals with a flat or
+	// rejected progress sample; recoverStreak counts consecutive moving
+	// samples while degraded. The watchdog trades them off.
+	flatStreak    int
+	recoverStreak int
+	// lastSample is the previous accepted pressure sample, for the
+	// watchdog's flat-signal comparison; haveSample gates the first one.
+	lastSample float64
+	haveSample bool
+	// fallback is the fixed proportion held at LevelFallback: the last
+	// allocation granted while the signal was still trusted.
+	fallback int
+
 	// fill tracks recent summed-pressure samples for the period
 	// adaptation heuristic (oscillation detection).
 	fill *metrics.Series
@@ -189,3 +205,7 @@ func (j *Job) Actuations() uint64 { return j.actuations }
 
 // Pressure returns the most recent PID output (the paper's Q_t).
 func (j *Job) Pressure() float64 { return j.g.Output() }
+
+// Degraded returns the job's rung on the graceful-degradation ladder
+// (LevelRealRate when healthy).
+func (j *Job) Degraded() DegradeLevel { return j.degraded }

@@ -66,6 +66,20 @@ func DefaultConfig() Config {
 	}
 }
 
+// FaultInjector is the kernel's slice of the fault-injection seam (see
+// internal/faults): consulted at the timer interrupt for clock jitter and
+// at every dispatch point for CPU stall windows. Implementations must not
+// mutate kernel state. The zero-cost default is no injector: the hot paths
+// pay a single nil check.
+type FaultInjector interface {
+	// TickDelay returns extra delay to add before the next timer
+	// interrupt (clock jitter). Zero means an on-time tick.
+	TickDelay(now sim.Time, interval sim.Duration) sim.Duration
+	// CPUStalled reports whether the given CPU must skip this dispatch
+	// point and go idle, leaving its runnable threads for peers to pull.
+	CPUStalled(cpu int, now sim.Time) bool
+}
+
 // Tracer receives scheduling events as they happen. Implementations must
 // not mutate kernel state. The zero-cost default is no tracer.
 type Tracer interface {
@@ -155,6 +169,8 @@ type Kernel struct {
 	busy int
 
 	tracer Tracer
+	// faults is the optional fault injector; nil in healthy machines.
+	faults FaultInjector
 	// onExit, when set, fires after a thread leaves the machine for good —
 	// whether its program returned OpExit or it was forcibly Retired. The
 	// public layer uses it to drop per-thread indexes, so churn-heavy
@@ -294,6 +310,10 @@ func (k *Kernel) CPUStatsOf(cpu int) CPUStats {
 // SetTracer installs (or clears, with nil) a scheduling-event tracer.
 func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
 
+// SetFaultInjector installs (or clears, with nil) a fault injector. Call
+// before Start; a healthy machine keeps the injector-nil fast path.
+func (k *Kernel) SetFaultInjector(fi FaultInjector) { k.faults = fi }
+
 // SetExitHook installs (or clears, with nil) a callback fired exactly once
 // when a thread exits — via OpExit or Retire. The callback runs after the
 // thread is fully removed from the policy, so it may inspect but must not
@@ -432,10 +452,28 @@ func (k *Kernel) tick(now sim.Time) {
 	}
 	// do_timers: run expired timers; they may wake threads.
 	k.stats.TimerFires += uint64(k.expireTimers(now))
-	k.scheduleTick(now.Add(k.cfg.TickInterval))
+	next := now.Add(k.cfg.TickInterval)
+	if k.faults != nil {
+		// Clock jitter: the injector may push the next interrupt late.
+		next = next.Add(k.faults.TickDelay(now, k.cfg.TickInterval))
+	}
+	k.scheduleTick(next)
 	k.busy--
 	for i := range k.cpus {
 		c := &k.cpus[i]
+		if k.faults != nil && k.faults.CPUStalled(c.id, now) {
+			// Stall window: this CPU skips its dispatch point and idles.
+			// Its current thread goes back to ready but stays in the
+			// policy's structures, so an idle peer can work-pull it.
+			if cur := c.current; cur != nil {
+				c.current = nil
+				if cur.state == StateRunning {
+					cur.state = StateReady
+				}
+			}
+			k.beginIdle(c, now)
+			continue
+		}
 		// The policy's tick hook is per CPU: only a CPU whose current
 		// thread was beaten by an enqueue re-dispatches; the rest resume
 		// their interrupted threads without paying DispatchCost.
@@ -474,6 +512,13 @@ func (k *Kernel) overheadOn(c *cpu, cy sim.Cycles) {
 // peer before giving up.
 func (k *Kernel) dispatch(c *cpu, now sim.Time) {
 	if k.stopped {
+		return
+	}
+	if k.faults != nil && k.faults.CPUStalled(c.id, now) {
+		// Stall window: wakeup- and reschedule-driven dispatches also skip
+		// this CPU; the next healthy tick resumes normal dispatching.
+		c.current = nil
+		k.beginIdle(c, now)
 		return
 	}
 	k.stats.Dispatches++

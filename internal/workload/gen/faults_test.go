@@ -1,0 +1,165 @@
+package gen_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	realrate "repro"
+
+	"repro/internal/workload/gen"
+)
+
+// ladderCounter tallies the fault-tolerance events of one run through the
+// public observer hooks.
+type ladderCounter struct {
+	realrate.NopObserver
+	faults, degrades, recovers int
+}
+
+func (l *ladderCounter) OnFault(realrate.FaultEvent)     { l.faults++ }
+func (l *ladderCounter) OnDegrade(realrate.DegradeEvent) { l.degrades++ }
+func (l *ladderCounter) OnRecover(realrate.RecoverEvent) { l.recovers++ }
+
+// TestFaultsFamilyExercisesLadder asserts the faults family is not
+// vacuous: across seeds the drawn schedules actually inject, the watchdog
+// actually walks threads down the degradation ladder, and they climb back
+// up. Individual seeds may draw schedules too mild to demote (a freeze can
+// land on a saturated signal), so the assertions aggregate.
+func TestFaultsFamilyExercisesLadder(t *testing.T) {
+	var injected uint64
+	degrades, recovers, faultEvents := 0, 0, 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		sp, err := gen.ForSeed("faults", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sp.Faults) < 2 {
+			t.Fatalf("seed %d: only %d fault specs drawn", seed, len(sp.Faults))
+		}
+		if sp.Faults[0].Kind != realrate.FaultFreezeSignal {
+			t.Fatalf("seed %d: first spec is %v, want a guaranteed freeze", seed, sp.Faults[0].Kind)
+		}
+		for _, f := range sp.Faults {
+			if end := f.At + f.For; end > sp.Duration-200*time.Millisecond {
+				t.Errorf("seed %d: fault window ends %v, inside the 200ms recovery runway of %v",
+					seed, end, sp.Duration)
+			}
+		}
+		obs := &ladderCounter{}
+		res, err := gen.Generate(sp).Run(gen.RunOpts{Policy: "rbs", Observer: obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Report.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		injected += res.Health.FaultsInjected
+		degrades += obs.degrades
+		recovers += obs.recovers
+		faultEvents += obs.faults
+		if obs.degrades != res.Report.Degradations || obs.recovers != res.Report.Recoveries {
+			t.Errorf("seed %d: observer saw %d/%d ladder moves, checker %d/%d",
+				seed, obs.degrades, obs.recovers, res.Report.Degradations, res.Report.Recoveries)
+		}
+	}
+	if injected == 0 {
+		t.Error("no faults injected across 10 faults scenarios")
+	}
+	if faultEvents == 0 {
+		t.Error("no OnFault events across 10 faults scenarios")
+	}
+	if degrades == 0 {
+		t.Error("watchdog never demoted across 10 faults scenarios")
+	}
+	if recovers == 0 {
+		t.Error("no thread ever recovered across 10 faults scenarios")
+	}
+}
+
+// TestFaultsFamilyAcrossCPUCounts runs the chaos suite on multi-CPU
+// machines: injected stalls must be absorbed by work-pull without
+// breaking conservation, isolation, or recovery under any policy.
+func TestFaultsFamilyAcrossCPUCounts(t *testing.T) {
+	for _, cpus := range []int{1, 4} {
+		cpus := cpus
+		t.Run(fmt.Sprintf("cpus=%d", cpus), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 5; seed++ {
+				violations, reports, err := gen.Check("faults", seed, gen.CheckOpts{CPUs: cpus})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range violations {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+				for _, r := range reports {
+					if r.Samples == 0 {
+						t.Errorf("seed %d policy %s: checker never sampled", seed, r.Policy)
+					}
+				}
+			}
+		})
+	}
+}
+
+// decodeFaultSchedule turns fuzz bytes into a bounded, valid fault
+// schedule: at most 6 specs, windows inside [10ms, 215ms] of a 400ms run
+// (leaving the bounded-recovery runway), total stall time capped so the
+// work-conservation budget stays meaningful.
+func decodeFaultSchedule(data []byte) []realrate.FaultSpec {
+	targets := []string{"", "pipe0.s1", "paced0", "misc0", "rt0", "nosuch"}
+	var (
+		specs      []realrate.FaultSpec
+		stallTotal time.Duration
+	)
+	for len(data) >= 6 && len(specs) < 6 {
+		b := data[:6]
+		data = data[6:]
+		f := realrate.FaultSpec{
+			Kind:   realrate.FaultKind(int(b[0]) % 8),
+			Target: targets[int(b[4])%len(targets)],
+			CPU:    int(b[5]) % 8,
+			At:     time.Duration(int(b[1])%150+10) * time.Millisecond,
+			For:    time.Duration(int(b[2])%50+5) * time.Millisecond,
+			Mag:    float64(int(b[3])%100) / 100,
+		}
+		if f.Kind == realrate.FaultCPUStall {
+			if stallTotal+f.For > 50*time.Millisecond {
+				f.Kind = realrate.FaultDropActuation
+			} else {
+				stallTotal += f.For
+			}
+		}
+		specs = append(specs, f)
+	}
+	return specs
+}
+
+// FuzzFaultSchedule feeds arbitrary (bounded) fault schedules to the
+// faults family under every policy: whatever the schedule, the run must
+// not panic and every conformance oracle — conservation, ladder pairing,
+// isolation, bounded recovery — must hold.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 40, 30, 50, 1, 0})
+	f.Add(uint64(2), []byte{2, 10, 49, 0, 0, 0, 4, 80, 20, 0, 0, 3})
+	f.Add(uint64(3), []byte{5, 60, 30, 10, 2, 1, 3, 90, 40, 0, 1, 0, 7, 20, 10, 30, 0, 5})
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
+		sp, err := gen.ForSeed("faults", seed%16+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp.Duration = 400 * time.Millisecond
+		sp.Faults = decodeFaultSchedule(data)
+		sc := gen.Generate(sp)
+		for _, pol := range gen.Policies() {
+			res, err := sc.Run(gen.RunOpts{Policy: pol})
+			if err != nil {
+				t.Fatalf("policy %s: %v", pol, err)
+			}
+			for _, v := range res.Report.Violations {
+				t.Errorf("policy %s: %s", pol, v)
+			}
+		}
+	})
+}

@@ -311,6 +311,9 @@ type RunResult struct {
 	Policy   string
 	Report   Report
 	TraceCSV []byte
+	// Health is the system's fault-tolerance snapshot at the end of the
+	// run (all zeros outside the faults family).
+	Health realrate.Health
 }
 
 // run is the live execution state of one scenario under one policy.
@@ -338,7 +341,23 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := realrate.NewSystem(realrate.Config{Policy: pol, CPUs: sc.Spec.CPUs})
+	cfg := realrate.Config{Policy: pol, CPUs: sc.Spec.CPUs}
+	if len(sc.Spec.Faults) > 0 {
+		// Remap drawn stall CPUs onto the actual machine and arm a fast
+		// watchdog (6 flat intervals down a rung, 3 good ones back up) so
+		// the short generated runs walk the full degradation ladder.
+		specs := make([]realrate.FaultSpec, len(sc.Spec.Faults))
+		copy(specs, sc.Spec.Faults)
+		for i := range specs {
+			if specs[i].Kind == realrate.FaultCPUStall {
+				specs[i].CPU %= sc.Spec.NumCPUs()
+			}
+		}
+		cfg.Faults = &realrate.FaultPlan{Seed: sc.Spec.Seed, Specs: specs}
+		cfg.Controller.WatchdogIntervals = 6
+		cfg.Controller.WatchdogRecovery = 3
+	}
+	sys := realrate.NewSystem(cfg)
 	r := &run{
 		sc:     sc,
 		sys:    sys,
@@ -362,7 +381,7 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 	sys.Run(sc.Spec.Duration)
 	r.chk.finish()
 
-	res := &RunResult{Policy: name, Report: r.chk.report()}
+	res := &RunResult{Policy: name, Report: r.chk.report(), Health: sys.Health()}
 	if tr != nil {
 		var buf bytes.Buffer
 		if err := tr.WriteCSV(&buf); err != nil {

@@ -42,7 +42,13 @@ type Report struct {
 	AdmitRejected int
 	QualityEvents int
 	Samples       int
-	Violations    []Violation
+	// FaultEvents, Degradations, and Recoveries count the fault-tolerance
+	// activity observed through the public hooks (zero outside the faults
+	// family).
+	FaultEvents  int
+	Degradations int
+	Recoveries   int
+	Violations   []Violation
 	// TruncatedViolations counts breaches beyond the recording cap.
 	TruncatedViolations int
 }
@@ -58,6 +64,11 @@ const sampleInterval = 10 * time.Millisecond
 // feedbackWindow is the number of samples over which the RBS feedback
 // properties are judged.
 const feedbackWindow = 12
+
+// faultSettle is the post-window margin inside which the fault-sensitive
+// oracles stay suspended: a demoted job needs WatchdogRecovery good
+// intervals per rung to climb back, plus filter re-convergence.
+const faultSettle = 150 * time.Millisecond
 
 // overloadThreshold mirrors the default admission/squish ceiling of the
 // zero-value realrate.Config the harness runs under (the spare 100 ppt
@@ -119,19 +130,85 @@ type checker struct {
 	cpus       int
 	migrations uint64
 
+	// Fault-tolerance oracles (the faults family). faultSpecs is the
+	// planned schedule; faultTargets the thread names it aims at;
+	// globalFault is set when any spec matches every thread (Target ""
+	// signal/actuation faults, CPU stalls, tick jitter). degradeDepth
+	// tracks each thread's net rungs down the ladder via the
+	// OnDegrade/OnRecover pairing; stallTotal widens the work-conservation
+	// idle budget; lastSignalFaultEnd anchors the bounded-recovery check.
+	faultSpecs         []realrate.FaultSpec
+	faultTargets       map[string]bool
+	actTargets         map[string]bool
+	globalFault        bool
+	globalActFault     bool
+	hasActFaults       bool
+	degradeDepth       map[string]int
+	faultEvents        int
+	degrades, recovers int
+	stallTotal         time.Duration
+	lastSignalFaultEnd time.Duration
+
 	violations []Violation
 	truncated  int
 }
 
 func newChecker(sys *realrate.System, policy string, sc *Scenario) *checker {
-	return &checker{
-		sys:    sys,
-		policy: policy,
-		sc:     sc,
-		rbs:    policy == "rbs",
-		byTh:   make(map[*realrate.Thread]*trackedThread),
-		cpus:   sys.CPUs(),
+	c := &checker{
+		sys:          sys,
+		policy:       policy,
+		sc:           sc,
+		rbs:          policy == "rbs",
+		byTh:         make(map[*realrate.Thread]*trackedThread),
+		cpus:         sys.CPUs(),
+		faultSpecs:   sc.Spec.Faults,
+		faultTargets: make(map[string]bool),
+		actTargets:   make(map[string]bool),
+		degradeDepth: make(map[string]int),
 	}
+	for _, f := range sc.Spec.Faults {
+		if f.Target == "" {
+			c.globalFault = true
+		} else {
+			c.faultTargets[f.Target] = true
+		}
+		switch f.Kind {
+		case realrate.FaultCPUStall:
+			c.stallTotal += f.For
+		case realrate.FaultDropActuation, realrate.FaultDelayActuation:
+			c.hasActFaults = true
+			if f.Target == "" {
+				c.globalActFault = true
+			} else {
+				c.actTargets[f.Target] = true
+			}
+		case realrate.FaultFreezeSignal, realrate.FaultJumpSignal,
+			realrate.FaultBadSignal, realrate.FaultStuckThread:
+			if end := f.At + f.For; end > c.lastSignalFaultEnd {
+				c.lastSignalFaultEnd = end
+			}
+		}
+	}
+	return c
+}
+
+// inFaultWindow reports whether now falls inside any planned fault window
+// (with the settle margin): the fault-sensitive oracles are suspended
+// there — a frozen or perturbed signal legitimately decouples desire from
+// the observed pressure trend, and a degraded job tracks its fallback.
+func (c *checker) inFaultWindow(now time.Duration) bool {
+	for _, f := range c.faultSpecs {
+		if now >= f.At && now < f.At+f.For+faultSettle {
+			return true
+		}
+	}
+	return false
+}
+
+// actExempt reports whether an actuation fault can explain thread name's
+// allocation diverging from the controller's intent.
+func (c *checker) actExempt(name string) bool {
+	return c.hasActFaults && (c.globalActFault || c.actTargets[name])
 }
 
 // violate records a breach, capped.
@@ -278,6 +355,54 @@ func (c *checker) OnExit(now time.Duration, th *realrate.Thread) {
 	tt.exited = true
 }
 
+// OnFault implements realrate.Observer. In a scenario with no fault plan
+// any fault event is an anomaly: the controller detected garbage nobody
+// injected.
+func (c *checker) OnFault(ev realrate.FaultEvent) {
+	c.faultEvents++
+	if len(c.faultSpecs) == 0 {
+		c.violate("fault-unplanned", ev.Time, "fault %q (%s) without a fault plan",
+			ev.Kind, ev.Detail)
+	}
+}
+
+// OnDegrade implements realrate.Observer: only the feedback controller's
+// watchdog demotes, so baselines must never degrade; depth is bounded by
+// the ladder's two lower rungs; and — absent machine-wide faults — only
+// threads the plan targets may degrade (fault isolation).
+func (c *checker) OnDegrade(ev realrate.DegradeEvent) {
+	c.degrades++
+	if !c.rbs {
+		c.violate("ladder-pairing", ev.Time, "OnDegrade under policy %s (no controller runs)", c.policy)
+		return
+	}
+	name := "?"
+	if ev.Thread != nil {
+		name = ev.Thread.Name()
+	}
+	c.degradeDepth[name]++
+	if d := c.degradeDepth[name]; d > 2 {
+		c.violate("ladder-pairing", ev.Time, "thread %s demoted below the misc rung (depth %d)", name, d)
+	}
+	if !c.globalFault && !c.faultTargets[name] {
+		c.violate("fault-isolation", ev.Time, "thread %s degraded but no planned fault targets it", name)
+	}
+}
+
+// OnRecover implements realrate.Observer: every promotion pairs with an
+// earlier demotion of the same thread.
+func (c *checker) OnRecover(ev realrate.RecoverEvent) {
+	c.recovers++
+	name := "?"
+	if ev.Thread != nil {
+		name = ev.Thread.Name()
+	}
+	c.degradeDepth[name]--
+	if c.degradeDepth[name] < 0 {
+		c.violate("ladder-pairing", ev.Time, "thread %s recovered without a matching degrade", name)
+	}
+}
+
 // startSampling arms the periodic observation.
 func (c *checker) startSampling() {
 	c.sys.Every(sampleInterval, c.sample)
@@ -303,8 +428,13 @@ func (c *checker) sample(now time.Duration) {
 	// interval — the total cannot stay above the machine across intervals
 	// in which nothing new was admitted — and the live hard reservations
 	// alone never exceed the admission ceiling.
+	// Inside an actuation-fault window the controller's pushes are being
+	// dropped or deferred by design, so allocations lag its intent: the
+	// squish-reclaim and per-thread allocation oracles are suspended for
+	// the affected threads until the window (plus settle) closes.
+	actFault := c.hasActFaults && c.inFaultWindow(now)
 	machine := realrate.PPT * c.cpus
-	if tp := c.sys.TotalProportion(); tp > machine {
+	if tp := c.sys.TotalProportion(); tp > machine && !actFault {
 		if c.admitOK != c.lastAdmitOK {
 			c.overCommitStreak = 0 // fresh admission: a new transient is allowed
 		}
@@ -336,15 +466,17 @@ func (c *checker) sample(now time.Duration) {
 		if alloc < 0 {
 			c.violate("floor", now, "thread %s allocation %d < 0", tt.name, alloc)
 		}
+		exempt := actFault && c.actExempt(tt.name)
 		// Squish preserves floors: an unsquished job with a positive
 		// desire is never starved to zero.
-		if !tt.th.Squished() && tt.th.Desired() > 0 && alloc == 0 && tt.th.Class() != "unmanaged" {
+		if !tt.th.Squished() && tt.th.Desired() > 0 && alloc == 0 &&
+			tt.th.Class() != "unmanaged" && !exempt {
 			c.violate("floor", now, "thread %s unsquished with desired %d but zero allocation",
 				tt.name, tt.th.Desired())
 		}
 		// Reservations are exact: an admitted RT thread holds precisely
 		// what it negotiated, at every instant.
-		if tt.rtProp > 0 && alloc != tt.rtProp {
+		if tt.rtProp > 0 && alloc != tt.rtProp && !exempt {
 			c.violate("reservation", now, "rt thread %s allocated %d ppt, negotiated %d",
 				tt.name, alloc, tt.rtProp)
 		}
@@ -399,6 +531,17 @@ func (c *checker) checkQueues(now time.Duration) {
 // what cannot happen is the desire moving hundreds of ppt against the
 // pressure trend.
 func (c *checker) feedbackSample(tt *trackedThread, now time.Duration) {
+	// Fault-targeted threads are exempt for good: their signal history is
+	// corrupt. Everyone else pauses (and restarts the window) while any
+	// fault window is open — cross-thread coupling through shared queues
+	// and actuation timing makes the trend test unsound there.
+	if c.faultTargets[tt.name] {
+		return
+	}
+	if len(c.faultSpecs) > 0 && c.inFaultWindow(now) {
+		tt.window = tt.window[:0]
+		return
+	}
 	tt.window = append(tt.window, feedbackSample{
 		q:        tt.th.Pressure(),
 		desired:  tt.th.Desired(),
@@ -527,6 +670,8 @@ func (c *checker) finish() {
 			idleCap = c.sc.Spec.Duration / 2
 		}
 		idleCap += c.sc.Spec.Duration * time.Duration(c.cpus-1)
+		// A stalled CPU idles by injection, not by scheduler defect.
+		idleCap += c.stallTotal
 		if st.Idle > idleCap {
 			c.violate("work-conservation", end,
 				"idled %v of %v capacity with hog runnable (cap %v)", st.Idle, capacity, idleCap)
@@ -544,10 +689,28 @@ func (c *checker) finish() {
 		if c.rbs {
 			idleCap = c.sc.Spec.Duration / 2
 		}
+		idleCap += c.stallTotal
 		if idle := cpuStats[tt.cpuPin].Idle; idle > idleCap {
 			c.violate("cpu-work-conservation", end,
 				"CPU %d idled %v of %v with pinned hog %s runnable (cap %v)",
 				tt.cpuPin, idle, st.Elapsed, tt.name, idleCap)
+		}
+	}
+
+	// Bounded recovery: once the last signal-affecting fault clears with
+	// enough runway before the end of the run, every surviving real-rate
+	// job must have climbed back to the healthy rung.
+	if c.rbs && len(c.faultSpecs) > 0 && end >= c.lastSignalFaultEnd+faultSettle {
+		for _, tt := range c.tracked {
+			if tt.exited {
+				continue
+			}
+			deg := tt.th.Degraded()
+			if d := c.degradeDepth[tt.name]; d != 0 || (deg != "" && deg != "real-rate") {
+				c.violate("bounded-recovery", end,
+					"thread %s still on rung %q (net depth %d) %v after the last signal fault cleared",
+					tt.name, deg, d, end-c.lastSignalFaultEnd)
+			}
 		}
 	}
 }
@@ -564,6 +727,9 @@ func (c *checker) report() Report {
 		AdmitRejected:       c.admitRej,
 		QualityEvents:       c.quality,
 		Samples:             c.samples,
+		FaultEvents:         c.faultEvents,
+		Degradations:        c.degrades,
+		Recoveries:          c.recovers,
 		Violations:          c.violations,
 		TruncatedViolations: c.truncated,
 	}

@@ -33,6 +33,8 @@ import (
 	"strconv"
 	"time"
 
+	realrate "repro"
+
 	"repro/internal/sim"
 )
 
@@ -202,6 +204,10 @@ type Spec struct {
 	Taskset  TasksetSpec
 	Arrivals ArrivalSpec
 	Churn    ChurnSpec
+	// Faults is the drawn fault-injection schedule (the faults family).
+	// It is fully determined by (Family, Seed), so replay regenerates it
+	// instead of carrying it through the trace codec.
+	Faults []realrate.FaultSpec
 }
 
 // NumCPUs returns the normalized CPU count (at least 1).
@@ -248,7 +254,7 @@ func (s Spec) Scale(f float64) Spec {
 
 // Families lists the scenario families ForSeed accepts, in a fixed order.
 func Families() []string {
-	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace", "smp"}
+	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace", "smp", "faults"}
 }
 
 // ForSeed derives the declarative spec for one (family, seed) point. Every
@@ -358,10 +364,99 @@ func ForSeed(family string, seed uint64) (Spec, error) {
 			Mix:      []TaskKind{KindMisc, KindRealTime, KindInteractive},
 		}
 		sp.Churn = ChurnSpec{Rate: float64(n(5, 20)), ReserveLo: 50, ReserveHi: 300}
+	case "faults":
+		// Fault-injection chaos: a modest adaptive taskset (pipeline
+		// stages and paced threads are the watchdog's clientele) under a
+		// drawn schedule of signal, clock, CPU, and actuation faults.
+		// Every window closes well before the end of the run, leaving the
+		// bounded-recovery oracle room to watch the ladder climb back.
+		sp.Duration = ms(500, 700)
+		sp.Taskset = TasksetSpec{
+			Pipelines: n(1, 2), MaxStages: 3,
+			RealTime: n(1, 2), Misc: n(1, 2), Paced: n(0, 1),
+			PinnedHog: true,
+		}
+		sp.Faults = drawFaults(rng, sp)
 	default:
 		return Spec{}, fmt.Errorf("gen: unknown scenario family %q (have %v)", family, Families())
 	}
 	return sp, nil
+}
+
+// drawFaults draws the faults family's schedule: a guaranteed mid-run
+// signal freeze on a pipeline stage (the fault that actually walks the
+// watchdog down the degradation ladder) plus 1–4 further specs across the
+// taxonomy, with at most one CPU stall and one tick-jitter window. Signal
+// and actuation faults aim only at adaptive (real-rate) threads that
+// certainly exist in the generated taskset; stalls and jitter are
+// machine-wide. Every window ends at least 200 ms before the run does, so
+// the bounded-recovery oracle has runway to observe the climb back to the
+// healthy rung.
+func drawFaults(rng *sim.RNG, sp Spec) []realrate.FaultSpec {
+	n := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+	targets := []string{"pipe0.s1"}
+	if sp.Taskset.Pipelines > 1 {
+		targets = append(targets, "pipe1.s1")
+	}
+	if sp.Taskset.Paced > 0 {
+		targets = append(targets, "paced0")
+	}
+	target := func() string { return targets[rng.Intn(len(targets))] }
+	window := func(loMS, hiMS int) (at, dur time.Duration) {
+		dur = time.Duration(n(loMS, hiMS)) * time.Millisecond
+		last := int((sp.Duration - dur - 200*time.Millisecond) / time.Millisecond)
+		if last < 50 {
+			last = 50
+		}
+		return time.Duration(n(50, last)) * time.Millisecond, dur
+	}
+
+	at, dur := window(100, 200)
+	specs := []realrate.FaultSpec{{
+		Kind: realrate.FaultFreezeSignal, Target: "pipe0.s1", At: at, For: dur,
+	}}
+	stalls, jitters := 0, 0
+	for extra := n(1, 4); extra > 0; extra-- {
+		at, dur := window(30, 120)
+		f := realrate.FaultSpec{At: at, For: dur}
+		switch n(0, 7) {
+		case 0:
+			f.Kind, f.Target = realrate.FaultFreezeSignal, target()
+		case 1:
+			f.Kind, f.Target = realrate.FaultJumpSignal, target()
+			f.Mag = 0.2 + 0.6*rng.Float64()
+		case 2:
+			f.Kind, f.Target = realrate.FaultBadSignal, target()
+			f.Mag = 0.4
+		case 3:
+			f.Kind, f.Target = realrate.FaultStuckThread, target()
+		case 4:
+			f.Kind, f.Target = realrate.FaultDropActuation, target()
+		case 5:
+			f.Kind, f.Target = realrate.FaultDelayActuation, target()
+		case 6:
+			if stalls > 0 {
+				f.Kind, f.Target = realrate.FaultDropActuation, target()
+				break
+			}
+			stalls++
+			f.Kind = realrate.FaultCPUStall
+			f.CPU = rng.Intn(8) // remapped onto the actual machine by Run
+			if f.For > 60*time.Millisecond {
+				f.For = 60 * time.Millisecond // bound the idle a stall can force
+			}
+		default:
+			if jitters > 0 {
+				f.Kind, f.Target = realrate.FaultDelayActuation, target()
+				break
+			}
+			jitters++
+			f.Kind = realrate.FaultTickJitter
+			f.Mag = 0.2 + 0.3*rng.Float64()
+		}
+		specs = append(specs, f)
+	}
+	return specs
 }
 
 // drawArrivals realizes an arrival process over [0, dur) as a concrete

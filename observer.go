@@ -40,6 +40,18 @@ type Observer interface {
 	// program returned Exit() or it was killed. It is the last event for
 	// that thread: no OnDispatch or OnActuation follows it.
 	OnExit(now time.Duration, th *Thread)
+	// OnFault fires once per injected fault spec (at its first actual
+	// injection) and for every controller-detected anomaly: rejected
+	// progress samples, failed/dropped/delayed actuations. It never fires
+	// in a healthy run with well-behaved sources.
+	OnFault(ev FaultEvent)
+	// OnDegrade fires when the watchdog demotes a real-rate thread one
+	// rung down the degradation ladder (real-rate → fallback → misc).
+	OnDegrade(ev DegradeEvent)
+	// OnRecover fires when a degraded thread's progress signal recovers
+	// and it is promoted one rung back up. Every OnRecover pairs with an
+	// earlier OnDegrade for the same thread.
+	OnRecover(ev RecoverEvent)
 }
 
 // AdmissionEvent is one admission-control decision.
@@ -80,6 +92,15 @@ func (NopObserver) OnAdmission(AdmissionEvent) {}
 
 // OnExit implements Observer.
 func (NopObserver) OnExit(time.Duration, *Thread) {}
+
+// OnFault implements Observer.
+func (NopObserver) OnFault(FaultEvent) {}
+
+// OnDegrade implements Observer.
+func (NopObserver) OnDegrade(DegradeEvent) {}
+
+// OnRecover implements Observer.
+func (NopObserver) OnRecover(RecoverEvent) {}
 
 // Observe registers an observer. Multiple observers fire in registration
 // order. Call before Run; observers cannot be removed.

@@ -10,6 +10,7 @@ import (
 
 // countingObserver tallies every observer callback.
 type countingObserver struct {
+	realrate.NopObserver
 	dispatches  int
 	nilDispatch int
 	actuations  int

@@ -79,9 +79,16 @@ type programAdapter struct {
 	sys  *System
 	prog Program
 	self *Thread
+	// stuckOp is the reused spin burst emitted while a StuckThread fault
+	// hijacks the program: CPU is consumed, no progress is made.
+	stuckOp kernel.OpCompute
 }
 
 func (a *programAdapter) Next(t *kernel.Thread, now sim.Time) kernel.Op {
+	if a.sys.faults != nil && a.sys.faults.ThreadStuck(t.Name(), now) {
+		a.stuckOp.Cycles = a.sys.stuckCycles
+		return &a.stuckOp
+	}
 	act := a.prog.Next(a.self, time.Duration(now))
 	if act.op == nil {
 		panic("realrate: program returned zero Action; use Exit() to retire a thread")

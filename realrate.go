@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/progress"
 	"repro/internal/rbs"
@@ -90,6 +91,12 @@ type Config struct {
 	// Controller overrides the controller tuning; zero fields keep
 	// defaults. Most users never touch this.
 	Controller ControllerTuning
+	// Faults installs a seeded, declarative fault-injection schedule (see
+	// FaultPlan): corrupted progress signals, clock jitter, CPU stalls,
+	// stuck threads, dropped/delayed actuations. Nil — the default —
+	// costs nothing: the hot paths pay one nil check and the dispatch
+	// schedule is byte-identical to a build without the fault apparatus.
+	Faults *FaultPlan
 }
 
 // ControllerTuning exposes the controller knobs that experiments vary.
@@ -106,6 +113,13 @@ type ControllerTuning struct {
 	// BaseCost and PerJobCost model the controller's own per-interval
 	// execution cost in cycles (Figure 5's intercept and slope).
 	BaseCost, PerJobCost int64
+	// WatchdogIntervals is how many consecutive flat (or rejected)
+	// progress samples demote a real-rate thread one rung down the
+	// degradation ladder (default 50, i.e. half a second at 100 Hz;
+	// negative disables the watchdog). WatchdogRecovery is how many
+	// consecutive moving samples promote it one rung back (default 5).
+	WatchdogIntervals int
+	WatchdogRecovery  int
 }
 
 // System is a simulated machine: kernel, scheduling policy, progress
@@ -129,6 +143,16 @@ type System struct {
 
 	hub       observerHub
 	onQuality func(QualityEvent)
+
+	// faults is the compiled fault injector, nil without Config.Faults.
+	faults *faults.Injector
+	// stuckCycles is the spin-burst length for StuckThread faults (1 ms
+	// of this machine's clock), precomputed so the hijacked program path
+	// does not divide on every step.
+	stuckCycles sim.Cycles
+	// srcRejects counts NaN/Inf values refused by the custom-source
+	// clamping adapter (see customMetric), feeding Health.
+	srcRejects uint64
 
 	started bool
 }
@@ -216,6 +240,8 @@ func NewSystem(cfg Config) *System {
 	if t.PerJobCost != 0 {
 		ccfg.PerJobCost = sim.Cycles(t.PerJobCost)
 	}
+	ccfg.WatchdogIntervals = t.WatchdogIntervals
+	ccfg.WatchdogRecovery = t.WatchdogRecovery
 
 	s := &System{
 		eng:    eng,
@@ -227,11 +253,22 @@ func NewSystem(cfg Config) *System {
 	}
 	s.hub.sys = s
 	kern.SetExitHook(s.threadExited)
+	if cfg.Faults != nil && len(cfg.Faults.Specs) > 0 {
+		s.faults = s.buildInjector(cfg.Faults)
+		s.stuckCycles = sim.DurationToCycles(sim.Millisecond, kcfg.ClockRate)
+		kern.SetFaultInjector(s.faults)
+	}
 	if rbsPol != nil {
 		s.ctl = core.New(kern, rbsPol, reg, ccfg)
-		// Quality exceptions are rare, so the dispatcher hook is installed
-		// unconditionally; it fans out to OnQuality and to observers.
+		// Quality exceptions and faults are rare, so the hooks are
+		// installed unconditionally; they fan out to observers.
 		s.ctl.OnQuality(s.fireQuality)
+		s.ctl.OnFault(s.fireFault)
+		s.ctl.OnDegrade(s.fireDegrade)
+		s.ctl.OnRecover(s.fireRecover)
+		if s.faults != nil {
+			s.ctl.SetFaults(s.faults)
+		}
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package realrate
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/progress"
@@ -39,29 +40,50 @@ func (s *System) registerSource(th *Thread, src ProgressSource) {
 		v.bind(s)
 		s.reg.Register(th.t, v.vq)
 	default:
-		s.reg.Register(th.t, customMetric{src: src})
+		s.reg.Register(th.t, &customMetric{src: src, rejects: &s.srcRejects})
 	}
 }
 
 // customMetric adapts a user ProgressSource to the internal metric
-// contract, clamping to the paper's pressure range.
+// contract: clamping to the paper's pressure range, and sanitizing the
+// values user code can produce that the built-in sources cannot — NaN
+// (replaced by the last good sample) and ±Inf (clamped to the range
+// boundary). Rejections are counted into System.Health.
 type customMetric struct {
 	src ProgressSource
+	// last is the most recent sanitized sample, substituted for NaN; it
+	// starts at 0 (the "keeping pace" pressure).
+	last float64
+	// rejects points at the owning System's rejection counter.
+	rejects *uint64
 }
 
 // Pressure implements progress.Metric.
-func (m customMetric) Pressure(now sim.Time) float64 {
+func (m *customMetric) Pressure(now sim.Time) float64 {
 	p := m.src.Pressure(time.Duration(now))
-	if p > 0.5 {
+	switch {
+	case math.IsNaN(p):
+		*m.rejects++
+		p = m.last
+	case math.IsInf(p, 1):
+		*m.rejects++
 		p = 0.5
-	}
-	if p < -0.5 {
+	case math.IsInf(p, -1):
+		*m.rejects++
 		p = -0.5
+	default:
+		if p > 0.5 {
+			p = 0.5
+		}
+		if p < -0.5 {
+			p = -0.5
+		}
 	}
+	m.last = p
 	return p
 }
 
 // Describe implements progress.Metric.
-func (m customMetric) Describe() string { return m.src.Describe() }
+func (m *customMetric) Describe() string { return m.src.Describe() }
 
-var _ progress.Metric = customMetric{}
+var _ progress.Metric = (*customMetric)(nil)

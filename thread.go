@@ -201,6 +201,16 @@ func (th *Thread) Pressure() float64 {
 	return th.job.Pressure()
 }
 
+// Degraded returns the thread's rung on the graceful-degradation ladder:
+// "real-rate" when healthy (and for every non-real-rate class), "fallback"
+// or "misc" after the watchdog demoted it, and "" for unmanaged threads.
+func (th *Thread) Degraded() string {
+	if th.job == nil {
+		return ""
+	}
+	return th.job.Degraded().String()
+}
+
 // Class returns the taxonomy class name, or "unmanaged".
 func (th *Thread) Class() string {
 	if th.job == nil {
