@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzBoundaryWheel -fuzztime=$(FUZZTIME) ./internal/rbs/
 	$(GO) test -run '^$$' -fuzz=FuzzSpawnOptions -fuzztime=$(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz=FuzzFaultSchedule -fuzztime=$(FUZZTIME) ./internal/workload/gen/
+	$(GO) test -run '^$$' -fuzz=FuzzOverloadLadder -fuzztime=$(FUZZTIME) ./internal/overload/
 
 # stress runs the generated-workload invariant harness wide open: every
 # scenario family × STRESS_SEEDS seeds × all five policies, with failing
@@ -45,15 +46,21 @@ fuzz:
 # 4-CPU machine (no-dual-run, per-CPU work conservation, and migration
 # bookkeeping under SMP), then a deeper chaos slice of the faults family
 # alone (injected signal/timing/actuation faults against the
-# graceful-degradation oracles) on 1 and 4 CPUs.
+# graceful-degradation oracles) on 1 and 4 CPUs, then a deeper slice of
+# the overload family alone (admission storms against the brownout-ladder
+# oracles: typed refusals, importance-ordered sheds, recovery to normal)
+# on 1 and 4 CPUs.
 STRESS_SEEDS ?= 25
 STRESS_SMP_SEEDS ?= 8
 STRESS_FAULT_SEEDS ?= 15
+STRESS_OVERLOAD_SEEDS ?= 15
 stress:
 	$(GO) run ./cmd/rrexp -gen -seeds $(STRESS_SEEDS)
 	$(GO) run ./cmd/rrexp -gen -cpus 4 -seeds $(STRESS_SMP_SEEDS)
 	$(GO) run ./cmd/rrexp -gen -scenario faults -seeds $(STRESS_FAULT_SEEDS)
 	$(GO) run ./cmd/rrexp -gen -scenario faults -cpus 4 -seeds $(STRESS_FAULT_SEEDS)
+	$(GO) run ./cmd/rrexp -gen -scenario overload -seeds $(STRESS_OVERLOAD_SEEDS)
+	$(GO) run ./cmd/rrexp -gen -scenario overload -cpus 4 -seeds $(STRESS_OVERLOAD_SEEDS)
 
 # goldens byte-compares the Figure 5-8 outputs against the committed
 # goldens in testdata/goldens/ (re-bless with scripts/goldens.sh -update).

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"testing"
 
+	realrate "repro"
 	"repro/internal/experiments"
 	"repro/internal/pid"
 	"repro/internal/rbs"
@@ -310,4 +311,43 @@ func BenchmarkAblationPreciseDispatch(b *testing.B) {
 		last = experiments.RunQuantizationAblation(true, 5*sim.Second)
 	}
 	b.ReportMetric(last.Overdelivery, "overdelivery-x")
+}
+
+// BenchmarkOverloadGovernor prices the overload governor on the public
+// storm path: the same hog storm with Config.Overload nil ("off" — the
+// committed-golden configuration) and with the governor armed but never
+// tripping ("idle" — an astronomically high GapFactor, so every interval
+// pays the full signal assembly, SLO tap, and ladder bookkeeping while
+// the rung stays at normal). The dispatches metric is the storm's
+// throughput on the simulated machine and must be IDENTICAL across the
+// two runs — an idle governor steals zero simulated CPU and never
+// perturbs the schedule (TestGovernorIdleZeroThroughputCost pins this at
+// ≤1%, actually 0%, in the regular test suite). The ns/op delta is the
+// host-side instrumentation cost of the SLO tap and governor sampling —
+// wall clock, not machine throughput — recorded in BENCH_results.json
+// by scripts/bench.sh so the trajectory is tracked PR over PR.
+func BenchmarkOverloadGovernor(b *testing.B) {
+	run := func(b *testing.B, overload *realrate.OverloadConfig) {
+		b.ReportAllocs()
+		var dispatches uint64
+		for i := 0; i < b.N; i++ {
+			sys := realrate.NewSystem(realrate.Config{Overload: overload})
+			for j := 0; j < 200; j++ {
+				if _, err := sys.Spawn(fmt.Sprintf("hog%d", j),
+					realrate.HogProgram(400_000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sys.Run(10e9)
+			dispatches = sys.Stats().Dispatches
+			if overload != nil && sys.Health().OverloadRung != "normal" {
+				b.Fatalf("governor not idle: rung %s", sys.Health().OverloadRung)
+			}
+		}
+		b.ReportMetric(float64(dispatches), "dispatches")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("idle", func(b *testing.B) {
+		run(b, &realrate.OverloadConfig{GapFactor: 1e12})
+	})
 }

@@ -220,6 +220,10 @@ func runGenerated(scenario string, seed uint64, seeds int, policy string, scale 
 				if r.FaultEvents > 0 || r.Degradations > 0 || r.Recoveries > 0 {
 					ladder = fmt.Sprintf(" faults %-4d degr %-3d recov %-3d", r.FaultEvents, r.Degradations, r.Recoveries)
 				}
+				if r.OverloadEvents > 0 || r.Sheds > 0 || r.Throttled > 0 {
+					ladder += fmt.Sprintf(" rung %s/%s sheds %-3d throttled %-3d",
+						r.MaxRung, r.FinalRung, r.Sheds, r.Throttled)
+				}
 				fmt.Printf("%-9s seed %-4d %-12s threads %-4d exits %-4d kills %-4d admit %d/%d quality %-3d violations %d%s\n",
 					family, s, r.Policy, r.Threads, r.Exits, r.Kills,
 					r.AdmitOK, r.AdmitOK+r.AdmitRejected, r.QualityEvents,

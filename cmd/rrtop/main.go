@@ -10,6 +10,17 @@
 // dropped actuations) and shows the graceful-degradation ladder at work:
 // the RUNG column walks real-rate → fallback → misc and back, and a
 // health line tracks the system-wide fault counters.
+//
+// With -overload it arms the overload governor, fires a storm of
+// short-lived low-importance hogs mid-run, and shows the brownout ladder:
+// a status line tracks the system rung and the wake→dispatch SLO
+// percentiles, and the high-importance resident hog survives while the
+// storm is shed around it.
+//
+// The table renders incrementally: a thread's row is reprinted only when
+// it changed since the previous refresh, so a hundred-thread storm prints
+// the handful of moving rows plus one "unchanged" summary instead of a
+// hundred near-identical lines per second.
 package main
 
 import (
@@ -61,6 +72,7 @@ func main() {
 	dur := flag.Duration("dur", 15*time.Second, "simulated duration")
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	faults := flag.Bool("faults", false, "inject a demo fault schedule against a sensor thread and watch the degradation ladder")
+	overload := flag.Bool("overload", false, "arm the overload governor and fire a mid-run storm of short-lived hogs to watch the brownout ladder")
 	flag.Parse()
 
 	cfg := realrate.Config{CPUs: *cpus}
@@ -71,6 +83,13 @@ func main() {
 		}}
 		cfg.Controller.WatchdogIntervals = 20
 		cfg.Controller.WatchdogRecovery = 10
+	}
+	if *overload {
+		// Fast trip/recover so a 15 s run shows the whole ladder cycle.
+		// The resident pipeline plus hog legitimately desire ~2.3× the
+		// machine (that is squish's normal operating point), so the demo
+		// trip band sits above it; the storm blows straight past it.
+		cfg.Overload = &realrate.OverloadConfig{GapFactor: 3.5, TripIntervals: 10, RecoverIntervals: 25}
 	}
 	sys := realrate.NewSystem(cfg)
 	act := newActivity()
@@ -121,8 +140,8 @@ func main() {
 	mustSpawn("renderer", stage(frames, nil, 4096, 15),
 		realrate.RealRate(0, realrate.ConsumerOf(frames)))
 
-	// ...a batch hog...
-	mustSpawn("batch", realrate.HogProgram(400_000))
+	// ...a batch hog (important enough to survive a shed storm)...
+	mustSpawn("batch", realrate.HogProgram(400_000), realrate.Importance(5))
 
 	// ...and an interactive editor driven by a user.
 	tty := sys.NewWaitQueue("tty")
@@ -153,14 +172,59 @@ func main() {
 	})
 	mustSpawn("user", user, realrate.Reserve(10, 5*time.Millisecond))
 
+	throttledSpawns := 0
+	if *overload {
+		// The storm: between 4 s and 8 s, two fresh low-importance hogs
+		// every 50 ms, each living 400 ms. Demand far outruns the machine,
+		// the ladder climbs, admissions bounce off the throttle rung, and
+		// the shed rung kills storm hogs (never the important batch hog).
+		stormN := 0
+		hogUntil := func(dieAt time.Duration) realrate.Program {
+			return realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+				if now >= dieAt {
+					return realrate.Exit()
+				}
+				return realrate.Compute(300_000)
+			})
+		}
+		sys.Every(50*time.Millisecond, func(now time.Duration) {
+			if now < 4*time.Second || now >= 8*time.Second {
+				return
+			}
+			for i := 0; i < 2; i++ {
+				name := fmt.Sprintf("storm%d", stormN)
+				stormN++
+				th, err := sys.Spawn(name, hogUntil(now+400*time.Millisecond))
+				if err != nil {
+					throttledSpawns++
+					continue
+				}
+				threads = append(threads, th)
+			}
+		})
+	}
+
 	last := make(map[*realrate.Thread]time.Duration)
 	lastDisp := make(map[*realrate.Thread]uint64)
 	lastIdle := make([]time.Duration, sys.CPUs())
 	lastMig := make([]uint64, sys.CPUs())
+	lastRow := make(map[*realrate.Thread]string)
+	sloLine := func() string {
+		rep := sys.SLO()
+		if rep.Samples == 0 {
+			return ""
+		}
+		return fmt.Sprintf("rung %-8s slo wake→dispatch p50 %s p99 %s p999 %s attain %.1f%% of %s (%d samples, %d spawns throttled)",
+			sys.Health().OverloadRung, rep.P50, rep.P99, rep.P999,
+			100*rep.Attainment, rep.Target, rep.Samples, throttledSpawns)
+	}
 	var lastNow time.Duration
 	sys.Every(time.Second, func(now time.Duration) {
 		fmt.Printf("\n── t=%-4s  total reserved %d/%d ───────────────────────────────────────\n",
 			now, sys.TotalProportion(), realrate.PPT*sys.CPUs())
+		if line := sloLine(); line != "" {
+			fmt.Println(line)
+		}
 		if sys.CPUs() > 1 {
 			// Per-CPU columns come from the observer-backed CPU stats, not
 			// a second scan over every thread.
@@ -184,6 +248,7 @@ func main() {
 		}
 		fmt.Printf("%-10s %-20s %6s %8s %9s %7s %7s %5s %6s %-9s\n",
 			"THREAD", "CLASS", "ALLOC", "PERIOD", "PRESSURE", "CPU%", "DISP/s", "ACT", "STATE", "RUNG")
+		unchanged := 0
 		for _, th := range threads {
 			share := 100 * (th.CPUTime() - last[th]).Seconds()
 			last[th] = th.CPUTime()
@@ -193,15 +258,30 @@ func main() {
 			if th.Class() == "real-rate" {
 				rung = th.Degraded()
 			}
-			fmt.Printf("%-10s %-20s %5dp %8s %+9.3f %6.1f%% %7d %5d %6s %-9s\n",
+			row := fmt.Sprintf("%-10s %-20s %5dp %8s %+9.3f %6.1f%% %7d %5d %6s %-9s",
 				th.Name(), th.Class(), th.Allocation(),
 				th.Period().Truncate(time.Millisecond), th.Pressure(), share,
 				disp, act.actuations[th], th.State(), rung)
+			// Incremental rendering: only moving rows print; a settled
+			// thread (most of an exited storm) costs one summary line.
+			if row == lastRow[th] {
+				unchanged++
+				continue
+			}
+			lastRow[th] = row
+			fmt.Println(row)
+		}
+		if unchanged > 0 {
+			fmt.Printf("… %d threads unchanged\n", unchanged)
 		}
 		if h := sys.Health(); h != (realrate.Health{}) {
-			fmt.Printf("health: %d injected, %d signals rejected, %d degraded now, ladder %d down/%d up, actuations %d dropped/%d delayed\n",
+			extra := ""
+			if h.OverloadRung != "" {
+				extra = fmt.Sprintf(", %d shed, %d throttled", h.Sheds, h.Throttled)
+			}
+			fmt.Printf("health: %d injected, %d signals rejected, %d degraded now, ladder %d down/%d up, actuations %d dropped/%d delayed%s\n",
 				h.FaultsInjected, h.SignalsRejected, h.JobsDegraded,
-				h.Degradations, h.Recoveries, h.ActuationsDropped, h.ActuationsDelayed)
+				h.Degradations, h.Recoveries, h.ActuationsDropped, h.ActuationsDelayed, extra)
 		}
 	})
 	sys.Run(*dur)

@@ -1,0 +1,25 @@
+package realrate
+
+import "repro/internal/core"
+
+// The typed errors the admission paths return, re-exported so callers can
+// errors.As against public names without importing internal packages.
+// They are aliases, not wrappers: an error created anywhere in the stack
+// matches the public type directly, end to end.
+type (
+	// AdmissionError reports a reservation refused by admission control:
+	// the request exceeded the available capacity. Requested and Available
+	// are in ppt of machine capacity.
+	AdmissionError = core.AdmissionError
+
+	// ReservationError reports a malformed reservation request —
+	// non-positive proportion or period — rejected before it could reach
+	// the dispatcher.
+	ReservationError = core.ReservationError
+
+	// OverloadError reports a request refused by the overload governor's
+	// brownout ladder (see OverloadConfig): new admissions at the throttle
+	// rung and above, reservation growth at the freeze rung. RetryAfter is
+	// the backpressure hint — the earliest the ladder could have unwound.
+	OverloadError = core.OverloadError
+)

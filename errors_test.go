@@ -1,0 +1,97 @@
+package realrate_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	realrate "repro"
+)
+
+// fivePolicies builds one fresh instance of every scheduling discipline.
+func fivePolicies() map[string]realrate.Policy {
+	return map[string]realrate.Policy{
+		"rbs":         realrate.RBS(),
+		"stride":      realrate.Stride(10 * time.Millisecond),
+		"lottery":     realrate.Lottery(10*time.Millisecond, 1),
+		"linux":       realrate.Linux(),
+		"round-robin": realrate.RoundRobin(10 * time.Millisecond),
+	}
+}
+
+// TestTypedErrorsRoundTripAcrossPolicies pins the public error contract of
+// System.Spawn under every policy: under RBS a malformed reservation
+// surfaces as *ReservationError and an oversized one as *AdmissionError —
+// both matchable with errors.As against the public aliases, end to end —
+// while the baseline policies (no admission control by design) degrade the
+// reservation to a share hint and spawn successfully.
+func TestTypedErrorsRoundTripAcrossPolicies(t *testing.T) {
+	for name, pol := range fivePolicies() {
+		t.Run(name, func(t *testing.T) {
+			sys := realrate.NewSystem(realrate.Config{Policy: pol})
+
+			_, err := sys.Spawn("bad", realrate.HogProgram(1000), realrate.Reserve(-5, 10*time.Millisecond))
+			if name == "rbs" {
+				var re *realrate.ReservationError
+				if !errors.As(err, &re) {
+					t.Fatalf("Reserve(-5): error %T (%v), want *realrate.ReservationError", err, err)
+				}
+				if re.Proportion != -5 {
+					t.Fatalf("ReservationError.Proportion = %d, want -5", re.Proportion)
+				}
+			} else if err != nil {
+				t.Fatalf("baseline %s rejected a degraded reservation: %v", name, err)
+			}
+
+			_, err = sys.Spawn("huge", realrate.HogProgram(1000), realrate.Reserve(1800, 10*time.Millisecond))
+			if name == "rbs" {
+				var ae *realrate.AdmissionError
+				if !errors.As(err, &ae) {
+					t.Fatalf("Reserve(1800): error %T (%v), want *realrate.AdmissionError", err, err)
+				}
+				if ae.Requested != 1800 || ae.Available >= 1800 {
+					t.Fatalf("AdmissionError = %+v", ae)
+				}
+			} else if err != nil {
+				t.Fatalf("baseline %s rejected an oversized reservation: %v", name, err)
+			}
+		})
+	}
+}
+
+// TestOverloadErrorRoundTrip drives a governed system into throttle with
+// raw miscellaneous demand, then asserts the refusal round-trips through
+// System.Spawn as a public *OverloadError with a usable retry-after hint.
+func TestOverloadErrorRoundTrip(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{
+		Overload: &realrate.OverloadConfig{TripIntervals: 1},
+	})
+	for _, name := range []string{"h0", "h1", "h2", "h3"} {
+		if _, err := sys.Spawn(name, realrate.HogProgram(400_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Four busy hogs desire ~3200 ppt of a 900 ppt machine; with a
+	// one-interval trip the ladder leaves normal within a few intervals.
+	sys.Run(100 * time.Millisecond)
+	if rung := sys.Health().OverloadRung; rung == "normal" {
+		t.Fatal("governor still at normal under 3.5× demand")
+	}
+
+	_, err := sys.Spawn("late", realrate.HogProgram(1000))
+	var oe *realrate.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("spawn under throttle: error %T (%v), want *realrate.OverloadError", err, err)
+	}
+	if oe.Rung == "" || oe.RetryAfter <= 0 {
+		t.Fatalf("OverloadError = %+v, want a rung name and positive retry-after", oe)
+	}
+	if h := sys.Health(); h.Throttled == 0 {
+		t.Fatal("refusal did not count in Health().Throttled")
+	}
+
+	// Unmanaged threads live outside the controller: never throttled.
+	if _, err := sys.Spawn("um", realrate.HogProgram(1000), realrate.Unmanaged()); err != nil {
+		t.Fatalf("unmanaged spawn throttled: %v", err)
+	}
+}

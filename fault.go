@@ -120,6 +120,13 @@ type Health struct {
 	Degradations uint64
 	Recoveries   uint64
 	JobsDegraded int
+	// OverloadRung is the overload governor's current brownout rung
+	// ("normal", "throttle", "shed", "freeze"); empty with Config.Overload
+	// nil. Sheds counts threads the shed rung killed; Throttled counts
+	// admissions and renegotiations the governor refused.
+	OverloadRung string
+	Sheds        uint64
+	Throttled    uint64
 }
 
 // Health returns the system's fault-tolerance counters. All zeros in a
@@ -138,6 +145,11 @@ func (s *System) Health() Health {
 		h.Degradations = ch.Degradations
 		h.Recoveries = ch.Recoveries
 		h.JobsDegraded = ch.JobsDegraded
+		h.Sheds = ch.Sheds
+		h.Throttled = ch.Throttled
+		if g := s.ctl.Governor(); g != nil {
+			h.OverloadRung = g.Rung().String()
+		}
 	}
 	return h
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/pid"
 	"repro/internal/progress"
 	"repro/internal/rbs"
@@ -233,6 +234,22 @@ type Controller struct {
 	// the next control interval.
 	delayed []delayedActuation
 
+	// gov is the optional supervisory overload governor (the outer control
+	// loop over this inner one); nil keeps every hot path a single branch.
+	gov *overload.Governor
+	// onShed fires for every job the shed rung kills, before the kill, so
+	// observers can still resolve the job's threads.
+	onShed func(j *Job, now sim.Time)
+	// onRung fires on every ladder movement with the signals that drove it.
+	onRung func(now sim.Time, from, to overload.Rung, sig overload.Signals)
+	// sloProbe, when set, supplies the recent p99 wake→dispatch latency for
+	// the governor's SLO-driven trip point.
+	sloProbe func() sim.Duration
+	// govLastMisses/govLastDemotions turn the cumulative miss and demotion
+	// totals into per-interval deltas for the governor's signals.
+	govLastMisses    uint64
+	govLastDemotions uint64
+
 	steps      uint64
 	actuations uint64
 
@@ -390,6 +407,44 @@ func (c *Controller) OnDegrade(fn func(Degradation)) { c.onDegrade = fn }
 // recovers and the job is promoted one rung back up.
 func (c *Controller) OnRecover(fn func(Degradation)) { c.onRecover = fn }
 
+// SetGovernor installs (or clears, with nil) the supervisory overload
+// governor. Without one every governor-related path is a single nil check.
+func (c *Controller) SetGovernor(g *overload.Governor) { c.gov = g }
+
+// Governor returns the installed overload governor, or nil.
+func (c *Controller) Governor() *overload.Governor { return c.gov }
+
+// OnShed installs a callback invoked for every job the governor's shed
+// rung kills. It fires before the job's threads are retired, so the
+// callback can still resolve them.
+func (c *Controller) OnShed(fn func(j *Job, now sim.Time)) { c.onShed = fn }
+
+// OnRungChange installs a callback invoked on every brownout-ladder
+// movement, with the interval's saturation signals.
+func (c *Controller) OnRungChange(fn func(now sim.Time, from, to overload.Rung, sig overload.Signals)) {
+	c.onRung = fn
+}
+
+// SetSLOProbe installs a callback supplying the recent p99 wake→dispatch
+// latency, sampled once per control interval for the governor's
+// SLO-driven trip point.
+func (c *Controller) SetSLOProbe(fn func() sim.Duration) { c.sloProbe = fn }
+
+// AdmissionVeto consults the governor before a new admission: at the
+// throttle rung and above, new work is refused with a typed overload
+// error carrying a retry-after hint — callers get backpressure instead of
+// joining an already-saturated squish.
+func (c *Controller) AdmissionVeto() error {
+	if c.gov == nil || c.gov.Rung() < overload.Throttle {
+		return nil
+	}
+	c.health.Throttled++
+	return &OverloadError{
+		Rung:       c.gov.Rung().String(),
+		RetryAfter: c.gov.RetryAfter(c.cfg.Interval),
+	}
+}
+
 // Health returns a snapshot of the fault-tolerance counters, including the
 // number of jobs currently degraded.
 func (c *Controller) Health() Health {
@@ -539,6 +594,15 @@ func (c *Controller) Renegotiate(j *Job, proportion int) error {
 	}
 	if proportion <= 0 {
 		return &ReservationError{Proportion: proportion, Period: j.period}
+	}
+	if proportion > j.specified && c.gov != nil && c.gov.Rung() >= overload.Freeze {
+		// Freeze rung: renegotiations to larger reservations are refused;
+		// shrinking is still welcome — it helps.
+		c.health.Throttled++
+		return &OverloadError{
+			Rung:       c.gov.Rung().String(),
+			RetryAfter: c.gov.RetryAfter(c.cfg.Interval),
+		}
 	}
 	delta := proportion - j.specified
 	if delta > 0 && delta > c.available() {
@@ -798,9 +862,105 @@ func (c *Controller) step(now sim.Time) {
 		}
 	}
 
+	if c.gov != nil {
+		c.governorStep(now)
+	}
+
 	if c.onStep != nil {
 		c.onStep(now)
 	}
+}
+
+// governorStep runs the supervisory outer loop once per control interval:
+// gather the saturation signals already flowing through this step —
+// demand vs. capacity, squish compression, missed period boundaries,
+// watchdog demotion rate, and (via the SLO probe) tail latency — feed
+// them to the governor, and execute its decision.
+func (c *Controller) governorStep(now sim.Time) {
+	sig := overload.Signals{
+		// The controller's own reservation is demand too; job desires and
+		// grants are current as of this interval's passes 1 and 2.
+		Desired:  c.cfg.Reservation.Proportion,
+		Granted:  c.cfg.Reservation.Proportion,
+		Capacity: c.effectiveThreshold,
+	}
+	for _, j := range c.jobs {
+		// A job's desire is clamped to the most it could ever be granted:
+		// a squished real-rate job's raw desire integrates toward
+		// DesireCap by design (that is how it wins the squish), so the
+		// un-clamped sum would read as brownout on any machine running
+		// one busy pipeline. Demand beyond MaxProportion is not
+		// actionable and must not trip the governor.
+		d := j.desired
+		if d > c.cfg.MaxProportion {
+			d = c.cfg.MaxProportion
+		}
+		sig.Desired += d
+		sig.Granted += j.allocated
+	}
+	// lastMisses was synced to the policy's total at the top of step.
+	sig.Misses = c.lastMisses - c.govLastMisses
+	c.govLastMisses = c.lastMisses
+	sig.Demotions = c.health.Degradations - c.govLastDemotions
+	c.govLastDemotions = c.health.Degradations
+	if c.sloProbe != nil {
+		sig.RecentP99 = c.sloProbe()
+	}
+	dec := c.gov.Observe(sig)
+	if dec.Changed() && c.onRung != nil {
+		c.onRung(now, dec.From, dec.Rung, sig)
+	}
+	for n := dec.Shed; n > 0; n-- {
+		if !c.shedOne(now) {
+			break
+		}
+	}
+}
+
+// shedOne kills the lowest-importance live miscellaneous job — the shed
+// rung's importance-ordered load shedding. Only best-effort work is ever
+// a candidate: reservation-holding (real-time, aperiodic) and real-rate
+// jobs are never shed, and neither are interactive jobs (a user is
+// waiting on them). Ties break toward the oldest registration. Reports
+// whether a victim was found.
+func (c *Controller) shedOne(now sim.Time) bool {
+	var victim *Job
+	for _, j := range c.jobs {
+		if j.class != Miscellaneous {
+			continue
+		}
+		live := false
+		for _, m := range j.members {
+			if m.State() != kernel.StateExited {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		if victim == nil || j.importance < victim.importance {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	c.health.Sheds++
+	if c.onShed != nil {
+		c.onShed(victim, now)
+	}
+	// Retire is re-entrancy-safe from inside the controller's step (the
+	// kernel's busy guard defers the reschedule), and the exit hook runs
+	// synchronously, so the public layer unindexes the thread before the
+	// next shed candidate is evaluated. The job itself is reaped — and its
+	// admission headroom freed — on the next interval's reap.
+	for _, m := range victim.members {
+		if m.State() != kernel.StateExited {
+			c.kern.Retire(m)
+		}
+	}
+	return true
 }
 
 // observeUsage folds this interval's used/granted ratio into the job's

@@ -59,6 +59,24 @@ func (e *ReservationError) Error() string {
 		e.Proportion, e.Period)
 }
 
+// OverloadError reports a request refused by the overload governor's
+// system-wide brownout ladder: at the throttle rung and above new
+// admissions are rejected, and at the freeze rung renegotiations to
+// larger reservations are refused as well. Callers get backpressure
+// instead of a squished allocation; RetryAfter is the computed hint — the
+// earliest instant the ladder could possibly have unwound to normal.
+type OverloadError struct {
+	// Rung names the ladder position that refused the request
+	// ("throttle", "shed", or "freeze").
+	Rung string
+	// RetryAfter is the backpressure hint; always positive.
+	RetryAfter sim.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("core: system overloaded (rung %s); retry after %v", e.Rung, e.RetryAfter)
+}
+
 // ActuationError is raised when the dispatcher refuses a reservation the
 // controller tried to install. It used to be a panic
 // ("core: actuation failed"); now it is counted, surfaced through OnFault,
@@ -144,4 +162,8 @@ type Health struct {
 	Recoveries   uint64
 	// JobsDegraded is the number of jobs currently below LevelRealRate.
 	JobsDegraded int
+	// Sheds counts jobs killed by the overload governor's shed rung;
+	// Throttled counts admissions and renegotiations the governor refused.
+	Sheds     uint64
+	Throttled uint64
 }

@@ -108,6 +108,12 @@ type Stats struct {
 	TimerFires uint64
 	Wakeups    uint64
 	Migrations uint64
+	// Exits counts threads that left the machine for good — program OpExit
+	// and forced Retires alike. Retires counts only the forced removals
+	// (admission-undo and overload shedding), so Exits − Retires is the
+	// count of natural completions.
+	Exits   uint64
+	Retires uint64
 	// CPUs is the machine's CPU count; capacity is Elapsed × CPUs.
 	CPUs int
 }
@@ -1019,6 +1025,7 @@ func (k *Kernel) Retire(t *Thread) {
 		t.wakeTimer.Cancel()
 		t.wakeTimer = nil
 	}
+	k.stats.Retires++
 	k.exit(t, now)
 	k.reschedule(now)
 }
@@ -1026,6 +1033,7 @@ func (k *Kernel) Retire(t *Thread) {
 // exit retires the thread.
 func (k *Kernel) exit(t *Thread, now sim.Time) {
 	t.state = StateExited
+	k.stats.Exits++
 	t.finishOp()
 	k.policy.Dequeue(t, now)
 	k.policy.RemoveThread(t, now)

@@ -80,6 +80,10 @@ type Thread struct {
 
 	// Sched is the policy's per-thread state; the kernel never touches it.
 	Sched any
+	// User is the embedding layer's per-thread state (the public package
+	// stores its handle here so tracer-driven taps skip the map
+	// translation); the kernel never touches it.
+	User any
 }
 
 // ID returns the thread's kernel-assigned identifier.

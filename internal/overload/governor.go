@@ -1,0 +1,258 @@
+// Package overload implements the supervisory overload governor: an outer
+// control loop layered over the paper's per-job feedback allocator. The
+// inner loop (internal/core) answers "how much CPU should each job get";
+// the governor answers "is the machine as a whole over-committed, and what
+// system-wide degradation rung should be active". It is a pure,
+// deterministic state machine — the controller feeds it one Signals sample
+// per 10 ms interval and acts on the returned Decision — so it can be
+// unit-tested and fuzzed in isolation from the kernel.
+//
+// The ladder has four rungs with one-step transitions and hysteresis:
+//
+//	normal   — nothing; the inner loop (squish) handles transients.
+//	throttle — new admissions are rejected with a retry-after hint.
+//	shed     — additionally, the lowest-importance miscellaneous jobs are
+//	           killed, one batch per interval, until the recovery band
+//	           clears.
+//	freeze   — additionally, renegotiations to larger reservations refuse.
+//
+// Saturation is judged from signals already flowing through the stack:
+// the desire-vs-capacity gap, the squish compression ratio, missed period
+// boundaries, watchdog demotion rate, and (optionally) the recent p99
+// wake→dispatch latency against a configured SLO. Escalation requires
+// TripIntervals consecutive saturated samples; de-escalation requires
+// RecoverIntervals consecutive healthy samples against a lower recovery
+// band, so the ladder cannot chatter at the trip point.
+package overload
+
+import "repro/internal/sim"
+
+// Rung is one step of the system-wide brownout ladder.
+type Rung int
+
+const (
+	// Normal: no governor intervention.
+	Normal Rung = iota
+	// Throttle: new admissions are rejected with a retry-after hint.
+	Throttle
+	// Shed: lowest-importance miscellaneous jobs are killed in importance
+	// order, one batch per saturated interval.
+	Shed
+	// Freeze: renegotiations to larger reservations are refused.
+	Freeze
+)
+
+func (r Rung) String() string {
+	switch r {
+	case Normal:
+		return "normal"
+	case Throttle:
+		return "throttle"
+	case Shed:
+		return "shed"
+	case Freeze:
+		return "freeze"
+	default:
+		return "rung(?)"
+	}
+}
+
+// Config tunes the governor's trip points and hysteresis. The zero value
+// of any field selects the default.
+type Config struct {
+	// GapFactor trips the demand test when the summed desire exceeds
+	// Capacity × GapFactor. Above 1.0 means "over-committed beyond what
+	// squish can absorb gracefully". Default 1.5.
+	GapFactor float64
+	// SquishTrip is the compression-ratio floor: the demand test only
+	// counts as saturation while Granted/Desired has actually fallen below
+	// this ratio (jobs are visibly squished, not merely asking). Default
+	// 0.75.
+	SquishTrip float64
+	// MissTrip counts missed period boundaries per interval at or above
+	// which the sample is saturated regardless of the demand test.
+	// 0 disables the miss test.
+	MissTrip uint64
+	// DemoteTrip counts watchdog demotions per interval at or above which
+	// the sample is saturated. 0 disables the demotion test.
+	DemoteTrip uint64
+	// LatencyTrip marks the sample saturated when the recent p99
+	// wake→dispatch latency (Signals.RecentP99) exceeds it — the SLO-driven
+	// trip point. 0 disables the latency test.
+	LatencyTrip sim.Duration
+	// TripIntervals is how many consecutive saturated samples escalate the
+	// ladder by one rung. Default 25 (250 ms at the 10 ms interval).
+	TripIntervals int
+	// RecoverIntervals is how many consecutive healthy samples de-escalate
+	// by one rung — the bounded-recovery clock. Default 50.
+	RecoverIntervals int
+	// ShedBatch is how many jobs the Shed rung kills per interval while
+	// the recovery band has not cleared. Default 1.
+	ShedBatch int
+}
+
+// withDefaults resolves zero fields to defaults.
+func (c Config) withDefaults() Config {
+	if c.GapFactor <= 0 {
+		c.GapFactor = 1.5
+	}
+	if c.SquishTrip <= 0 {
+		c.SquishTrip = 0.75
+	}
+	if c.TripIntervals <= 0 {
+		c.TripIntervals = 25
+	}
+	if c.RecoverIntervals <= 0 {
+		c.RecoverIntervals = 50
+	}
+	if c.ShedBatch <= 0 {
+		c.ShedBatch = 1
+	}
+	return c
+}
+
+// Signals is one interval's saturation evidence, gathered by the
+// controller at the end of its allocation pass.
+type Signals struct {
+	// Desired is the summed demand in ppt: reservations plus every
+	// adaptive job's desire before squishing.
+	Desired int
+	// Granted is the summed allocation in ppt actually handed out.
+	Granted int
+	// Capacity is the machine's allocatable budget in ppt (the effective
+	// overload threshold across all CPUs).
+	Capacity int
+	// Misses is the count of missed period boundaries this interval.
+	Misses uint64
+	// Demotions is the count of watchdog demotions this interval.
+	Demotions uint64
+	// RecentP99 is the recent p99 wake→dispatch latency, or 0 when SLO
+	// accounting is off.
+	RecentP99 sim.Duration
+}
+
+// Decision is what the controller must do after one Observe call.
+type Decision struct {
+	// Rung is the ladder position after this sample.
+	Rung Rung
+	// From is the previous rung; From != Rung means the ladder moved.
+	From Rung
+	// Shed is how many jobs to shed this interval: nonzero only at Shed
+	// rung and above, while the sample has not cleared the recovery band.
+	Shed int
+	// Saturated reports how this sample was judged.
+	Saturated bool
+}
+
+// Changed reports whether the ladder moved on this sample.
+func (d Decision) Changed() bool { return d.Rung != d.From }
+
+// Governor is the ladder state machine. Not safe for concurrent use; the
+// controller owns it and calls Observe from its step.
+type Governor struct {
+	cfg Config
+
+	rung      Rung
+	satStreak int
+	okStreak  int
+}
+
+// New creates a governor at the normal rung.
+func New(cfg Config) *Governor {
+	return &Governor{cfg: cfg.withDefaults()}
+}
+
+// Rung returns the current ladder position.
+func (g *Governor) Rung() Rung { return g.rung }
+
+// Config returns the resolved configuration.
+func (g *Governor) Config() Config { return g.cfg }
+
+// saturated judges one sample against the trip band scaled by factor:
+// factor 1.0 is the escalation band; the recovery test uses a smaller
+// factor so the ladder only unwinds once demand has clearly subsided.
+func (g *Governor) saturated(s Signals, factor float64) bool {
+	if g.cfg.MissTrip > 0 && s.Misses >= g.cfg.MissTrip {
+		return true
+	}
+	if g.cfg.DemoteTrip > 0 && s.Demotions >= g.cfg.DemoteTrip {
+		return true
+	}
+	if g.cfg.LatencyTrip > 0 && s.RecentP99 > g.cfg.LatencyTrip {
+		return true
+	}
+	if s.Capacity <= 0 {
+		// A machine with no allocatable budget is saturated by definition
+		// whenever anything wants CPU.
+		return s.Desired > 0
+	}
+	gap := float64(s.Desired) > float64(s.Capacity)*g.cfg.GapFactor*factor
+	if !gap {
+		return false
+	}
+	// Demand alone is not enough: jobs must actually be compressed.
+	if s.Desired <= 0 {
+		return false
+	}
+	return float64(s.Granted)/float64(s.Desired) < g.cfg.SquishTrip
+}
+
+// recoveryBand shrinks the demand trip for the healthy test, providing the
+// hysteresis gap between "stop escalating" and "start recovering".
+const recoveryBand = 0.8
+
+// Observe feeds one interval's signals and returns what to do. Escalation
+// and de-escalation both move exactly one rung per decision (bounded
+// recovery), and a streak must rebuild from zero after every move.
+func (g *Governor) Observe(s Signals) Decision {
+	d := Decision{From: g.rung}
+	sat := g.saturated(s, 1.0)
+	healthy := !g.saturated(s, recoveryBand)
+	switch {
+	case sat:
+		g.satStreak++
+		g.okStreak = 0
+	case healthy:
+		g.okStreak++
+		g.satStreak = 0
+	default:
+		// The dead zone between the trip and recovery bands: hold position.
+		g.satStreak = 0
+		g.okStreak = 0
+	}
+	if sat && g.satStreak >= g.cfg.TripIntervals && g.rung < Freeze {
+		g.rung++
+		g.satStreak = 0
+	}
+	if !sat && g.okStreak >= g.cfg.RecoverIntervals && g.rung > Normal {
+		g.rung--
+		g.okStreak = 0
+	}
+	d.Rung = g.rung
+	d.Saturated = sat
+	// The shed rung keeps shedding until the system clears the RECOVERY
+	// band, not merely the trip band. Shedding only while fully saturated
+	// would strand the ladder in the dead zone between the two bands:
+	// demand too low to escalate or shed further, too high to ever count
+	// healthy — brownout without bounded recovery. Shedding to the
+	// low-water mark guarantees the ladder unwinds once the storm passes.
+	if !healthy && g.rung >= Shed {
+		d.Shed = g.cfg.ShedBatch
+	}
+	return d
+}
+
+// RetryAfter computes the backpressure hint handed to throttled callers:
+// the governor cannot possibly unwind the current rung in less than
+// rung × RecoverIntervals healthy intervals, so that is the earliest a
+// retry could be admitted. Never less than one interval.
+func (g *Governor) RetryAfter(interval sim.Duration) sim.Duration {
+	if interval <= 0 {
+		interval = 10 * sim.Millisecond
+	}
+	steps := int(g.rung) * g.cfg.RecoverIntervals
+	if steps < 1 {
+		steps = 1
+	}
+	return interval * sim.Duration(steps)
+}

@@ -14,6 +14,10 @@ import (
 // cycles against it.
 const clockHz = 400_000_000
 
+// overloadMaxLife caps arrival lifetimes in the overload family so the
+// storm's demand drains deterministically once admissions stop.
+const overloadMaxLife = 150 * time.Millisecond
+
 // taskPlan is one concrete generated task: every parameter already drawn.
 type taskPlan struct {
 	name string
@@ -35,6 +39,9 @@ type taskPlan struct {
 	// pin is the Affinity CPU plus one (0 = unpinned); the +1 keeps the
 	// zero value meaning "any CPU".
 	pin int
+	// importance is the weighted-fair-share weight (0 = leave the default);
+	// the overload family draws it so shed order is observable.
+	importance float64
 }
 
 // affinity returns the 0-based pinned CPU, or -1 when unpinned.
@@ -140,11 +147,18 @@ func Generate(spec Spec) *Scenario {
 		})
 	}
 	for i := 0; i < ts.Misc; i++ {
-		sc.tasks = append(sc.tasks, taskPlan{
+		tp := taskPlan{
 			name: fmt.Sprintf("misc%d", i), kind: KindMisc,
 			burst:  n64(100_000, 400_000),
 			pinned: ts.PinnedHog && i == 0,
-		})
+		}
+		// Every new draw below is gated on spec.Overload so the draw
+		// streams — and therefore the scenarios — of the other families
+		// stay byte-identical to what they were before the governor.
+		if spec.Overload {
+			tp.importance = float64(n(1, 9))
+		}
+		sc.tasks = append(sc.tasks, tp)
 	}
 	if ts.PinnedPerCPU {
 		// One immortal hog pinned to every CPU: the anchor of the per-CPU
@@ -178,6 +192,15 @@ func Generate(spec Spec) *Scenario {
 		tp := drawArrivalTask(rng, a.Kind, fmt.Sprintf("arr%d", i))
 		if spec.Arrivals.MeanLife > 0 {
 			tp.life = expLife(rng, spec.Arrivals.MeanLife)
+		}
+		if spec.Overload {
+			tp.importance = float64(n(1, 9))
+			// Clamp lifetimes so the arrival storm provably subsides and
+			// the recovery oracle (rung back to normal by run end) is a
+			// property of the governor, not of a lucky exponential tail.
+			if tp.life > overloadMaxLife {
+				tp.life = overloadMaxLife
+			}
 		}
 		sc.arrivals = append(sc.arrivals, arrivalPlan{at: a.At, task: tp})
 	}
@@ -357,6 +380,18 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 		cfg.Controller.WatchdogIntervals = 6
 		cfg.Controller.WatchdogRecovery = 3
 	}
+	if sc.Spec.Overload {
+		// Fast governor tuning for short generated runs: trip after 5
+		// saturated intervals (~50 ms at the default 10 ms interval), walk
+		// back up after 7 healthy ones, so a 1 s storm can climb the ladder
+		// and still recover to normal before the run ends.
+		cfg.Overload = &realrate.OverloadConfig{
+			TripIntervals:    5,
+			RecoverIntervals: 7,
+			ShedBatch:        1,
+			LatencySLO:       5 * time.Millisecond,
+		}
+	}
 	sys := realrate.NewSystem(cfg)
 	r := &run{
 		sc:     sc,
@@ -454,7 +489,11 @@ func (r *run) spawnTask(tp taskPlan) {
 	}
 	switch tp.kind {
 	case KindMisc:
-		th, err = r.sys.Spawn(tp.name, hogProgram(tp.burst, dieAt), with()...)
+		var opts []realrate.SpawnOption
+		if tp.importance > 0 {
+			opts = append(opts, realrate.Importance(tp.importance))
+		}
+		th, err = r.sys.Spawn(tp.name, hogProgram(tp.burst, dieAt), with(opts...)...)
 	case KindUnmanaged:
 		th, err = r.sys.Spawn(tp.name, hogProgram(tp.burst, dieAt), with(realrate.Unmanaged())...)
 	case KindRealTime:

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -48,7 +49,15 @@ type Report struct {
 	FaultEvents  int
 	Degradations int
 	Recoveries   int
-	Violations   []Violation
+	// OverloadEvents, Sheds, and Throttled count the overload governor's
+	// activity (zero outside the overload family); MaxRung and FinalRung
+	// are the highest and last brownout rungs observed.
+	OverloadEvents int
+	Sheds          int
+	Throttled      uint64
+	MaxRung        string
+	FinalRung      string
+	Violations     []Violation
 	// TruncatedViolations counts breaches beyond the recording cap.
 	TruncatedViolations int
 }
@@ -149,6 +158,16 @@ type checker struct {
 	stallTotal         time.Duration
 	lastSignalFaultEnd time.Duration
 
+	// Overload-governor oracles (the overload family). overload mirrors
+	// Spec.Overload; rung tracks the ladder through OnOverload events (the
+	// governor starts at normal, so "" means "no movement yet"); maxRung
+	// is the deepest rung seen.
+	overload       bool
+	overloadEvents int
+	sheds          int
+	rung           string
+	maxRung        string
+
 	violations []Violation
 	truncated  int
 }
@@ -165,6 +184,9 @@ func newChecker(sys *realrate.System, policy string, sc *Scenario) *checker {
 		faultTargets: make(map[string]bool),
 		actTargets:   make(map[string]bool),
 		degradeDepth: make(map[string]int),
+		overload:     sc.Spec.Overload,
+		rung:         "normal",
+		maxRung:      "normal",
 	}
 	for _, f := range sc.Spec.Faults {
 		if f.Target == "" {
@@ -325,15 +347,39 @@ func (c *checker) OnActuation(now time.Duration, th *realrate.Thread, prop int, 
 // OnQuality implements realrate.Observer.
 func (c *checker) OnQuality(ev realrate.QualityEvent) { c.quality++ }
 
-// OnAdmission implements realrate.Observer.
+// OnAdmission implements realrate.Observer. Every rejection must carry
+// one of the typed public errors — *AdmissionError, *ReservationError, or
+// *OverloadError — and an overload rejection is only legal when a
+// governor is actually installed (the overload family under RBS) and must
+// carry a positive retry-after hint.
 func (c *checker) OnAdmission(ev realrate.AdmissionEvent) {
 	if ev.Accepted {
 		c.admitOK++
-	} else {
-		c.admitRej++
-		if ev.Err == nil {
-			c.violate("admission", ev.Time, "rejection without error for %d ppt", ev.Requested)
+		return
+	}
+	c.admitRej++
+	if ev.Err == nil {
+		c.violate("admission", ev.Time, "rejection without error for %d ppt", ev.Requested)
+		return
+	}
+	var (
+		ae *realrate.AdmissionError
+		re *realrate.ReservationError
+		oe *realrate.OverloadError
+	)
+	switch {
+	case errors.As(ev.Err, &oe):
+		if !c.overload || !c.rbs {
+			c.violate("overload-unplanned", ev.Time,
+				"OverloadError %q without a governor (overload=%v policy=%s)", ev.Err, c.overload, c.policy)
 		}
+		if oe.RetryAfter <= 0 {
+			c.violate("overload-backpressure", ev.Time,
+				"OverloadError at rung %q with non-positive retry-after %v", oe.Rung, oe.RetryAfter)
+		}
+	case errors.As(ev.Err, &ae), errors.As(ev.Err, &re):
+	default:
+		c.violate("typed-error", ev.Time, "rejection with untyped error %T: %v", ev.Err, ev.Err)
 	}
 }
 
@@ -400,6 +446,87 @@ func (c *checker) OnRecover(ev realrate.RecoverEvent) {
 	c.degradeDepth[name]--
 	if c.degradeDepth[name] < 0 {
 		c.violate("ladder-pairing", ev.Time, "thread %s recovered without a matching degrade", name)
+	}
+}
+
+// rungLevel orders the brownout ladder for the one-step-at-a-time check.
+func rungLevel(name string) int {
+	switch name {
+	case "normal":
+		return 0
+	case "throttle":
+		return 1
+	case "shed":
+		return 2
+	case "freeze":
+		return 3
+	}
+	return -1
+}
+
+// OnOverload implements realrate.Observer: ladder movements only happen
+// with a governor installed, move exactly one rung at a time, and chain —
+// each movement starts from the rung the previous one ended on.
+func (c *checker) OnOverload(ev realrate.OverloadEvent) {
+	c.overloadEvents++
+	if !c.overload || !c.rbs {
+		c.violate("overload-unplanned", ev.Time,
+			"OnOverload %s -> %s without a governor (overload=%v policy=%s)",
+			ev.From, ev.To, c.overload, c.policy)
+		return
+	}
+	from, to := rungLevel(ev.From), rungLevel(ev.To)
+	if from < 0 || to < 0 {
+		c.violate("overload-ladder", ev.Time, "unknown rung in movement %q -> %q", ev.From, ev.To)
+		return
+	}
+	if d := to - from; d != 1 && d != -1 {
+		c.violate("overload-ladder", ev.Time, "ladder moved %d rungs at once (%s -> %s)", d, ev.From, ev.To)
+	}
+	if ev.From != c.rung {
+		c.violate("overload-ladder", ev.Time,
+			"movement starts at %q but the ladder was last seen at %q", ev.From, c.rung)
+	}
+	c.rung = ev.To
+	if rungLevel(ev.To) > rungLevel(c.maxRung) {
+		c.maxRung = ev.To
+	}
+}
+
+// OnShed implements realrate.Observer: the governor only sheds
+// miscellaneous threads (reservations, real-rate pipelines, and
+// interactive threads are never touched), only at the shed rung or above,
+// and always a minimum-importance victim among the live miscellaneous
+// threads.
+func (c *checker) OnShed(ev realrate.ShedEvent) {
+	c.sheds++
+	if !c.overload || !c.rbs {
+		c.violate("overload-unplanned", ev.Time,
+			"OnShed without a governor (overload=%v policy=%s)", c.overload, c.policy)
+		return
+	}
+	name := "?"
+	if ev.Thread != nil {
+		name = ev.Thread.Name()
+	}
+	if ev.Class != "miscellaneous" {
+		c.violate("shed-class", ev.Time, "shed %s of class %q (only miscellaneous may be shed)",
+			name, ev.Class)
+	}
+	if rungLevel(ev.Rung) < rungLevel("shed") {
+		c.violate("overload-ladder", ev.Time, "shed of %s at rung %q (below shed)", name, ev.Rung)
+	}
+	// Importance order: the event fires before the victim retires, so the
+	// victim itself is still live and the minimum includes it.
+	for _, tt := range c.tracked {
+		if tt.exited || tt.th.State() == "exited" || tt.th.Class() != "miscellaneous" {
+			continue
+		}
+		if imp := tt.th.Importance(); imp < ev.Importance {
+			c.violate("shed-order", ev.Time,
+				"shed %s (importance %.1f) while %s (importance %.1f) was live",
+				name, ev.Importance, tt.name, imp)
+		}
 	}
 }
 
@@ -697,6 +824,24 @@ func (c *checker) finish() {
 		}
 	}
 
+	// Brownout recovery: the overload family's arrival storm ends at 55%
+	// of the run and its lifetimes are clamped, so by the end demand has
+	// drained and the governor must have unwound the ladder to normal.
+	// The checker's event-chained view and the system's own rung must
+	// agree throughout, and they must both be back at normal here.
+	if c.overload && c.rbs {
+		h := c.sys.Health()
+		if h.OverloadRung != c.rung {
+			c.violate("overload-ladder", end,
+				"system reports rung %q but ladder events chain to %q", h.OverloadRung, c.rung)
+		}
+		if c.rung != "normal" {
+			c.violate("overload-recovery", end,
+				"ladder still at %q at run end (max rung %q, %d sheds, %d throttled)",
+				c.rung, c.maxRung, c.sheds, h.Throttled)
+		}
+	}
+
 	// Bounded recovery: once the last signal-affecting fault clears with
 	// enough runway before the end of the run, every surviving real-rate
 	// job must have climbed back to the healthy rung.
@@ -730,6 +875,11 @@ func (c *checker) report() Report {
 		FaultEvents:         c.faultEvents,
 		Degradations:        c.degrades,
 		Recoveries:          c.recovers,
+		OverloadEvents:      c.overloadEvents,
+		Sheds:               c.sheds,
+		Throttled:           c.sys.Health().Throttled,
+		MaxRung:             c.maxRung,
+		FinalRung:           c.rung,
 		Violations:          c.violations,
 		TruncatedViolations: c.truncated,
 	}

@@ -1,0 +1,132 @@
+package gen_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	realrate "repro"
+
+	"repro/internal/workload/gen"
+)
+
+// governorCounter tallies the overload governor's events of one run
+// through the public observer hooks.
+type governorCounter struct {
+	realrate.NopObserver
+	overloads, sheds int
+	typedRejects     int
+	maxRung          string
+}
+
+func (g *governorCounter) OnOverload(ev realrate.OverloadEvent) {
+	g.overloads++
+	if rungOrder(ev.To) > rungOrder(g.maxRung) {
+		g.maxRung = ev.To
+	}
+}
+
+func (g *governorCounter) OnShed(ev realrate.ShedEvent) { g.sheds++ }
+
+func (g *governorCounter) OnAdmission(ev realrate.AdmissionEvent) {
+	var oe *realrate.OverloadError
+	if !ev.Accepted && errors.As(ev.Err, &oe) {
+		g.typedRejects++
+	}
+}
+
+func rungOrder(name string) int {
+	switch name {
+	case "throttle":
+		return 1
+	case "shed":
+		return 2
+	case "freeze":
+		return 3
+	}
+	return 0
+}
+
+// TestOverloadFamilyExercisesGovernor asserts the overload family is not
+// vacuous: across seeds the arrival storms actually trip the brownout
+// ladder, admissions are actually refused with the typed *OverloadError,
+// threads are actually shed — and every single run still unwinds the
+// ladder back to normal before the end (the per-run recovery oracle in
+// the checker). Individual seeds may draw storms too mild to reach the
+// shed rung, so the activity assertions aggregate.
+func TestOverloadFamilyExercisesGovernor(t *testing.T) {
+	overloads, sheds, typed := 0, 0, 0
+	var throttled uint64
+	for seed := uint64(1); seed <= 10; seed++ {
+		sp, err := gen.ForSeed("overload", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sp.Overload {
+			t.Fatalf("seed %d: overload spec without the Overload flag", seed)
+		}
+		obs := &governorCounter{}
+		res, err := gen.Generate(sp).Run(gen.RunOpts{Policy: "rbs", Observer: obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Report.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		if res.Report.FinalRung != "normal" {
+			t.Errorf("seed %d: run ended at rung %q, want normal", seed, res.Report.FinalRung)
+		}
+		if obs.overloads != res.Report.OverloadEvents || obs.sheds != res.Report.Sheds {
+			t.Errorf("seed %d: observer saw %d/%d governor events, checker %d/%d",
+				seed, obs.overloads, obs.sheds, res.Report.OverloadEvents, res.Report.Sheds)
+		}
+		overloads += obs.overloads
+		sheds += obs.sheds
+		typed += obs.typedRejects
+		throttled += res.Report.Throttled
+	}
+	if overloads == 0 {
+		t.Error("the brownout ladder never moved across 10 overload scenarios")
+	}
+	if throttled == 0 {
+		t.Error("no admission was ever throttled across 10 overload scenarios")
+	}
+	if typed == 0 {
+		t.Error("no rejection ever carried a typed *OverloadError across 10 overload scenarios")
+	}
+	if sheds == 0 {
+		t.Error("no thread was ever shed across 10 overload scenarios")
+	}
+}
+
+// TestOverloadFamilyAcrossCPUCounts runs the storm suite on single- and
+// multi-CPU machines under every policy: whatever the machine shape, the
+// conformance oracles — shed ordering, ladder chaining, typed errors,
+// bounded recovery — must hold, and baseline policies (no governor) must
+// never see governor activity.
+func TestOverloadFamilyAcrossCPUCounts(t *testing.T) {
+	for _, cpus := range []int{1, 4} {
+		cpus := cpus
+		t.Run(fmt.Sprintf("cpus=%d", cpus), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 5; seed++ {
+				violations, reports, err := gen.Check("overload", seed, gen.CheckOpts{CPUs: cpus})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range violations {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+				for _, r := range reports {
+					if r.Samples == 0 {
+						t.Errorf("seed %d policy %s: checker never sampled", seed, r.Policy)
+					}
+					if r.Policy != "rbs" && (r.OverloadEvents > 0 || r.Sheds > 0) {
+						t.Errorf("seed %d policy %s: governor activity without a controller (%d events, %d sheds)",
+							seed, r.Policy, r.OverloadEvents, r.Sheds)
+					}
+				}
+			}
+		})
+	}
+}

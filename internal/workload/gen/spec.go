@@ -208,6 +208,11 @@ type Spec struct {
 	// It is fully determined by (Family, Seed), so replay regenerates it
 	// instead of carrying it through the trace codec.
 	Faults []realrate.FaultSpec
+	// Overload marks the overload family: the runner installs a
+	// fast-tripping overload governor, the generator draws misc
+	// importances and hard-clamps arrival lifetimes, and the checker arms
+	// the brownout-ladder oracles.
+	Overload bool
 }
 
 // NumCPUs returns the normalized CPU count (at least 1).
@@ -254,7 +259,7 @@ func (s Spec) Scale(f float64) Spec {
 
 // Families lists the scenario families ForSeed accepts, in a fixed order.
 func Families() []string {
-	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace", "smp", "faults"}
+	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace", "smp", "faults", "overload"}
 }
 
 // ForSeed derives the declarative spec for one (family, seed) point. Every
@@ -377,6 +382,28 @@ func ForSeed(family string, seed uint64) (Spec, error) {
 			PinnedHog: true,
 		}
 		sp.Faults = drawFaults(rng, sp)
+	case "overload":
+		// Sustained open-loop overload: a flood of best-effort arrivals at
+		// roughly twice what the machine can absorb, over a small reserved
+		// base plus resident misc hogs with drawn importances (the shed
+		// rung's ordered victims). The arrival window is clipped to the
+		// first ~55% of the run and every lifetime is hard-clamped by the
+		// runner, so demand deterministically subsides and the
+		// recovers-to-normal oracle has a guaranteed settle window. No
+		// pinned hog: after shedding, the machine may legitimately idle.
+		sp.Duration = ms(1000, 1300)
+		sp.Overload = true
+		sp.Taskset = TasksetSpec{
+			RealTime: n(1, 2), Misc: n(2, 4),
+		}
+		mix := []TaskKind{KindMisc}
+		loadFor := sp.Duration * 55 / 100
+		storm := drawArrivals(rng, ArrivalSpec{
+			Process: Poisson, Rate: float64(n(60, 120)), Mix: mix,
+		}, loadFor)
+		sp.Arrivals = ArrivalSpec{
+			Process: Trace, Trace: storm, MeanLife: ms(50, 90), Mix: mix,
+		}
 	default:
 		return Spec{}, fmt.Errorf("gen: unknown scenario family %q (have %v)", family, Families())
 	}

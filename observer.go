@@ -52,6 +52,13 @@ type Observer interface {
 	// and it is promoted one rung back up. Every OnRecover pairs with an
 	// earlier OnDegrade for the same thread.
 	OnRecover(ev RecoverEvent)
+	// OnOverload fires on every movement of the overload governor's
+	// brownout ladder (see OverloadConfig). It never fires with
+	// Config.Overload nil.
+	OnOverload(ev OverloadEvent)
+	// OnShed fires for every thread the governor's shed rung kills, just
+	// before the kill; an OnExit for the same thread follows.
+	OnShed(ev ShedEvent)
 }
 
 // AdmissionEvent is one admission-control decision.
@@ -102,6 +109,12 @@ func (NopObserver) OnDegrade(DegradeEvent) {}
 // OnRecover implements Observer.
 func (NopObserver) OnRecover(RecoverEvent) {}
 
+// OnOverload implements Observer.
+func (NopObserver) OnOverload(OverloadEvent) {}
+
+// OnShed implements Observer.
+func (NopObserver) OnShed(ShedEvent) {}
+
 // Observe registers an observer. Multiple observers fire in registration
 // order. Call before Run; observers cannot be removed.
 func (s *System) Observe(o Observer) {
@@ -121,6 +134,9 @@ type observerHub struct {
 	sys *System
 	rec kernel.Tracer // the trace recorder, when tracing is enabled
 	obs []Observer
+	// slo is the SLO latency tracker, set iff Config.Overload enabled it;
+	// it taps the wake and dispatch edges.
+	slo *sloTracker
 
 	installed bool
 }
@@ -143,6 +159,9 @@ func (h *observerHub) install() {
 func (h *observerHub) OnDispatch(now sim.Time, t *kernel.Thread) {
 	if h.rec != nil {
 		h.rec.OnDispatch(now, t)
+	}
+	if h.slo != nil {
+		h.slo.dispatch(now, t)
 	}
 	if len(h.obs) > 0 {
 		th := h.sys.byKern[t]
@@ -174,10 +193,13 @@ func (h *observerHub) OnDeschedule(now sim.Time, t *kernel.Thread, ran sim.Durat
 	}
 }
 
-// OnWake implements kernel.Tracer (recorder-only).
+// OnWake implements kernel.Tracer (recorder and SLO tracker).
 func (h *observerHub) OnWake(now sim.Time, t *kernel.Thread) {
 	if h.rec != nil {
 		h.rec.OnWake(now, t)
+	}
+	if h.slo != nil {
+		h.slo.wake(now, t)
 	}
 }
 

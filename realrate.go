@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/kernel"
+	"repro/internal/overload"
 	"repro/internal/progress"
 	"repro/internal/rbs"
 	"repro/internal/sim"
@@ -97,6 +98,11 @@ type Config struct {
 	// costs nothing: the hot paths pay one nil check and the dispatch
 	// schedule is byte-identical to a build without the fault apparatus.
 	Faults *FaultPlan
+	// Overload installs the supervisory overload governor and enables SLO
+	// latency accounting (see OverloadConfig and System.SLO). Nil — the
+	// default — costs nothing: the hot paths pay one nil check and the
+	// dispatch schedule is byte-identical to a build without the governor.
+	Overload *OverloadConfig
 }
 
 // ControllerTuning exposes the controller knobs that experiments vary.
@@ -143,6 +149,10 @@ type System struct {
 
 	hub       observerHub
 	onQuality func(QualityEvent)
+
+	// slo is the wake→dispatch latency tracker, nil without
+	// Config.Overload.
+	slo *sloTracker
 
 	// faults is the compiled fault injector, nil without Config.Faults.
 	faults *faults.Injector
@@ -268,6 +278,26 @@ func NewSystem(cfg Config) *System {
 		s.ctl.OnRecover(s.fireRecover)
 		if s.faults != nil {
 			s.ctl.SetFaults(s.faults)
+		}
+	}
+	if cfg.Overload != nil {
+		// SLO accounting taps the kernel's wake/dispatch edges through the
+		// observer hub, under every policy; the brownout ladder itself
+		// needs the controller's saturation signals, so it only runs under
+		// the feedback policy.
+		s.slo = newSLOTracker(s, cfg.Overload.LatencySLO)
+		s.hub.slo = s.slo
+		s.hub.install()
+		if s.ctl != nil {
+			s.ctl.SetGovernor(overload.New(cfg.Overload.governorConfig()))
+			s.ctl.OnShed(s.fireShed)
+			s.ctl.OnRungChange(s.fireOverload)
+			if cfg.Overload.LatencyTrip > 0 {
+				// The probe sorts the recent latency window every control
+				// interval — only worth paying when the ladder is actually
+				// latency-driven.
+				s.ctl.SetSLOProbe(s.slo.recentP99)
+			}
 		}
 	}
 	return s

@@ -31,4 +31,10 @@ go test -run '^$' -bench 'BenchmarkChurnThroughput' -benchtime 10x -benchmem . >
 # fall as CPUs grow (the SMP kernel's throughput claim).
 go test -run '^$' -bench 'BenchmarkStormSMP' -benchtime 3x -benchmem . >>"$tmp" 2>&1
 
+# Overload governor bench: the same hog storm with the governor off and
+# enabled-but-idle. The dispatches metric (storm throughput on the
+# simulated machine) must be identical; the ns/op delta is the host-side
+# SLO-tap/governor instrumentation cost.
+go test -run '^$' -bench 'BenchmarkOverloadGovernor' -benchtime 10x -benchmem . >>"$tmp" 2>&1
+
 go run ./scripts/benchmerge -file BENCH_results.json -date "$(date -u +%F)" -label "$label" <"$tmp"

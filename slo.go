@@ -1,0 +1,213 @@
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// SLO accounting promotes the trace recorder's reservoir-sampled
+// wake→dispatch latencies to a first-class, always-on (when
+// Config.Overload is set) per-job and per-class tail-latency metric: the
+// time between a thread becoming runnable and actually getting a CPU is
+// the user-visible scheduling latency, and its p99/p999 against a target
+// is what "degraded" means to a caller. The tracker also keeps a short
+// recent window whose p99 feeds the overload governor's SLO-driven trip
+// point (OverloadConfig.LatencyTrip).
+
+// sloCaps bound the tracker's footprint: past each cap, reservoir
+// sampling (fixed-seed, deterministic) keeps a uniform sample of the
+// whole run, so 10k-thread storms don't grow the heap without bound.
+const (
+	sloJobSamples   = 512
+	sloClassSamples = 4096
+	sloRecent       = 256
+)
+
+// sloSeries is one reservoir of latency samples (in seconds) plus exact
+// attainment counters — attainment is counted per sample, not estimated
+// from the reservoir.
+type sloSeries struct {
+	seen     uint64
+	attained uint64
+	samples  []float64
+}
+
+func (ss *sloSeries) add(rng *sim.RNG, lat float64, ok bool, cap int) {
+	ss.seen++
+	if ok {
+		ss.attained++
+	}
+	if len(ss.samples) < cap {
+		ss.samples = append(ss.samples, lat)
+		return
+	}
+	if i := rng.Intn(int(ss.seen)); i < cap {
+		ss.samples[i] = lat
+	}
+}
+
+// sloTracker is installed on the observer hub when Config.Overload is
+// set; the hub feeds it every OnWake/OnDispatch edge. The pending wake
+// instant and the per-job/per-class series pointers are cached on the
+// Thread handle, so the per-sample cost is one pointer-map translation
+// plus reservoir arithmetic — no map churn, no string hashing.
+type sloTracker struct {
+	sys    *System
+	target sim.Duration
+	rng    *sim.RNG
+
+	byJob   map[string]*sloSeries
+	byClass map[string]*sloSeries
+	total   sloSeries
+
+	// recent is a ring of the newest latencies (seconds) for the
+	// governor's SLO trip probe.
+	recent    []float64
+	recentIdx int
+	scratch   []float64
+}
+
+// DefaultLatencySLO is the wake→dispatch target used when
+// OverloadConfig.LatencySLO is zero: ten timer ticks.
+const DefaultLatencySLO = 10 * time.Millisecond
+
+func newSLOTracker(sys *System, target time.Duration) *sloTracker {
+	if target <= 0 {
+		target = DefaultLatencySLO
+	}
+	return &sloTracker{
+		sys:     sys,
+		target:  sim.FromStd(target),
+		rng:     sim.NewRNG(0x510_51_0), // fixed seed: deterministic reservoirs
+		byJob:   make(map[string]*sloSeries),
+		byClass: make(map[string]*sloSeries),
+	}
+}
+
+// wake records the instant a thread became runnable. A thread woken twice
+// before running keeps the first instant — the latency is measured from
+// when it first could have run.
+func (tr *sloTracker) wake(now sim.Time, t *kernel.Thread) {
+	if th, ok := t.User.(*Thread); ok && !th.sloPending {
+		th.sloPending, th.sloWake = true, now
+	}
+}
+
+// dispatch closes a pending wake edge into one latency sample.
+func (tr *sloTracker) dispatch(now sim.Time, t *kernel.Thread) {
+	th, ok := t.User.(*Thread)
+	if !ok || !th.sloPending {
+		return // no open edge (or the controller's own thread: no SLO)
+	}
+	th.sloPending = false
+	lat := now.Sub(th.sloWake)
+	sec := lat.Seconds()
+	within := lat <= tr.target
+	tr.total.add(tr.rng, sec, within, sloClassSamples)
+	if th.sloJob == nil {
+		// First sample for this handle: resolve (and memoize) its series.
+		// The class is fixed at spawn, so caching is safe.
+		th.sloJob = tr.series(tr.byJob, th.Name())
+		th.sloClass = tr.series(tr.byClass, th.Class())
+	}
+	th.sloJob.add(tr.rng, sec, within, sloJobSamples)
+	th.sloClass.add(tr.rng, sec, within, sloClassSamples)
+	if len(tr.recent) < sloRecent {
+		tr.recent = append(tr.recent, sec)
+	} else {
+		tr.recent[tr.recentIdx] = sec
+		tr.recentIdx = (tr.recentIdx + 1) % sloRecent
+	}
+}
+
+func (tr *sloTracker) series(m map[string]*sloSeries, key string) *sloSeries {
+	ss := m[key]
+	if ss == nil {
+		ss = &sloSeries{}
+		m[key] = ss
+	}
+	return ss
+}
+
+// recentP99 is the governor's SLO probe: the p99 over the recent window.
+func (tr *sloTracker) recentP99() sim.Duration {
+	if len(tr.recent) == 0 {
+		return 0
+	}
+	tr.scratch = append(tr.scratch[:0], tr.recent...)
+	return sim.Duration(metrics.Percentile(tr.scratch, 99) * float64(sim.Second))
+}
+
+// SLOStat summarizes one job's or class's wake→dispatch latency.
+type SLOStat struct {
+	// Samples is the exact number of latency edges observed (the
+	// percentiles are computed over a uniform reservoir of them).
+	Samples uint64
+	// P50, P99, P999 are the latency percentiles.
+	P50, P99, P999 time.Duration
+	// Attainment is the exact fraction of samples at or under the target.
+	Attainment float64
+}
+
+// SLOReport is the system-wide SLO accounting snapshot.
+type SLOReport struct {
+	// Target is the latency SLO the attainment figures are measured
+	// against (OverloadConfig.LatencySLO).
+	Target time.Duration
+	// Samples and Attainment cover every thread together.
+	Samples    uint64
+	Attainment float64
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	// Classes and Jobs break the accounting down by thread class and by
+	// thread name.
+	Classes map[string]SLOStat
+	Jobs    map[string]SLOStat
+}
+
+func (ss *sloSeries) stat() SLOStat {
+	st := SLOStat{Samples: ss.seen}
+	if ss.seen > 0 {
+		st.Attainment = float64(ss.attained) / float64(ss.seen)
+	}
+	if len(ss.samples) > 0 {
+		st.P50 = secDur(metrics.Percentile(ss.samples, 50))
+		st.P99 = secDur(metrics.Percentile(ss.samples, 99))
+		st.P999 = secDur(metrics.Percentile(ss.samples, 99.9))
+	}
+	return st
+}
+
+func secDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// SLO returns the wake→dispatch latency accounting: overall, per-class,
+// and per-job p50/p99/p999 with exact SLO attainment. It returns a zero
+// report unless Config.Overload enabled SLO accounting.
+func (s *System) SLO() SLOReport {
+	if s.slo == nil {
+		return SLOReport{}
+	}
+	tr := s.slo
+	rep := SLOReport{
+		Target:  tr.target.Std(),
+		Classes: make(map[string]SLOStat, len(tr.byClass)),
+		Jobs:    make(map[string]SLOStat, len(tr.byJob)),
+	}
+	tot := tr.total.stat()
+	rep.Samples = tot.Samples
+	rep.Attainment = tot.Attainment
+	rep.P50, rep.P99, rep.P999 = tot.P50, tot.P99, tot.P999
+	for cls, ss := range tr.byClass {
+		rep.Classes[cls] = ss.stat()
+	}
+	for name, ss := range tr.byJob {
+		rep.Jobs[name] = ss.stat()
+	}
+	return rep
+}

@@ -1,0 +1,116 @@
+package realrate_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	realrate "repro"
+)
+
+// TestSLOAccounting pins the public SLO surface: arming Config.Overload
+// turns the wake→dispatch tracker on, the report's percentiles are
+// ordered, attainment is a fraction, and both the per-class and per-job
+// breakdowns carry the threads that actually ran.
+func TestSLOAccounting(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{
+		Overload: &realrate.OverloadConfig{LatencySLO: 10 * time.Millisecond},
+	})
+	if _, err := sys.Spawn("rt", realrate.HogProgram(200_000),
+		realrate.Reserve(300, 10*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn("bg", realrate.HogProgram(200_000)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(500 * time.Millisecond)
+
+	rep := sys.SLO()
+	if rep.Samples == 0 {
+		t.Fatal("no wake→dispatch samples after a 500ms run")
+	}
+	if rep.Target != 10*time.Millisecond {
+		t.Fatalf("Target = %v, want the configured 10ms", rep.Target)
+	}
+	if rep.P50 > rep.P99 || rep.P99 > rep.P999 {
+		t.Fatalf("percentiles out of order: p50 %v p99 %v p999 %v", rep.P50, rep.P99, rep.P999)
+	}
+	if rep.Attainment < 0 || rep.Attainment > 1 {
+		t.Fatalf("Attainment = %v, want a fraction", rep.Attainment)
+	}
+	for _, name := range []string{"rt", "bg"} {
+		st, ok := rep.Jobs[name]
+		if !ok {
+			t.Fatalf("Jobs breakdown missing %q (have %v)", name, rep.Jobs)
+		}
+		if st.Samples == 0 {
+			t.Fatalf("job %q has no samples", name)
+		}
+	}
+	if len(rep.Classes) == 0 {
+		t.Fatal("Classes breakdown empty")
+	}
+	var sum uint64
+	for _, st := range rep.Jobs {
+		sum += st.Samples
+	}
+	if sum != rep.Samples {
+		t.Fatalf("per-job samples sum to %d, total is %d", sum, rep.Samples)
+	}
+}
+
+// TestSLODisabledWithoutGovernorConfig: with Overload nil the tracker is
+// off — zero report, zero hot-path cost, byte-identical behavior.
+func TestSLODisabledWithoutGovernorConfig(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{})
+	if _, err := sys.Spawn("bg", realrate.HogProgram(200_000)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * time.Millisecond)
+	rep := sys.SLO()
+	if rep.Samples != 0 || rep.Target != 0 || rep.Classes != nil || rep.Jobs != nil {
+		t.Fatalf("SLO report with no governor config = %+v, want zero", rep)
+	}
+}
+
+// TestGovernorIdleZeroThroughputCost proves the "enabled but idle"
+// guarantee: arming the governor on a machine it never trips must not
+// cost the workload any throughput. The same hog storm runs with the
+// governor off and idle; dispatches, per-thread CPU time, and total
+// reserved proportion must agree within 1% (they are in fact identical —
+// the governor only reads controller state, and the SLO tap lives on the
+// observer seam outside simulated time).
+func TestGovernorIdleZeroThroughputCost(t *testing.T) {
+	run := func(overload *realrate.OverloadConfig) (uint64, time.Duration) {
+		sys := realrate.NewSystem(realrate.Config{Overload: overload})
+		var hogs []*realrate.Thread
+		for j := 0; j < 50; j++ {
+			th, err := sys.Spawn(fmt.Sprintf("hog%d", j), realrate.HogProgram(400_000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hogs = append(hogs, th)
+		}
+		sys.Run(2 * time.Second)
+		if overload != nil && sys.Health().OverloadRung != "normal" {
+			t.Fatalf("governor not idle: rung %s", sys.Health().OverloadRung)
+		}
+		var cpu time.Duration
+		for _, th := range hogs {
+			cpu += th.CPUTime()
+		}
+		return sys.Stats().Dispatches, cpu
+	}
+	offDisp, offCPU := run(nil)
+	idleDisp, idleCPU := run(&realrate.OverloadConfig{GapFactor: 1e12})
+	if offDisp != idleDisp {
+		overhead := 100 * (1 - float64(idleDisp)/float64(offDisp))
+		if overhead > 1 || overhead < -1 {
+			t.Fatalf("idle governor changed storm throughput: %d -> %d dispatches (%.2f%%)",
+				offDisp, idleDisp, overhead)
+		}
+	}
+	if offCPU != idleCPU {
+		t.Fatalf("idle governor changed workload CPU time: %v -> %v", offCPU, idleCPU)
+	}
+}

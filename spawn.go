@@ -247,6 +247,22 @@ func (s *System) Spawn(name string, prog Program, opts ...SpawnOption) (*Thread,
 		return nil, fmt.Errorf("realrate: Tickets/Nice apply to baseline policies, not %s", s.policy.Name())
 	}
 
+	// Overload backpressure: at the governor's throttle rung and above,
+	// new controller-managed admissions are refused with a typed
+	// *OverloadError carrying a retry-after hint — the caller gets
+	// backpressure instead of joining an already-saturated squish.
+	// Unmanaged threads (outside the controller) and members joining an
+	// existing job are not new admissions.
+	if sp.class != classUnmanaged && sp.class != classMember {
+		if err := s.ctl.AdmissionVeto(); err != nil {
+			s.fireAdmission(AdmissionEvent{
+				Time: s.Now(), Requested: sp.ppt, Period: sp.period,
+				Accepted: false, Err: err,
+			})
+			return nil, err
+		}
+	}
+
 	if sp.class == classMember {
 		if sp.member.job == nil {
 			return nil, fmt.Errorf("realrate: cannot add members to an unmanaged thread")

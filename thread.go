@@ -13,6 +13,14 @@ type Thread struct {
 	sys *System
 	t   *kernel.Thread
 	job *core.Job
+
+	// The open wake→dispatch SLO edge and the tracker's cached series
+	// live on the handle so the per-dispatch tap touches no maps beyond
+	// the byKern translation and hashes no strings (slo.go).
+	sloWake    sim.Time
+	sloPending bool
+	sloJob     *sloSeries
+	sloClass   *sloSeries
 }
 
 // spawn creates the kernel thread wired to the public program and indexes
@@ -21,7 +29,13 @@ func (s *System) spawn(name string, prog Program, affinity int) *Thread {
 	th := &Thread{sys: s}
 	ad := &programAdapter{sys: s, prog: prog, self: th}
 	th.t = s.kern.SpawnAffinity(name, ad, affinity)
+	th.t.User = th
 	s.byKern[th.t] = th
+	if s.slo != nil {
+		// The spawn's own wake edge traced before the handle was indexed;
+		// open it here so the first dispatch still yields a sample.
+		th.sloPending, th.sloWake = true, s.kern.Now()
+	}
 	return th
 }
 
@@ -35,6 +49,7 @@ func (s *System) threadExited(t *kernel.Thread, now sim.Time) {
 		return
 	}
 	delete(s.byKern, t)
+	th.sloPending = false // drop any open wake edge with the handle
 	// Unlink progress sources here, not only in the controller's reap:
 	// under a baseline policy no controller runs, so without this an
 	// exited paced/real-rate thread would leak its registration forever.
@@ -217,6 +232,16 @@ func (th *Thread) Class() string {
 		return "unmanaged"
 	}
 	return th.job.Class().String()
+}
+
+// Importance returns the weighted-fair-share weight (0 for unmanaged
+// threads). Under the overload governor's shed rung, miscellaneous
+// threads are killed in ascending importance order.
+func (th *Thread) Importance() float64 {
+	if th.job == nil {
+		return 0
+	}
+	return th.job.Importance()
 }
 
 // SetImportance sets the weighted-fair-share weight (default 1). Higher
