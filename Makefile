@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzSpawnOptions -fuzztime=$(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz=FuzzFaultSchedule -fuzztime=$(FUZZTIME) ./internal/workload/gen/
 	$(GO) test -run '^$$' -fuzz=FuzzOverloadLadder -fuzztime=$(FUZZTIME) ./internal/overload/
+	$(GO) test -run '^$$' -fuzz=FuzzEventDrivenThresholds -fuzztime=$(FUZZTIME) ./internal/ctlplane/
 
 # stress runs the generated-workload invariant harness wide open: every
 # scenario family × STRESS_SEEDS seeds × all five policies, with failing

@@ -32,8 +32,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	realrate "repro"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/workload/gen"
@@ -63,14 +65,16 @@ func main() {
 		seeds    = flag.Int("seeds", 5, "number of seeds per family for -gen sweeps")
 		policy   = flag.String("policy", "all", "policy for -gen (or 'all'): "+fmt.Sprint(gen.Policies()))
 		scale    = flag.Float64("scale", 1, "workload scale for -gen (the shrinker's axis)")
-		genDur   = flag.Duration("gendur", 0, "duration override for -gen (0: the family's drawn duration)")
-		traceCSV = flag.String("trace", "", "arrival trace CSV to replay for -gen (overrides the family's arrival process)")
+		genDur     = flag.Duration("gendur", 0, "duration override for -gen (0: the family's drawn duration)")
+		traceCSV   = flag.String("trace", "", "arrival trace CSV to replay for -gen (overrides the family's arrival process)")
+		controller = flag.String("controller", "", "control-plane sampling mode for -gen: periodic (default) or event")
+		shards     = flag.Int("shards", 0, "controller shard count for -gen (0 or 1: the classic single sweep)")
 	)
 	flag.Parse()
 	experiments.SetParallel(!*seq)
 
 	if *genRun {
-		os.Exit(runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV, *cpus))
+		os.Exit(runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV, *cpus, *controller, *shards))
 	}
 
 	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter && !*openloop && !*churn && !*storm {
@@ -182,7 +186,7 @@ func main() {
 // runGenerated is the -gen mode: run seeded scenarios through the
 // cross-policy invariant harness, or replay one exact point. Returns the
 // process exit code: nonzero when any invariant broke.
-func runGenerated(scenario string, seed uint64, seeds int, policy string, scale float64, dur time.Duration, traceCSV string, cpus int) int {
+func runGenerated(scenario string, seed uint64, seeds int, policy string, scale float64, dur time.Duration, traceCSV string, cpus int, controller string, shards int) int {
 	if seeds < 1 {
 		fmt.Fprintf(os.Stderr, "rrexp: -seeds must be at least 1, got %d\n", seeds)
 		return 2
@@ -204,7 +208,8 @@ func runGenerated(scenario string, seed uint64, seeds int, policy string, scale 
 	if seed != 0 {
 		lo, hi = seed, seed
 	}
-	opts := gen.CheckOpts{Policies: policies, Scale: scale, Duration: dur, CPUs: cpus}
+	opts := gen.CheckOpts{Policies: policies, Scale: scale, Duration: dur, CPUs: cpus,
+		Controller: controller, Shards: shards}
 	failed := 0
 	runs := 0
 	for _, family := range families {
@@ -224,10 +229,10 @@ func runGenerated(scenario string, seed uint64, seeds int, policy string, scale 
 					ladder += fmt.Sprintf(" rung %s/%s sheds %-3d throttled %-3d",
 						r.MaxRung, r.FinalRung, r.Sheds, r.Throttled)
 				}
-				fmt.Printf("%-9s seed %-4d %-12s threads %-4d exits %-4d kills %-4d admit %d/%d quality %-3d violations %d%s\n",
+				fmt.Printf("%-9s seed %-4d %-12s threads %-4d exits %-4d kills %-4d admit %d/%d quality %-3d violations %d%s%s\n",
 					family, s, r.Policy, r.Threads, r.Exits, r.Kills,
 					r.AdmitOK, r.AdmitOK+r.AdmitRejected, r.QualityEvents,
-					len(r.Violations)+r.TruncatedViolations, ladder)
+					len(r.Violations)+r.TruncatedViolations, ladder, ctlSummary(controller, shards, r.CtlStats))
 			}
 			for _, v := range violations {
 				failed++
@@ -240,6 +245,26 @@ func runGenerated(scenario string, seed uint64, seeds int, policy string, scale 
 		return 1
 	}
 	return 0
+}
+
+// ctlSummary formats the per-shard sample/skip counters for the -gen
+// report line. Empty unless a non-default control plane was requested:
+// the classic sweep's synthesized single-shard stats would only repeat
+// the Samples column.
+func ctlSummary(controller string, shards int, stats []realrate.ShardStat) string {
+	if (controller == "" || controller == "periodic") && shards <= 1 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, " ctl[")
+	for i, st := range stats {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "s%d %d/%d", st.Shard, st.Sampled, st.Skipped)
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // runTraceReplay replays a recorded arrival trace CSV through the

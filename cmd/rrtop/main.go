@@ -73,9 +73,20 @@ func main() {
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	faults := flag.Bool("faults", false, "inject a demo fault schedule against a sensor thread and watch the degradation ladder")
 	overload := flag.Bool("overload", false, "arm the overload governor and fire a mid-run storm of short-lived hogs to watch the brownout ladder")
+	controller := flag.String("controller", "periodic", "control-plane sampling mode: periodic or event")
+	shards := flag.Int("shards", 0, "controller shard count (0 or 1: the classic single sweep)")
 	flag.Parse()
 
 	cfg := realrate.Config{CPUs: *cpus}
+	switch *controller {
+	case "", "periodic":
+	case "event":
+		cfg.CtlPlane.Mode = realrate.ControllerEventDriven
+	default:
+		fmt.Printf("rrtop: unknown -controller %q (want periodic or event)\n", *controller)
+		return
+	}
+	cfg.CtlPlane.Shards = *shards
 	if *faults {
 		cfg.Faults = &realrate.FaultPlan{Seed: 1, Specs: []realrate.FaultSpec{
 			{Kind: realrate.FaultFreezeSignal, Target: "sensor", At: 4 * time.Second, For: 3 * time.Second},
@@ -222,6 +233,18 @@ func main() {
 	sys.Every(time.Second, func(now time.Duration) {
 		fmt.Printf("\n── t=%-4s  total reserved %d/%d ───────────────────────────────────────\n",
 			now, sys.TotalProportion(), realrate.PPT*sys.CPUs())
+		// Control-plane line: mode, shard count, and the last interval's
+		// sampled-vs-skipped split (the event plane's whole point is the
+		// second number dwarfing the first on a settled workload).
+		if st := sys.ShardStats(); st != nil {
+			var sampled, skipped int
+			for _, s := range st {
+				sampled += s.LastSampled
+				skipped += s.LastSkipped
+			}
+			fmt.Printf("ctl: %s ×%d  last interval %d sampled / %d skipped\n",
+				sys.ControllerModeName(), sys.ControlShards(), sampled, skipped)
+		}
 		if line := sloLine(); line != "" {
 			fmt.Println(line)
 		}

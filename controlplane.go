@@ -1,0 +1,141 @@
+package realrate
+
+import (
+	"time"
+
+	"repro/internal/ctlplane"
+	"repro/internal/sim"
+)
+
+// ControllerMode selects how the feedback controller samples jobs.
+type ControllerMode int
+
+const (
+	// ControllerPeriodic is the paper's sweep: every job sampled every
+	// control interval. The default.
+	ControllerPeriodic ControllerMode = iota
+	// ControllerEventDriven samples a job only when its progress signal
+	// moved past a threshold since the last sample, or when the staleness
+	// bound elapsed. Idle jobs cost almost nothing.
+	ControllerEventDriven
+)
+
+func (m ControllerMode) String() string {
+	if m == ControllerEventDriven {
+		return "event"
+	}
+	return "periodic"
+}
+
+// CtlPlaneConfig configures the sharded, staggered, event-driven control
+// plane. The zero value keeps the classic single-thread periodic
+// controller with its byte-identical dispatch schedule; any sharding or
+// event-driven setting routes control through internal/ctlplane instead.
+type CtlPlaneConfig struct {
+	// Mode selects periodic or event-driven sampling.
+	Mode ControllerMode
+	// Shards splits the controller across this many staggered shard
+	// threads, each owning the jobs resident on its CPU (thread-hashed on
+	// a uniprocessor). 0 or 1 with Mode periodic keeps the classic
+	// controller.
+	Shards int
+	// Threshold is the raw-pressure delta (fraction of a queue) that makes
+	// a changed signal worth re-sampling in event-driven mode. 0 means
+	// 0.05.
+	Threshold float64
+	// MaxStaleness bounds how long event-driven mode may skip re-sampling
+	// any job. 0 means 10 control intervals.
+	MaxStaleness time.Duration
+}
+
+// legacy reports whether the configuration is satisfied by the classic
+// single-thread periodic controller.
+func (c CtlPlaneConfig) legacy() bool {
+	return c.Mode == ControllerPeriodic && c.Shards <= 1
+}
+
+// ControllerModeName returns the active sampling mode: "periodic",
+// "event", or "none" under a baseline policy with no controller.
+func (s *System) ControllerModeName() string {
+	if s.ctl == nil {
+		return "none"
+	}
+	if s.plane != nil {
+		return s.plane.Mode().String()
+	}
+	return "periodic"
+}
+
+// ControlShards returns the shard count of the control plane: 1 for the
+// classic controller, 0 under baseline policies.
+func (s *System) ControlShards() int {
+	if s.ctl == nil {
+		return 0
+	}
+	if s.plane != nil {
+		return s.plane.Shards()
+	}
+	return 1
+}
+
+// ShardStat is one control-plane shard's counters.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Ticks counts the shard's completed control ticks.
+	Ticks uint64
+	// Sampled and Skipped count job visits that did and did not re-sample
+	// (the classic controller samples everything: Skipped is 0).
+	Sampled uint64
+	Skipped uint64
+	// Handoffs counts jobs re-homed to another shard after migrating.
+	Handoffs uint64
+	// LastSampled and LastSkipped are the most recent tick's work counts.
+	LastSampled int
+	LastSkipped int
+}
+
+// ShardStats returns per-shard control-plane counters. Under the classic
+// controller it synthesizes a single shard from the global sweep's
+// counters; under baseline policies it returns nil.
+func (s *System) ShardStats() []ShardStat {
+	if s.ctl == nil {
+		return nil
+	}
+	if s.plane == nil {
+		n := len(s.ctl.Jobs())
+		return []ShardStat{{
+			Shard:       0,
+			Ticks:       s.ctl.Steps(),
+			Sampled:     s.ctl.Samples(),
+			LastSampled: n,
+		}}
+	}
+	stats := s.plane.Stats()
+	out := make([]ShardStat, len(stats))
+	for i, st := range stats {
+		out[i] = ShardStat{
+			Shard: st.Shard, Ticks: st.Ticks, Sampled: st.Sampled, Skipped: st.Skipped,
+			Handoffs: st.Handoffs, LastSampled: st.LastSampled, LastSkipped: st.LastSkipped,
+		}
+	}
+	return out
+}
+
+// buildPlane constructs the internal control plane for a non-legacy
+// configuration.
+func buildPlane(s *System, cfg CtlPlaneConfig) *ctlplane.Plane {
+	mode := ctlplane.Periodic
+	if cfg.Mode == ControllerEventDriven {
+		mode = ctlplane.EventDriven
+	}
+	pcfg := ctlplane.Config{
+		Mode:      mode,
+		Shards:    cfg.Shards,
+		Threshold: cfg.Threshold,
+	}
+	if cfg.MaxStaleness > 0 {
+		pcfg.MaxStaleness = sim.FromStd(cfg.MaxStaleness)
+	}
+	return ctlplane.New(s.ctl, s.kern, s.rbs, s.reg, pcfg)
+}

@@ -1,0 +1,66 @@
+package realrate_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	realrate "repro"
+)
+
+// rungRecorder captures the governor's ladder movements.
+type rungRecorder struct {
+	realrate.NopObserver
+	moves []string
+}
+
+func (r *rungRecorder) OnOverload(ev realrate.OverloadEvent) {
+	r.moves = append(r.moves, ev.From+"→"+ev.To)
+}
+
+// stormRungs runs a decisive overload storm — far more miscellaneous
+// demand than one CPU has capacity — under the given shard count and
+// returns the sequence of ladder movements.
+func stormRungs(t *testing.T, shards int) []string {
+	t.Helper()
+	rec := &rungRecorder{}
+	sys := realrate.NewSystem(realrate.Config{
+		CPUs: 4,
+		Overload: &realrate.OverloadConfig{
+			TripIntervals:    5,
+			RecoverIntervals: 50,
+		},
+		CtlPlane: realrate.CtlPlaneConfig{Shards: shards},
+	})
+	sys.Observe(rec)
+	for i := 0; i < 120; i++ {
+		if _, err := sys.Spawn(fmt.Sprintf("hog%d", i), realrate.HogProgram(400_000)); err != nil {
+			t.Fatalf("spawn hog%d: %v", i, err)
+		}
+	}
+	sys.Run(3 * time.Second)
+	return rec.moves
+}
+
+// TestGovernorLadderShardInvariant pins the satellite contract of the
+// sharded plane: interval-rate accounting (misses and demotions per
+// epoch, demand vs. capacity) aggregates across shards, so the overload
+// ladder trips identically whether one shard runs the sweep or four
+// split it.
+func TestGovernorLadderShardInvariant(t *testing.T) {
+	one := stormRungs(t, 1)
+	four := stormRungs(t, 4)
+	if len(one) == 0 {
+		t.Fatal("storm never moved the ladder under 1 shard; test is vacuous")
+	}
+	if len(one) != len(four) {
+		t.Fatalf("ladder moved %d times under 1 shard, %d under 4:\n1: %v\n4: %v",
+			len(one), len(four), one, four)
+	}
+	for i := range one {
+		if one[i] != four[i] {
+			t.Fatalf("ladder movement %d differs: %q under 1 shard, %q under 4\n1: %v\n4: %v",
+				i, one[i], four[i], one, four)
+		}
+	}
+}

@@ -190,6 +190,9 @@ type Controller struct {
 	thread   *kernel.Thread
 	nextWake sim.Time
 	phase    int
+	// external marks a controller driven by the sharded control plane
+	// (internal/ctlplane) instead of its own thread; Start panics then.
+	external bool
 
 	// computeOp/sleepOp are reused every control interval so the
 	// controller's 100 Hz program emits ops without boxing.
@@ -252,6 +255,15 @@ type Controller struct {
 
 	steps      uint64
 	actuations uint64
+	// samples counts adaptive-job feedback samples (pass-1 evaluations),
+	// the denominator of the event-driven mode's skip ratio.
+	samples uint64
+
+	// onJobAdd/onJobRemove announce membership changes to an external
+	// control plane (internal/ctlplane), which owns per-shard job lists.
+	// Nil outside sharded/event-driven configurations.
+	onJobAdd    func(j *Job)
+	onJobRemove func(j *Job)
 
 	// Persistent per-interval scratch: step reslices these to zero length
 	// each interval instead of allocating, so a controller tick is
@@ -374,6 +386,19 @@ func (c *Controller) Steps() uint64 { return c.steps }
 // dispatcher.
 func (c *Controller) Actuations() uint64 { return c.actuations }
 
+// Samples returns the number of adaptive-job feedback samples taken — in
+// the periodic sweep this grows by the adaptive job count every interval;
+// in event-driven mode, only by the jobs actually re-sampled.
+func (c *Controller) Samples() uint64 { return c.samples }
+
+// OnJobChange installs the membership hooks an external control plane uses
+// to maintain per-shard job lists: add fires after a job is registered,
+// remove after it leaves (Remove or reap). Either may be nil.
+func (c *Controller) OnJobChange(add, remove func(j *Job)) {
+	c.onJobAdd = add
+	c.onJobRemove = remove
+}
+
 // Exceptions returns the quality exceptions raised so far.
 func (c *Controller) Exceptions() []QualityException { return c.exceptions }
 
@@ -465,6 +490,9 @@ func (c *Controller) EffectiveThreshold() int { return c.effectiveThreshold }
 func (c *Controller) Start() {
 	if c.thread != nil {
 		panic("core: controller started twice")
+	}
+	if c.external {
+		panic("core: controller is driven by an external control plane")
 	}
 	c.thread = c.kern.Spawn("controller", kernel.ProgramFunc(c.program))
 	if err := c.policy.SetReservation(c.thread, c.cfg.Reservation); err != nil {
@@ -674,6 +702,9 @@ func (c *Controller) Remove(j *Job) {
 		c.policy.Unregister(t)
 		c.reg.Unregister(t)
 	}
+	if c.onJobRemove != nil {
+		c.onJobRemove(j)
+	}
 }
 
 func (c *Controller) addJob(t *kernel.Thread, class Class) *Job {
@@ -685,16 +716,24 @@ func (c *Controller) addJob(t *kernel.Thread, class Class) *Job {
 		members:      []*kernel.Thread{t},
 		class:        class,
 		importance:   1,
-		g:            pid.New(c.cfg.PID),
 		lastCPU:      t.CPUTime(),
 		cpuBlockMark: t.CPUTime(),
 		lastBlocked:  t.BlockedCount(),
 		usageEWMA:    1, // presume fully used until measured otherwise
 	}
+	if class == RealRate {
+		// Only real-rate jobs filter pressure through G; skipping the PID
+		// for the other classes keeps a million-job taskset's controller
+		// state within memory reach (the 1M-job admission soak).
+		j.g = pid.New(c.cfg.PID)
+	}
 	c.jobs = append(c.jobs, j)
 	c.byThr[t] = j
 	if class.Adaptive() {
 		c.adaptive++
+	}
+	if c.onJobAdd != nil {
+		c.onJobAdd(j)
 	}
 	return j
 }
@@ -735,10 +774,59 @@ func (c *Controller) maxMemberShare(j *Job, proportion int) int {
 	return share + (proportion - share*n)
 }
 
-// step is one control interval: sample, estimate, squish, actuate.
+// step is one control interval: sample, estimate, squish, actuate. The
+// sharded control plane (internal/ctlplane) never calls step; it drives the
+// same pieces — EpochPrologue, SampleJob, SquishApply, EpochEpilogue — one
+// shard at a time.
 func (c *Controller) step(now sim.Time) {
-	c.steps++
+	c.prologue(now)
 	dt := c.cfg.Interval.Seconds()
+
+	// Pass 1: desired allocations. The squish inputs live in persistent
+	// scratch buffers so the 100 Hz loop does not allocate.
+	squishable := c.squishable[:0]
+	desires := c.desireBuf[:0]
+	weights := c.weightBuf[:0]
+	for _, j := range c.jobs {
+		if !c.sampleJob(j, now, dt, 1) {
+			continue
+		}
+		squishable = append(squishable, j)
+		desires = append(desires, j.desired)
+		weights = append(weights, j.importance)
+	}
+	c.squishable, c.desireBuf, c.weightBuf = squishable, desires, weights
+	// Jobs removed since the scratch's high-water mark must not stay
+	// reachable through the backing array's tail.
+	tail := squishable[len(squishable):cap(squishable)]
+	for i := range tail {
+		tail[i] = nil
+	}
+
+	// Pass 2: squish into the capacity left by hard reservations. The
+	// capacity can go negative when missed deadlines shrink the effective
+	// threshold below what is already admitted; adaptive jobs then get
+	// nothing rather than panicking the squish.
+	capacity := c.effectiveThreshold - c.admitted
+	if capacity < 0 {
+		capacity = 0
+	}
+	c.squishApply(squishable, desires, weights, capacity, now)
+
+	if c.gov != nil {
+		c.governorStep(now)
+	}
+
+	if c.onStep != nil {
+		c.onStep(now)
+	}
+}
+
+// prologue is the per-epoch preamble shared by the global sweep and the
+// sharded plane: count the step, react to missed deadlines, reap exited
+// jobs, and flush delayed actuations.
+func (c *Controller) prologue(now sim.Time) {
+	c.steps++
 
 	// Missed deadlines shrink the effective threshold (spare capacity
 	// grows), recovering slowly when the dispatcher is healthy.
@@ -768,106 +856,92 @@ func (c *Controller) step(now sim.Time) {
 			c.apply(d.job, d.prop, d.period)
 		}
 	}
+}
 
-	// Pass 1: desired allocations. The squish inputs live in persistent
-	// scratch buffers so the 100 Hz loop does not allocate.
-	squishable := c.squishable[:0]
-	desires := c.desireBuf[:0]
-	weights := c.weightBuf[:0]
-	for _, j := range c.jobs {
-		switch j.class {
-		case RealTime, AperiodicRealTime:
-			j.desired = j.specified
-			j.allocated = j.specified
-			j.squished = false
-			j.lastCPU = j.cpuTime()
-			continue
-		case RealRate:
-			p, ok := c.samplePressure(j, now)
-			j.lastRaw = p
-			if j.fill != nil {
-				j.fill.Add(now, p)
-			}
-			c.watchdog(j, p, ok, now)
-			switch {
-			case j.degraded == LevelFallback:
-				// Hold the last trusted allocation; the PID filter stays
-				// frozen (anti-windup), so promotion resumes from the
-				// pre-fault integral instead of slamming the allocation.
-				j.desired = j.fallback
-			case j.degraded == LevelMisc:
-				j.desired = c.estimateMisc(j, dt)
-			case ok:
-				j.desired = c.estimate(j, p, dt)
-			default:
-				// Rejected sample on a healthy job: hold the desire and
-				// freeze the filter rather than integrating garbage.
-			}
-		case Miscellaneous:
-			j.desired = c.estimateMisc(j, dt)
-		case Interactive:
-			j.desired = c.estimateInteractive(j)
+// sampleJob runs pass 1 for one job: sample its progress, update the
+// watchdog, and recompute its desire. dt is the elapsed control time in
+// seconds and epochs the number of control intervals it spans — both 1
+// interval in the periodic sweep, possibly more when the event-driven
+// plane re-samples a job it had skipped. It reports whether the job
+// participates in the squish (false for reservation-holding classes).
+func (c *Controller) sampleJob(j *Job, now sim.Time, dt float64, epochs int64) bool {
+	switch j.class {
+	case RealTime, AperiodicRealTime:
+		j.desired = j.specified
+		j.allocated = j.specified
+		j.squished = false
+		j.lastCPU = j.cpuTime()
+		return false
+	case RealRate:
+		c.samples++
+		p, ok := c.samplePressure(j, now)
+		j.lastRaw = p
+		if j.fill != nil {
+			j.fill.Add(now, p)
 		}
-		squishable = append(squishable, j)
-		desires = append(desires, j.desired)
-		weights = append(weights, j.importance)
+		c.watchdog(j, p, ok, now)
+		switch {
+		case j.degraded == LevelFallback:
+			// Hold the last trusted allocation; the PID filter stays
+			// frozen (anti-windup), so promotion resumes from the
+			// pre-fault integral instead of slamming the allocation.
+			j.desired = j.fallback
+		case j.degraded == LevelMisc:
+			j.desired = c.estimateMisc(j, dt, epochs)
+		case ok:
+			j.desired = c.estimate(j, p, dt, epochs)
+		default:
+			// Rejected sample on a healthy job: hold the desire and
+			// freeze the filter rather than integrating garbage.
+		}
+	case Miscellaneous:
+		c.samples++
+		j.desired = c.estimateMisc(j, dt, epochs)
+	case Interactive:
+		c.samples++
+		j.desired = c.estimateInteractive(j)
 	}
-	c.squishable, c.desireBuf, c.weightBuf = squishable, desires, weights
-	// Jobs removed since the scratch's high-water mark must not stay
-	// reachable through the backing array's tail.
-	tail := squishable[len(squishable):cap(squishable)]
-	for i := range tail {
-		tail[i] = nil
-	}
+	return true
+}
 
-	// Pass 2: squish into the capacity left by hard reservations. The
-	// capacity can go negative when missed deadlines shrink the effective
-	// threshold below what is already admitted; adaptive jobs then get
-	// nothing rather than panicking the squish.
-	capacity := c.effectiveThreshold - c.admitted
-	if capacity < 0 {
-		capacity = 0
+// squishApply is pass 2 over one set of squishable jobs: fit their desires
+// into capacity, clamp, raise quality exceptions, and actuate changes. The
+// global sweep passes every adaptive job; a shard passes only its own, with
+// its slice of the capacity.
+func (c *Controller) squishApply(squishable []*Job, desires []int, weights []float64, capacity int, now sim.Time) {
+	if len(squishable) == 0 {
+		return
 	}
-	if len(squishable) > 0 {
-		// The non-zero floor only fits while floor·n ≤ capacity; past that
-		// point (thousands of adaptive jobs on one CPU) the machine simply
-		// lacks the ppt resolution, so the floor degrades gracefully
-		// instead of panicking the squish.
-		floor := c.cfg.MinProportion
-		if floor*len(squishable) > capacity {
-			floor = capacity / len(squishable)
-			if floor < 0 {
-				floor = 0
-			}
-		}
-		allocs := grow(c.allocBuf, len(squishable))
-		frozen := growBool(c.frozenBuf, len(squishable))
-		c.allocBuf, c.frozenBuf = allocs, frozen
-		squishInto(allocs, frozen, desires, weights, capacity, floor)
-		for i, j := range squishable {
-			if allocs[i] > c.cfg.MaxProportion {
-				allocs[i] = c.cfg.MaxProportion
-			}
-			j.squished = allocs[i] < j.desired
-			c.maybeRaiseQuality(j, allocs[i], now)
-			if c.cfg.PeriodAdaptation {
-				c.adaptPeriod(j, now)
-			}
-			if allocs[i] != j.allocated || c.cfg.PeriodAdaptation {
-				c.actuate(j, allocs[i], j.period)
-			}
-			j.allocated = allocs[i]
-			j.lastCPU = j.cpuTime()
-			j.lastBlocked = j.blockedCount()
+	// The non-zero floor only fits while floor·n ≤ capacity; past that
+	// point (thousands of adaptive jobs on one CPU) the machine simply
+	// lacks the ppt resolution, so the floor degrades gracefully
+	// instead of panicking the squish.
+	floor := c.cfg.MinProportion
+	if floor*len(squishable) > capacity {
+		floor = capacity / len(squishable)
+		if floor < 0 {
+			floor = 0
 		}
 	}
-
-	if c.gov != nil {
-		c.governorStep(now)
-	}
-
-	if c.onStep != nil {
-		c.onStep(now)
+	allocs := grow(c.allocBuf, len(squishable))
+	frozen := growBool(c.frozenBuf, len(squishable))
+	c.allocBuf, c.frozenBuf = allocs, frozen
+	squishInto(allocs, frozen, desires, weights, capacity, floor)
+	for i, j := range squishable {
+		if allocs[i] > c.cfg.MaxProportion {
+			allocs[i] = c.cfg.MaxProportion
+		}
+		j.squished = allocs[i] < j.desired
+		c.maybeRaiseQuality(j, allocs[i], now)
+		if c.cfg.PeriodAdaptation {
+			c.adaptPeriod(j, now)
+		}
+		if allocs[i] != j.allocated || c.cfg.PeriodAdaptation {
+			c.actuate(j, allocs[i], j.period)
+		}
+		j.allocated = allocs[i]
+		j.lastCPU = j.cpuTime()
+		j.lastBlocked = j.blockedCount()
 	}
 }
 
@@ -877,13 +951,7 @@ func (c *Controller) step(now sim.Time) {
 // watchdog demotion rate, and (via the SLO probe) tail latency — feed
 // them to the governor, and execute its decision.
 func (c *Controller) governorStep(now sim.Time) {
-	sig := overload.Signals{
-		// The controller's own reservation is demand too; job desires and
-		// grants are current as of this interval's passes 1 and 2.
-		Desired:  c.cfg.Reservation.Proportion,
-		Granted:  c.cfg.Reservation.Proportion,
-		Capacity: c.effectiveThreshold,
-	}
+	desired, granted := 0, 0
 	for _, j := range c.jobs {
 		// A job's desire is clamped to the most it could ever be granted:
 		// a squished real-rate job's raw desire integrates toward
@@ -895,10 +963,28 @@ func (c *Controller) governorStep(now sim.Time) {
 		if d > c.cfg.MaxProportion {
 			d = c.cfg.MaxProportion
 		}
-		sig.Desired += d
-		sig.Granted += j.allocated
+		desired += d
+		granted += j.allocated
 	}
-	// lastMisses was synced to the policy's total at the top of step.
+	c.governorObserve(now, desired, granted)
+}
+
+// governorObserve feeds one epoch's saturation signals to the governor and
+// executes its decision. desired and granted are the MaxProportion-clamped
+// demand and the granted proportion summed over every job — computed by a
+// full scan in the periodic sweep, or aggregated across shards by the
+// control plane. The miss and demotion deltas come from global counters,
+// banked once per epoch here, so the governor's per-interval rates are
+// identical under one shard or many.
+func (c *Controller) governorObserve(now sim.Time, desired, granted int) {
+	sig := overload.Signals{
+		// The controller's own reservation is demand too; job desires and
+		// grants are current as of this epoch's passes 1 and 2.
+		Desired:  desired + c.cfg.Reservation.Proportion,
+		Granted:  granted + c.cfg.Reservation.Proportion,
+		Capacity: c.effectiveThreshold,
+	}
+	// lastMisses was synced to the policy's total in the epoch prologue.
 	sig.Misses = c.lastMisses - c.govLastMisses
 	c.govLastMisses = c.lastMisses
 	sig.Demotions = c.health.Degradations - c.govLastDemotions
@@ -967,9 +1053,12 @@ func (c *Controller) shedOne(now sim.Time) bool {
 // smoothed usage estimate and reports it. Jobs burn their budgets in
 // bursts and nap the rest of each period, so the instantaneous ratio
 // aliases; reclamation must look at the average over several intervals.
-func (c *Controller) observeUsage(j *Job, dt float64) float64 {
+// epochs is the number of control intervals since the job was last
+// sampled — always 1 in the periodic sweep; the event-driven plane passes
+// the actual gap so the granted baseline covers the skipped intervals.
+func (c *Controller) observeUsage(j *Job, dt float64, epochs int64) float64 {
 	used := j.cpuTime() - j.lastCPU
-	granted := sim.Duration(int64(c.cfg.Interval) * int64(j.allocated) / pptDenom)
+	granted := sim.Duration(int64(c.cfg.Interval) * epochs * int64(j.allocated) / pptDenom)
 	ratio := 1.0
 	if granted > 0 {
 		ratio = float64(used) / float64(granted)
@@ -988,8 +1077,8 @@ func (c *Controller) observeUsage(j *Job, dt float64) float64 {
 // estimate implements Figure 4 for one adaptive job: normally P′ = k·Q_t,
 // but if the previous allocation went unused the allocation drops by the
 // constant C and the banked integral bleeds off.
-func (c *Controller) estimate(j *Job, pressure float64, dt float64) int {
-	usage := c.observeUsage(j, dt)
+func (c *Controller) estimate(j *Job, pressure float64, dt float64, epochs int64) int {
+	usage := c.observeUsage(j, dt, epochs)
 	if j.allocated > c.cfg.MinProportion && usage < c.cfg.ReclaimFraction {
 		// Too generous: the job demonstrably cannot use what it has, even
 		// if its queue pressure is positive — "increasing the allocation
@@ -1016,8 +1105,8 @@ func (c *Controller) estimate(j *Job, pressure float64, dt float64) int {
 // while a falling-behind real-rate job's pressure (and hence desire) grows
 // past it and wins the squish: exactly the Figure 7 dynamic. An idle job's
 // desire follows its usage back down, which is the reclamation.
-func (c *Controller) estimateMisc(j *Job, dt float64) int {
-	usage := c.observeUsage(j, dt)
+func (c *Controller) estimateMisc(j *Job, dt float64, epochs int64) int {
+	usage := c.observeUsage(j, dt, epochs)
 	target := clampPPT(int(c.cfg.K*c.cfg.MiscPressure), c.cfg.MinProportion, c.cfg.MaxProportion)
 	// Hysteresis on the usage test keeps the decision away from the
 	// boundary: a squished busy hog uses ≥100% of its (quantized) grant,

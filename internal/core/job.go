@@ -203,8 +203,18 @@ func (j *Job) Squished() bool { return j.squished }
 // reservation.
 func (j *Job) Actuations() uint64 { return j.actuations }
 
-// Pressure returns the most recent PID output (the paper's Q_t).
-func (j *Job) Pressure() float64 { return j.g.Output() }
+// Pressure returns the most recent PID output (the paper's Q_t). Only
+// real-rate jobs carry the filter; other classes read zero.
+func (j *Job) Pressure() float64 {
+	if j.g == nil {
+		return 0
+	}
+	return j.g.Output()
+}
+
+// RawPressure returns the most recent raw summed pressure sample (before
+// the PID filter) — the signal the event-driven plane thresholds against.
+func (j *Job) RawPressure() float64 { return j.lastRaw }
 
 // Degraded returns the job's rung on the graceful-degradation ladder
 // (LevelRealRate when healthy).

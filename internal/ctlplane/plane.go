@@ -1,0 +1,584 @@
+// Package ctlplane scales the feedback controller past the single global
+// 100 Hz sweep. The paper's prototype walks every job each interval
+// (Figure 5's cost model: BaseCost + PerJobCost·n cycles); at 100k–1M
+// jobs that walk dominates the machine. The control plane splits it three
+// ways:
+//
+//   - Sharding: each of S shards owns the jobs resident on its CPU
+//     (thread-ID hashed on a uniprocessor) and runs pass 1 and pass 2
+//     over only its own list. Global state — total adaptive demand, the
+//     governor's saturation signals — is reconciled through small
+//     per-shard aggregates republished at every shard tick.
+//
+//   - Staggering: shard s ticks at offset s·Interval/S inside the 10 ms
+//     interval, so control work is spread across the interval instead of
+//     arriving as one burst that preempts the workload.
+//
+//   - Event-driven sampling: in EventDriven mode the progress registry
+//     pushes dirty marks on queue-fill changes, and a shard re-samples a
+//     job only when its signal moved by at least Threshold since the last
+//     sample, or when the MaxStaleness bound elapsed. Idle jobs cost a
+//     few compares per interval; their estimators integrate over the
+//     skipped epochs on the next sample, so allocations converge to what
+//     the periodic sweep would have computed.
+//
+// The whole simulation is single-threaded (shard "threads" are simulated
+// kernel threads serialized by the engine), so the plane shares one set
+// of scratch buffers across shards and needs no locking.
+package ctlplane
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/progress"
+	"repro/internal/rbs"
+	"repro/internal/sim"
+)
+
+// Mode selects how the plane decides which jobs to re-sample each epoch.
+type Mode int
+
+const (
+	// Periodic re-samples every job every epoch — the paper's sweep,
+	// merely sharded and staggered.
+	Periodic Mode = iota
+	// EventDriven re-samples a job only when its progress signal moved
+	// past the threshold or its staleness bound elapsed.
+	EventDriven
+)
+
+func (m Mode) String() string {
+	if m == EventDriven {
+		return "event"
+	}
+	return "periodic"
+}
+
+// Config parameterizes the plane.
+type Config struct {
+	// Mode selects periodic or event-driven sampling.
+	Mode Mode
+	// Shards is the number of shard threads (clamped to [1, 64]).
+	// Zero means one.
+	Shards int
+	// Threshold is the raw-pressure delta that makes a dirty signal worth
+	// re-sampling in EventDriven mode. Zero means 0.05 (5% of a queue).
+	Threshold float64
+	// MaxStaleness bounds how long any job can go un-sampled in
+	// EventDriven mode. Zero means 10 control intervals.
+	MaxStaleness sim.Duration
+}
+
+// entry is the plane's per-job control state.
+type entry struct {
+	job *core.Job
+	// shard is the entry's current home shard.
+	shard int
+	// lastEpoch guards exactly-once sampling: the epoch in which some
+	// shard last visited this entry. A job re-homed mid-epoch onto a
+	// shard that has not ticked yet carries the mark that stops the
+	// second visit.
+	lastEpoch int64
+	// sampleEpoch is the epoch of the last actual sample; epoch −
+	// sampleEpoch is the gap the estimators integrate over.
+	sampleEpoch int64
+	// sampled reports whether the job has ever been sampled.
+	sampled bool
+	// dirty is the push half: a watched metric announced a change since
+	// the last sample.
+	dirty bool
+	// watched reports whether every progress metric the job registered is
+	// watchable — i.e. whether dirty marks see all of its signal edges.
+	// Refreshed at every sample.
+	watched bool
+	removed bool
+}
+
+// shard is one slice of the control plane: a list of owned entries, a
+// simulated thread that ticks once per interval at this shard's stagger
+// offset, and the aggregates republished at every tick.
+type shard struct {
+	id     int
+	thread *kernel.Thread
+
+	list []*entry
+
+	phase     int
+	nextWake  sim.Time
+	computeOp kernel.OpCompute
+	sleepOp   kernel.OpSleepUntil
+
+	// Published aggregates, refreshed at every tick of this shard; other
+	// shards read the latest published value (an epoch-versioned
+	// aggregate — at most one epoch stale).
+	//
+	// desireRaw is the un-clamped adaptive demand, the numerator of this
+	// shard's capacity slice. govDesire and govGranted are the
+	// MaxProportion-clamped demand and granted proportion over all jobs,
+	// summed across shards for the governor at each epoch's epilogue.
+	// allocAdaptive is the granted proportion over adaptive jobs only,
+	// so an event-mode tick can subtract the un-sampled jobs' holdings
+	// from its capacity slice.
+	desireRaw     int
+	govDesire     int
+	govGranted    int
+	allocAdaptive int
+
+	// Work counts from the previous tick size the modeled compute cost of
+	// the next one.
+	lastSampled int
+	lastSkipped int
+
+	// stats
+	ticks    uint64
+	sampled  uint64
+	skipped  uint64
+	handoffs uint64
+}
+
+// Plane drives one core.Controller through sharded, staggered, optionally
+// event-driven control epochs.
+type Plane struct {
+	ctl    *core.Controller
+	kern   *kernel.Kernel
+	policy *rbs.Policy
+	reg    *progress.Registry
+	cfg    Config
+
+	interval        sim.Duration
+	stalenessEpochs int64
+	threshold       float64
+
+	shards []*shard
+	byJob  map[*core.Job]*entry
+	epoch  int64
+
+	// scratch buffers shared across shards — safe because shard ticks are
+	// serialized by the simulation.
+	squishable []*core.Job
+	desires    []int
+	weights    []float64
+	preAlloc   []int
+	moves      []*entry
+	// adaptiveScratch collects every adaptive job visited in an event-mode
+	// tick, so an over-committed shard can squish its whole list.
+	adaptiveScratch []*core.Job
+
+	started bool
+}
+
+// New wires a plane to a controller. The controller must not have been
+// started; the plane replaces its thread with one thread per shard. In
+// EventDriven mode the registry's dirty hook is claimed by the plane.
+func New(ctl *core.Controller, kern *kernel.Kernel, policy *rbs.Policy, reg *progress.Registry, cfg Config) *Plane {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > 64 {
+		cfg.Shards = 64
+	}
+	ccfg := ctl.Config()
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.05
+	}
+	if cfg.MaxStaleness <= 0 {
+		cfg.MaxStaleness = 10 * ccfg.Interval
+	}
+	p := &Plane{
+		ctl:       ctl,
+		kern:      kern,
+		policy:    policy,
+		reg:       reg,
+		cfg:       cfg,
+		interval:  ccfg.Interval,
+		threshold: cfg.Threshold,
+		byJob:     make(map[*core.Job]*entry),
+	}
+	p.stalenessEpochs = (int64(cfg.MaxStaleness) + int64(ccfg.Interval) - 1) / int64(ccfg.Interval)
+	if p.stalenessEpochs < 1 {
+		p.stalenessEpochs = 1
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		p.shards = append(p.shards, &shard{id: s})
+	}
+	ctl.MarkExternal()
+	ctl.OnJobChange(p.jobAdded, p.jobRemoved)
+	for _, j := range ctl.Jobs() {
+		p.jobAdded(j)
+	}
+	if cfg.Mode == EventDriven {
+		reg.SetDirtyHook(p.markDirty)
+	}
+	return p
+}
+
+// Start spawns the shard threads. The shards split the legacy controller
+// reservation (the last shard takes the remainder, so the admitted total
+// matches the single-thread plane exactly) and stagger their first wakes
+// across the control interval: shard s first ticks at Start+Interval +
+// s·Interval/S, shard 0 exactly where the legacy controller would have.
+func (p *Plane) Start() {
+	if p.started {
+		panic("ctlplane: plane started twice")
+	}
+	p.started = true
+	res := p.ctl.Config().Reservation
+	ncpu := p.kern.NumCPUs()
+	n := len(p.shards)
+	each := res.Proportion / n
+	now := p.kern.Now()
+	for _, s := range p.shards {
+		prop := each
+		if s.id == n-1 {
+			prop = res.Proportion - each*(n-1)
+		}
+		if prop < 1 {
+			prop = 1
+		}
+		s.thread = p.kern.SpawnAffinity(fmt.Sprintf("ctl%d", s.id), kernel.ProgramFunc(p.programOf(s)), s.id%ncpu)
+		if err := p.policy.SetReservation(s.thread, rbs.Reservation{Proportion: prop, Period: res.Period}); err != nil {
+			panic(fmt.Sprintf("ctlplane: shard %d reservation: %v", s.id, err))
+		}
+		p.ctl.AdmitOverhead(prop)
+		s.nextWake = now.Add(p.interval).Add(sim.Duration(int64(p.interval) * int64(s.id) / int64(n)))
+		s.lastSampled = len(s.list)
+	}
+}
+
+// programOf builds one shard's thread program: burn the modeled cost,
+// tick, sleep to the next staggered wake — the same shape as the legacy
+// controller thread, with the per-interval cost split across shards.
+func (p *Plane) programOf(s *shard) func(t *kernel.Thread, now sim.Time) kernel.Op {
+	ccfg := p.ctl.Config()
+	return func(t *kernel.Thread, now sim.Time) kernel.Op {
+		s.phase++
+		if s.phase%2 == 1 {
+			// The base bookkeeping is split evenly; the per-job term
+			// charges full freight for sampled jobs and 1/8 for the
+			// skip-path compares of event mode.
+			work := sim.Cycles(s.lastSampled) + sim.Cycles(s.lastSkipped)/8
+			s.computeOp.Cycles = ccfg.BaseCost/sim.Cycles(len(p.shards)) + work*ccfg.PerJobCost
+			return &s.computeOp
+		}
+		p.tick(s, now)
+		wake := s.nextWake
+		s.nextWake = s.nextWake.Add(p.interval)
+		s.sleepOp.At = wake
+		return &s.sleepOp
+	}
+}
+
+// homeOf returns the shard a job's primary thread is resident on: its CPU
+// on a multiprocessor, a thread-ID hash on a uniprocessor.
+func (p *Plane) homeOf(j *core.Job) int {
+	t := j.Thread()
+	if p.kern.NumCPUs() > 1 {
+		return t.CPU() % len(p.shards)
+	}
+	return t.ID() % len(p.shards)
+}
+
+// jobAdded registers a plane entry for a newly admitted job on its home
+// shard. lastEpoch 0 makes the home shard visit it at its next tick.
+func (p *Plane) jobAdded(j *core.Job) {
+	e := &entry{job: j, shard: p.homeOf(j)}
+	p.byJob[j] = e
+	sh := p.shards[e.shard]
+	sh.list = append(sh.list, e)
+}
+
+// jobRemoved marks the entry dead; the owning shard drops it at its next
+// visit. The aggregates self-correct at the same tick.
+func (p *Plane) jobRemoved(j *core.Job) {
+	if e := p.byJob[j]; e != nil {
+		e.removed = true
+		delete(p.byJob, j)
+	}
+}
+
+// markDirty is the registry's dirty hook: a watched metric of one of the
+// thread's job's signals moved.
+func (p *Plane) markDirty(t *kernel.Thread) {
+	j, ok := p.ctl.JobOf(t)
+	if !ok {
+		return
+	}
+	if e := p.byJob[j]; e != nil {
+		e.dirty = true
+	}
+}
+
+// watchedOf reports whether dirty marks cover all of the job's progress
+// signals: at least one member registered metrics and every registered
+// metric is watchable.
+func (p *Plane) watchedOf(j *core.Job) bool {
+	any := false
+	for _, t := range j.Members() {
+		if !p.reg.HasMetrics(t) {
+			continue
+		}
+		any = true
+		if !p.reg.Watched(t) {
+			return false
+		}
+	}
+	return any
+}
+
+// shouldSample decides whether a shard visit re-samples the job this
+// epoch. Periodic mode always samples. Event mode samples never-sampled
+// jobs, jobs past the staleness bound, and watched real-rate jobs whose
+// dirty signal moved at least Threshold from the last sampled raw
+// pressure; everything else (quiet watched jobs, unwatched or
+// metric-less classes inside the bound) is skipped.
+func (p *Plane) shouldSample(e *entry, now sim.Time) bool {
+	if p.cfg.Mode == Periodic {
+		return true
+	}
+	if !e.sampled {
+		return true
+	}
+	if p.epoch-e.sampleEpoch >= p.stalenessEpochs {
+		return true
+	}
+	if e.job.Class() == core.RealRate && e.watched {
+		if !e.dirty {
+			return false
+		}
+		raw := p.ctl.PeekPressure(e.job, now)
+		d := raw - e.job.RawPressure()
+		if d < 0 {
+			d = -d
+		}
+		if d >= p.threshold {
+			return true
+		}
+		e.dirty = false
+	}
+	return false
+}
+
+// tick runs one shard's slice of a control epoch.
+//
+// Shard 0's tick opens the epoch (prologue: step count, miss reaction,
+// reap, delayed actuations); the last shard's tick closes it (epilogue:
+// governor observation over the summed aggregates). In between, each
+// shard visits its list exactly once: drop dead entries, re-home migrated
+// ones (collected during the walk, applied after — the lastEpoch guard
+// keeps a re-homed job from being visited twice in one epoch), decide
+// whether to re-sample, and rebuild its published aggregates. Pass 2
+// squishes only this epoch's sampled jobs into the shard's demand-
+// proportional slice of machine capacity, minus what the shard's
+// un-sampled jobs already hold — so an idle shard's tick does no squish
+// work at all.
+func (p *Plane) tick(s *shard, now sim.Time) {
+	if s.id == 0 {
+		p.epoch++
+		p.ctl.EpochPrologue(now)
+	}
+	s.ticks++
+
+	squishable := p.squishable[:0]
+	desires := p.desires[:0]
+	weights := p.weights[:0]
+	preAlloc := p.preAlloc[:0]
+	moves := p.moves[:0]
+	allAdaptive := p.adaptiveScratch[:0]
+
+	var desireRaw, govDesire, govGranted, allocAdaptive int
+	var sampledTick, skippedTick int
+	maxPPT := p.ctl.Config().MaxProportion
+
+	keep := s.list[:0]
+	for _, e := range s.list {
+		if e.removed {
+			continue
+		}
+		j := e.job
+		if home := p.homeOf(j); home != s.id {
+			e.shard = home
+			moves = append(moves, e)
+			s.handoffs++
+		} else {
+			keep = append(keep, e)
+		}
+		if e.lastEpoch == p.epoch {
+			// Already visited this epoch: the entry was re-homed here by a
+			// shard that ticked earlier. Its sample and its aggregate
+			// contribution happened there; counting it again would
+			// double-sample the job and double-count its demand.
+			continue
+		}
+		e.lastEpoch = p.epoch
+
+		adaptive := j.Class().Adaptive()
+		if p.shouldSample(e, now) {
+			epochs := p.epoch - e.sampleEpoch
+			if !e.sampled || epochs < 1 {
+				epochs = 1
+			}
+			e.watched = p.watchedOf(j)
+			inSquish := p.ctl.SampleJob(j, now, epochs)
+			e.sampled = true
+			e.sampleEpoch = p.epoch
+			e.dirty = false
+			sampledTick++
+			if inSquish {
+				squishable = append(squishable, j)
+				desires = append(desires, j.Desired())
+				weights = append(weights, j.Importance())
+				preAlloc = append(preAlloc, j.Allocated())
+			}
+		} else {
+			skippedTick++
+		}
+
+		d := j.Desired()
+		dc := d
+		if dc > maxPPT {
+			dc = maxPPT
+		}
+		govDesire += dc
+		govGranted += j.Allocated()
+		if adaptive {
+			desireRaw += d
+			allocAdaptive += j.Allocated()
+			if p.cfg.Mode == EventDriven {
+				allAdaptive = append(allAdaptive, j)
+			}
+		}
+	}
+	tail := keep[len(keep):len(s.list)]
+	for i := range tail {
+		tail[i] = nil
+	}
+	s.list = keep
+	for _, e := range moves {
+		p.shards[e.shard].list = append(p.shards[e.shard].list, e)
+	}
+
+	// Publish this shard's aggregates before computing the capacity slice
+	// so the split sees this epoch's demand.
+	s.desireRaw, s.govDesire, s.govGranted, s.allocAdaptive = desireRaw, govDesire, govGranted, allocAdaptive
+
+	// Pass 2 over the sampled set. The shard's capacity slice is its share
+	// of adaptive demand: with no floors binding, the global squish scales
+	// every desire by capacity/demand, so demand-proportional slices
+	// reproduce the global allocation in steady state.
+	capacity := p.ctl.EffectiveThreshold() - p.ctl.Admitted()
+	if capacity < 0 {
+		capacity = 0
+	}
+	var dTotal int
+	for _, o := range p.shards {
+		dTotal += o.desireRaw
+	}
+	var slice int
+	if dTotal <= 0 {
+		slice = capacity / len(p.shards)
+	} else {
+		slice = int(int64(capacity) * int64(desireRaw) / int64(dTotal))
+	}
+	if p.cfg.Mode == EventDriven && allocAdaptive > slice {
+		// Over-commit recovery: the shard's jobs hold more than its slice
+		// (early epochs, before every shard has published demand; or a
+		// demand collapse elsewhere). Waiting for staleness to re-sample
+		// the holders would leave the machine over-committed for up to the
+		// staleness bound, so the whole shard is squished now with
+		// retained desires. The included un-sampled jobs get their usage
+		// marks advanced a little early; their next sample's smoothed
+		// usage absorbs it.
+		squishable = append(squishable[:0], allAdaptive...)
+		desires, weights, preAlloc = desires[:0], weights[:0], preAlloc[:0]
+		for _, j := range allAdaptive {
+			desires = append(desires, j.Desired())
+			weights = append(weights, j.Importance())
+			preAlloc = append(preAlloc, j.Allocated())
+		}
+	}
+	held := 0
+	for _, a := range preAlloc {
+		held += a
+	}
+	squishCap := slice - (allocAdaptive - held)
+	p.ctl.SquishApply(squishable, desires, weights, squishCap, now)
+	for i, j := range squishable {
+		delta := j.Allocated() - preAlloc[i]
+		s.govGranted += delta
+		s.allocAdaptive += delta
+	}
+
+	p.squishable, p.desires, p.weights, p.preAlloc, p.moves = squishable, desires, weights, preAlloc, moves[:0]
+	p.adaptiveScratch = allAdaptive
+	s.lastSampled, s.lastSkipped = sampledTick, skippedTick
+	s.sampled += uint64(sampledTick)
+	s.skipped += uint64(skippedTick)
+
+	if s.id == len(p.shards)-1 {
+		var dsum, gsum int
+		for _, o := range p.shards {
+			dsum += o.govDesire
+			gsum += o.govGranted
+		}
+		p.ctl.EpochEpilogue(now, dsum, gsum)
+	}
+}
+
+// Stat is one shard's counters.
+type Stat struct {
+	Shard    int
+	Ticks    uint64
+	Sampled  uint64
+	Skipped  uint64
+	Handoffs uint64
+	// LastSampled/LastSkipped are the most recent tick's work counts.
+	LastSampled int
+	LastSkipped int
+}
+
+// Stats returns per-shard counters.
+func (p *Plane) Stats() []Stat {
+	out := make([]Stat, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = Stat{
+			Shard: s.id, Ticks: s.ticks, Sampled: s.sampled, Skipped: s.skipped,
+			Handoffs: s.handoffs, LastSampled: s.lastSampled, LastSkipped: s.lastSkipped,
+		}
+	}
+	return out
+}
+
+// Mode returns the plane's sampling mode.
+func (p *Plane) Mode() Mode { return p.cfg.Mode }
+
+// Shards returns the shard count.
+func (p *Plane) Shards() int { return len(p.shards) }
+
+// Epoch returns the number of completed-or-open control epochs.
+func (p *Plane) Epoch() int64 { return p.epoch }
+
+// StalenessEpochs returns the staleness bound in control intervals — the
+// most epochs any job can go un-sampled in EventDriven mode.
+func (p *Plane) StalenessEpochs() int64 { return p.stalenessEpochs }
+
+// CPUTime sums the CPU consumed by every shard thread.
+func (p *Plane) CPUTime() sim.Duration {
+	var total sim.Duration
+	for _, s := range p.shards {
+		if s.thread != nil {
+			total += s.thread.CPUTime()
+		}
+	}
+	return total
+}
+
+// Threads returns the shard threads (nil entries before Start).
+func (p *Plane) Threads() []*kernel.Thread {
+	out := make([]*kernel.Thread, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.thread
+	}
+	return out
+}

@@ -22,6 +22,11 @@ type Queue struct {
 
 	produced int64 // total bytes ever enqueued
 	consumed int64 // total bytes ever dequeued
+
+	// watchers are notified after every successful fill change — the push
+	// half of event-driven progress tracking. Nil (the default) costs the
+	// transfer paths one length check.
+	watchers []func()
 }
 
 // NewQueue creates a bounded buffer of the given byte capacity.
@@ -57,6 +62,19 @@ func (q *Queue) Produced() int64 { return q.produced }
 // Consumed returns the total bytes ever dequeued.
 func (q *Queue) Consumed() int64 { return q.consumed }
 
+// Watch registers fn to be invoked after every successful transfer in or
+// out of the queue — i.e. whenever the fill level (the progress signal)
+// actually moves. Watchers must be cheap and must not drive the machine;
+// the event-driven control plane uses them to mark jobs dirty.
+func (q *Queue) Watch(fn func()) { q.watchers = append(q.watchers, fn) }
+
+// notifyWatchers fires the registered fill-change watchers.
+func (q *Queue) notifyWatchers() {
+	for _, fn := range q.watchers {
+		fn()
+	}
+}
+
 // ProducerWaiting reports whether a producer is blocked on the queue.
 func (q *Queue) ProducerWaiting() bool { return q.notFull.Len() > 0 }
 
@@ -77,6 +95,9 @@ func (q *Queue) tryProduce(t *Thread, bytes int64, now sim.Time) bool {
 	}
 	q.fill += bytes
 	q.produced += bytes
+	if len(q.watchers) > 0 {
+		q.notifyWatchers()
+	}
 	if w := q.notEmpty.pop(); w != nil {
 		w.waitingOn = nil
 		q.kern.wake(w, now)
@@ -99,6 +120,9 @@ func (q *Queue) tryConsume(t *Thread, bytes int64, now sim.Time) bool {
 	}
 	q.fill -= bytes
 	q.consumed += bytes
+	if len(q.watchers) > 0 {
+		q.notifyWatchers()
+	}
 	if w := q.notFull.pop(); w != nil {
 		w.waitingOn = nil
 		q.kern.wake(w, now)

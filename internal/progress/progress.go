@@ -56,6 +56,16 @@ type Metric interface {
 	Describe() string
 }
 
+// Watchable is the optional push half of a Metric: a metric that can
+// announce when its underlying signal moved. The event-driven control
+// plane watches every watchable metric a job registers and skips
+// re-sampling jobs whose signals are quiet; metrics without Watch are
+// covered by the staleness bound instead.
+type Watchable interface {
+	// Watch registers fn to be called whenever the metric's signal changes.
+	Watch(fn func())
+}
+
 // QueueMetric is the canonical symbiotic interface: a kernel bounded buffer
 // plus the registering thread's role. "By exposing the fill-level, size,
 // and role of the application (producer or consumer), the scheduler can
@@ -80,6 +90,10 @@ func (m QueueMetric) Describe() string {
 // exposed for tests of the Figure 3 equation.
 func (m QueueMetric) F() float64 { return m.Queue.FillLevel() - 0.5 }
 
+// Watch implements Watchable: the signal moves exactly when the queue's
+// fill does.
+func (m QueueMetric) Watch(fn func()) { m.Queue.Watch(fn) }
+
 // VirtualQueue is the pseudo-progress metric of §4.5 for applications with
 // no natural bounded buffer ("a pure computation ... could use a metric
 // such as the number of keys it has attempted"). The application produces
@@ -95,6 +109,11 @@ type VirtualQueue struct {
 
 	fill      float64
 	lastDrain sim.Time
+
+	// watchers are notified on every Complete — the only edge at which new
+	// information enters the virtual buffer (the drain is pure clockwork,
+	// already captured by the staleness bound).
+	watchers []func()
 }
 
 // NewVirtualQueue creates a pseudo-progress buffer of the given depth that
@@ -113,7 +132,14 @@ func (v *VirtualQueue) Complete(now sim.Time, n float64) {
 	if v.fill > v.size {
 		v.fill = v.size
 	}
+	for _, fn := range v.watchers {
+		fn()
+	}
 }
+
+// Watch implements Watchable: completed work units are the signal's
+// event edge.
+func (v *VirtualQueue) Watch(fn func()) { v.watchers = append(v.watchers, fn) }
 
 func (v *VirtualQueue) drain(now sim.Time) {
 	dt := now.Sub(v.lastDrain).Seconds()
@@ -147,6 +173,11 @@ func (v *VirtualQueue) Describe() string {
 // in: which queues (or other metrics) each thread's progress is linked to.
 type Registry struct {
 	entries map[*kernel.Thread][]Metric
+
+	// dirty, when set, is invoked with the owning thread whenever one of
+	// its watchable metrics announces a signal change. Nil (the default)
+	// keeps registration free of watcher wiring.
+	dirty func(t *kernel.Thread)
 }
 
 // NewRegistry returns an empty registry.
@@ -154,11 +185,53 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[*kernel.Thread][]Metric)}
 }
 
+// SetDirtyHook installs the dirty-signal callback: fn is invoked with the
+// owning thread whenever one of its watchable metrics reports a change.
+// Metrics registered before the hook is installed are wired up too, so
+// installation order does not matter. The hook cannot be removed.
+func (r *Registry) SetDirtyHook(fn func(t *kernel.Thread)) {
+	r.dirty = fn
+	if fn == nil {
+		return
+	}
+	for t, ms := range r.entries {
+		for _, m := range ms {
+			r.watch(t, m)
+		}
+	}
+}
+
+// watch attaches the dirty hook to one metric if it is watchable.
+func (r *Registry) watch(t *kernel.Thread, m Metric) {
+	if w, ok := m.(Watchable); ok {
+		w.Watch(func() { r.dirty(t) })
+	}
+}
+
+// Watched reports whether every metric registered for t is watchable —
+// i.e. whether the dirty hook sees all of t's signal changes. Jobs with
+// any unwatchable metric must be re-sampled on the staleness bound alone.
+func (r *Registry) Watched(t *kernel.Thread) bool {
+	ms := r.entries[t]
+	if len(ms) == 0 {
+		return false
+	}
+	for _, m := range ms {
+		if _, ok := m.(Watchable); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Register links a metric to a thread. A thread may register several
 // metrics (a pipeline stage is consumer of one queue and producer of the
 // next); their pressures sum per Figure 3.
 func (r *Registry) Register(t *kernel.Thread, m Metric) {
 	r.entries[t] = append(r.entries[t], m)
+	if r.dirty != nil {
+		r.watch(t, m)
+	}
 }
 
 // RegisterQueue is shorthand for the common producer/consumer linkage.

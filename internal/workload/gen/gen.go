@@ -327,6 +327,12 @@ type RunOpts struct {
 	Trace bool
 	// Observer, when non-nil, is registered alongside the checker.
 	Observer realrate.Observer
+	// Controller selects the control-plane sampling mode: "periodic"
+	// (default) or "event".
+	Controller string
+	// Shards splits the controller across this many staggered shard
+	// threads (0 or 1: the classic single controller thread).
+	Shards int
 }
 
 // RunResult is the outcome of one scenario execution.
@@ -337,6 +343,27 @@ type RunResult struct {
 	// Health is the system's fault-tolerance snapshot at the end of the
 	// run (all zeros outside the faults family).
 	Health realrate.Health
+	// Allocations maps thread name → end-of-run allocation state for
+	// every tracked thread still alive. The convergence differential
+	// oracle compares these across control-plane configurations.
+	Allocations map[string]EndState
+	// CtlStats is the control plane's per-shard counter snapshot (one
+	// synthesized shard under the classic controller, nil under
+	// baselines).
+	CtlStats []realrate.ShardStat
+}
+
+// EndState is one thread's allocation at the end of a run.
+type EndState struct {
+	// Allocated is the instantaneous proportion in ppt.
+	Allocated int
+	// Smoothed is the checker's allocation EWMA (≈300 ms time constant) —
+	// the convergence-comparison surface, robust to squish transients and
+	// event-plane staleness windows that make any single instant noisy.
+	Smoothed int
+	// Class is the controller's taxonomy class for the thread
+	// ("real-rate", "miscellaneous", ...).
+	Class string
 }
 
 // run is the live execution state of one scenario under one policy.
@@ -365,6 +392,14 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 		return nil, err
 	}
 	cfg := realrate.Config{Policy: pol, CPUs: sc.Spec.CPUs}
+	switch opts.Controller {
+	case "", "periodic":
+	case "event":
+		cfg.CtlPlane.Mode = realrate.ControllerEventDriven
+	default:
+		return nil, fmt.Errorf("gen: unknown controller mode %q (want periodic or event)", opts.Controller)
+	}
+	cfg.CtlPlane.Shards = opts.Shards
 	if len(sc.Spec.Faults) > 0 {
 		// Remap drawn stall CPUs onto the actual machine and arm a fast
 		// watchdog (6 flat intervals down a rung, 3 good ones back up) so
@@ -416,7 +451,14 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 	sys.Run(sc.Spec.Duration)
 	r.chk.finish()
 
-	res := &RunResult{Policy: name, Report: r.chk.report(), Health: sys.Health()}
+	res := &RunResult{Policy: name, Report: r.chk.report(), Health: sys.Health(),
+		Allocations: make(map[string]EndState, len(r.chk.tracked)), CtlStats: sys.ShardStats()}
+	for _, tt := range r.chk.tracked {
+		if tt.th.State() != "exited" {
+			res.Allocations[tt.name] = EndState{Allocated: tt.th.Allocation(),
+				Smoothed: int(tt.allocEWMA + 0.5), Class: tt.th.Class()}
+		}
+	}
 	if tr != nil {
 		var buf bytes.Buffer
 		if err := tr.WriteCSV(&buf); err != nil {

@@ -21,6 +21,12 @@ type Point struct {
 	// CPUs overrides the machine's CPU count (0: the family's own, which
 	// is 1 everywhere except the smp family's drawn value).
 	CPUs int
+	// Controller selects the control-plane sampling mode ("" or
+	// "periodic": the classic sweep; "event": event-driven).
+	Controller string
+	// Shards splits the controller across this many shard threads (0 or
+	// 1: the classic single thread).
+	Shards int
 }
 
 // Replay formats the rrexp invocation that reproduces this point
@@ -36,6 +42,12 @@ func (p Point) Replay() string {
 	}
 	if p.CPUs > 0 {
 		fmt.Fprintf(&b, " -cpus %d", p.CPUs)
+	}
+	if p.Controller != "" && p.Controller != "periodic" {
+		fmt.Fprintf(&b, " -controller %s", p.Controller)
+	}
+	if p.Shards > 1 {
+		fmt.Fprintf(&b, " -shards %d", p.Shards)
 	}
 	return b.String()
 }
@@ -64,7 +76,7 @@ func RunPoint(p Point) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Generate(sp).Run(RunOpts{Policy: p.Policy})
+	return Generate(sp).Run(RunOpts{Policy: p.Policy, Controller: p.Controller, Shards: p.Shards})
 }
 
 // CheckOpts configures a harness sweep.
@@ -77,6 +89,10 @@ type CheckOpts struct {
 	Scale    float64
 	Duration time.Duration
 	CPUs     int
+	// Controller/Shards select the control-plane configuration for every
+	// point.
+	Controller string
+	Shards     int
 }
 
 // Check runs one (family, seed) scenario under the requested policies and
@@ -93,7 +109,8 @@ func Check(family string, seed uint64, opts CheckOpts) ([]Violation, []Report, e
 	)
 	for _, pol := range policies {
 		p := Point{Family: family, Seed: seed, Policy: pol,
-			Scale: opts.Scale, Duration: opts.Duration, CPUs: opts.CPUs}
+			Scale: opts.Scale, Duration: opts.Duration, CPUs: opts.CPUs,
+			Controller: opts.Controller, Shards: opts.Shards}
 		res, err := RunPoint(p)
 		if err != nil {
 			return nil, nil, err

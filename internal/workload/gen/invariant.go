@@ -60,6 +60,10 @@ type Report struct {
 	Violations     []Violation
 	// TruncatedViolations counts breaches beyond the recording cap.
 	TruncatedViolations int
+	// CtlStats is the control plane's per-shard counter snapshot at run
+	// end (one synthesized shard under the classic controller, nil under
+	// baselines).
+	CtlStats []realrate.ShardStat
 }
 
 // maxViolations caps recorded breaches per run: a broken invariant tends to
@@ -111,6 +115,12 @@ type trackedThread struct {
 	// clamp(K·Q) — the feedback-tracking invariant applies to them.
 	realRate bool
 	window   []feedbackSample
+	// allocEWMA smooths the allocation over roughly the last third of a
+	// second (α=0.03 per 10 ms sample). End-of-run snapshots read this
+	// instead of the instantaneous value: squish transients and the event
+	// plane's staleness windows make any single instant noisy.
+	allocEWMA float64
+	ewmaSeen  bool
 }
 
 // checker observes one scenario execution and accumulates violations. It
@@ -590,6 +600,11 @@ func (c *checker) sample(now time.Duration) {
 			continue
 		}
 		alloc := tt.th.Allocation()
+		if !tt.ewmaSeen {
+			tt.allocEWMA, tt.ewmaSeen = float64(alloc), true
+		} else {
+			tt.allocEWMA += 0.03 * (float64(alloc) - tt.allocEWMA)
+		}
 		if alloc < 0 {
 			c.violate("floor", now, "thread %s allocation %d < 0", tt.name, alloc)
 		}
@@ -882,5 +897,6 @@ func (c *checker) report() Report {
 		FinalRung:           c.rung,
 		Violations:          c.violations,
 		TruncatedViolations: c.truncated,
+		CtlStats:            c.sys.ShardStats(),
 	}
 }

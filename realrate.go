@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ctlplane"
 	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/overload"
@@ -103,6 +104,11 @@ type Config struct {
 	// default — costs nothing: the hot paths pay one nil check and the
 	// dispatch schedule is byte-identical to a build without the governor.
 	Overload *OverloadConfig
+	// CtlPlane configures the sharded, staggered, event-driven control
+	// plane for machines with very many jobs. The zero value — one shard,
+	// periodic — keeps the classic controller thread and its
+	// byte-identical dispatch schedule.
+	CtlPlane CtlPlaneConfig
 }
 
 // ControllerTuning exposes the controller knobs that experiments vary.
@@ -140,6 +146,9 @@ type System struct {
 	reg *progress.Registry
 	// ctl is nil under baseline policies: no feedback allocator runs.
 	ctl *core.Controller
+	// plane is the sharded control plane when Config.CtlPlane asks for
+	// one; nil keeps the classic controller thread.
+	plane *ctlplane.Plane
 
 	// byKern maps kernel threads back to their public handles, so quality
 	// events and observer callbacks stay O(1) at 10k threads. Entries are
@@ -300,6 +309,12 @@ func NewSystem(cfg Config) *System {
 			}
 		}
 	}
+	if s.ctl != nil && !cfg.CtlPlane.legacy() {
+		// Built last so the plane sees the fully-wired controller; it
+		// claims the controller's job-change hooks and — in event mode —
+		// the registry's dirty hook.
+		s.plane = buildPlane(s, cfg.CtlPlane)
+	}
 	return s
 }
 
@@ -311,7 +326,9 @@ func (s *System) PolicyName() string { return s.policy.Name() }
 func (s *System) Run(d time.Duration) {
 	if !s.started {
 		s.started = true
-		if s.ctl != nil {
+		if s.plane != nil {
+			s.plane.Start()
+		} else if s.ctl != nil {
 			s.ctl.Start()
 		}
 		s.kern.Start()
@@ -473,6 +490,9 @@ func (s *System) CPUStats() []CPUStat {
 func (s *System) ControllerCPU() time.Duration {
 	if s.ctl == nil {
 		return 0
+	}
+	if s.plane != nil {
+		return time.Duration(s.plane.CPUTime())
 	}
 	t := s.ctl.Thread()
 	if t == nil {

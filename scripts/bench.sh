@@ -37,4 +37,11 @@ go test -run '^$' -bench 'BenchmarkStormSMP' -benchtime 3x -benchmem . >>"$tmp" 
 # SLO-tap/governor instrumentation cost.
 go test -run '^$' -bench 'BenchmarkOverloadGovernor' -benchtime 10x -benchmem . >>"$tmp" 2>&1
 
+# Sharded control-plane benches (pr8-ctlplane): one full control epoch at
+# 10k and 100k jobs, periodic vs event mode — the event plane's per-job
+# cost must stay sublinear-ish (n=100k < 2× the n=10k per-job cost). The
+# 1M-job soak logs admission and per-epoch wall time into the test output.
+go test -run '^$' -bench 'BenchmarkControllerStep' -benchtime 20x -benchmem ./internal/ctlplane/ >>"$tmp" 2>&1
+go test -run 'TestSoak1MAdmission' -v ./internal/ctlplane/ >>"$tmp" 2>&1
+
 go run ./scripts/benchmerge -file BENCH_results.json -date "$(date -u +%F)" -label "$label" <"$tmp"
