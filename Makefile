@@ -50,11 +50,15 @@ fuzz:
 # graceful-degradation oracles) on 1 and 4 CPUs, then a deeper slice of
 # the overload family alone (admission storms against the brownout-ladder
 # oracles: typed refusals, importance-ordered sheds, recovery to normal)
-# on 1 and 4 CPUs.
+# on 1 and 4 CPUs, and finally a slice of the slo live-service family
+# alone (open-loop session pipelines against the session-conservation,
+# stage-ordering, and SLO-closure oracles) on 1 CPU and on 4 CPUs under
+# the sharded event-driven control plane — the scale runs' configuration.
 STRESS_SEEDS ?= 25
 STRESS_SMP_SEEDS ?= 8
 STRESS_FAULT_SEEDS ?= 15
 STRESS_OVERLOAD_SEEDS ?= 15
+STRESS_SLO_SEEDS ?= 15
 stress:
 	$(GO) run ./cmd/rrexp -gen -seeds $(STRESS_SEEDS)
 	$(GO) run ./cmd/rrexp -gen -cpus 4 -seeds $(STRESS_SMP_SEEDS)
@@ -62,6 +66,8 @@ stress:
 	$(GO) run ./cmd/rrexp -gen -scenario faults -cpus 4 -seeds $(STRESS_FAULT_SEEDS)
 	$(GO) run ./cmd/rrexp -gen -scenario overload -seeds $(STRESS_OVERLOAD_SEEDS)
 	$(GO) run ./cmd/rrexp -gen -scenario overload -cpus 4 -seeds $(STRESS_OVERLOAD_SEEDS)
+	$(GO) run ./cmd/rrexp -gen -scenario slo -seeds $(STRESS_SLO_SEEDS)
+	$(GO) run ./cmd/rrexp -gen -scenario slo -cpus 4 -controller event -shards 2 -seeds $(STRESS_SLO_SEEDS)
 
 # goldens byte-compares the Figure 5-8 outputs against the committed
 # goldens in testdata/goldens/ (re-bless with scripts/goldens.sh -update).

@@ -14,12 +14,14 @@ package realrate_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	realrate "repro"
 	"repro/internal/experiments"
 	"repro/internal/pid"
 	"repro/internal/rbs"
 	"repro/internal/sim"
+	"repro/internal/workload/gen"
 )
 
 // BenchmarkFig5SweepSerial and ...SweepParallel A/B the experiment sweep
@@ -311,6 +313,43 @@ func BenchmarkAblationPreciseDispatch(b *testing.B) {
 		last = experiments.RunQuantizationAblation(true, 5*sim.Second)
 	}
 	b.ReportMetric(last.Overdelivery, "overdelivery-x")
+}
+
+// BenchmarkSLOSessions prices the live-service scenario family at scale:
+// n sessions offered over one simulated second to an 8-CPU machine under
+// rbs and the sharded event-driven control plane — exactly the spec
+// rrexp -slo runs (experiments.SLOSpec), with the invariant checker off,
+// so the measured cost is the workload plus the control plane and nothing
+// else. ms_per_epoch is the host wall-clock per 10 ms control epoch, the
+// budget the scale runs are held to; sessions_started/completed confirm
+// the machine actually served the storm rather than refusing it at the
+// door.
+func BenchmarkSLOSessions(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var last gen.SessionReport
+			var host time.Duration
+			for i := 0; i < b.N; i++ {
+				sp := experiments.SLOSpec(1, n, 1.0, time.Second, 8)
+				start := time.Now()
+				res, err := gen.Generate(sp).Run(gen.RunOpts{
+					Policy: "rbs", Controller: "event", NoInvariants: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				host = time.Since(start)
+				last = res.Report.Sessions
+			}
+			if last.Started == 0 || last.Completed == 0 {
+				b.Fatalf("storm never served: %+v", last)
+			}
+			epochs := float64(time.Second / (10 * time.Millisecond))
+			b.ReportMetric(float64(host)/float64(time.Millisecond)/epochs, "ms_per_epoch")
+			b.ReportMetric(float64(last.Started), "sessions_started")
+			b.ReportMetric(float64(last.Completed), "sessions_completed")
+		})
+	}
 }
 
 // BenchmarkOverloadGovernor prices the overload governor on the public

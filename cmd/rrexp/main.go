@@ -17,6 +17,8 @@
 //	rrexp -openloop -cpus 4 # the same sweep on a 4-CPU machine
 //	rrexp -churn            # admission-churn stress sweep vs. policy
 //	rrexp -storm            # SMP storm: fixed backlog drained on 1/2/4/8 CPUs
+//	rrexp -slo              # live-service SLO-attainment curves vs. offered load
+//	rrexp -slo -sessions 100000 -controller event -cpus 8   # million-user-scale point
 //	rrexp -all              # everything
 //
 //	rrexp -gen                                   # invariant harness: all families × seeds × policies
@@ -57,7 +59,9 @@ func main() {
 		openloop   = flag.Bool("openloop", false, "run the open-loop arrival sweep")
 		churn      = flag.Bool("churn", false, "run the admission-churn stress sweep")
 		storm      = flag.Bool("storm", false, "run the SMP storm sweep (fixed backlog, time-to-drain vs. CPUs)")
-		cpus       = flag.Int("cpus", 0, "machine CPU count for -openloop/-gen (0: each scenario's own; storm sweeps 1/2/4/8)")
+		slo        = flag.Bool("slo", false, "run the live-service SLO-attainment sweep (attainment vs. offered load per policy × CPUs)")
+		sessions   = flag.Int("sessions", 4000, "session count at offered load 1.0 for -slo")
+		cpus       = flag.Int("cpus", 0, "machine CPU count for -openloop/-gen/-slo (0: each scenario's own; storm sweeps 1/2/4/8, slo sweeps 1/4/8)")
 
 		genRun   = flag.Bool("gen", false, "run (or replay) generated scenarios through the invariant harness")
 		scenario = flag.String("scenario", "all", "generator family for -gen (or 'all'): "+fmt.Sprint(gen.Families()))
@@ -77,7 +81,7 @@ func main() {
 		os.Exit(runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV, *cpus, *controller, *shards))
 	}
 
-	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter && !*openloop && !*churn && !*storm {
+	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter && !*openloop && !*churn && !*storm && !*slo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -172,6 +176,29 @@ func main() {
 		res := experiments.RunStormSMP(threads, cc, 0)
 		res.Print(os.Stdout)
 		dump("storm_smp.csv", res.WriteCSV)
+	}
+	if *slo {
+		// Standalone (not under -all): the 100k+ points are scale runs,
+		// sized by -sessions, not part of the figure regeneration.
+		cfg := experiments.SLOConfig{
+			Seed:       *seed,
+			Sessions:   *sessions,
+			Controller: *controller,
+			Shards:     *shards,
+			Duration:   time.Duration(runDur(sim.Second)),
+		}
+		if *quick {
+			cfg.Sessions = *sessions / 4
+		}
+		if *cpus > 0 {
+			cfg.CPUs = []int{*cpus}
+		}
+		if *policy != "all" {
+			cfg.Policies = []string{*policy}
+		}
+		res := experiments.RunSLOSweep(cfg)
+		res.Print(os.Stdout)
+		dump("slo.csv", res.WriteCSV)
 	}
 	if *all || *churn {
 		res := experiments.RunChurnStress(nil, runDur(2*sim.Second))

@@ -225,9 +225,16 @@ func main() {
 		if rep.Samples == 0 {
 			return ""
 		}
-		return fmt.Sprintf("rung %-8s slo wake→dispatch p50 %s p99 %s p999 %s attain %.1f%% of %s (%d samples, %d spawns throttled)",
+		line := fmt.Sprintf("rung %-8s slo wake→dispatch p50 %s p99 %s p999 %s attain %.1f%% of %s (%d samples, %d spawns throttled)",
 			sys.Health().OverloadRung, rep.P50, rep.P99, rep.P999,
 			100*rep.Attainment, rep.Target, rep.Samples, throttledSpawns)
+		// The session dimension only populates when the workload reports
+		// end-to-end latencies through ObserveSessionLatency.
+		if s := rep.Session; s.Samples > 0 {
+			line += fmt.Sprintf("\n             session e2e     p50 %s p99 %s p999 %s attain %.1f%% of %s (%d sessions)",
+				s.P50, s.P99, s.P999, 100*s.Attainment, rep.SessionTarget, s.Samples)
+		}
+		return line
 	}
 	var lastNow time.Duration
 	sys.Every(time.Second, func(now time.Duration) {

@@ -248,6 +248,10 @@ type Controller struct {
 	// sloProbe, when set, supplies the recent p99 wake→dispatch latency for
 	// the governor's SLO-driven trip point.
 	sloProbe func() sim.Duration
+	// lastEpochAt is when the governor last observed an epoch's signals.
+	// AdmissionVeto compares it against the clock to detect a stalled
+	// control plane (see the stall guard there).
+	lastEpochAt sim.Time
 	// govLastMisses/govLastDemotions turn the cumulative miss and demotion
 	// totals into per-interval deltas for the governor's signals.
 	govLastMisses    uint64
@@ -459,15 +463,57 @@ func (c *Controller) SetSLOProbe(fn func() sim.Duration) { c.sloProbe = fn }
 // throttle rung and above, new work is refused with a typed overload
 // error carrying a retry-after hint — callers get backpressure instead of
 // joining an already-saturated squish.
+//
+// The stall guard covers the regime the ladder alone cannot: the rung
+// only moves at control-epoch boundaries, and the per-epoch control cost
+// grows with the job count, so under a fast enough admission storm the
+// epochs themselves fall behind the interval cadence before the governor
+// has accumulated its trip streak — backpressure arriving exactly too
+// late, while every accepted admission slows the next epoch further. When
+// the last observed epoch is staler than the governor could possibly have
+// tripped in and the SLO probe's recent p99 — which is fed at dispatch
+// edges, not epochs, so it stays fresh through a stall — already reads
+// past the latency trip, admissions are refused as if the throttle rung
+// were active. On a healthy plane the guard never fires: epochs stay
+// inside the window and the ladder remains the only authority.
 func (c *Controller) AdmissionVeto() error {
-	if c.gov == nil || c.gov.Rung() < overload.Throttle {
+	if c.gov == nil {
 		return nil
+	}
+	rung := c.gov.Rung()
+	if rung < overload.Throttle {
+		if !c.planeStalled() {
+			return nil
+		}
+		rung = overload.Throttle // the guard's effective rung
 	}
 	c.health.Throttled++
 	return &OverloadError{
-		Rung:       c.gov.Rung().String(),
+		Rung:       rung.String(),
 		RetryAfter: c.gov.RetryAfter(c.cfg.Interval),
 	}
+}
+
+// planeStalled reports whether the governor's epoch evidence is too stale
+// to trust and the fresh dispatch-latency signal already reads saturated.
+// Requires an SLO-driven trip point: without a latency SLO there is no
+// epoch-independent saturation signal to consult.
+func (c *Controller) planeStalled() bool {
+	if c.sloProbe == nil {
+		return false
+	}
+	gcfg := c.gov.Config()
+	if gcfg.LatencyTrip <= 0 {
+		return false
+	}
+	// On cadence, TripIntervals saturated epochs throttle within
+	// (TripIntervals+1)·Interval; an older last epoch means the plane is
+	// not keeping up with the interval clock.
+	window := sim.Duration(int64(c.cfg.Interval) * int64(gcfg.TripIntervals+1))
+	if c.kern.Now().Sub(c.lastEpochAt) <= window {
+		return false
+	}
+	return c.sloProbe() > gcfg.LatencyTrip
 }
 
 // Health returns a snapshot of the fault-tolerance counters, including the
@@ -977,6 +1023,7 @@ func (c *Controller) governorStep(now sim.Time) {
 // banked once per epoch here, so the governor's per-interval rates are
 // identical under one shard or many.
 func (c *Controller) governorObserve(now sim.Time, desired, granted int) {
+	c.lastEpochAt = now
 	sig := overload.Signals{
 		// The controller's own reservation is demand too; job desires and
 		// grants are current as of this epoch's passes 1 and 2.

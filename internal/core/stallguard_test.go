@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/overload"
+	"repro/internal/sim"
+)
+
+// stallRig is a rig with a governed controller and a scriptable SLO probe:
+// the two signals the admission stall guard consults.
+func stallRig(tripIntervals int, latencyTrip sim.Duration) (*rig, *sim.Duration) {
+	r := newRig(core.Config{})
+	r.ctl.SetGovernor(overload.New(overload.Config{
+		TripIntervals: tripIntervals,
+		LatencyTrip:   latencyTrip,
+	}))
+	p99 := new(sim.Duration)
+	r.ctl.SetSLOProbe(func() sim.Duration { return *p99 })
+	return r, p99
+}
+
+// TestAdmissionStallGuardRefusesOnStalledPlane pins the guard's firing
+// condition: with the governor still at normal but the last control epoch
+// staler than the ladder could possibly have tripped in, and the
+// dispatch-fed p99 probe already past the latency trip, admissions bounce
+// with the throttle rung's typed error. This is the admission-storm regime
+// where epochs fall behind the interval cadence before the trip streak
+// accumulates — the ladder's evidence arrives exactly too late.
+func TestAdmissionStallGuardRefusesOnStalledPlane(t *testing.T) {
+	r, p99 := stallRig(25, 5*sim.Millisecond)
+	// The controller is never started: no epochs run, so the governor's
+	// last observation goes stale while simulated time advances well past
+	// the (TripIntervals+1)·Interval window (260 ms at the 10 ms default).
+	r.kern.Start()
+	r.run(400 * sim.Millisecond)
+	r.kern.Stop()
+	if rung := r.ctl.Governor().Rung(); rung != overload.Normal {
+		t.Fatalf("setup: rung %v, want normal (the ladder must not have tripped)", rung)
+	}
+
+	// Stale epochs alone are not enough: the fresh latency signal must
+	// also read saturated, or an idle-but-quiet plane would refuse work.
+	*p99 = 2 * sim.Millisecond
+	if err := r.ctl.AdmissionVeto(); err != nil {
+		t.Fatalf("veto with healthy dispatch latency: %v", err)
+	}
+
+	*p99 = 40 * sim.Millisecond
+	err := r.ctl.AdmissionVeto()
+	var oe *core.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("stalled plane with saturated p99: error %T (%v), want *core.OverloadError", err, err)
+	}
+	if oe.Rung != "throttle" || oe.RetryAfter <= 0 {
+		t.Fatalf("overload error = %+v, want effective throttle rung and positive retry-after", oe)
+	}
+	if h := r.ctl.Health(); h.Throttled != 1 {
+		t.Fatalf("Throttled = %d, want 1", h.Throttled)
+	}
+}
+
+// TestAdmissionStallGuardQuietOnHealthyPlane pins the guard's negative
+// space: while epochs arrive on cadence the guard never fires, even with
+// the probe far past the trip — the ladder remains the only admission
+// authority on a live plane.
+func TestAdmissionStallGuardQuietOnHealthyPlane(t *testing.T) {
+	r, p99 := stallRig(25, 5*sim.Millisecond)
+	*p99 = 40 * sim.Millisecond
+	r.start()
+	// 5 epochs: far under the 25-interval trip streak, so the ladder stays
+	// at normal, and the last epoch is at most one interval old.
+	r.run(50 * sim.Millisecond)
+	if rung := r.ctl.Governor().Rung(); rung != overload.Normal {
+		t.Fatalf("setup: rung %v, want normal", rung)
+	}
+	if err := r.ctl.AdmissionVeto(); err != nil {
+		t.Fatalf("veto on a healthy plane: %v", err)
+	}
+	r.kern.Stop()
+}
+
+// TestAdmissionStallGuardNeedsLatencySLO pins the guard's precondition:
+// without an SLO-driven trip point (or without a probe at all) there is no
+// epoch-independent saturation signal, and stale epochs alone must not
+// refuse admissions.
+func TestAdmissionStallGuardNeedsLatencySLO(t *testing.T) {
+	// Governor armed but no LatencyTrip: guard disabled.
+	r, p99 := stallRig(25, 0)
+	*p99 = 40 * sim.Millisecond
+	r.kern.Start()
+	r.run(400 * sim.Millisecond)
+	r.kern.Stop()
+	if err := r.ctl.AdmissionVeto(); err != nil {
+		t.Fatalf("veto without a latency trip: %v", err)
+	}
+
+	// LatencyTrip set but no probe installed: guard disabled.
+	r2 := newRig(core.Config{})
+	r2.ctl.SetGovernor(overload.New(overload.Config{
+		TripIntervals: 25,
+		LatencyTrip:   5 * sim.Millisecond,
+	}))
+	r2.kern.Start()
+	r2.run(400 * sim.Millisecond)
+	r2.kern.Stop()
+	if err := r2.ctl.AdmissionVeto(); err != nil {
+		t.Fatalf("veto without a probe: %v", err)
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/workload/gen"
+)
+
+// The SLO sweep is the live-service evaluation the paper's figures do not
+// cover: open-loop per-user sessions (Poisson base + MMPP bursts + a
+// diurnal envelope) pushed through short ingest→transform→deliver
+// pipelines against an end-to-end deadline, at offered loads stepping from
+// comfortable to far past saturation. Each (policy, cpus, load) point is
+// an independent machine; the output is the SLO-attainment curve —
+// attainment and goodput versus offered load — per policy and CPU count,
+// which is where admission backpressure and importance-ordered shedding
+// become visible as service-level outcomes rather than scheduler counters.
+
+// SLOConfig sizes the SLO-attainment sweep.
+type SLOConfig struct {
+	// Seed drives every draw; load point i uses Seed+i so all policies
+	// and CPU counts see the identical arrival realization at each load.
+	Seed uint64
+	// Sessions is the target session count at load 1.0 (the top of the
+	// curve scales linearly with Loads).
+	Sessions int
+	// Loads are the offered-load multipliers, ascending; empty uses the
+	// default ladder.
+	Loads []float64
+	// Policies to sweep; empty uses every public policy.
+	Policies []string
+	// CPUs values to sweep; empty uses {1, 4, 8}.
+	CPUs []int
+	// Controller is the control-plane mode for the feedback policy;
+	// empty means "event" — the only plane that holds at 100k+ sessions.
+	Controller string
+	// Shards is the control-plane shard count (0: a CPU-matched default).
+	Shards int
+	// Duration is the simulated run length (0: 1s).
+	Duration time.Duration
+}
+
+// SLOPoint is one (policy, cpus, load) row of the sweep.
+type SLOPoint struct {
+	Policy   string
+	CPUs     int
+	Load     float64
+	Offered  float64 // mean offered sessions/sec
+	Sessions gen.SessionReport
+	P99      time.Duration // end-to-end session latency p99
+	HostMS   float64       // host wall-clock for the run
+	PerEpoch float64       // host ms per 10ms control epoch
+}
+
+// SLOResult is the full sweep output.
+type SLOResult struct {
+	Sessions int
+	Duration time.Duration
+	Points   []SLOPoint
+}
+
+// SLOSpec builds the generator spec for one session-workload point: n
+// expected sessions over dur at the given offered-load multiplier, on a
+// machine with the given CPU count. The shape mirrors the slo family's
+// drawn midpoints; only the arrival rate scales with load, so curves
+// across loads differ in pressure, not in session anatomy. Exported so
+// BenchmarkSLOSessions measures exactly what rrexp -slo runs.
+func SLOSpec(seed uint64, n int, load float64, dur time.Duration, cpus int) gen.Spec {
+	if dur <= 0 {
+		dur = time.Second
+	}
+	if cpus < 1 {
+		cpus = 1
+	}
+	// With equal MMPP sojourn means the process spends half its time in
+	// each phase, so the mean rate is (base+burst)/2 = 1.75·base when
+	// burst = 2.5·base; the diurnal sine averages out. Solve base so the
+	// expected session count is n·load.
+	base := float64(n) * load / (1.75 * dur.Seconds())
+	return gen.Spec{
+		Family:   "slo",
+		Seed:     seed,
+		Duration: dur,
+		CPUs:     cpus,
+		Taskset:  gen.TasksetSpec{RealTime: 1, Misc: 2},
+		Sessions: gen.SessionSpec{
+			Rate:          base,
+			BurstRate:     2.5 * base,
+			PhaseMean:     60 * time.Millisecond,
+			Diurnal:       0.4,
+			Stages:        3,
+			Bytes:         512,
+			Chunk:         256,
+			Work:          30_000,
+			Deadline:      80 * time.Millisecond,
+			BestEffort:    0.5,
+			MaxImportance: 9,
+			// Accept-backlog bound, scaled to the machine: past it a
+			// session is dropped at the front end. This is what keeps a
+			// controller-less baseline from accumulating an unbounded
+			// thread population when offered load exceeds capacity.
+			MaxLive: 2048 * cpus,
+		},
+	}
+}
+
+// RunSLOSweep runs the attainment sweep: policies × CPU counts × offered
+// loads, one fresh machine per point. Invariant checking is off — these
+// are service-level measurement runs, and the 100k-session points pay for
+// the workload, not the oracles; the invariant harness covers the same
+// family separately.
+func RunSLOSweep(cfg SLOConfig) *SLOResult {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 4000
+	}
+	if len(cfg.Loads) == 0 {
+		cfg.Loads = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = gen.Policies()
+	}
+	if len(cfg.CPUs) == 0 {
+		cfg.CPUs = []int{1, 4, 8}
+	}
+	if cfg.Controller == "" {
+		cfg.Controller = "event"
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	nl, nc := len(cfg.Loads), len(cfg.CPUs)
+	pts := Sweep(len(cfg.Policies)*nc*nl, func(i int) SLOPoint {
+		policy := cfg.Policies[i/(nc*nl)]
+		cpus := cfg.CPUs[i/nl%nc]
+		li := i % nl
+		load := cfg.Loads[li]
+		sp := SLOSpec(cfg.Seed+uint64(li), cfg.Sessions, load, cfg.Duration, cpus)
+		start := time.Now()
+		res, err := gen.Generate(sp).Run(gen.RunOpts{
+			Policy:       policy,
+			Controller:   cfg.Controller,
+			Shards:       cfg.Shards,
+			NoInvariants: true,
+		})
+		host := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("slo sweep %s/cpus=%d/load=%g: %v", policy, cpus, load, err))
+		}
+		epochs := float64(cfg.Duration / (10 * time.Millisecond))
+		if epochs < 1 {
+			epochs = 1
+		}
+		return SLOPoint{
+			Policy:   policy,
+			CPUs:     cpus,
+			Load:     load,
+			Offered:  float64(cfg.Sessions) * load / cfg.Duration.Seconds(),
+			Sessions: res.Report.Sessions,
+			P99:      res.SLO.Session.P99,
+			HostMS:   float64(host) / float64(time.Millisecond),
+			PerEpoch: float64(host) / float64(time.Millisecond) / epochs,
+		}
+	})
+	return &SLOResult{Sessions: cfg.Sessions, Duration: cfg.Duration, Points: pts}
+}
+
+// Print writes the attainment curves, one block per (policy, cpus): each
+// row is one offered-load point with the session outcome counters, the
+// service-level attainment/goodput pair, the end-to-end p99, and the host
+// cost per control epoch.
+func (r *SLOResult) Print(w io.Writer) {
+	section(w, fmt.Sprintf("SLO attainment curves (%d sessions at load 1.0, %s runs)",
+		r.Sessions, r.Duration))
+	var last string
+	for _, p := range r.Points {
+		key := fmt.Sprintf("%s cpus=%d", p.Policy, p.CPUs)
+		if key != last {
+			fmt.Fprintf(w, "\n-- policy=%s cpus=%d --\n", p.Policy, p.CPUs)
+			fmt.Fprintf(w, "%6s %9s %8s %8s %8s %6s %8s %6s %6s %8s %8s %9s\n",
+				"load", "offer/s", "started", "refused", "complete", "dead",
+				"met", "attain", "good", "p99ms", "peak", "ms/epoch")
+			last = key
+		}
+		s := p.Sessions
+		fmt.Fprintf(w, "%6.2f %9.0f %8d %8d %8d %6d %8d %6.3f %6.3f %8.2f %8d %9.3f\n",
+			p.Load, p.Offered, s.Started, s.Refused, s.Completed, s.Dead,
+			s.Met, s.Attainment, s.Goodput,
+			float64(p.P99)/float64(time.Millisecond), s.PeakLive, p.PerEpoch)
+	}
+}
+
+// WriteCSV dumps every point as one row for plotting.
+func (r *SLOResult) WriteCSV(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "policy,cpus,load,offered_per_s,started,refused,completed,dead,live,met,peak_live,attainment,goodput,p99_ms,host_ms,ms_per_epoch")
+	if err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		s := p.Sessions
+		_, err := fmt.Fprintf(w, "%s,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s\n",
+			p.Policy, p.CPUs,
+			strconv.FormatFloat(p.Load, 'g', -1, 64),
+			strconv.FormatFloat(p.Offered, 'g', -1, 64),
+			s.Started, s.Refused, s.Completed, s.Dead, s.Live, s.Met, s.PeakLive,
+			strconv.FormatFloat(s.Attainment, 'g', -1, 64),
+			strconv.FormatFloat(s.Goodput, 'g', -1, 64),
+			strconv.FormatFloat(float64(p.P99)/float64(time.Millisecond), 'g', -1, 64),
+			strconv.FormatFloat(p.HostMS, 'g', -1, 64),
+			strconv.FormatFloat(p.PerEpoch, 'g', -1, 64))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

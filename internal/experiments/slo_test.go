@@ -1,0 +1,116 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestSLOSweepAttainmentMonotone runs a small attainment sweep and pins
+// the curve's defining property: the service level never improves as
+// offered load climbs. Goodput (met/started, the view that charges
+// refusals and deaths) must be monotone non-increasing along the load
+// ladder; the sub-saturation point must actually serve its users, and the
+// far-past-saturation point must show real degradation — a flat curve
+// means the sweep is not loading the machine at all.
+func TestSLOSweepAttainmentMonotone(t *testing.T) {
+	cfg := experiments.SLOConfig{
+		Seed:     7,
+		Sessions: 800,
+		Loads:    []float64{0.25, 1, 8},
+		Policies: []string{"rbs"},
+		CPUs:     []int{2},
+		Duration: 500 * time.Millisecond,
+	}
+	res := experiments.RunSLOSweep(cfg)
+	if len(res.Points) != len(cfg.Loads) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(cfg.Loads))
+	}
+	for i, p := range res.Points {
+		if p.Sessions.Started == 0 {
+			t.Fatalf("load %g: no sessions started", p.Load)
+		}
+		if i > 0 {
+			prev := res.Points[i-1]
+			if p.Sessions.Goodput > prev.Sessions.Goodput+1e-9 {
+				t.Errorf("goodput not monotone in offered load: %.3f at load %g, %.3f at load %g",
+					prev.Sessions.Goodput, prev.Load, p.Sessions.Goodput, p.Load)
+			}
+		}
+	}
+	low, high := res.Points[0], res.Points[len(res.Points)-1]
+	// At a comfortable load the sessions the system chooses to serve make
+	// their deadlines (the governor refusing burst peaks is this family's
+	// steady state, so goodput has no floor — but attainment over the
+	// admitted-and-completed population does).
+	if low.Sessions.Completed == 0 || low.Sessions.Attainment < 0.6 {
+		t.Errorf("attainment %.3f over %d completed at load %g: machine cannot serve a comfortable load",
+			low.Sessions.Attainment, low.Sessions.Completed, low.Load)
+	}
+	if high.Sessions.Goodput >= low.Sessions.Goodput {
+		t.Errorf("no degradation from load %g (%.3f) to load %g (%.3f): sweep never saturates",
+			low.Load, low.Sessions.Goodput, high.Load, high.Sessions.Goodput)
+	}
+}
+
+// TestSLOSweepOutput pins the sweep's two output surfaces: the printed
+// curves carry one block per (policy, cpus) and the CSV carries the header
+// plotting scripts key on plus one row per point.
+func TestSLOSweepOutput(t *testing.T) {
+	cfg := experiments.SLOConfig{
+		Seed:     3,
+		Sessions: 200,
+		Loads:    []float64{0.5, 2},
+		Policies: []string{"rbs", "stride"},
+		CPUs:     []int{1, 2},
+		Duration: 200 * time.Millisecond,
+	}
+	res := experiments.RunSLOSweep(cfg)
+	if want := len(cfg.Policies) * len(cfg.CPUs) * len(cfg.Loads); len(res.Points) != want {
+		t.Fatalf("points = %d, want %d", len(res.Points), want)
+	}
+
+	var sb strings.Builder
+	res.Print(&sb)
+	for _, block := range []string{
+		"policy=rbs cpus=1", "policy=rbs cpus=2",
+		"policy=stride cpus=1", "policy=stride cpus=2",
+	} {
+		if !strings.Contains(sb.String(), block) {
+			t.Errorf("printed curves missing block %q", block)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(res.Points) {
+		t.Fatalf("CSV rows = %d, want header + %d points", len(lines), len(res.Points))
+	}
+	if !strings.HasPrefix(lines[0], "policy,cpus,load,offered_per_s,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// TestSLOSpecScalesWithLoad pins the spec builder the benchmark shares
+// with rrexp -slo: arrival rates scale linearly with the load multiplier,
+// session anatomy does not, and degenerate inputs are clamped.
+func TestSLOSpecScalesWithLoad(t *testing.T) {
+	a := experiments.SLOSpec(1, 1000, 1, time.Second, 4)
+	b := experiments.SLOSpec(1, 1000, 2, time.Second, 4)
+	if b.Sessions.Rate != 2*a.Sessions.Rate || b.Sessions.BurstRate != 2*a.Sessions.BurstRate {
+		t.Errorf("rates not linear in load: %+v vs %+v", a.Sessions, b.Sessions)
+	}
+	if a.Sessions.Stages != b.Sessions.Stages || a.Sessions.Deadline != b.Sessions.Deadline {
+		t.Error("load multiplier changed session anatomy")
+	}
+	c := experiments.SLOSpec(1, 100, 1, 0, 0)
+	if c.Duration != time.Second || c.CPUs != 1 {
+		t.Errorf("degenerate dur/cpus not clamped: %v, %d", c.Duration, c.CPUs)
+	}
+}

@@ -40,16 +40,19 @@ func NewSeries(name string) *Series {
 // read recent windows — the controller's per-job pressure series, rrtop —
 // use it so 10k-thread machines do not grow per-thread memory without
 // limit. max <= 0 removes the bound. Returns s for chaining.
+//
+// The backing array grows with actual samples (geometrically, capped at
+// 2×max) rather than being pinned at 2×max up front: a bounded series
+// belongs to every real-rate job, including ones that live a few control
+// intervals — a live-service session, a churn-spawned pipeline — and an
+// eager 2×max allocation charges each of them the full long-running
+// footprint (256 KB at the controller's 8192-sample bound) for a history
+// they never accumulate. At 100k sessions that eager pin was gigabytes of
+// dead capacity; lazily grown, a short-lived job's series costs a few
+// dozen points.
 func (s *Series) Bound(max int) *Series {
 	s.maxPoints = max
 	s.trim()
-	if max > 0 && cap(s.points) != 2*max {
-		// Pin the backing array at 2×max up front: Add's sliding trim then
-		// keeps len within it, so the series never reallocates again.
-		pts := make([]Point, len(s.points), 2*max)
-		copy(pts, s.points)
-		s.points = pts
-	}
 	return s
 }
 
@@ -74,8 +77,26 @@ func (s *Series) Add(t sim.Time, v float64) {
 	if n := len(s.points); n > 0 && t < s.points[n-1].T {
 		panic(fmt.Sprintf("metrics: series %q sample at %v before last %v", s.Name, t, s.points[n-1].T))
 	}
-	if s.maxPoints > 0 && len(s.points) >= 2*s.maxPoints {
-		s.trim()
+	if s.maxPoints > 0 {
+		if len(s.points) >= 2*s.maxPoints {
+			s.trim()
+		}
+		if len(s.points) == cap(s.points) && cap(s.points) < 2*s.maxPoints {
+			// Grow geometrically toward the 2×max ceiling ourselves so the
+			// capacity invariant holds exactly; once the ceiling is reached
+			// the sliding trim keeps len inside it and the series never
+			// reallocates again.
+			nc := 2 * cap(s.points)
+			if nc == 0 {
+				nc = 8
+			}
+			if nc > 2*s.maxPoints {
+				nc = 2 * s.maxPoints
+			}
+			pts := make([]Point, len(s.points), nc)
+			copy(pts, s.points)
+			s.points = pts
+		}
 	}
 	s.points = append(s.points, Point{t, v})
 }

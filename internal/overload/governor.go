@@ -242,17 +242,40 @@ func (g *Governor) Observe(s Signals) Decision {
 	return d
 }
 
+// MaxRetryAfter caps the backpressure hint: past it a longer wait carries
+// no information (a storm either clears within seconds or the caller
+// should give up), and an unbounded product of interval × rung ×
+// RecoverIntervals could overflow into a zero or negative hint under
+// adversarial tuning — a poisoned hint that reads as "retry now" to every
+// refused caller at once, exactly when the ladder is at freeze.
+const MaxRetryAfter = 10 * sim.Second
+
 // RetryAfter computes the backpressure hint handed to throttled callers:
 // the governor cannot possibly unwind the current rung in less than
 // rung × RecoverIntervals healthy intervals, so that is the earliest a
-// retry could be admitted. Never less than one interval.
+// retry could be admitted. The hint is always positive and bounded:
+// never less than one interval, never more than MaxRetryAfter, for any
+// rung × RecoverIntervals × interval combination.
 func (g *Governor) RetryAfter(interval sim.Duration) sim.Duration {
-	if interval <= 0 {
+	if interval <= 0 || interval > MaxRetryAfter {
 		interval = 10 * sim.Millisecond
 	}
-	steps := int(g.rung) * g.cfg.RecoverIntervals
+	maxSteps := int64(MaxRetryAfter / interval) // ≥ 1: interval ≤ MaxRetryAfter
+	ri := int64(g.cfg.RecoverIntervals)
+	if ri < 1 {
+		ri = 1
+	}
+	if ri > maxSteps {
+		// Clamp before multiplying by the rung: RecoverIntervals alone can
+		// sit near MaxInt64, where even steps := rung × ri overflows.
+		return MaxRetryAfter
+	}
+	steps := int64(g.rung) * ri // rung ≤ 3, ri ≤ 1e10: no overflow
 	if steps < 1 {
 		steps = 1
+	}
+	if steps > maxSteps {
+		return MaxRetryAfter
 	}
 	return interval * sim.Duration(steps)
 }

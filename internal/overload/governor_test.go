@@ -1,6 +1,7 @@
 package overload
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/sim"
@@ -215,6 +216,44 @@ func TestRetryAfterScalesWithRung(t *testing.T) {
 	// freeze = rung 3 × RecoverIntervals 4 × 10 ms.
 	if got := g.RetryAfter(iv); got != 120*sim.Millisecond {
 		t.Fatalf("freeze retry-after = %v, want 120ms", got)
+	}
+}
+
+// TestRetryAfterPositiveBoundedAtFreeze is the session-storm rig: the slo
+// family's steady state is a governed system refusing admissions at
+// throttle-or-above, so every refusal carries a RetryAfter hint — and a
+// hint that overflows to zero or negative under adversarial tuning would
+// tell every refused caller to retry immediately, at the exact moment the
+// ladder is at freeze. Drive the ladder to freeze under extreme
+// RecoverIntervals and interval values and require the hint to stay in
+// (0, MaxRetryAfter].
+func TestRetryAfterPositiveBoundedAtFreeze(t *testing.T) {
+	for _, ri := range []int{1, 4, 1 << 20, 1 << 40, math.MaxInt} {
+		g := New(Config{TripIntervals: 1, RecoverIntervals: ri})
+		for g.Rung() < Freeze {
+			g.Observe(sat())
+		}
+		for _, iv := range []sim.Duration{
+			-sim.Millisecond, 0, 1, 10 * sim.Millisecond,
+			sim.Duration(math.MaxInt64),
+		} {
+			ra := g.RetryAfter(iv)
+			if ra <= 0 {
+				t.Fatalf("RecoverIntervals=%d interval=%v: retry-after %v not positive", ri, iv, ra)
+			}
+			if ra > MaxRetryAfter {
+				t.Fatalf("RecoverIntervals=%d interval=%v: retry-after %v exceeds bound %v", ri, iv, ra, MaxRetryAfter)
+			}
+		}
+	}
+	// The clamp must not shift well-tuned hints: the quick() freeze value
+	// is pinned by TestRetryAfterScalesWithRung above.
+	g := New(quick())
+	for g.Rung() < Freeze {
+		g.Observe(sat())
+	}
+	if got := g.RetryAfter(10 * sim.Millisecond); got != 120*sim.Millisecond {
+		t.Fatalf("clamped freeze retry-after = %v, want 120ms", got)
 	}
 }
 

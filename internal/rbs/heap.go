@@ -38,7 +38,19 @@ type shard struct {
 	// exhausted lists queued registered threads with spent budgets, in
 	// enqueue order; Pick naps them until their next period begins.
 	exhausted []*kernel.Thread
+	// curMin is a conservative lower bound on the smallest boundKey filed
+	// in the current cursor slot's L1 bucket: while curMin > now, no entry
+	// there is due and boundDrain skips the bucket walk entirely. Inserts
+	// into the current slot lower it; removals leave it stale-low, which
+	// only costs a wasted walk, never a late roll. Without the bound every
+	// dispatch re-walks the full current-slot bucket — with thousands of
+	// short-period threads sharing one tick-wide slot, that scan dominated
+	// the dispatch profile at 100k-session scale.
+	curMin sim.Time
 }
+
+// timeMax is the +∞ sentinel for curMin when the current slot is empty.
+const timeMax = sim.Time(1<<63 - 1)
 
 // readyLess orders the ready heap: the thread that should dispatch first
 // is the heap top. It is the strict-weak-order completion of better():
@@ -217,6 +229,9 @@ func (p *Policy) boundInsert(sh *shard, t *kernel.Thread) {
 	}
 	if slot < sh.curSlot+bwSlots {
 		p.bucketLink(sh, &sh.buckets, t, levelL1, int(slot&bwMask))
+		if slot == sh.curSlot && key < sh.curMin {
+			sh.curMin = key
+		}
 		return
 	}
 	if slot>>bwBits < (sh.curSlot>>bwBits)+bwSlots {
@@ -284,45 +299,64 @@ func (p *Policy) boundDrain(sh *shard, now sim.Time) {
 	oldSlot := sh.curSlot
 	sh.curSlot = target
 
-	// L1: buckets strictly behind now's slot are entirely due; the current
-	// slot is filtered by cached key.
-	first := oldSlot
-	if target-first >= bwSlots {
-		first = target - bwSlots + 1 // the wheel holds nothing older
-	}
-	for s := first; s <= target; s++ {
-		t := sh.buckets[s&bwMask]
-		for t != nil {
-			st := stateOf(t)
-			next := st.boundNext
-			if st.boundKey <= now {
-				p.boundRemove(sh, t)
-				p.rollDue(t, st, now)
-			}
-			t = next
+	// Fast path: the cursor did not move and the current slot's lower bound
+	// says nothing there is due yet. Skipping the L1 walk is safe because a
+	// surviving entry always has slot == target (anything filed behind the
+	// cursor is due by construction), so curMin bounds every candidate; the
+	// L2 cascade range is empty when the cursor is still. The overflow heap
+	// is still polled below — its top can come due mid-slot.
+	if target > oldSlot || sh.curMin <= now {
+		// L1: buckets strictly behind now's slot are entirely due; the
+		// current slot is filtered by cached key.
+		first := oldSlot
+		if target-first >= bwSlots {
+			first = target - bwSlots + 1 // the wheel holds nothing older
 		}
-	}
+		for s := first; s <= target; s++ {
+			t := sh.buckets[s&bwMask]
+			for t != nil {
+				st := stateOf(t)
+				next := st.boundNext
+				if st.boundKey <= now {
+					p.boundRemove(sh, t)
+					p.rollDue(t, st, now)
+				}
+				t = next
+			}
+		}
 
-	// L2: cascade every span the cursor entered or crossed. After a jump
-	// beyond the whole level every bucket is due, so the clamp to bwSlots
-	// visits each index exactly once.
-	old2, tgt2 := oldSlot>>bwBits, target>>bwBits
-	first2 := old2 + 1
-	if tgt2-first2 >= bwSlots {
-		first2 = tgt2 - bwSlots + 1
-	}
-	for s2 := first2; s2 <= tgt2; s2++ {
-		b := int(s2 & bwMask)
-		for sh.buckets2[b] != nil {
-			t := sh.buckets2[b]
-			st := stateOf(t)
-			p.boundRemove(sh, t)
-			if st.boundKey <= now {
-				p.rollDue(t, st, now)
-			} else {
-				p.boundInsert(sh, t) // refiles against the advanced cursor
+		// L2: cascade every span the cursor entered or crossed. After a jump
+		// beyond the whole level every bucket is due, so the clamp to bwSlots
+		// visits each index exactly once.
+		old2, tgt2 := oldSlot>>bwBits, target>>bwBits
+		first2 := old2 + 1
+		if tgt2-first2 >= bwSlots {
+			first2 = tgt2 - bwSlots + 1
+		}
+		for s2 := first2; s2 <= tgt2; s2++ {
+			b := int(s2 & bwMask)
+			for sh.buckets2[b] != nil {
+				t := sh.buckets2[b]
+				st := stateOf(t)
+				p.boundRemove(sh, t)
+				if st.boundKey <= now {
+					p.rollDue(t, st, now)
+				} else {
+					p.boundInsert(sh, t) // refiles against the advanced cursor
+				}
 			}
 		}
+
+		// Recompute the current slot's exact minimum over the survivors and
+		// everything the walk refiled into it; later inserts keep it fresh
+		// through boundInsert.
+		min := timeMax
+		for t := sh.buckets[target&bwMask]; t != nil; t = stateOf(t).boundNext {
+			if k := stateOf(t).boundKey; k < min {
+				min = k
+			}
+		}
+		sh.curMin = min
 	}
 
 	for len(sh.overflow) > 0 {

@@ -20,6 +20,7 @@ func steadied(family string, seed uint64, cpus int) (Spec, error) {
 	sp.Churn = ChurnSpec{}
 	sp.Faults = nil
 	sp.Overload = false
+	sp.Sessions = SessionSpec{}
 	sp.CPUs = cpus
 	sp.Duration = 3 * time.Second
 	return sp, nil

@@ -92,6 +92,7 @@ type Scenario struct {
 	pipes    []pipelinePlan
 	arrivals []arrivalPlan
 	churn    []churnPlan
+	sessions []sessionPlan
 }
 
 // Generate draws the concrete scenario for a spec. The same spec always
@@ -152,10 +153,11 @@ func Generate(spec Spec) *Scenario {
 			burst:  n64(100_000, 400_000),
 			pinned: ts.PinnedHog && i == 0,
 		}
-		// Every new draw below is gated on spec.Overload so the draw
-		// streams — and therefore the scenarios — of the other families
-		// stay byte-identical to what they were before the governor.
-		if spec.Overload {
+		// Every new draw below is gated on spec.Overload (or the slo
+		// family's session spec) so the draw streams — and therefore the
+		// scenarios — of the other families stay byte-identical to what
+		// they were before the governor.
+		if spec.Overload || spec.Sessions.enabled() {
 			tp.importance = float64(n(1, 9))
 		}
 		sc.tasks = append(sc.tasks, tp)
@@ -240,6 +242,22 @@ func Generate(spec Spec) *Scenario {
 			t += time.Duration(rng.Exp(float64(time.Second) / spec.Churn.Rate))
 		}
 	}
+
+	// Sessions: the slo family's open-loop stream of per-user pipelines.
+	// Gated on the spec so every other family's draw stream is untouched.
+	if spec.Sessions.enabled() {
+		maxImp := spec.Sessions.MaxImportance
+		if maxImp < 1 {
+			maxImp = 1
+		}
+		for _, at := range drawSessionArrivals(rng, spec.Sessions, spec.Duration) {
+			sc.sessions = append(sc.sessions, sessionPlan{
+				at:         at,
+				importance: float64(n(1, maxImp)),
+				bestEffort: rng.Float64() < spec.Sessions.BestEffort,
+			})
+		}
+	}
 	return sc
 }
 
@@ -294,6 +312,9 @@ func (sc *Scenario) Pipelines() int { return len(sc.pipes) }
 // ChurnOps returns the number of planned churn operations.
 func (sc *Scenario) ChurnOps() int { return len(sc.churn) }
 
+// Sessions returns the number of planned session arrivals.
+func (sc *Scenario) Sessions() int { return len(sc.sessions) }
+
 // Policies lists the public policy constructors the harness runs under, in
 // a fixed order: the paper's RBS plus every baseline.
 func Policies() []string {
@@ -333,6 +354,11 @@ type RunOpts struct {
 	// Shards splits the controller across this many staggered shard
 	// threads (0 or 1: the classic single controller thread).
 	Shards int
+	// NoInvariants skips the invariant checker entirely. Large-scale
+	// perf runs (rrexp -slo at 100k+ sessions, BenchmarkSLOSessions) pay
+	// for the workload, not the oracles; the session counters and SLO
+	// report are still produced.
+	NoInvariants bool
 }
 
 // RunResult is the outcome of one scenario execution.
@@ -351,6 +377,9 @@ type RunResult struct {
 	// synthesized shard under the classic controller, nil under
 	// baselines).
 	CtlStats []realrate.ShardStat
+	// SLO is the system's latency-SLO accounting snapshot (zero unless a
+	// governor was armed — the overload and slo families).
+	SLO realrate.SLOReport
 }
 
 // EndState is one thread's allocation at the end of a run.
@@ -373,6 +402,7 @@ type run struct {
 	policy string
 	rng    *sim.RNG // runtime draws: churn targets
 	chk    *checker
+	sess   *sessionRun
 
 	// killable/rt are the live churn pools, in spawn order (deterministic).
 	killable []*realrate.Thread
@@ -427,6 +457,21 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 			LatencySLO:       5 * time.Millisecond,
 		}
 	}
+	if sc.Spec.Sessions.enabled() && cfg.Overload == nil {
+		// The slo family always runs governed: sessions are refused (not
+		// queued) under overload, and shed order follows drawn importance.
+		// Slightly more lenient than the overload family's tuning — session
+		// storms are the workload here, not a transient to recover from —
+		// and SessionSLO arms the end-to-end session latency dimension of
+		// the SLO report.
+		cfg.Overload = &realrate.OverloadConfig{
+			TripIntervals:    6,
+			RecoverIntervals: 8,
+			ShedBatch:        2,
+			LatencySLO:       5 * time.Millisecond,
+			SessionSLO:       sc.Spec.Sessions.Deadline,
+		}
+	}
 	sys := realrate.NewSystem(cfg)
 	r := &run{
 		sc:     sc,
@@ -434,8 +479,14 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 		policy: name,
 		rng:    sim.NewRNG(sc.Spec.Seed ^ 0xC0FFEE),
 	}
-	r.chk = newChecker(sys, name, sc)
-	sys.Observe(r.chk)
+	if !opts.NoInvariants {
+		r.chk = newChecker(sys, name, sc)
+		sys.Observe(r.chk)
+	}
+	if sc.Spec.Sessions.enabled() {
+		r.sess = newSessionRun(r, sc.Spec.Sessions)
+		sys.Observe(r.sess)
+	}
 	if opts.Observer != nil {
 		sys.Observe(opts.Observer)
 	}
@@ -447,17 +498,30 @@ func (sc *Scenario) Run(opts RunOpts) (*RunResult, error) {
 	r.spawnInitial()
 	r.scheduleArrivals()
 	r.scheduleChurn()
+	if r.sess != nil {
+		r.sess.schedule(sc.sessions)
+	}
 	r.chk.startSampling()
 	sys.Run(sc.Spec.Duration)
 	r.chk.finish()
 
-	res := &RunResult{Policy: name, Report: r.chk.report(), Health: sys.Health(),
-		Allocations: make(map[string]EndState, len(r.chk.tracked)), CtlStats: sys.ShardStats()}
-	for _, tt := range r.chk.tracked {
-		if tt.th.State() != "exited" {
-			res.Allocations[tt.name] = EndState{Allocated: tt.th.Allocation(),
-				Smoothed: int(tt.allocEWMA + 0.5), Class: tt.th.Class()}
+	res := &RunResult{Policy: name, Health: sys.Health(), CtlStats: sys.ShardStats(), SLO: sys.SLO()}
+	if r.chk != nil {
+		res.Report = r.chk.report()
+		res.Allocations = make(map[string]EndState, len(r.chk.tracked))
+		for _, tt := range r.chk.tracked {
+			if tt.th.State() != "exited" {
+				res.Allocations[tt.name] = EndState{Allocated: tt.th.Allocation(),
+					Smoothed: int(tt.allocEWMA + 0.5), Class: tt.th.Class()}
+			}
 		}
+	} else {
+		res.Report = Report{Policy: name}
+	}
+	if r.sess != nil {
+		r.sess.finish(sys)
+		res.Report.Sessions = r.sess.report()
+		res.Report.Violations = append(res.Report.Violations, r.sess.violations...)
 	}
 	if tr != nil {
 		var buf bytes.Buffer

@@ -95,6 +95,16 @@ func TestFamiliesCoverAxes(t *testing.T) {
 				if sc.Threads() < 3 {
 					t.Errorf("mixed/%d: taskset too small: %d", seed, sc.Threads())
 				}
+			case "slo":
+				if sc.Sessions() == 0 {
+					t.Errorf("slo/%d: no session arrivals", seed)
+				}
+				if sp.Sessions.Deadline <= 0 {
+					t.Errorf("slo/%d: no end-to-end deadline", seed)
+				}
+				if sp.Sessions.MaxLive <= 0 {
+					t.Errorf("slo/%d: no accept-backlog bound", seed)
+				}
 			}
 		}
 	}

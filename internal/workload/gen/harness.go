@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -50,6 +51,66 @@ func (p Point) Replay() string {
 		fmt.Fprintf(&b, " -shards %d", p.Shards)
 	}
 	return b.String()
+}
+
+// ParseReplay parses a command line printed by Point.Replay back into the
+// Point it encodes — the other half of the replay contract. A printed
+// failing seed is only useful if it actually reproduces, so the round-trip
+// (Replay → ParseReplay → RunPoint → byte-identical dispatch trace) is
+// pinned by a test; a run-affecting flag added to one side and forgotten
+// on the other fails that test instead of silently replaying the wrong
+// scenario.
+func ParseReplay(line string) (Point, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != "rrexp" {
+		return Point{}, fmt.Errorf("gen: replay line must start with \"rrexp\", got %q", line)
+	}
+	var p Point
+	gen := false
+	for i := 1; i < len(fields); {
+		flag := fields[i]
+		if flag == "-gen" {
+			gen = true
+			i++
+			continue
+		}
+		if i+1 >= len(fields) {
+			return Point{}, fmt.Errorf("gen: replay flag %s is missing its value", flag)
+		}
+		v := fields[i+1]
+		i += 2
+		var err error
+		switch flag {
+		case "-scenario":
+			p.Family = v
+		case "-seed":
+			p.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "-policy":
+			p.Policy = v
+		case "-scale":
+			p.Scale, err = strconv.ParseFloat(v, 64)
+		case "-gendur":
+			p.Duration, err = time.ParseDuration(v)
+		case "-cpus":
+			p.CPUs, err = strconv.Atoi(v)
+		case "-controller":
+			p.Controller = v
+		case "-shards":
+			p.Shards, err = strconv.Atoi(v)
+		default:
+			return Point{}, fmt.Errorf("gen: replay line carries unknown flag %s", flag)
+		}
+		if err != nil {
+			return Point{}, fmt.Errorf("gen: replay flag %s: bad value %q: %v", flag, v, err)
+		}
+	}
+	if !gen {
+		return Point{}, fmt.Errorf("gen: replay line is not a -gen invocation: %q", line)
+	}
+	if p.Family == "" || p.Policy == "" {
+		return Point{}, fmt.Errorf("gen: replay line needs -scenario and -policy: %q", line)
+	}
+	return p, nil
 }
 
 // Spec derives the point's declarative spec.

@@ -57,7 +57,10 @@ type Report struct {
 	Throttled      uint64
 	MaxRung        string
 	FinalRung      string
-	Violations     []Violation
+	// Sessions summarizes the slo family's per-user session outcomes
+	// (zero outside it).
+	Sessions   SessionReport
+	Violations []Violation
 	// TruncatedViolations counts breaches beyond the recording cap.
 	TruncatedViolations int
 	// CtlStats is the control plane's per-shard counter snapshot at run
@@ -168,11 +171,15 @@ type checker struct {
 	stallTotal         time.Duration
 	lastSignalFaultEnd time.Duration
 
-	// Overload-governor oracles (the overload family). overload mirrors
-	// Spec.Overload; rung tracks the ladder through OnOverload events (the
-	// governor starts at normal, so "" means "no movement yet"); maxRung
-	// is the deepest rung seen.
+	// Overload-governor oracles. overload mirrors Spec.Overload and gates
+	// the recovery-to-normal oracle (only the overload family's storm
+	// provably subsides); governed is true whenever a governor is armed at
+	// all — the overload family OR the slo session family — and gates the
+	// event-legality checks. rung tracks the ladder through OnOverload
+	// events (the governor starts at normal, so "" means "no movement
+	// yet"); maxRung is the deepest rung seen.
 	overload       bool
+	governed       bool
 	overloadEvents int
 	sheds          int
 	rung           string
@@ -195,6 +202,7 @@ func newChecker(sys *realrate.System, policy string, sc *Scenario) *checker {
 		actTargets:   make(map[string]bool),
 		degradeDepth: make(map[string]int),
 		overload:     sc.Spec.Overload,
+		governed:     sc.Spec.Overload || sc.Spec.Sessions.enabled(),
 		rung:         "normal",
 		maxRung:      "normal",
 	}
@@ -258,8 +266,12 @@ func (c *checker) violate(invariant string, now time.Duration, format string, ar
 }
 
 // spawned records a public Spawn outcome. cpuPin is the Affinity CPU the
-// spawn requested, or -1.
+// spawn requested, or -1. Like every bookkeeping mutator below it is
+// nil-receiver safe: RunOpts.NoInvariants runs with no checker at all.
 func (c *checker) spawned(th *realrate.Thread, err error, pinned bool, cpuPin int) {
+	if c == nil {
+		return
+	}
 	if err != nil {
 		c.spawnRejected++
 		return
@@ -270,11 +282,16 @@ func (c *checker) spawned(th *realrate.Thread, err error, pinned bool, cpuPin in
 }
 
 // watchQueue adds a queue to the conservation checks.
-func (c *checker) watchQueue(q *realrate.Queue) { c.queues = append(c.queues, q) }
+func (c *checker) watchQueue(q *realrate.Queue) {
+	if c == nil {
+		return
+	}
+	c.queues = append(c.queues, q)
+}
 
 // watchRealRate marks a thread for the feedback-tracking invariant.
 func (c *checker) watchRealRate(th *realrate.Thread, err error) {
-	if err != nil || th == nil || !c.rbs {
+	if c == nil || err != nil || th == nil || !c.rbs {
 		return
 	}
 	if tt := c.byTh[th]; tt != nil {
@@ -284,6 +301,9 @@ func (c *checker) watchRealRate(th *realrate.Thread, err error) {
 
 // setNegotiated records the reservation an RT thread currently holds.
 func (c *checker) setNegotiated(th *realrate.Thread, prop int) {
+	if c == nil {
+		return
+	}
 	if tt := c.byTh[th]; tt != nil && c.rbs {
 		tt.rtProp = prop
 	}
@@ -291,6 +311,9 @@ func (c *checker) setNegotiated(th *realrate.Thread, prop int) {
 
 // killed records a forced removal.
 func (c *checker) killed(th *realrate.Thread, now time.Duration) {
+	if c == nil {
+		return
+	}
 	c.kills++
 	if tt := c.byTh[th]; tt != nil {
 		tt.killed = true
@@ -379,9 +402,9 @@ func (c *checker) OnAdmission(ev realrate.AdmissionEvent) {
 	)
 	switch {
 	case errors.As(ev.Err, &oe):
-		if !c.overload || !c.rbs {
+		if !c.governed || !c.rbs {
 			c.violate("overload-unplanned", ev.Time,
-				"OverloadError %q without a governor (overload=%v policy=%s)", ev.Err, c.overload, c.policy)
+				"OverloadError %q without a governor (governed=%v policy=%s)", ev.Err, c.governed, c.policy)
 		}
 		if oe.RetryAfter <= 0 {
 			c.violate("overload-backpressure", ev.Time,
@@ -479,10 +502,10 @@ func rungLevel(name string) int {
 // each movement starts from the rung the previous one ended on.
 func (c *checker) OnOverload(ev realrate.OverloadEvent) {
 	c.overloadEvents++
-	if !c.overload || !c.rbs {
+	if !c.governed || !c.rbs {
 		c.violate("overload-unplanned", ev.Time,
-			"OnOverload %s -> %s without a governor (overload=%v policy=%s)",
-			ev.From, ev.To, c.overload, c.policy)
+			"OnOverload %s -> %s without a governor (governed=%v policy=%s)",
+			ev.From, ev.To, c.governed, c.policy)
 		return
 	}
 	from, to := rungLevel(ev.From), rungLevel(ev.To)
@@ -510,9 +533,9 @@ func (c *checker) OnOverload(ev realrate.OverloadEvent) {
 // threads.
 func (c *checker) OnShed(ev realrate.ShedEvent) {
 	c.sheds++
-	if !c.overload || !c.rbs {
+	if !c.governed || !c.rbs {
 		c.violate("overload-unplanned", ev.Time,
-			"OnShed without a governor (overload=%v policy=%s)", c.overload, c.policy)
+			"OnShed without a governor (governed=%v policy=%s)", c.governed, c.policy)
 		return
 	}
 	name := "?"
@@ -542,6 +565,9 @@ func (c *checker) OnShed(ev realrate.ShedEvent) {
 
 // startSampling arms the periodic observation.
 func (c *checker) startSampling() {
+	if c == nil {
+		return
+	}
 	c.sys.Every(sampleInterval, c.sample)
 }
 
@@ -727,6 +753,9 @@ func (c *checker) feedbackSample(tt *trackedThread, now time.Duration) {
 
 // finish runs the post-run checks.
 func (c *checker) finish() {
+	if c == nil {
+		return
+	}
 	end := c.sys.Now()
 	c.checkQueues(end)
 

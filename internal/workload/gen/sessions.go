@@ -1,0 +1,463 @@
+package gen
+
+import (
+	"fmt"
+	"time"
+
+	realrate "repro"
+)
+
+// The slo family's live-service session model. A session is one user's
+// short streaming interaction: a multi-stage pipeline (ingest →
+// transform* → deliver) of real-rate work chained through bounded
+// queues, spawned whole at its drawn arrival instant and measured
+// end-to-end against a per-session deadline. Sessions arrive open-loop
+// at service rates (an MMPP burst process under a diurnal envelope, see
+// drawSessionArrivals), so at scale the system sees what a live service
+// sees: admission storms, importance-ordered shedding of best-effort
+// users, and an attainment curve that bends as offered load climbs.
+//
+// One session is ONE job: the ingest thread is the primary (admission
+// applies to it alone) and the downstream stages join its job with
+// InJob, which is exempt from the admission veto — a session is
+// admitted or refused atomically, never half-spawned. A drawn fraction
+// of sessions is best-effort (weighted miscellaneous primaries): those
+// are what the governor sheds, in drawn-importance order, when the
+// storm outruns the machine.
+
+// sessionPlan is one drawn session arrival.
+type sessionPlan struct {
+	at         time.Duration
+	importance float64
+	bestEffort bool
+}
+
+// SessionReport summarizes one run's session outcomes. Every started
+// session lands in exactly one of Refused/Completed/Dead/Live (the
+// conservation oracle); attainment is judged over completed sessions
+// only — a session still in flight at run end has an open edge that
+// must not be counted as either met or missed.
+type SessionReport struct {
+	// Started counts sessions whose arrival fired (spawn attempted).
+	Started int
+	// Refused counts primaries rejected at admission (governor
+	// backpressure under overload).
+	Refused int
+	// Completed counts sessions whose final stage delivered the full
+	// payload.
+	Completed int
+	// Dead counts sessions that lost a stage involuntarily (shed or
+	// killed) before completing.
+	Dead int
+	// Live counts sessions still in flight at run end.
+	Live int
+	// Met counts completed sessions inside the deadline.
+	Met int
+	// PeakLive is the high-water mark of concurrently live sessions.
+	PeakLive int
+	// Attainment is Met/Completed; Goodput is Met/Started — the
+	// service-level view that also charges refusals and deaths.
+	Attainment float64
+	Goodput    float64
+}
+
+// sessionRef resolves an exiting thread to its session and stage.
+type sessionRef struct {
+	st    *sessionState
+	stage int
+}
+
+// sessionState is one session's live bookkeeping.
+type sessionState struct {
+	id      int
+	arrival time.Duration
+	queues  []*realrate.Queue
+	threads []*realrate.Thread
+	// done[i] is set by stage i's program just before its voluntary
+	// Exit; an OnExit with done[stage] unset is involuntary (shed or
+	// killed) and kills the session.
+	done                     []bool
+	refused, completed, dead bool
+}
+
+// sessionRun drives the planned sessions through one run. It implements
+// realrate.Observer (exit edges only) to detect involuntary stage
+// deaths and cascade-kill the survivors.
+type sessionRun struct {
+	realrate.NopObserver
+	r        *run
+	spec     SessionSpec
+	deadline time.Duration
+	stages   int
+	chunks   int64
+	chunk    int64
+	work     int64
+
+	sess []*sessionState
+	byTh map[*realrate.Thread]sessionRef
+
+	live, peakLive              int
+	started, refused, completed int
+	dead, met                   int
+
+	violations []Violation
+}
+
+func newSessionRun(r *run, spec SessionSpec) *sessionRun {
+	sr := &sessionRun{
+		r:        r,
+		spec:     spec,
+		stages:   spec.Stages,
+		chunk:    spec.Chunk,
+		work:     spec.Work,
+		deadline: spec.Deadline,
+		byTh:     make(map[*realrate.Thread]sessionRef),
+	}
+	if sr.stages < 2 {
+		sr.stages = 2
+	}
+	if sr.chunk <= 0 {
+		sr.chunk = 256
+	}
+	sr.chunks = spec.Bytes / sr.chunk
+	if sr.chunks < 1 {
+		sr.chunks = 1
+	}
+	if sr.work <= 0 {
+		sr.work = 20_000
+	}
+	if sr.deadline <= 0 {
+		// Keep the runner's met/missed judgment aligned with the SLO
+		// tracker's, which falls back the same way.
+		sr.deadline = realrate.DefaultSessionSLO
+	}
+	return sr
+}
+
+// payload is the total bytes a session moves through each queue.
+func (sr *sessionRun) payload() int64 { return sr.chunks * sr.chunk }
+
+// schedule arms one timer per planned arrival.
+func (sr *sessionRun) schedule(plans []sessionPlan) {
+	for i := range plans {
+		id, p := i, plans[i]
+		sr.r.sys.After(p.at, func(now time.Duration) {
+			sr.spawn(id, p, now)
+		})
+	}
+}
+
+// kindOf names the session class for thread names and the SLO report's
+// per-kind session dimension.
+func kindOf(bestEffort bool) string {
+	if bestEffort {
+		return "be"
+	}
+	return "rr"
+}
+
+// spawn admits one whole session: primary ingest first (where admission
+// and the governor's veto apply), then the downstream stages into the
+// same job. Threads of every session share per-role names — "sess.rr.s1"
+// and friends — so the SLO tracker's by-job dimension stays O(stages),
+// not O(sessions).
+func (sr *sessionRun) spawn(id int, p sessionPlan, now time.Duration) {
+	st := &sessionState{id: id, arrival: now, done: make([]bool, sr.stages)}
+	sr.sess = append(sr.sess, st)
+	sr.started++
+	if sr.spec.MaxLive > 0 && sr.live >= sr.spec.MaxLive {
+		// Accept-backlog overflow: the blind connection drop every real
+		// front end performs when its listen queue is full. Unlike the
+		// governor's veto this needs no controller, so baseline policies
+		// shed load here — bluntly, with no importance order and no
+		// latency signal — which is exactly the contrast the attainment
+		// curves are meant to show.
+		st.refused = true
+		sr.refused++
+		return
+	}
+	kind := kindOf(p.bestEffort)
+
+	st.queues = make([]*realrate.Queue, sr.stages-1)
+	for i := range st.queues {
+		st.queues[i] = sr.r.sys.NewQueue(fmt.Sprintf("sess%d.q%d", id, i), sr.chunk*2)
+		sr.r.chk.watchQueue(st.queues[i])
+	}
+
+	var opts []realrate.SpawnOption
+	if p.bestEffort {
+		opts = []realrate.SpawnOption{realrate.Miscellaneous(), realrate.Importance(p.importance)}
+	} else {
+		opts = []realrate.SpawnOption{
+			realrate.RealRate(0, realrate.ProducerOf(st.queues[0])),
+			realrate.Importance(p.importance),
+		}
+	}
+	primary, err := sr.r.sys.Spawn("sess."+kind+".src", sr.srcProg(st, st.queues[0]), opts...)
+	sr.r.chk.spawned(primary, err, false, -1)
+	if err != nil {
+		st.refused = true
+		sr.refused++
+		return
+	}
+	st.threads = append(st.threads, primary)
+	sr.byTh[primary] = sessionRef{st, 0}
+	sr.live++
+	if sr.live > sr.peakLive {
+		sr.peakLive = sr.live
+	}
+
+	for s := 1; s < sr.stages; s++ {
+		var prog realrate.Program
+		name := fmt.Sprintf("sess.%s.s%d", kind, s)
+		if s < sr.stages-1 {
+			prog = sr.stageProg(st, s, st.queues[s-1], st.queues[s])
+		} else {
+			name = "sess." + kind + ".sink"
+			prog = sr.sinkProg(st, kind, st.queues[s-1])
+		}
+		var mopts []realrate.SpawnOption
+		if sr.r.policy == "rbs" {
+			// Members join the primary's job: exempt from the admission
+			// veto, so an admitted session never half-spawns.
+			mopts = append(mopts, realrate.InJob(primary))
+		}
+		mth, merr := sr.r.sys.Spawn(name, prog, mopts...)
+		sr.r.chk.spawned(mth, merr, false, -1)
+		if merr != nil {
+			// Members are veto-exempt; a refusal here is a harness bug.
+			sr.violate("session-conservation", now,
+				"session %d stage %d refused after the primary was admitted: %v", id, s, merr)
+			sr.killSession(st, nil)
+			return
+		}
+		st.threads = append(st.threads, mth)
+		sr.byTh[mth] = sessionRef{st, s}
+	}
+}
+
+// srcProg is the ingest stage: per chunk, one compute burst then one
+// enqueue; marks its stage done and exits after the full payload.
+func (sr *sessionRun) srcProg(st *sessionState, out *realrate.Queue) realrate.Program {
+	var sent int64
+	compute := true
+	return realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		if sent >= sr.chunks {
+			st.done[0] = true
+			return realrate.Exit()
+		}
+		if compute {
+			compute = false
+			return realrate.Compute(sr.work)
+		}
+		compute = true
+		sent++
+		return realrate.Produce(out, sr.chunk)
+	})
+}
+
+// stageProg is a transform stage: consume a chunk, process it, forward
+// it.
+func (sr *sessionRun) stageProg(st *sessionState, stage int, in, out *realrate.Queue) realrate.Program {
+	var moved int64
+	phase := 0
+	return realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		switch phase {
+		case 0:
+			if moved >= sr.chunks {
+				st.done[stage] = true
+				return realrate.Exit()
+			}
+			phase = 1
+			return realrate.Consume(in, sr.chunk)
+		case 1:
+			phase = 2
+			return realrate.Compute(sr.work)
+		default:
+			phase = 0
+			moved++
+			return realrate.Produce(out, sr.chunk)
+		}
+	})
+}
+
+// sinkProg is the delivery stage: once the full payload has been
+// consumed and processed, the session is complete and its end-to-end
+// latency is recorded.
+func (sr *sessionRun) sinkProg(st *sessionState, kind string, in *realrate.Queue) realrate.Program {
+	var got int64
+	consume := true
+	return realrate.ProgramFunc(func(th *realrate.Thread, now time.Duration) realrate.Action {
+		if got >= sr.chunks {
+			st.done[len(st.done)-1] = true
+			sr.complete(st, kind, now)
+			return realrate.Exit()
+		}
+		if consume {
+			consume = false
+			return realrate.Consume(in, sr.chunk)
+		}
+		consume = true
+		got++
+		return realrate.Compute(sr.work)
+	})
+}
+
+// complete closes one session: attainment bookkeeping, the SLO report's
+// session sample, and the drained-pipeline oracle (every inter-stage
+// queue conserved the exact payload — the stage-ordering invariant in
+// its strongest per-session form).
+func (sr *sessionRun) complete(st *sessionState, kind string, now time.Duration) {
+	if st.completed || st.dead {
+		return
+	}
+	st.completed = true
+	sr.completed++
+	sr.live--
+	lat := now - st.arrival
+	if lat <= sr.deadline {
+		sr.met++
+	}
+	sr.r.sys.ObserveSessionLatency(kind, lat)
+	for i, q := range st.queues {
+		if q.Produced() != sr.payload() || q.Consumed() != sr.payload() || q.Fill() != 0 {
+			sr.violate("session-stage-order", now,
+				"completed session %d queue %d: produced %d, consumed %d, fill %d (payload %d)",
+				st.id, i, q.Produced(), q.Consumed(), q.Fill(), sr.payload())
+		}
+	}
+}
+
+// killSession marks a session dead and cascade-kills its surviving
+// stages. The kills are deferred through a zero-delay timer: OnExit
+// fires from inside the kernel's retirement path, where a re-entrant
+// Kill is not safe.
+func (sr *sessionRun) killSession(st *sessionState, exiting *realrate.Thread) {
+	if st.completed || st.dead {
+		return
+	}
+	st.dead = true
+	sr.dead++
+	sr.live--
+	for _, other := range st.threads {
+		if other == exiting {
+			continue
+		}
+		o := other
+		sr.r.sys.After(0, func(now time.Duration) {
+			if o.State() != "exited" {
+				o.Kill()
+			}
+		})
+	}
+}
+
+// OnExit implements realrate.Observer: a stage exiting without having
+// marked itself done was shed or killed mid-payload, which kills the
+// whole session — a half-delivered stream is dead, not degraded — and
+// releases its surviving stages, so no thread wedges forever on a queue
+// that will never fill or drain again.
+func (sr *sessionRun) OnExit(now time.Duration, th *realrate.Thread) {
+	ref, ok := sr.byTh[th]
+	if !ok {
+		return
+	}
+	delete(sr.byTh, th)
+	if ref.st.done[ref.stage] {
+		return // voluntary completion
+	}
+	sr.killSession(ref.st, th)
+}
+
+// violate records one session-oracle breach, capped like the checker's.
+func (sr *sessionRun) violate(invariant string, now time.Duration, format string, args ...any) {
+	if len(sr.violations) >= maxViolations {
+		return
+	}
+	sr.violations = append(sr.violations, Violation{
+		Invariant: invariant,
+		Policy:    sr.r.policy,
+		Time:      now,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// finish runs the end-of-run session oracles.
+func (sr *sessionRun) finish(sys *realrate.System) {
+	end := sys.Now()
+
+	// Session conservation: every arrival is in exactly one bucket.
+	if sr.started != sr.refused+sr.completed+sr.dead+sr.live {
+		sr.violate("session-conservation", end,
+			"started %d != refused %d + completed %d + dead %d + live %d",
+			sr.started, sr.refused, sr.completed, sr.dead, sr.live)
+	}
+	if sr.live < 0 || sr.peakLive < sr.live {
+		sr.violate("session-conservation", end,
+			"live %d outside [0, peak %d]", sr.live, sr.peakLive)
+	}
+
+	// Stage ordering for sessions still in flight: stage j can never
+	// have forwarded more bytes than stage j-1 released to it.
+	for _, st := range sr.sess {
+		if st.refused || st.dead {
+			continue
+		}
+		for j := 1; j < len(st.queues); j++ {
+			if st.queues[j].Produced() > st.queues[j-1].Consumed() {
+				sr.violate("session-stage-order", end,
+					"session %d: stage %d produced %d bytes but stage %d only released %d",
+					st.id, j+1, st.queues[j].Produced(), j, st.queues[j-1].Consumed())
+			}
+		}
+	}
+
+	// SLO-report closure: exactly one end-to-end sample per completed
+	// session — refused, dead, and still-live sessions contribute none
+	// (their edges are open or void, not missed) — the per-kind series
+	// partition the total, and the tracker's exact attainment counter
+	// agrees with the runner's met count.
+	rep := sys.SLO()
+	if rep.Session.Samples != uint64(sr.completed) {
+		sr.violate("session-slo-closure", end,
+			"SLO report holds %d session samples, %d sessions completed",
+			rep.Session.Samples, sr.completed)
+	}
+	var byKind uint64
+	for _, st := range rep.Sessions {
+		byKind += st.Samples
+	}
+	if byKind != rep.Session.Samples {
+		sr.violate("session-slo-closure", end,
+			"per-kind session samples sum to %d, total dimension has %d",
+			byKind, rep.Session.Samples)
+	}
+	if sr.completed > 0 {
+		want := float64(sr.met) / float64(sr.completed)
+		if diff := rep.Session.Attainment - want; diff < -1e-9 || diff > 1e-9 {
+			sr.violate("session-slo-closure", end,
+				"SLO report attainment %.6f, runner counted %d/%d met",
+				rep.Session.Attainment, sr.met, sr.completed)
+		}
+	}
+}
+
+// report snapshots the run's session outcome.
+func (sr *sessionRun) report() SessionReport {
+	rep := SessionReport{
+		Started:   sr.started,
+		Refused:   sr.refused,
+		Completed: sr.completed,
+		Dead:      sr.dead,
+		Live:      sr.live,
+		Met:       sr.met,
+		PeakLive:  sr.peakLive,
+	}
+	if sr.completed > 0 {
+		rep.Attainment = float64(rep.Met) / float64(rep.Completed)
+	}
+	if sr.started > 0 {
+		rep.Goodput = float64(rep.Met) / float64(rep.Started)
+	}
+	return rep
+}

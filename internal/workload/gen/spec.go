@@ -29,6 +29,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -187,6 +188,55 @@ type ChurnSpec struct {
 	ReserveLo, ReserveHi int
 }
 
+// SessionSpec describes the slo family's live-service workload: per-user
+// sessions arriving open-loop at high rate (Poisson base + MMPP bursts +
+// a diurnal envelope over simulated time), each a short multi-stage
+// pipeline (ingest → transform → deliver) of threads in one job, chained
+// through bounded queues, and measured against an end-to-end latency SLO
+// recorded via System.ObserveSessionLatency.
+type SessionSpec struct {
+	// Rate is the base session arrival rate in sessions/sec (0 disables
+	// sessions entirely — the zero value changes nothing for the other
+	// families).
+	Rate float64
+	// BurstRate is the MMPP burst-phase arrival rate; at or below Rate
+	// (or with PhaseMean 0) the process is pure Poisson.
+	BurstRate float64
+	// PhaseMean is the mean exponential MMPP phase sojourn.
+	PhaseMean time.Duration
+	// Diurnal is the amplitude in [0, 0.95] of a sinusoidal envelope over
+	// the instantaneous arrival rate — a live service's compressed "day".
+	// 0 disables the envelope.
+	Diurnal float64
+	// DiurnalPeriod is the envelope period (0: one period per run).
+	DiurnalPeriod time.Duration
+	// Stages is the pipeline depth per session, at least 2: an ingest
+	// producer, Stages-2 transforms, and a delivering consumer.
+	Stages int
+	// Bytes is the payload each session pushes through its pipeline;
+	// Chunk is the per-op granularity (both in bytes).
+	Bytes, Chunk int64
+	// Work is the per-chunk compute burst, in cycles, at each stage.
+	Work int64
+	// Deadline is the per-session end-to-end SLO the run's attainment is
+	// measured against (it becomes OverloadConfig.SessionSLO).
+	Deadline time.Duration
+	// BestEffort is the fraction in [0, 1] of sessions spawned as
+	// miscellaneous-class jobs — the shed rung's eligible victims, in
+	// drawn-importance order; the rest are real-rate and never shed.
+	BestEffort float64
+	// MaxImportance bounds each session's drawn importance (min 1).
+	MaxImportance int
+	// MaxLive is the accept-backlog bound: a session arriving while
+	// MaxLive sessions are already in flight is refused outright, before
+	// any thread or queue exists — the front-end listen-queue drop that
+	// applies under every policy, controller or not. 0 means unbounded.
+	MaxLive int
+}
+
+// enabled reports whether the spec describes any sessions at all.
+func (s SessionSpec) enabled() bool { return s.Rate > 0 }
+
 // Spec is the declarative description of one generated scenario. Given the
 // same Spec (same seed), Generate produces the same Scenario, and running
 // it under the same policy produces a byte-identical dispatch trace.
@@ -213,6 +263,12 @@ type Spec struct {
 	// importances and hard-clamps arrival lifetimes, and the checker arms
 	// the brownout-ladder oracles.
 	Overload bool
+	// Sessions describes the slo family's open-loop session workload
+	// (zero Rate disables it). A session-bearing spec arms a lenient
+	// governor in the runner and the session oracles in the checker, but
+	// not the overload family's recovers-to-normal-by-end oracle —
+	// session arrivals run to the end of the scenario.
+	Sessions SessionSpec
 }
 
 // NumCPUs returns the normalized CPU count (at least 1).
@@ -250,6 +306,8 @@ func (s Spec) Scale(f float64) Spec {
 	s.Arrivals.Rate *= f
 	s.Arrivals.BurstRate *= f
 	s.Churn.Rate *= f
+	s.Sessions.Rate *= f
+	s.Sessions.BurstRate *= f
 	if s.Arrivals.Process == Trace {
 		keep := int(float64(len(s.Arrivals.Trace)) * f)
 		s.Arrivals.Trace = s.Arrivals.Trace[:keep]
@@ -259,7 +317,7 @@ func (s Spec) Scale(f float64) Spec {
 
 // Families lists the scenario families ForSeed accepts, in a fixed order.
 func Families() []string {
-	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace", "smp", "faults", "overload"}
+	return []string{"pipeline", "mixed", "openloop", "bursty", "churn", "trace", "smp", "faults", "overload", "slo"}
 }
 
 // ForSeed derives the declarative spec for one (family, seed) point. Every
@@ -404,10 +462,83 @@ func ForSeed(family string, seed uint64) (Spec, error) {
 		sp.Arrivals = ArrivalSpec{
 			Process: Trace, Trace: storm, MeanLife: ms(50, 90), Mix: mix,
 		}
+	case "slo":
+		// Live-service shape: open-loop per-user sessions (Poisson base +
+		// MMPP bursts + a diurnal envelope), each a short
+		// ingest→transform→deliver pipeline in one job with an end-to-end
+		// deadline and a drawn importance, over a small resident base. The
+		// runner arms a lenient governor, so burst peaks drive admission
+		// refusals and importance-ordered shedding of the best-effort
+		// session slice — this family's steady state, not a fault. No
+		// pinned hog: the machine may idle between diurnal peaks.
+		sp.Duration = ms(900, 1200)
+		sp.Taskset = TasksetSpec{RealTime: n(0, 1), Misc: n(1, 2)}
+		sp.Sessions = SessionSpec{
+			Rate:          float64(n(60, 140)),
+			BurstRate:     float64(n(250, 450)),
+			PhaseMean:     ms(40, 90),
+			Diurnal:       float64(n(3, 7)) / 10,
+			Stages:        n(2, 4),
+			Bytes:         int64(n(2, 6)) * 256,
+			Chunk:         256,
+			Work:          int64(n(20, 60)) * 1000,
+			Deadline:      ms(40, 90),
+			BestEffort:    float64(n(3, 6)) / 10,
+			MaxImportance: 9,
+			MaxLive:       n(50, 150),
+		}
 	default:
 		return Spec{}, fmt.Errorf("gen: unknown scenario family %q (have %v)", family, Families())
 	}
 	return sp, nil
+}
+
+// drawSessionArrivals realizes the session arrival process: candidate
+// instants at the peak instantaneous rate, thinned against the actual
+// rate at each instant — the MMPP phase (Poisson base / burst) times the
+// diurnal envelope 1 + Diurnal·sin(2πt/period). Thinning keeps the draw
+// stream fixed-length-free and exactly reproducible: every accept/reject
+// consumes the same pinned RNG stream regardless of which branch wins.
+func drawSessionArrivals(rng *sim.RNG, s SessionSpec, dur time.Duration) []time.Duration {
+	if !s.enabled() || dur <= 0 {
+		return nil
+	}
+	base, burst := s.Rate, s.BurstRate
+	mmpp := burst > base && s.PhaseMean > 0
+	if burst < base {
+		burst = base
+	}
+	amp := math.Min(math.Max(s.Diurnal, 0), 0.95)
+	period := s.DiurnalPeriod
+	if period <= 0 {
+		period = dur
+	}
+	peak := burst * (1 + amp)
+	inBurst := false
+	nextSwitch := dur + time.Second // unreachable without MMPP phases
+	if mmpp {
+		nextSwitch = time.Duration(rng.Exp(float64(s.PhaseMean)))
+	}
+	var out []time.Duration
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.Exp(float64(time.Second) / peak))
+		if t >= dur {
+			return out
+		}
+		for mmpp && t >= nextSwitch {
+			inBurst = !inBurst
+			nextSwitch += time.Duration(rng.Exp(float64(s.PhaseMean)))
+		}
+		r := base
+		if inBurst {
+			r = burst
+		}
+		r *= 1 + amp*math.Sin(2*math.Pi*float64(t)/float64(period))
+		if rng.Float64()*peak < r {
+			out = append(out, t)
+		}
+	}
 }
 
 // drawFaults draws the faults family's schedule: a guaranteed mid-run

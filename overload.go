@@ -53,6 +53,9 @@ type OverloadConfig struct {
 	// LatencySLO is the wake→dispatch latency target for System.SLO
 	// attainment accounting (default 10 ms).
 	LatencySLO time.Duration
+	// SessionSLO is the end-to-end session latency target for the
+	// ObserveSessionLatency dimension of System.SLO (default 100 ms).
+	SessionSLO time.Duration
 	// LatencyTrip, when positive, makes the governor SLO-driven: an
 	// interval whose recent p99 wake→dispatch latency exceeds it counts
 	// as saturated.

@@ -294,7 +294,7 @@ func NewSystem(cfg Config) *System {
 		// observer hub, under every policy; the brownout ladder itself
 		// needs the controller's saturation signals, so it only runs under
 		// the feedback policy.
-		s.slo = newSLOTracker(s, cfg.Overload.LatencySLO)
+		s.slo = newSLOTracker(s, cfg.Overload.LatencySLO, cfg.Overload.SessionSLO)
 		s.hub.slo = s.slo
 		s.hub.install()
 		if s.ctl != nil {

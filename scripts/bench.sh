@@ -44,4 +44,11 @@ go test -run '^$' -bench 'BenchmarkOverloadGovernor' -benchtime 10x -benchmem . 
 go test -run '^$' -bench 'BenchmarkControllerStep' -benchtime 20x -benchmem ./internal/ctlplane/ >>"$tmp" 2>&1
 go test -run 'TestSoak1MAdmission' -v ./internal/ctlplane/ >>"$tmp" 2>&1
 
+# Live-service SLO bench (pr9-slo-family): a simulated second of the slo
+# scenario family — open-loop session arrivals through three-stage
+# pipelines under rbs + the event-driven governed control plane — at 10k
+# and 100k drawn sessions. ms_per_epoch is the host cost per 10 ms control
+# epoch; the 100k point must hold under ~2× the pr8 control-plane cost.
+go test -run '^$' -bench 'BenchmarkSLOSessions' -benchtime 3x -benchmem . >>"$tmp" 2>&1
+
 go run ./scripts/benchmerge -file BENCH_results.json -date "$(date -u +%F)" -label "$label" <"$tmp"

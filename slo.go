@@ -15,7 +15,9 @@ import (
 // the user-visible scheduling latency, and its p99/p999 against a target
 // is what "degraded" means to a caller. The tracker also keeps a short
 // recent window whose p99 feeds the overload governor's SLO-driven trip
-// point (OverloadConfig.LatencyTrip).
+// point (OverloadConfig.LatencyTrip), and a second, coarser dimension:
+// end-to-end session latencies recorded explicitly through
+// System.ObserveSessionLatency against OverloadConfig.SessionSLO.
 
 // sloCaps bound the tracker's footprint: past each cap, reservoir
 // sampling (fixed-seed, deterministic) keeps a uniform sample of the
@@ -28,14 +30,35 @@ const (
 
 // sloSeries is one reservoir of latency samples (in seconds) plus exact
 // attainment counters — attainment is counted per sample, not estimated
-// from the reservoir.
+// from the reservoir. Each series owns its reservoir RNG, seeded from the
+// series' identity alone: which samples a reservoir keeps then depends
+// only on that series' own sample stream, never on how samples of
+// unrelated jobs interleave with it in observer-callback order. (SMP
+// machines and sharded control planes reorder taps *across* jobs for the
+// same seed; the per-job order is fixed by the simulation. A single
+// shared RNG coupled every reservoir to the global interleaving.)
 type sloSeries struct {
 	seen     uint64
 	attained uint64
 	samples  []float64
+	rng      *sim.RNG
 }
 
-func (ss *sloSeries) add(rng *sim.RNG, lat float64, ok bool, cap int) {
+func newSLOSeries(dim byte, key string) *sloSeries {
+	return &sloSeries{rng: sim.NewRNG(sloSeed(dim, key))}
+}
+
+// sloSeed derives a reservoir seed from the series' identity (dimension
+// tag + key) with an FNV-1a hash — stable across runs and platforms.
+func sloSeed(dim byte, key string) uint64 {
+	h := uint64(0xcbf29ce484222325) ^ uint64(dim)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 0x100000001b3
+	}
+	return h
+}
+
+func (ss *sloSeries) add(lat float64, ok bool, cap int) {
 	ss.seen++
 	if ok {
 		ss.attained++
@@ -44,7 +67,7 @@ func (ss *sloSeries) add(rng *sim.RNG, lat float64, ok bool, cap int) {
 		ss.samples = append(ss.samples, lat)
 		return
 	}
-	if i := rng.Intn(int(ss.seen)); i < cap {
+	if i := ss.rng.Intn(int(ss.seen)); i < cap {
 		ss.samples[i] = lat
 	}
 }
@@ -55,13 +78,18 @@ func (ss *sloSeries) add(rng *sim.RNG, lat float64, ok bool, cap int) {
 // Thread handle, so the per-sample cost is one pointer-map translation
 // plus reservoir arithmetic — no map churn, no string hashing.
 type sloTracker struct {
-	sys    *System
-	target sim.Duration
-	rng    *sim.RNG
+	sys           *System
+	target        sim.Duration
+	sessionTarget sim.Duration
 
 	byJob   map[string]*sloSeries
 	byClass map[string]*sloSeries
-	total   sloSeries
+	total   *sloSeries
+
+	// sessTotal and sessByKind hold the session dimension: one sample per
+	// ObserveSessionLatency call, measured against sessionTarget.
+	sessTotal  *sloSeries
+	sessByKind map[string]*sloSeries
 
 	// recent is a ring of the newest latencies (seconds) for the
 	// governor's SLO trip probe.
@@ -74,16 +102,28 @@ type sloTracker struct {
 // OverloadConfig.LatencySLO is zero: ten timer ticks.
 const DefaultLatencySLO = 10 * time.Millisecond
 
-func newSLOTracker(sys *System, target time.Duration) *sloTracker {
+// DefaultSessionSLO is the end-to-end session latency target used when
+// OverloadConfig.SessionSLO is zero. Sessions span several wake→dispatch
+// edges plus the work between them, so the default is an order of
+// magnitude above DefaultLatencySLO.
+const DefaultSessionSLO = 100 * time.Millisecond
+
+func newSLOTracker(sys *System, target, sessionTarget time.Duration) *sloTracker {
 	if target <= 0 {
 		target = DefaultLatencySLO
 	}
+	if sessionTarget <= 0 {
+		sessionTarget = DefaultSessionSLO
+	}
 	return &sloTracker{
-		sys:     sys,
-		target:  sim.FromStd(target),
-		rng:     sim.NewRNG(0x510_51_0), // fixed seed: deterministic reservoirs
-		byJob:   make(map[string]*sloSeries),
-		byClass: make(map[string]*sloSeries),
+		sys:           sys,
+		target:        sim.FromStd(target),
+		sessionTarget: sim.FromStd(sessionTarget),
+		byJob:         make(map[string]*sloSeries),
+		byClass:       make(map[string]*sloSeries),
+		total:         newSLOSeries('t', ""),
+		sessTotal:     newSLOSeries('S', ""),
+		sessByKind:    make(map[string]*sloSeries),
 	}
 }
 
@@ -106,15 +146,15 @@ func (tr *sloTracker) dispatch(now sim.Time, t *kernel.Thread) {
 	lat := now.Sub(th.sloWake)
 	sec := lat.Seconds()
 	within := lat <= tr.target
-	tr.total.add(tr.rng, sec, within, sloClassSamples)
+	tr.total.add(sec, within, sloClassSamples)
 	if th.sloJob == nil {
 		// First sample for this handle: resolve (and memoize) its series.
 		// The class is fixed at spawn, so caching is safe.
-		th.sloJob = tr.series(tr.byJob, th.Name())
-		th.sloClass = tr.series(tr.byClass, th.Class())
+		th.sloJob = tr.series(tr.byJob, 'j', th.Name())
+		th.sloClass = tr.series(tr.byClass, 'c', th.Class())
 	}
-	th.sloJob.add(tr.rng, sec, within, sloJobSamples)
-	th.sloClass.add(tr.rng, sec, within, sloClassSamples)
+	th.sloJob.add(sec, within, sloJobSamples)
+	th.sloClass.add(sec, within, sloClassSamples)
 	if len(tr.recent) < sloRecent {
 		tr.recent = append(tr.recent, sec)
 	} else {
@@ -123,10 +163,18 @@ func (tr *sloTracker) dispatch(now sim.Time, t *kernel.Thread) {
 	}
 }
 
-func (tr *sloTracker) series(m map[string]*sloSeries, key string) *sloSeries {
+// session records one end-to-end session latency against sessionTarget.
+func (tr *sloTracker) session(kind string, lat sim.Duration) {
+	sec := lat.Seconds()
+	within := lat <= tr.sessionTarget
+	tr.sessTotal.add(sec, within, sloClassSamples)
+	tr.series(tr.sessByKind, 's', kind).add(sec, within, sloClassSamples)
+}
+
+func (tr *sloTracker) series(m map[string]*sloSeries, dim byte, key string) *sloSeries {
 	ss := m[key]
 	if ss == nil {
-		ss = &sloSeries{}
+		ss = newSLOSeries(dim, key)
 		m[key] = ss
 	}
 	return ss
@@ -167,6 +215,15 @@ type SLOReport struct {
 	// thread name.
 	Classes map[string]SLOStat
 	Jobs    map[string]SLOStat
+	// SessionTarget is the end-to-end session latency SLO
+	// (OverloadConfig.SessionSLO); Session aggregates every latency
+	// recorded through ObserveSessionLatency against it, and Sessions
+	// breaks the dimension down by session kind. The per-kind sample
+	// counts sum exactly to Session.Samples — one sample per recorded
+	// session, nothing dropped, nothing double-counted.
+	SessionTarget time.Duration
+	Session       SLOStat
+	Sessions      map[string]SLOStat
 }
 
 func (ss *sloSeries) stat() SLOStat {
@@ -186,18 +243,38 @@ func secDur(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
 }
 
+// ObserveSessionLatency records one end-to-end latency sample for the
+// named session kind — the time from a user-level session's arrival to
+// its final delivery, spanning every stage of its pipeline. It is the
+// caller's declaration that one session completed; the tracker measures
+// it against OverloadConfig.SessionSLO and reports the dimension through
+// SLO().Session/Sessions. A no-op unless Config.Overload enabled SLO
+// accounting. Latencies are clamped below at zero.
+func (s *System) ObserveSessionLatency(kind string, latency time.Duration) {
+	if s.slo == nil {
+		return
+	}
+	if latency < 0 {
+		latency = 0
+	}
+	s.slo.session(kind, sim.FromStd(latency))
+}
+
 // SLO returns the wake→dispatch latency accounting: overall, per-class,
-// and per-job p50/p99/p999 with exact SLO attainment. It returns a zero
-// report unless Config.Overload enabled SLO accounting.
+// and per-job p50/p99/p999 with exact SLO attainment, plus the recorded
+// end-to-end session dimension. It returns a zero report unless
+// Config.Overload enabled SLO accounting.
 func (s *System) SLO() SLOReport {
 	if s.slo == nil {
 		return SLOReport{}
 	}
 	tr := s.slo
 	rep := SLOReport{
-		Target:  tr.target.Std(),
-		Classes: make(map[string]SLOStat, len(tr.byClass)),
-		Jobs:    make(map[string]SLOStat, len(tr.byJob)),
+		Target:        tr.target.Std(),
+		SessionTarget: tr.sessionTarget.Std(),
+		Classes:       make(map[string]SLOStat, len(tr.byClass)),
+		Jobs:          make(map[string]SLOStat, len(tr.byJob)),
+		Sessions:      make(map[string]SLOStat, len(tr.sessByKind)),
 	}
 	tot := tr.total.stat()
 	rep.Samples = tot.Samples
@@ -208,6 +285,10 @@ func (s *System) SLO() SLOReport {
 	}
 	for name, ss := range tr.byJob {
 		rep.Jobs[name] = ss.stat()
+	}
+	rep.Session = tr.sessTotal.stat()
+	for kind, ss := range tr.sessByKind {
+		rep.Sessions[kind] = ss.stat()
 	}
 	return rep
 }

@@ -73,6 +73,111 @@ func TestSLODisabledWithoutGovernorConfig(t *testing.T) {
 	}
 }
 
+// waitForever computes one burst (so the thread's spawn edge closes into
+// a real sample) and then parks on w; every wake parks it again.
+func waitForever(w *realrate.WaitQueue) realrate.Program {
+	first := true
+	return realrate.ProgramFunc(func(t *realrate.Thread, now time.Duration) realrate.Action {
+		if first {
+			first = false
+			return realrate.Compute(50_000)
+		}
+		return realrate.Wait(w)
+	})
+}
+
+// TestOpenWakeEdgeAtRunEndExcluded pins the open-edge rule at the
+// measurement boundary: a thread woken but never dispatched before the
+// simulation stops has an open wake→dispatch edge, and an open edge is
+// excluded from the SLO accounting — not counted as met (the latency is
+// unknown) and not counted as missed (the thread never got to run). A
+// tracker that closed open edges at the run horizon would award every
+// straggler a phantom sample.
+func TestOpenWakeEdgeAtRunEndExcluded(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{
+		Overload: &realrate.OverloadConfig{LatencySLO: 10 * time.Millisecond},
+	})
+	wq := sys.NewWaitQueue("tty")
+	if _, err := sys.Spawn("waiter", waitForever(wq)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn("hog", realrate.HogProgram(200_000)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * time.Millisecond)
+
+	before := sys.SLO().Jobs["waiter"]
+	if before.Samples == 0 {
+		t.Fatal("waiter never dispatched in 100ms: setup broken")
+	}
+	// Wake at the run horizon: the edge opens, the simulation never runs
+	// again, so no dispatch can close it.
+	if !wq.WakeOne() {
+		t.Fatal("no waiter parked on the queue")
+	}
+	after := sys.SLO().Jobs["waiter"]
+	if after.Samples != before.Samples {
+		t.Fatalf("open wake edge at run end counted as a sample: %d -> %d samples",
+			before.Samples, after.Samples)
+	}
+	if after.Attainment != before.Attainment {
+		t.Fatalf("open wake edge moved attainment: %v -> %v", before.Attainment, after.Attainment)
+	}
+}
+
+// TestKillMidWaitClosesEdgeOnce pins the other open-edge rule: a thread
+// killed between its wake and its dispatch — exactly what the governor's
+// shed rung does to a parked session stage — drops its open edge with the
+// handle, once. No sample is recorded for the severed edge (the thread
+// never reached a CPU, so there is no latency to measure), later samples
+// are unaffected, and a second Kill is a no-op rather than a double-close.
+func TestKillMidWaitClosesEdgeOnce(t *testing.T) {
+	sys := realrate.NewSystem(realrate.Config{
+		Overload: &realrate.OverloadConfig{LatencySLO: 10 * time.Millisecond},
+	})
+	wq := sys.NewWaitQueue("tty")
+	waiter, err := sys.Spawn("waiter", waitForever(wq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn("hog", realrate.HogProgram(200_000)); err != nil {
+		t.Fatal(err)
+	}
+	var before realrate.SLOStat
+	sys.After(50*time.Millisecond, func(now time.Duration) {
+		before = sys.SLO().Jobs["waiter"]
+		// Wake and kill inside one callback: the scheduler cannot run
+		// between the two, so the kill lands while the wake edge is open.
+		if !wq.WakeOne() {
+			t.Error("no waiter parked on the queue")
+		}
+		waiter.Kill()
+	})
+	sys.Run(200 * time.Millisecond)
+
+	if waiter.State() != "exited" {
+		t.Fatalf("waiter state = %s, want exited", waiter.State())
+	}
+	if before.Samples == 0 {
+		t.Fatal("waiter never dispatched before the kill: setup broken")
+	}
+	after := sys.SLO().Jobs["waiter"]
+	if after.Samples != before.Samples {
+		t.Fatalf("kill mid-wait changed the sample count: %d -> %d",
+			before.Samples, after.Samples)
+	}
+	if after.Attainment != before.Attainment {
+		t.Fatalf("kill mid-wait moved attainment: %v -> %v", before.Attainment, after.Attainment)
+	}
+	// The run kept going for 150ms after the kill: the dropped handle must
+	// not have resurrected (an exited thread re-sampling would inflate the
+	// count) and killing again must be a quiet no-op.
+	waiter.Kill()
+	if got := sys.SLO().Jobs["waiter"]; got.Samples != before.Samples {
+		t.Fatalf("second kill changed the sample count: %d -> %d", before.Samples, got.Samples)
+	}
+}
+
 // TestGovernorIdleZeroThroughputCost proves the "enabled but idle"
 // guarantee: arming the governor on a machine it never trips must not
 // cost the workload any throughput. The same hog storm runs with the
