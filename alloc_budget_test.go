@@ -1,0 +1,71 @@
+// Allocation budgets: tier-1 companions to the churn benchmarks. Each
+// test runs the same scenario as its benchmark and fails if the heap
+// allocation count regresses past a ceiling. The ceilings sit ~2x above
+// the pooled steady state (SLOSessions n=10000 ≈ 13.3k allocs, storm
+// n=10000 ≈ 0.7k), far below the pre-pooling counts (≈212k and ≈20.7k),
+// so noise never trips them but losing the free lists always does.
+package realrate_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload/gen"
+)
+
+// countAllocs returns the number of heap objects allocated while fn runs.
+// A single measured run (after one warmup to populate lazy globals) is
+// deterministic enough here: the simulator is single-goroutine and the
+// ceilings leave 2x headroom.
+func countAllocs(t *testing.T, fn func()) uint64 {
+	t.Helper()
+	fn() // warmup: interned tables, lazy pools, timer rings
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestAllocBudgetSLOSessions holds the live-service session storm
+// (BenchmarkSLOSessions n=10000) to its allocation budget.
+func TestAllocBudgetSLOSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget run is a full session storm")
+	}
+	const budget = 30_000
+	got := countAllocs(t, func() {
+		sp := experiments.SLOSpec(1, 10_000, 1.0, time.Second, 8)
+		if _, err := gen.Generate(sp).Run(gen.RunOpts{
+			Policy: "rbs", Controller: "event", NoInvariants: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("SLOSessions n=10000: %d allocs (budget %d)", got, budget)
+	if got > budget {
+		t.Fatalf("session storm allocated %d objects, budget is %d: the pooled spawn→exit lifecycle regressed", got, budget)
+	}
+}
+
+// TestAllocBudgetStormDispatch holds the open-loop dispatch storm
+// (BenchmarkStormDispatch n=10000) to its allocation budget.
+func TestAllocBudgetStormDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget run is a full dispatch storm")
+	}
+	const budget = 4_000
+	got := countAllocs(t, func() {
+		experiments.RunContextSwitchStorm(experiments.StormConfig{
+			Threads: 10_000, RunFor: sim.Second,
+		})
+	})
+	t.Logf("StormDispatch n=10000: %d allocs (budget %d)", got, budget)
+	if got > budget {
+		t.Fatalf("dispatch storm allocated %d objects, budget is %d: the pooled spawn→exit lifecycle regressed", got, budget)
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,22 +65,29 @@ func main() {
 		sessions   = flag.Int("sessions", 4000, "session count at offered load 1.0 for -slo")
 		cpus       = flag.Int("cpus", 0, "machine CPU count for -openloop/-gen/-slo (0: each scenario's own; storm sweeps 1/2/4/8, slo sweeps 1/4/8)")
 
-		genRun   = flag.Bool("gen", false, "run (or replay) generated scenarios through the invariant harness")
-		scenario = flag.String("scenario", "all", "generator family for -gen (or 'all'): "+fmt.Sprint(gen.Families()))
-		seed     = flag.Uint64("seed", 0, "replay exactly this seed for -gen (0: sweep -seeds)")
-		seeds    = flag.Int("seeds", 5, "number of seeds per family for -gen sweeps")
-		policy   = flag.String("policy", "all", "policy for -gen (or 'all'): "+fmt.Sprint(gen.Policies()))
-		scale    = flag.Float64("scale", 1, "workload scale for -gen (the shrinker's axis)")
+		genRun     = flag.Bool("gen", false, "run (or replay) generated scenarios through the invariant harness")
+		scenario   = flag.String("scenario", "all", "generator family for -gen (or 'all'): "+fmt.Sprint(gen.Families()))
+		seed       = flag.Uint64("seed", 0, "replay exactly this seed for -gen (0: sweep -seeds)")
+		seeds      = flag.Int("seeds", 5, "number of seeds per family for -gen sweeps")
+		policy     = flag.String("policy", "all", "policy for -gen (or 'all'): "+fmt.Sprint(gen.Policies()))
+		scale      = flag.Float64("scale", 1, "workload scale for -gen (the shrinker's axis)")
 		genDur     = flag.Duration("gendur", 0, "duration override for -gen (0: the family's drawn duration)")
 		traceCSV   = flag.String("trace", "", "arrival trace CSV to replay for -gen (overrides the family's arrival process)")
 		controller = flag.String("controller", "", "control-plane sampling mode for -gen: periodic (default) or event")
 		shards     = flag.Int("shards", 0, "controller shard count for -gen (0 or 1: the classic single sweep)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap (allocation) profile to this file at exit")
 	)
 	flag.Parse()
 	experiments.SetParallel(!*seq)
 
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+
 	if *genRun {
-		os.Exit(runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV, *cpus, *controller, *shards))
+		code := runGenerated(*scenario, *seed, *seeds, *policy, *scale, *genDur, *traceCSV, *cpus, *controller, *shards)
+		stopProfiles()
+		os.Exit(code)
 	}
 
 	if !*all && *fig == 0 && !*pathfinder && !*livelock && !*ablate && !*variance && !*freq && !*inter && !*openloop && !*churn && !*storm && !*slo {
@@ -207,6 +216,48 @@ func main() {
 	}
 	if *all || *ablate {
 		experiments.PrintAblations(os.Stdout, runDur(40*sim.Second))
+	}
+	stopProfiles()
+}
+
+// startProfiles arms the requested pprof outputs and returns the function
+// that flushes them; callers must invoke it on every exit path that
+// should produce profiles. The heap profile runs a GC first so it shows
+// live objects, not garbage awaiting collection.
+func startProfiles(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("wrote %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", memPath)
+		}
 	}
 }
 

@@ -277,6 +277,30 @@ type Controller struct {
 	weightBuf  []float64
 	allocBuf   []int
 	frozenBuf  []bool
+
+	// recycle pools Job objects, their PID filters, and their pressure
+	// series across remove/add cycles; see SetRecycle.
+	recycle bool
+	// jobSlab backs new Job allocation; freeJob heads the free list of
+	// recycled ones. retired parks removed jobs until the next epoch
+	// prologue flushes them to the free list: a job removed mid-step (a
+	// wake during actuation can dispatch a program that exits) may still
+	// be referenced by that step's squishable scratch, so reissue must
+	// wait for the epoch boundary.
+	jobSlab []Job
+	freeJob *Job
+	retired []*Job
+	// freePID pools the per-job PID filters; every pooled filter was
+	// built from cfg.PID, so Reset restores the fresh-filter state.
+	freePID []*pid.Controller
+	// fillNames interns thread-name → "<name>.pressure" so an admission
+	// storm of interned-name threads concatenates each distinct name once.
+	fillNames map[string]string
+	// vetoErr memoizes one OverloadError per rung: the rung string and
+	// retry-after hint are pure per rung at a fixed interval, and callers
+	// only ever read the fields, so an admission storm shares one object
+	// per rung instead of allocating per refusal.
+	vetoErr [overload.Freeze + 1]*OverloadError
 }
 
 // New creates a controller for the given machine, dispatcher, and progress
@@ -370,6 +394,14 @@ func New(kern *kernel.Kernel, policy *rbs.Policy, reg *progress.Registry, cfg Co
 
 // Config returns the resolved configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// SetRecycle turns controller-state recycling on or off. When on, a
+// removed job's object — with its PID filter and bounded pressure series —
+// parks on a retired list and is reissued to a later admission after the
+// next epoch prologue, so churn-heavy workloads add and remove jobs
+// without growing the heap. Callers that retain *Job pointers past Remove
+// (the experiments' post-run report readers do) must leave it off.
+func (c *Controller) SetRecycle(on bool) { c.recycle = on }
 
 // Jobs returns the controlled jobs in registration order.
 func (c *Controller) Jobs() []*Job { return c.jobs }
@@ -488,10 +520,26 @@ func (c *Controller) AdmissionVeto() error {
 		rung = overload.Throttle // the guard's effective rung
 	}
 	c.health.Throttled++
-	return &OverloadError{
-		Rung:       rung.String(),
-		RetryAfter: c.gov.RetryAfter(c.cfg.Interval),
+	return c.overloadErr(rung)
+}
+
+// overloadErr returns the memoized refusal for a rung. Refused callers
+// only ever read the error's fields, so while the governor holds a rung
+// steady — the entire lifetime of an admission storm — every refusal
+// shares one object; a new error is built only when the retry-after hint
+// actually changes (the hint tracks the governor's current rung, which can
+// lag the effective rung on the stall-guard path).
+func (c *Controller) overloadErr(rung overload.Rung) *OverloadError {
+	ra := c.gov.RetryAfter(c.cfg.Interval)
+	if rung < 0 || int(rung) >= len(c.vetoErr) {
+		return &OverloadError{Rung: rung.String(), RetryAfter: ra}
 	}
+	e := c.vetoErr[rung]
+	if e == nil || e.RetryAfter != ra {
+		e = &OverloadError{Rung: rung.String(), RetryAfter: ra}
+		c.vetoErr[rung] = e
+	}
+	return e
 }
 
 // planeStalled reports whether the governor's epoch evidence is too stale
@@ -631,8 +679,20 @@ func (c *Controller) AddRealRate(t *kernel.Thread, period sim.Duration) *Job {
 	}
 	// The pressure series is only read over recent windows (period
 	// adaptation, tooling), so it is bounded: at 10k+ jobs an unbounded
-	// 100 Hz series per job would dominate the heap.
-	j.fill = metrics.NewSeries(t.Name() + ".pressure").Bound(8192)
+	// 100 Hz series per job would dominate the heap. A pooled job reuses
+	// its previous life's series object and capacity, and — when the slot
+	// is reissued to a same-named thread, the steady state of a recycling
+	// storm — the series name too, skipping the concatenation.
+	switch {
+	case j.fill == nil:
+		j.fillFor = t.Name()
+		j.fill = metrics.NewSeries(c.pressureName(j.fillFor)).Bound(8192)
+	case j.fillFor != t.Name():
+		j.fillFor = t.Name()
+		j.fill.Reset(c.pressureName(j.fillFor))
+	default:
+		j.fill.Reset(j.fill.Name)
+	}
 	c.bootstrap(j)
 	return j
 }
@@ -673,10 +733,7 @@ func (c *Controller) Renegotiate(j *Job, proportion int) error {
 		// Freeze rung: renegotiations to larger reservations are refused;
 		// shrinking is still welcome — it helps.
 		c.health.Throttled++
-		return &OverloadError{
-			Rung:       c.gov.Rung().String(),
-			RetryAfter: c.gov.RetryAfter(c.cfg.Interval),
-		}
+		return c.overloadErr(c.gov.Rung())
 	}
 	delta := proportion - j.specified
 	if delta > 0 && delta > c.available() {
@@ -751,27 +808,135 @@ func (c *Controller) Remove(j *Job) {
 	if c.onJobRemove != nil {
 		c.onJobRemove(j)
 	}
+	if c.recycle {
+		c.retired = append(c.retired, j)
+	}
+}
+
+// ThreadExited tears down one exited member thread's controller state
+// immediately: the thread leaves its job (and the job leaves the
+// controller when it was the last member), instead of lingering until the
+// next epoch's reap. The recycling layers need the eager path — a pooled
+// kernel thread can be reissued before the next epoch, and every stale
+// *kernel.Thread reference must be gone by then — but it is correct (and
+// idempotent with reap) for any caller's exit hook. Unknown threads are
+// ignored.
+func (c *Controller) ThreadExited(t *kernel.Thread) {
+	j, ok := c.byThr[t]
+	if !ok {
+		return
+	}
+	delete(c.byThr, t)
+	c.policy.Unregister(t)
+	c.reg.Unregister(t)
+	for i, m := range j.members {
+		if m == t {
+			copy(j.members[i:], j.members[i+1:])
+			j.members[len(j.members)-1] = nil // clear the vacated tail slot
+			j.members = j.members[:len(j.members)-1]
+			break
+		}
+	}
+	if len(j.members) == 0 {
+		c.Remove(j)
+		return
+	}
+	j.thread = j.members[0]
+}
+
+// jobSlabSize is how many Job objects one slab chunk holds.
+const jobSlabSize = 256
+
+// allocJob returns a scrubbed Job object: from the free pool when
+// recycling has banked one, otherwise carved from the current slab chunk.
+// A pooled object keeps its members backing array and its bounded
+// pressure series (capacity, not contents) from the previous life.
+func (c *Controller) allocJob() *Job {
+	if j := c.freeJob; j != nil {
+		c.freeJob = j.freeNext
+		j.freeNext = nil
+		return j
+	}
+	if len(c.jobSlab) == 0 {
+		c.jobSlab = make([]Job, jobSlabSize)
+	}
+	j := &c.jobSlab[0]
+	c.jobSlab = c.jobSlab[1:]
+	return j
+}
+
+// pressureName returns the interned "<name>.pressure" series label.
+func (c *Controller) pressureName(name string) string {
+	if fn, ok := c.fillNames[name]; ok {
+		return fn
+	}
+	fn := name + ".pressure"
+	if c.fillNames == nil {
+		c.fillNames = make(map[string]string)
+	}
+	c.fillNames[name] = fn
+	return fn
+}
+
+// allocPID returns a fresh-state PID filter for cfg.PID, reusing a pooled
+// one when available (every pooled filter was built from the same config,
+// so Reset restores the fresh-filter state exactly).
+func (c *Controller) allocPID() *pid.Controller {
+	if n := len(c.freePID); n > 0 {
+		g := c.freePID[n-1]
+		c.freePID[n-1] = nil
+		c.freePID = c.freePID[:n-1]
+		g.Reset()
+		return g
+	}
+	return pid.New(c.cfg.PID)
+}
+
+// flushRetired scrubs the jobs removed since the previous epoch and moves
+// them to the free pool. Runs at the epoch prologue only: nothing from the
+// current step can reference them there.
+func (c *Controller) flushRetired() {
+	for i, j := range c.retired {
+		c.retired[i] = nil
+		if j.g != nil {
+			c.freePID = append(c.freePID, j.g)
+		}
+		for k := range j.members {
+			j.members[k] = nil
+		}
+		members := j.members[:0]
+		fill, fillFor := j.fill, j.fillFor
+		*j = Job{members: members, fill: fill, fillFor: fillFor}
+		j.freeNext = c.freeJob
+		c.freeJob = j
+	}
+	c.retired = c.retired[:0]
 }
 
 func (c *Controller) addJob(t *kernel.Thread, class Class) *Job {
 	if _, dup := c.byThr[t]; dup {
 		panic(fmt.Sprintf("core: thread %v already controlled", t))
 	}
-	j := &Job{
-		thread:       t,
-		members:      []*kernel.Thread{t},
-		class:        class,
-		importance:   1,
-		lastCPU:      t.CPUTime(),
-		cpuBlockMark: t.CPUTime(),
-		lastBlocked:  t.BlockedCount(),
-		usageEWMA:    1, // presume fully used until measured otherwise
+	j := c.allocJob()
+	j.thread = t
+	if cap(j.members) == 0 {
+		// Sized for the common small pipeline so the primary plus a few
+		// AddMember calls fit without regrowing (the capacity survives
+		// pooling, so a recycled job never regrows at all).
+		j.members = make([]*kernel.Thread, 0, 4)
 	}
+	j.members = append(j.members, t)
+	j.class = class
+	j.importance = 1
+	j.lastCPU = t.CPUTime()
+	j.cpuBlockMark = t.CPUTime()
+	j.lastBlocked = t.BlockedCount()
+	j.usageEWMA = 1 // presume fully used until measured otherwise
 	if class == RealRate {
 		// Only real-rate jobs filter pressure through G; skipping the PID
 		// for the other classes keeps a million-job taskset's controller
 		// state within memory reach (the 1M-job admission soak).
-		j.g = pid.New(c.cfg.PID)
+		j.g = c.allocPID()
 	}
 	c.jobs = append(c.jobs, j)
 	c.byThr[t] = j
@@ -901,6 +1066,12 @@ func (c *Controller) prologue(now sim.Time) {
 			}
 			c.apply(d.job, d.prop, d.period)
 		}
+	}
+
+	if len(c.retired) > 0 {
+		// Pool last: the delayed-actuation guard above must still see
+		// retired jobs as distinct objects, not reissued ones.
+		c.flushRetired()
 	}
 }
 
@@ -1086,10 +1257,18 @@ func (c *Controller) shedOne(now sim.Time) bool {
 	// Retire is re-entrancy-safe from inside the controller's step (the
 	// kernel's busy guard defers the reschedule), and the exit hook runs
 	// synchronously, so the public layer unindexes the thread before the
-	// next shed candidate is evaluated. The job itself is reaped — and its
-	// admission headroom freed — on the next interval's reap.
-	for _, m := range victim.members {
-		if m.State() != kernel.StateExited {
+	// next shed candidate is evaluated. Under the eager exit path
+	// (ThreadExited) each Retire also removes the member from
+	// victim.members while we iterate, so walk the slice from the tail
+	// with a bounds re-check instead of ranging over a stale header;
+	// without the eager path the job is reaped — and its admission
+	// headroom freed — on the next interval's reap.
+	for i := len(victim.members) - 1; i >= 0; i-- {
+		if i >= len(victim.members) {
+			continue
+		}
+		m := victim.members[i]
+		if m != nil && m.State() != kernel.StateExited {
 			c.kern.Retire(m)
 		}
 	}

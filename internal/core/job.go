@@ -148,11 +148,18 @@ type Job struct {
 	fallback int
 
 	// fill tracks recent summed-pressure samples for the period
-	// adaptation heuristic (oscillation detection).
-	fill *metrics.Series
+	// adaptation heuristic (oscillation detection). fillFor is the thread
+	// name the series was last named after, preserved across pooling so a
+	// recycled job reissued to a same-named thread skips the rename.
+	fill    *metrics.Series
+	fillFor string
 
 	// stats
 	actuations uint64
+
+	// freeNext links the object into the controller's free list while
+	// pooled (recycle mode only).
+	freeNext *Job
 }
 
 // Thread returns the job's primary kernel thread.

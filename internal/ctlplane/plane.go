@@ -94,6 +94,8 @@ type entry struct {
 	// Refreshed at every sample.
 	watched bool
 	removed bool
+	// freeNext links the object into the plane's free list while pooled.
+	freeNext *entry
 }
 
 // shard is one slice of the control plane: a list of owned entries, a
@@ -165,6 +167,14 @@ type Plane struct {
 	// adaptiveScratch collects every adaptive job visited in an event-mode
 	// tick, so an over-committed shard can squish its whole list.
 	adaptiveScratch []*core.Job
+
+	// entSlab backs new entry allocation; freeEnt heads the free list of
+	// dropped ones. An entry lives in exactly one shard list, is marked
+	// removed at jobRemoved, and returns to the pool when its owning
+	// shard's keep-loop drops it — the only point where it provably leaves
+	// every reference.
+	entSlab []entry
+	freeEnt *entry
 
 	started bool
 }
@@ -280,10 +290,30 @@ func (p *Plane) homeOf(j *core.Job) int {
 	return t.ID() % len(p.shards)
 }
 
+// entrySlabSize is how many entries one slab chunk holds.
+const entrySlabSize = 256
+
+// allocEntry returns a zeroed entry from the free pool or the slab.
+func (p *Plane) allocEntry() *entry {
+	if e := p.freeEnt; e != nil {
+		p.freeEnt = e.freeNext
+		*e = entry{}
+		return e
+	}
+	if len(p.entSlab) == 0 {
+		p.entSlab = make([]entry, entrySlabSize)
+	}
+	e := &p.entSlab[0]
+	p.entSlab = p.entSlab[1:]
+	return e
+}
+
 // jobAdded registers a plane entry for a newly admitted job on its home
 // shard. lastEpoch 0 makes the home shard visit it at its next tick.
 func (p *Plane) jobAdded(j *core.Job) {
-	e := &entry{job: j, shard: p.homeOf(j)}
+	e := p.allocEntry()
+	e.job = j
+	e.shard = p.homeOf(j)
 	p.byJob[j] = e
 	sh := p.shards[e.shard]
 	sh.list = append(sh.list, e)
@@ -394,6 +424,12 @@ func (p *Plane) tick(s *shard, now sim.Time) {
 	keep := s.list[:0]
 	for _, e := range s.list {
 		if e.removed {
+			// The entry leaves its only list here; its job pointer may
+			// already name a recycled (reissued) object, so it must not be
+			// dereferenced — just pool the entry.
+			e.job = nil
+			e.freeNext = p.freeEnt
+			p.freeEnt = e
 			continue
 		}
 		j := e.job

@@ -106,12 +106,17 @@ func RunContextSwitchStorm(cfg StormConfig) StormResult {
 			drainedAt = now
 		}
 	})
+	// The infinite hog is stateless, so every Work=0 thread shares one
+	// program instance: a 10k-thread storm spawn costs two allocations for
+	// the program, not two per thread. Finite hogs carry per-thread
+	// remaining-work state and stay individual.
+	hog := hogProgram()
 	for i := 0; i < n; i++ {
 		var prog kernel.Program
 		if cfg.Work > 0 {
 			prog = finiteHogProgram(cfg.Work)
 		} else {
-			prog = hogProgram()
+			prog = hog
 		}
 		th := k.Spawn("storm", prog)
 		res := rbs.Reservation{Proportion: prop, Period: periods[i%len(periods)]}
@@ -120,7 +125,7 @@ func RunContextSwitchStorm(cfg StormConfig) StormResult {
 		}
 	}
 	for i := 0; i < cfg.Unmanaged; i++ {
-		k.Spawn("rr", hogProgram())
+		k.Spawn("rr", hog)
 	}
 	k.Start()
 	if cfg.Work > 0 {

@@ -151,6 +151,23 @@ type Kernel struct {
 	mutexes []*Mutex
 	nextID  int
 
+	// thrSlab is the current chunk backing new Thread objects: spawns carve
+	// fresh zeroed threads out of it so an admission storm costs one
+	// allocation per chunk instead of one per thread.
+	thrSlab []Thread
+	// queueSlab backs NewQueue the same way: session-pipeline storms
+	// create queues in the tens of thousands.
+	queueSlab []Queue
+	// freeThread heads the free list of recycled thread objects (recycle
+	// mode only); exitStub is the sentinel substituted for a recycled
+	// thread anywhere the per-CPU lastRan pointer still names it, so the
+	// switch-cost identity test behaves exactly as it would against a
+	// stale, never-reissued pointer.
+	freeThread *Thread
+	exitStub   Thread
+	// recycle turns on spawn→exit object recycling (see SetRecycle).
+	recycle bool
+
 	// cpus holds the per-CPU run state; cpus[0] is the boot CPU. The
 	// slice is sized once at construction and never moves.
 	cpus []cpu
@@ -284,9 +301,35 @@ func (k *Kernel) SetMigrator(m Migrator) {
 // Migrator returns the installed migration policy.
 func (k *Kernel) Migrator() Migrator { return k.migrator }
 
-// Threads returns all threads ever created, including exited ones. The
-// slice must not be modified.
+// Threads returns the machine's threads. Without recycling (the default)
+// that is every thread ever created, including exited ones; with recycling
+// (SetRecycle) exited threads leave the list when their objects return to
+// the pool, so the slice holds only live threads and its order is not the
+// creation order. The slice must not be modified.
 func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// SetRecycle turns thread-object recycling on or off. When on, a thread
+// that exits without holding a mutex is scrubbed and returned to a free
+// pool, and the next Spawn reissues the object under a fresh ID and a
+// bumped generation (Thread.Gen) — churn-heavy workloads then run the
+// spawn→exit cycle without growing the heap. Callers that retain *Thread
+// pointers past exit must not enable it (or must validate generations);
+// the public realrate layer does both. Off, the kernel keeps the seed
+// behavior: exited threads stay reachable forever.
+func (k *Kernel) SetRecycle(on bool) { k.recycle = on }
+
+// FreeThreads returns the current depth of the recycled-thread pool — the
+// number of exited thread objects banked for reissue. Exposed so leak
+// tests can assert the pool is bounded by the peak live population (a
+// free list that outgrows peak-live means something is retiring objects
+// it never owned).
+func (k *Kernel) FreeThreads() int {
+	n := 0
+	for t := k.freeThread; t != nil; t = t.freeNext {
+		n++
+	}
+	return n
+}
 
 // Stats returns a snapshot of machine-level accounting. Elapsed is measured
 // from kernel creation; Idle includes partial in-progress idle spans and is
@@ -345,14 +388,13 @@ func (k *Kernel) SpawnAffinity(name string, program Program, affinity int) *Thre
 	if affinity != AffinityAny && (affinity < 0 || affinity >= len(k.cpus)) {
 		panic(fmt.Sprintf("kernel: affinity %d outside [0,%d)", affinity, len(k.cpus)))
 	}
-	t := &Thread{
-		id:       k.nextID,
-		name:     name,
-		program:  program,
-		kern:     k,
-		state:    StateReady,
-		affinity: affinity,
-	}
+	t := k.allocThread()
+	t.id = k.nextID
+	t.name = name
+	t.program = program
+	t.kern = k
+	t.state = StateReady
+	t.affinity = affinity
 	switch {
 	case affinity != AffinityAny:
 		t.cpu = affinity
@@ -364,6 +406,7 @@ func (k *Kernel) SpawnAffinity(name string, program Program, affinity int) *Thre
 		}
 	}
 	k.nextID++
+	t.listIdx = len(k.threads)
 	k.threads = append(k.threads, t)
 	now := k.Now()
 	k.policy.AddThread(t, now)
@@ -904,7 +947,7 @@ func (k *Kernel) block(t *Thread, wq *WaitQueue, now sim.Time) {
 	t.waitingOn = wq
 	wq.push(t)
 	if k.tracer != nil {
-		k.tracer.OnBlock(now, t, wq.name)
+		k.tracer.OnBlock(now, t, wq.label())
 	}
 	k.policy.Dequeue(t, now)
 	if c := &k.cpus[t.cpu]; c.current == t {
@@ -1043,6 +1086,78 @@ func (k *Kernel) exit(t *Thread, now sim.Time) {
 	if k.onExit != nil {
 		k.onExit(t, now)
 	}
+	if k.recycle {
+		k.recycleThread(t)
+	}
+}
+
+// threadSlabSize is how many Thread objects one slab chunk holds.
+const threadSlabSize = 256
+
+// allocThread returns a zeroed Thread object: from the free pool when
+// recycling has banked one, otherwise carved from the current slab chunk.
+// The caller fills the identity fields; gen carries over from the slot's
+// previous life so stale-reference detection survives reissue.
+func (k *Kernel) allocThread() *Thread {
+	if t := k.freeThread; t != nil {
+		k.freeThread = t.freeNext
+		t.freeNext = nil
+		return t
+	}
+	if len(k.thrSlab) == 0 {
+		k.thrSlab = make([]Thread, threadSlabSize)
+	}
+	t := &k.thrSlab[0]
+	k.thrSlab = k.thrSlab[1:]
+	return t
+}
+
+// recycleThread scrubs an exited thread and returns its object to the
+// pool. It runs only after the exit hook, when every layer above has
+// dropped (or snapshotted) its references. A thread that exits while
+// holding a mutex is left un-pooled — Mutex.owner keeps naming it — which
+// is exactly the reachable-forever behavior the non-recycling kernel has.
+func (k *Kernel) recycleThread(t *Thread) {
+	if t.ownedMutexes != 0 {
+		return
+	}
+	// Defensive detach: the exit paths already cancel these, but a stale
+	// wake timer or wait-queue link reaching into the pool would wake a
+	// stranger.
+	if t.waitingOn != nil {
+		t.waitingOn.remove(t)
+		t.waitingOn = nil
+	}
+	if t.wakeTimer != nil {
+		t.wakeTimer.Cancel()
+		t.wakeTimer = nil
+	}
+	// The switch-cost test compares lastRan by identity; a reissued object
+	// must read as "someone else ran last", exactly like the stale,
+	// never-reissued pointer it replaces — hence the sentinel, which no
+	// dispatch ever picks.
+	for i := range k.cpus {
+		if k.cpus[i].lastRan == t {
+			k.cpus[i].lastRan = &k.exitStub
+		}
+	}
+	// Swap-remove from the live list.
+	last := len(k.threads) - 1
+	if moved := k.threads[last]; moved != t {
+		k.threads[t.listIdx] = moved
+		moved.listIdx = t.listIdx
+	}
+	k.threads[last] = nil
+	k.threads = k.threads[:last]
+	// Scrub every field. The generation bump is what turns a retained
+	// stale reference into a deterministic panic at the public layer
+	// instead of silent corruption; state stays Exited so raw pointer
+	// holders that poll State() keep reading a retired thread until the
+	// slot is reissued.
+	gen := t.gen + 1
+	*t = Thread{gen: gen, state: StateExited}
+	t.freeNext = k.freeThread
+	k.freeThread = t
 }
 
 func (k *Kernel) beginIdle(c *cpu, now sim.Time) {

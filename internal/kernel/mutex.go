@@ -54,10 +54,13 @@ func (m *Mutex) Acquisitions() uint64 { return m.acquisitions }
 // Contended returns the number of lock attempts that blocked.
 func (m *Mutex) Contended() uint64 { return m.contended }
 
-// tryLock attempts to acquire m for t without blocking.
+// tryLock attempts to acquire m for t without blocking. The owner's
+// held-mutex count keeps a lock-holding thread out of the recycling pool
+// (see Kernel.recycleThread).
 func (m *Mutex) tryLock(t *Thread) bool {
 	if m.owner == nil {
 		m.owner = t
+		t.ownedMutexes++
 		m.acquisitions++
 		return true
 	}
@@ -76,8 +79,10 @@ func (m *Mutex) unlock(t *Thread) *Thread {
 	}
 	next := m.waiters.pop()
 	m.owner = next
+	t.ownedMutexes--
 	if next != nil {
 		m.acquisitions++
+		next.ownedMutexes++
 		next.waitingOn = nil
 	}
 	return next

@@ -26,21 +26,31 @@ type Queue struct {
 	// watchers are notified after every successful fill change — the push
 	// half of event-driven progress tracking. Nil (the default) costs the
 	// transfer paths one length check.
-	watchers []func()
+	watchers []QueueWatcher
 }
 
-// NewQueue creates a bounded buffer of the given byte capacity.
+// NewQueue creates a bounded buffer of the given byte capacity. Queues
+// are carved from a slab chunk (they are never freed — a pooled session
+// pipeline recycles them via Reset instead), and the wait-queue halves
+// derive their trace labels lazily, so a queue costs 1/256th of an
+// allocation rather than three.
 func (k *Kernel) NewQueue(name string, size int64) *Queue {
 	if size <= 0 {
 		panic("kernel: queue size must be positive")
 	}
-	return &Queue{
+	if len(k.queueSlab) == 0 {
+		k.queueSlab = make([]Queue, 256)
+	}
+	q := &k.queueSlab[0]
+	k.queueSlab = k.queueSlab[1:]
+	*q = Queue{
 		kern:     k,
 		name:     name,
 		size:     size,
-		notFull:  WaitQueue{name: name + ".notFull"},
-		notEmpty: WaitQueue{name: name + ".notEmpty"},
+		notFull:  WaitQueue{name: name, kind: wqNotFull},
+		notEmpty: WaitQueue{name: name, kind: wqNotEmpty},
 	}
+	return q
 }
 
 // Name returns the queue's name.
@@ -62,17 +72,42 @@ func (q *Queue) Produced() int64 { return q.produced }
 // Consumed returns the total bytes ever dequeued.
 func (q *Queue) Consumed() int64 { return q.consumed }
 
-// Watch registers fn to be invoked after every successful transfer in or
-// out of the queue — i.e. whenever the fill level (the progress signal)
-// actually moves. Watchers must be cheap and must not drive the machine;
-// the event-driven control plane uses them to mark jobs dirty.
-func (q *Queue) Watch(fn func()) { q.watchers = append(q.watchers, fn) }
+// QueueWatcher is notified after every successful transfer in or out of
+// a watched queue — i.e. whenever the fill level (the progress signal)
+// actually moves. It is an interface rather than a func so callers can
+// register pooled watcher objects without a closure allocation per
+// registration; implementations must be cheap and must not drive the
+// machine. The event-driven control plane uses watchers to mark jobs
+// dirty.
+type QueueWatcher interface {
+	QueueChanged()
+}
+
+// Watch registers w for fill-change notification.
+func (q *Queue) Watch(w QueueWatcher) { q.watchers = append(q.watchers, w) }
 
 // notifyWatchers fires the registered fill-change watchers.
 func (q *Queue) notifyWatchers() {
-	for _, fn := range q.watchers {
-		fn()
+	for _, w := range q.watchers {
+		w.QueueChanged()
 	}
+}
+
+// Reset returns the queue to its freshly-created state — empty, zero
+// transfer totals, no watchers — so a pooled owner (a recycled session's
+// pipeline) can reuse the object instead of allocating a new one. It
+// panics if any thread is still blocked on the queue: a parked waiter
+// belongs to the previous life, and carrying it across a reuse would hand
+// its wakeup to a stranger.
+func (q *Queue) Reset() {
+	if q.notFull.Len() != 0 || q.notEmpty.Len() != 0 {
+		panic(fmt.Sprintf("kernel: Reset of queue %q with blocked threads (%d producers, %d consumers)",
+			q.name, q.notFull.Len(), q.notEmpty.Len()))
+	}
+	q.fill = 0
+	q.produced = 0
+	q.consumed = 0
+	q.watchers = q.watchers[:0]
 }
 
 // ProducerWaiting reports whether a producer is blocked on the queue.

@@ -78,6 +78,22 @@ type Thread struct {
 	// heuristic: time the thread last went Running after a block.
 	runSinceBlock sim.Duration
 
+	// gen is the slot's generation: incremented when the thread object is
+	// recycled into the kernel's free pool, so any holder of a stale
+	// reference can detect that the slot now belongs to a stranger. It is
+	// 0 for the object's first occupant and survives field resets.
+	gen uint32
+	// listIdx is the thread's index in Kernel.threads, maintained so a
+	// recycling kernel can swap-remove an exited thread in O(1).
+	listIdx int
+	// freeNext links the object into the kernel's thread free list while
+	// pooled.
+	freeNext *Thread
+	// ownedMutexes counts mutexes this thread currently holds. A thread
+	// that exits while holding a lock is never recycled: the Mutex.owner
+	// pointer would otherwise dangle into the pool.
+	ownedMutexes int
+
 	// Sched is the policy's per-thread state; the kernel never touches it.
 	Sched any
 	// User is the embedding layer's per-thread state (the public package
@@ -88,6 +104,12 @@ type Thread struct {
 
 // ID returns the thread's kernel-assigned identifier.
 func (t *Thread) ID() int { return t.id }
+
+// Gen returns the slot's generation counter. A recycling kernel bumps it
+// every time the object is returned to the pool, so a holder that saved
+// the generation at spawn can detect use-after-retire of a recycled slot
+// deterministically: saved != current means the slot was reissued.
+func (t *Thread) Gen() uint32 { return t.gen }
 
 // CPU returns the CPU the thread is currently assigned to.
 func (t *Thread) CPU() int { return t.cpu }
@@ -135,17 +157,50 @@ func (t *Thread) String() string {
 // WaitQueue is a FIFO list of blocked threads. It is the kernel's basic
 // blocking primitive; queues and mutexes are built on top of it.
 type WaitQueue struct {
-	name    string
+	name string
+	// kind distinguishes a queue's embedded not-full/not-empty halves so
+	// their trace labels can be derived lazily instead of concatenated at
+	// construction (two string allocations per queue, paid by every
+	// pooled session pipeline otherwise).
+	kind wqKind
+	// inline backs the waiters slice for the common one-or-two-waiter
+	// case (a pipeline queue has at most one producer and one consumer),
+	// so parking a thread allocates nothing.
+	inline  [2]*Thread
 	waiters []*Thread
 }
+
+type wqKind uint8
+
+const (
+	wqPlain wqKind = iota
+	wqNotFull
+	wqNotEmpty
+)
 
 // NewWaitQueue returns an empty named wait queue.
 func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
 
+// label returns the trace name, deriving the queue-half suffix on demand.
+func (wq *WaitQueue) label() string {
+	switch wq.kind {
+	case wqNotFull:
+		return wq.name + ".notFull"
+	case wqNotEmpty:
+		return wq.name + ".notEmpty"
+	}
+	return wq.name
+}
+
 // Len returns the number of parked threads.
 func (wq *WaitQueue) Len() int { return len(wq.waiters) }
 
-func (wq *WaitQueue) push(t *Thread) { wq.waiters = append(wq.waiters, t) }
+func (wq *WaitQueue) push(t *Thread) {
+	if wq.waiters == nil {
+		wq.waiters = wq.inline[:0]
+	}
+	wq.waiters = append(wq.waiters, t)
+}
 
 func (wq *WaitQueue) pop() *Thread {
 	if len(wq.waiters) == 0 {

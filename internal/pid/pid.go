@@ -38,35 +38,44 @@ type Config struct {
 // Controller is a discrete PID controller. It is deliberately a plain
 // struct stepped by the caller once per control interval; the simulation
 // owns the clock.
+// The SWiFT components are embedded by value, not held by pointer: a
+// feedback controller is allocated per real-rate job, and an admission
+// storm creates tens of thousands of them, so the whole assembly must be
+// one allocation (and poolable as one object).
 type Controller struct {
-	cfg     Config
-	integ   *swift.Integrator
-	deriv   *swift.Differentiator
-	dfilter *swift.LowPass
-	efilter *swift.LowPass
-	clamp   *swift.Clamp
-	lastOut float64
+	cfg        Config
+	integ      swift.Integrator
+	deriv      swift.Differentiator
+	dfilter    swift.LowPass
+	efilter    swift.LowPass
+	clamp      swift.Clamp
+	hasDFilter bool
+	hasEFilter bool
+	hasClamp   bool
+	lastOut    float64
 }
 
 // New returns a controller with the given configuration.
 func New(cfg Config) *Controller {
 	c := &Controller{
 		cfg: cfg,
-		integ: &swift.Integrator{
+		integ: swift.Integrator{
 			Limit:   cfg.IntegralLimit,
 			LimitLo: cfg.IntegralLo,
 			LimitHi: cfg.IntegralHi,
 		},
-		deriv: &swift.Differentiator{},
 	}
 	if cfg.DerivativeTau > 0 {
-		c.dfilter = &swift.LowPass{Tau: cfg.DerivativeTau}
+		c.dfilter = swift.LowPass{Tau: cfg.DerivativeTau}
+		c.hasDFilter = true
 	}
 	if cfg.InputTau > 0 {
-		c.efilter = &swift.LowPass{Tau: cfg.InputTau}
+		c.efilter = swift.LowPass{Tau: cfg.InputTau}
+		c.hasEFilter = true
 	}
 	if cfg.OutHi > cfg.OutLo {
-		c.clamp = &swift.Clamp{Lo: cfg.OutLo, Hi: cfg.OutHi}
+		c.clamp = swift.Clamp{Lo: cfg.OutLo, Hi: cfg.OutHi}
+		c.hasClamp = true
 	}
 	return c
 }
@@ -75,17 +84,17 @@ func New(cfg Config) *Controller {
 // measured error err (set point minus measurement, or in the paper's terms
 // the progress pressure), returning the new actuation value.
 func (c *Controller) Step(err, dt float64) float64 {
-	if c.efilter != nil {
+	if c.hasEFilter {
 		err = c.efilter.Step(err, dt)
 	}
 	p := c.cfg.Kp * err
 	i := c.cfg.Ki * c.integ.Step(err, dt)
 	d := c.deriv.Step(err, dt)
-	if c.dfilter != nil {
+	if c.hasDFilter {
 		d = c.dfilter.Step(d, dt)
 	}
 	out := p + i + c.cfg.Kd*d
-	if c.clamp != nil {
+	if c.hasClamp {
 		out = c.clamp.Step(out, dt)
 	}
 	c.lastOut = out
@@ -114,10 +123,10 @@ func (c *Controller) ScaleIntegral(f float64) {
 func (c *Controller) Reset() {
 	c.integ.Reset()
 	c.deriv.Reset()
-	if c.dfilter != nil {
+	if c.hasDFilter {
 		c.dfilter.Reset()
 	}
-	if c.efilter != nil {
+	if c.hasEFilter {
 		c.efilter.Reset()
 	}
 	c.lastOut = 0

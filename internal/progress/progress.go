@@ -92,7 +92,14 @@ func (m QueueMetric) F() float64 { return m.Queue.FillLevel() - 0.5 }
 
 // Watch implements Watchable: the signal moves exactly when the queue's
 // fill does.
-func (m QueueMetric) Watch(fn func()) { m.Queue.Watch(fn) }
+func (m QueueMetric) Watch(fn func()) { m.Queue.Watch(funcWatcher{fn}) }
+
+// funcWatcher adapts a plain func to the kernel's QueueWatcher interface
+// for the generic Watchable path; the registry's queue-metric fast path
+// bypasses it with pooled watcher objects.
+type funcWatcher struct{ fn func() }
+
+func (w funcWatcher) QueueChanged() { w.fn() }
 
 // VirtualQueue is the pseudo-progress metric of §4.5 for applications with
 // no natural bounded buffer ("a pure computation ... could use a metric
@@ -174,6 +181,23 @@ func (v *VirtualQueue) Describe() string {
 type Registry struct {
 	entries map[*kernel.Thread][]Metric
 
+	// freeEnts recycles the per-thread metric slices across
+	// register/unregister churn: an open-loop storm registering one
+	// source per session would otherwise allocate a fresh slice per
+	// admission forever. Slices are scrubbed before reuse.
+	freeEnts [][]Metric
+
+	// qmBoxed interns the boxed interface value for each (queue, role)
+	// pair, so re-registering a recycled queue does not re-box the same
+	// QueueMetric. Entries are value types with no life cycle; the cache
+	// is bounded by the number of distinct queues ever registered.
+	qmBoxed map[QueueMetric]Metric
+
+	// qwSlab is the current chunk backing queue-metric watcher objects
+	// (see watch); carving them from a slab keeps watcher wiring
+	// allocation-free per registration.
+	qwSlab []queueWatcher
+
 	// dirty, when set, is invoked with the owning thread whenever one of
 	// its watchable metrics announces a signal change. Nil (the default)
 	// keeps registration free of watcher wiring.
@@ -201,10 +225,47 @@ func (r *Registry) SetDirtyHook(fn func(t *kernel.Thread)) {
 	}
 }
 
-// watch attaches the dirty hook to one metric if it is watchable.
+// watch attaches the dirty hook to one metric if it is watchable. The
+// closure snapshots the thread's slot generation: when thread slots are
+// recycled, a watcher wired to a previous life of the slot must not mark
+// the slot's new occupant dirty (a metric the new thread never
+// registered), so the callback no-ops once the generation moves on.
 func (r *Registry) watch(t *kernel.Thread, m Metric) {
+	if qm, ok := m.(QueueMetric); ok {
+		// Queue metrics — the overwhelmingly common case on the session
+		// storm path — get a slab-carved watcher object instead of a
+		// closure: zero amortized allocation per registration.
+		if len(r.qwSlab) == 0 {
+			r.qwSlab = make([]queueWatcher, 256)
+		}
+		w := &r.qwSlab[0]
+		r.qwSlab = r.qwSlab[1:]
+		*w = queueWatcher{r: r, t: t, gen: t.Gen()}
+		qm.Queue.Watch(w)
+		return
+	}
 	if w, ok := m.(Watchable); ok {
-		w.Watch(func() { r.dirty(t) })
+		gen := t.Gen()
+		w.Watch(func() {
+			if t.Gen() == gen {
+				r.dirty(t)
+			}
+		})
+	}
+}
+
+// queueWatcher is the pooled gen-guarded dirty hook for queue metrics: it
+// must not mark the slot's new occupant dirty once the thread generation
+// moves on (see watch).
+type queueWatcher struct {
+	r   *Registry
+	t   *kernel.Thread
+	gen uint32
+}
+
+func (w *queueWatcher) QueueChanged() {
+	if w.t.Gen() == w.gen {
+		w.r.dirty(w.t)
 	}
 }
 
@@ -228,7 +289,12 @@ func (r *Registry) Watched(t *kernel.Thread) bool {
 // metrics (a pipeline stage is consumer of one queue and producer of the
 // next); their pressures sum per Figure 3.
 func (r *Registry) Register(t *kernel.Thread, m Metric) {
-	r.entries[t] = append(r.entries[t], m)
+	ms, ok := r.entries[t]
+	if !ok && len(r.freeEnts) > 0 {
+		ms = r.freeEnts[len(r.freeEnts)-1]
+		r.freeEnts = r.freeEnts[:len(r.freeEnts)-1]
+	}
+	r.entries[t] = append(ms, m)
 	if r.dirty != nil {
 		r.watch(t, m)
 	}
@@ -236,12 +302,35 @@ func (r *Registry) Register(t *kernel.Thread, m Metric) {
 
 // RegisterQueue is shorthand for the common producer/consumer linkage.
 func (r *Registry) RegisterQueue(t *kernel.Thread, q *kernel.Queue, role Role) {
-	r.Register(t, QueueMetric{Queue: q, Role: role})
+	qm := QueueMetric{Queue: q, Role: role}
+	m, ok := r.qmBoxed[qm]
+	if !ok {
+		if r.qmBoxed == nil {
+			r.qmBoxed = make(map[QueueMetric]Metric)
+		}
+		m = qm
+		r.qmBoxed[qm] = m
+	}
+	r.Register(t, m)
 }
 
-// Unregister removes all linkage for a thread (e.g. on exit).
+// Unregister removes all linkage for a thread (e.g. on exit). The
+// thread's metric slice is scrubbed and kept for reuse by a later
+// Register.
 func (r *Registry) Unregister(t *kernel.Thread) {
+	ms, ok := r.entries[t]
+	if !ok {
+		return
+	}
 	delete(r.entries, t)
+	if cap(ms) == 0 {
+		return
+	}
+	ms = ms[:cap(ms)]
+	for i := range ms {
+		ms[i] = nil
+	}
+	r.freeEnts = append(r.freeEnts, ms[:0])
 }
 
 // HasMetrics reports whether t supplied any progress metric — the

@@ -111,6 +111,10 @@ type state struct {
 	// totalGranted accumulates the budgets granted across periods, for the
 	// proportion-delivery property tests.
 	totalGranted sim.Duration
+
+	// freeNext links the object into the policy's free list while pooled
+	// (recycle mode only).
+	freeNext *state
 }
 
 // Policy is the reservation-based dispatcher.
@@ -142,6 +146,13 @@ type Policy struct {
 	// enqueue; the kernel's per-CPU tick hook consumes them.
 	needResched []bool
 	missedTotal uint64
+
+	// stSlab is the chunk backing new per-thread states; freeState heads
+	// the free list of recycled ones (recycle mode only).
+	stSlab    []state
+	freeState *state
+	// recycle pools a thread's state at RemoveThread (see SetRecycle).
+	recycle bool
 }
 
 // shardOf returns the shard of t's assigned CPU.
@@ -173,19 +184,59 @@ func (p *Policy) Kernel() *kernel.Kernel { return p.k }
 
 func stateOf(t *kernel.Thread) *state { return t.Sched.(*state) }
 
+// SetRecycle turns per-thread state recycling on or off. When on, a
+// thread's state object returns to a free pool at RemoveThread (thread
+// exit) and its Sched slot is nilled; the read-only accessors then report
+// the unregistered zero for exited threads instead of their final values.
+// Callers that inspect exited threads' scheduling state after a run — the
+// proportion-delivery property tests do — must leave it off (the default).
+func (p *Policy) SetRecycle(on bool) { p.recycle = on }
+
+// stateSlabSize is how many per-thread state objects one slab chunk holds.
+const stateSlabSize = 256
+
+// allocState returns a fresh unregistered state: from the free pool when
+// recycling has banked one, otherwise carved from the current slab chunk.
+func (p *Policy) allocState() *state {
+	if st := p.freeState; st != nil {
+		p.freeState = st.freeNext
+		*st = state{heapIdx: -1, exhIdx: -1, boundLevel: levelNone, boundSlot: boundNone, boundIdx: -1}
+		return st
+	}
+	if len(p.stSlab) == 0 {
+		p.stSlab = make([]state, stateSlabSize)
+	}
+	st := &p.stSlab[0]
+	p.stSlab = p.stSlab[1:]
+	st.heapIdx, st.exhIdx = -1, -1
+	st.boundLevel, st.boundSlot, st.boundIdx = levelNone, boundNone, -1
+	return st
+}
+
 // AddThread implements kernel.Policy: new threads start unregistered.
 func (p *Policy) AddThread(t *kernel.Thread, now sim.Time) {
-	t.Sched = &state{heapIdx: -1, exhIdx: -1, boundLevel: levelNone, boundSlot: boundNone, boundIdx: -1}
+	t.Sched = p.allocState()
 }
 
 // RemoveThread implements kernel.Policy. The thread leaves the proportion
 // total here rather than at the controller's next reap, matching the old
 // full-scan TotalProportion which skipped exited threads on every call.
+// In recycle mode the state object is pooled here: the kernel guarantees
+// the thread is already out of every dispatch structure (Dequeue runs
+// first on the exit path), so nothing in the shard still references it.
 func (p *Policy) RemoveThread(t *kernel.Thread, now sim.Time) {
-	st := stateOf(t)
+	st, ok := t.Sched.(*state)
+	if !ok {
+		return
+	}
 	if st.counted {
 		p.totalProp -= st.res.Proportion
 		st.counted = false
+	}
+	if p.recycle {
+		t.Sched = nil
+		st.freeNext = p.freeState
+		p.freeState = st
 	}
 }
 
@@ -201,7 +252,13 @@ func (p *Policy) SetReservation(t *kernel.Thread, res Reservation) error {
 		return fmt.Errorf("rbs: non-positive period %v", res.Period)
 	}
 	now := p.k.Now()
-	st := stateOf(t)
+	st, ok := t.Sched.(*state)
+	if !ok {
+		// Recycled (exited) thread: installing a reservation on a thread
+		// with no scheduling state is the same silent no-op it always was
+		// on an exited, un-recycled one — nothing is queued, nothing wakes.
+		return nil
+	}
 	if !st.registered || st.res.Period != res.Period {
 		if st.counted {
 			p.totalProp += res.Proportion - st.res.Proportion
@@ -240,15 +297,23 @@ func (p *Policy) SetReservation(t *kernel.Thread, res Reservation) error {
 	return nil
 }
 
-// ReservationOf returns t's reservation and whether it is registered.
+// ReservationOf returns t's reservation and whether it is registered. A
+// recycled (exited) thread reads as unregistered.
 func (p *Policy) ReservationOf(t *kernel.Thread) (Reservation, bool) {
-	st := stateOf(t)
+	st, ok := t.Sched.(*state)
+	if !ok {
+		return Reservation{}, false
+	}
 	return st.res, st.registered
 }
 
-// Unregister returns t to the unmanaged round-robin class.
+// Unregister returns t to the unmanaged round-robin class. Unregistering a
+// recycled (exited) thread is a no-op.
 func (p *Policy) Unregister(t *kernel.Thread) {
-	st := stateOf(t)
+	st, ok := t.Sched.(*state)
+	if !ok {
+		return
+	}
 	if st.counted {
 		p.totalProp -= st.res.Proportion
 		st.counted = false
@@ -258,14 +323,22 @@ func (p *Policy) Unregister(t *kernel.Thread) {
 	p.reconcile(t, st)
 }
 
-// UsedThisPeriod returns the CPU t consumed in its current period.
+// UsedThisPeriod returns the CPU t consumed in its current period, zero
+// for a recycled (exited) thread.
 func (p *Policy) UsedThisPeriod(t *kernel.Thread) sim.Duration {
-	return stateOf(t).used
+	if st, ok := t.Sched.(*state); ok {
+		return st.used
+	}
+	return 0
 }
 
-// TotalGranted returns the cumulative budget ever granted to t.
+// TotalGranted returns the cumulative budget ever granted to t, zero for a
+// recycled (exited) thread.
 func (p *Policy) TotalGranted(t *kernel.Thread) sim.Duration {
-	return stateOf(t).totalGranted
+	if st, ok := t.Sched.(*state); ok {
+		return st.totalGranted
+	}
+	return 0
 }
 
 // MissedDeadlines returns the count of periods that ended with a runnable

@@ -104,9 +104,19 @@ type Recorder struct {
 	threads map[string]*threadStats
 	// byThread caches the stats entry (and the interned name string) per
 	// thread pointer, so the per-event path is two map-free field reads.
-	byThread map[*kernel.Thread]*threadStats
+	// The generation guards against pooled slot reissue: a recycled thread
+	// object must re-resolve its name instead of inheriting the previous
+	// occupant's cache entry.
+	byThread map[*kernel.Thread]traceCache
 	// rng drives reservoir replacement; fixed seed keeps runs replayable.
 	rng *sim.RNG
+}
+
+// traceCache is one entry of the pointer-keyed stats cache: valid only
+// while the thread object's generation still matches.
+type traceCache struct {
+	st  *threadStats
+	gen uint32
 }
 
 var _ kernel.Tracer = (*Recorder)(nil)
@@ -116,7 +126,7 @@ func NewRecorder() *Recorder {
 	return &Recorder{
 		MaxLatencySamples: 4096,
 		threads:           make(map[string]*threadStats),
-		byThread:          make(map[*kernel.Thread]*threadStats),
+		byThread:          make(map[*kernel.Thread]traceCache),
 		rng:               sim.NewRNG(0x7ace5eed),
 	}
 }
@@ -132,8 +142,9 @@ func (r *Recorder) Reset() {
 }
 
 func (r *Recorder) stats(t *kernel.Thread) *threadStats {
-	if st, ok := r.byThread[t]; ok {
-		return st
+	gen := t.Gen()
+	if c, ok := r.byThread[t]; ok && c.gen == gen {
+		return c.st
 	}
 	name := t.Name()
 	st, ok := r.threads[name]
@@ -141,7 +152,7 @@ func (r *Recorder) stats(t *kernel.Thread) *threadStats {
 		st = &threadStats{name: name}
 		r.threads[name] = st
 	}
-	r.byThread[t] = st
+	r.byThread[t] = traceCache{st: st, gen: gen}
 	return st
 }
 

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	realrate "repro"
@@ -67,7 +68,10 @@ type sessionRef struct {
 	stage int
 }
 
-// sessionState is one session's live bookkeeping.
+// sessionState is one session's live bookkeeping. Under the fast path
+// (invariant checking off) states are pooled: a terminal session's state
+// — queues, thread slots, embedded stage programs — is recycled to a
+// later arrival instead of being reallocated per session.
 type sessionState struct {
 	id      int
 	arrival time.Duration
@@ -78,6 +82,23 @@ type sessionState struct {
 	// killed) and kills the session.
 	done                     []bool
 	refused, completed, dead bool
+
+	// Fast-path pooling fields.
+	//
+	// idx is the state's position in sr.sess for O(1) swap-removal (−1
+	// when not listed); alive counts threads that have not yet exited —
+	// the state recycles when it reaches zero on a terminal session.
+	idx   int
+	alive int
+	// srcLink is the ingest stage's producer link, boxed once per pooled
+	// state so re-admission does not re-box the interface value.
+	srcLink realrate.ProgressSource
+	// The stage programs live inside the state (reset per admission), so
+	// a session spawns zero program closures.
+	src      srcState
+	mids     []midState
+	sink     sinkState
+	freeNext *sessionState
 }
 
 // sessionRun drives the planned sessions through one run. It implements
@@ -101,6 +122,45 @@ type sessionRun struct {
 	dead, met                   int
 
 	violations []Violation
+
+	// Fast-path machinery (active when the invariant checker is off):
+	// pooled session states, a single rolling arrival timer instead of
+	// one armed closure per plan, per-kind interned thread names, and a
+	// reused SpawnReq so an admission allocates no option closures.
+	fast     bool
+	names    [2]sessionNames // indexed rr=0, be=1
+	plans    []sessionPlan
+	next     int
+	arr      *realrate.Timer
+	freeSess *sessionState
+	slots    int
+	req      realrate.SpawnReq
+	srcSrc   [1]realrate.ProgressSource
+
+	// Fresh-slot build slabs: a saturated storm's pool can only serve
+	// sessions that have fully retired, so the peak-live population is
+	// built fresh — these chunks amortize that construction to a handful
+	// of allocations per 256 slots instead of ~6 per slot.
+	stSlab   []sessionState
+	doneSlab []bool
+	qSlab    []*realrate.Queue
+	thSlab   []*realrate.Thread
+	midSlab  []midState
+	nameBuf  []byte
+}
+
+// sessionNames are one session kind's interned thread names.
+type sessionNames struct {
+	kind, src, sink string
+	mid             []string // mid[s-1] names stage s
+}
+
+func makeSessionNames(kind string, stages int) sessionNames {
+	n := sessionNames{kind: kind, src: "sess." + kind + ".src", sink: "sess." + kind + ".sink"}
+	for s := 1; s < stages-1; s++ {
+		n.mid = append(n.mid, fmt.Sprintf("sess.%s.s%d", kind, s))
+	}
+	return n
 }
 
 func newSessionRun(r *run, spec SessionSpec) *sessionRun {
@@ -131,20 +191,50 @@ func newSessionRun(r *run, spec SessionSpec) *sessionRun {
 		// tracker's, which falls back the same way.
 		sr.deadline = realrate.DefaultSessionSLO
 	}
+	if r.chk == nil {
+		// Without the invariant checker (open-loop storm benchmarks and
+		// production-shaped sweeps) the recycling fast path drives
+		// sessions; the checker-on path keeps the classic per-session
+		// allocation so the pools-on/off A/B comparison runs an identical
+		// driver on both sides.
+		sr.fast = true
+		sr.names[0] = makeSessionNames("rr", sr.stages)
+		sr.names[1] = makeSessionNames("be", sr.stages)
+	}
 	return sr
 }
 
 // payload is the total bytes a session moves through each queue.
 func (sr *sessionRun) payload() int64 { return sr.chunks * sr.chunk }
 
-// schedule arms one timer per planned arrival.
+// schedule arms the planned arrivals: classically one timer closure per
+// plan; on the fast path one rolling Timer walks the (monotone) plan
+// list, batching every same-instant arrival through a single callback.
 func (sr *sessionRun) schedule(plans []sessionPlan) {
-	for i := range plans {
-		id, p := i, plans[i]
-		sr.r.sys.After(p.at, func(now time.Duration) {
-			sr.spawn(id, p, now)
-		})
+	if !sr.fast {
+		for i := range plans {
+			id, p := i, plans[i]
+			sr.r.sys.After(p.at, func(now time.Duration) {
+				sr.spawn(id, p, now)
+			})
+		}
+		return
 	}
+	if len(plans) == 0 {
+		return
+	}
+	sr.plans = plans
+	sr.arr = sr.r.sys.NewTimer(func(now time.Duration) {
+		for sr.next < len(sr.plans) && sr.plans[sr.next].at <= now {
+			i := sr.next
+			sr.next++
+			sr.spawnFast(i, sr.plans[i], now)
+		}
+		if sr.next < len(sr.plans) {
+			sr.arr.Arm(sr.plans[sr.next].at - now)
+		}
+	})
+	sr.arr.Arm(plans[0].at)
 }
 
 // kindOf names the session class for thread names and the SLO report's
@@ -234,6 +324,255 @@ func (sr *sessionRun) spawn(id int, p sessionPlan, now time.Duration) {
 		st.threads = append(st.threads, mth)
 		sr.byTh[mth] = sessionRef{st, s}
 	}
+}
+
+// spawnFast is the pooled-admission form of spawn: session state, queues,
+// stage programs, and thread names all come from pools or interned
+// tables, so a refused arrival allocates nothing and an admitted one
+// allocates only its thread handles. Semantics match spawn exactly — the
+// same admission order, the same veto points, the same counters.
+func (sr *sessionRun) spawnFast(id int, p sessionPlan, now time.Duration) {
+	sr.started++
+	if sr.spec.MaxLive > 0 && sr.live >= sr.spec.MaxLive {
+		sr.refused++
+		return
+	}
+	st := sr.acquireState(id, now)
+	names := &sr.names[0]
+	if p.bestEffort {
+		names = &sr.names[1]
+	}
+
+	sr.req = realrate.SpawnReq{Importance: p.importance}
+	if p.bestEffort {
+		sr.req.Class = realrate.SpawnMisc
+	} else {
+		sr.req.Class = realrate.SpawnRealRate
+		sr.srcSrc[0] = st.srcLink
+		sr.req.Sources = sr.srcSrc[:]
+	}
+	st.src = srcState{sr: sr, st: st, out: st.queues[0], compute: true}
+	primary, err := sr.r.sys.SpawnFrom(names.src, &st.src, &sr.req)
+	if err != nil {
+		sr.refused++
+		sr.releaseState(st)
+		return
+	}
+	st.threads = append(st.threads, primary)
+	sr.byTh[primary] = sessionRef{st, 0}
+	st.alive = 1
+	sr.live++
+	if sr.live > sr.peakLive {
+		sr.peakLive = sr.live
+	}
+	st.idx = len(sr.sess)
+	sr.sess = append(sr.sess, st)
+
+	member := sr.r.policy == "rbs"
+	for s := 1; s < sr.stages; s++ {
+		var prog realrate.Program
+		var name string
+		if s < sr.stages-1 {
+			m := &st.mids[s-1]
+			*m = midState{sr: sr, st: st, stage: s, in: st.queues[s-1], out: st.queues[s]}
+			prog, name = m, names.mid[s-1]
+		} else {
+			st.sink = sinkState{sr: sr, st: st, kind: names.kind, in: st.queues[s-1], consume: true}
+			prog, name = &st.sink, names.sink
+		}
+		sr.req = realrate.SpawnReq{}
+		if member {
+			sr.req.Class = realrate.SpawnMember
+			sr.req.Job = primary
+		}
+		mth, merr := sr.r.sys.SpawnFrom(name, prog, &sr.req)
+		if merr != nil {
+			// Members are veto-exempt; a refusal here is a harness bug.
+			sr.violate("session-conservation", now,
+				"session %d stage %d refused after the primary was admitted: %v", id, s, merr)
+			sr.killSession(st, nil)
+			return
+		}
+		st.threads = append(st.threads, mth)
+		sr.byTh[mth] = sessionRef{st, s}
+		st.alive++
+	}
+}
+
+// acquireState returns a scrubbed session state: from the pool when a
+// previous session has fully retired, otherwise freshly built with its
+// own queue pipeline (named per pool slot, not per session — the checker
+// is off on the fast path, and recycled queues keep their slot name
+// across logical sessions).
+func (sr *sessionRun) acquireState(id int, now time.Duration) *sessionState {
+	if st := sr.freeSess; st != nil {
+		sr.freeSess = st.freeNext
+		st.freeNext = nil
+		st.id, st.arrival = id, now
+		st.refused, st.completed, st.dead = false, false, false
+		for i := range st.done {
+			st.done[i] = false
+		}
+		for _, q := range st.queues {
+			q.Recycle()
+		}
+		return st
+	}
+	if len(sr.stSlab) == 0 {
+		sr.stSlab = make([]sessionState, 256)
+	}
+	st := &sr.stSlab[0]
+	sr.stSlab = sr.stSlab[1:]
+	*st = sessionState{id: id, arrival: now, idx: -1}
+	if len(sr.doneSlab) < sr.stages {
+		sr.doneSlab = make([]bool, 256*sr.stages)
+	}
+	st.done = sr.doneSlab[:sr.stages:sr.stages]
+	sr.doneSlab = sr.doneSlab[sr.stages:]
+	nq := sr.stages - 1
+	if len(sr.qSlab) < nq {
+		sr.qSlab = make([]*realrate.Queue, 256*nq)
+	}
+	st.queues = sr.qSlab[:nq:nq]
+	sr.qSlab = sr.qSlab[nq:]
+	if len(sr.thSlab) < sr.stages {
+		sr.thSlab = make([]*realrate.Thread, 256*sr.stages)
+	}
+	st.threads = sr.thSlab[:0:sr.stages]
+	sr.thSlab = sr.thSlab[sr.stages:]
+	if sr.stages > 2 {
+		if len(sr.midSlab) < sr.stages-2 {
+			sr.midSlab = make([]midState, 256*(sr.stages-2))
+		}
+		st.mids = sr.midSlab[: sr.stages-2 : sr.stages-2]
+		sr.midSlab = sr.midSlab[sr.stages-2:]
+	}
+	slot := sr.slots
+	sr.slots++
+	for i := range st.queues {
+		st.queues[i] = sr.r.sys.NewQueue(sr.queueName(slot, i), sr.chunk*2)
+	}
+	st.srcLink = realrate.ProducerOf(st.queues[0])
+	return st
+}
+
+// queueName builds "sessp<slot>.q<i>" through a reused scratch buffer —
+// one string allocation per fresh queue, versus fmt.Sprintf's three.
+func (sr *sessionRun) queueName(slot, i int) string {
+	b := append(sr.nameBuf[:0], "sessp"...)
+	b = strconv.AppendInt(b, int64(slot), 10)
+	b = append(b, ".q"...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	sr.nameBuf = b
+	return string(b)
+}
+
+// releaseState scrubs thread references and banks the state for reuse.
+// Queues are recycled lazily at the next acquire, not here: release runs
+// inside the kernel's exit path, and deferring the reset keeps that path
+// read-only on queue state.
+func (sr *sessionRun) releaseState(st *sessionState) {
+	for i := range st.threads {
+		st.threads[i] = nil
+	}
+	st.threads = st.threads[:0]
+	st.freeNext = sr.freeSess
+	sr.freeSess = st
+}
+
+// recycleSession retires a terminal session's state once its last thread
+// has exited: swap-removed from the live list and returned to the pool.
+func (sr *sessionRun) recycleSession(st *sessionState) {
+	if st.idx >= 0 {
+		last := len(sr.sess) - 1
+		sr.sess[st.idx] = sr.sess[last]
+		sr.sess[st.idx].idx = st.idx
+		sr.sess[last] = nil
+		sr.sess = sr.sess[:last]
+		st.idx = -1
+	}
+	sr.releaseState(st)
+}
+
+// srcState, midState, and sinkState are the struct forms of srcProg,
+// stageProg, and sinkProg: embedded in the pooled session state, stepping
+// through the exact same action sequences via a reusable Ops buffer, so a
+// recycled session admits with zero program or op-box allocations.
+type srcState struct {
+	sr      *sessionRun
+	st      *sessionState
+	out     *realrate.Queue
+	sent    int64
+	compute bool
+	ops     realrate.Ops
+}
+
+func (p *srcState) Next(th *realrate.Thread, now time.Duration) realrate.Action {
+	if p.sent >= p.sr.chunks {
+		p.st.done[0] = true
+		return realrate.Exit()
+	}
+	if p.compute {
+		p.compute = false
+		return p.ops.Compute(p.sr.work)
+	}
+	p.compute = true
+	p.sent++
+	return p.ops.Produce(p.out, p.sr.chunk)
+}
+
+type midState struct {
+	sr      *sessionRun
+	st      *sessionState
+	stage   int
+	in, out *realrate.Queue
+	moved   int64
+	phase   int
+	ops     realrate.Ops
+}
+
+func (p *midState) Next(th *realrate.Thread, now time.Duration) realrate.Action {
+	switch p.phase {
+	case 0:
+		if p.moved >= p.sr.chunks {
+			p.st.done[p.stage] = true
+			return realrate.Exit()
+		}
+		p.phase = 1
+		return p.ops.Consume(p.in, p.sr.chunk)
+	case 1:
+		p.phase = 2
+		return p.ops.Compute(p.sr.work)
+	default:
+		p.phase = 0
+		p.moved++
+		return p.ops.Produce(p.out, p.sr.chunk)
+	}
+}
+
+type sinkState struct {
+	sr      *sessionRun
+	st      *sessionState
+	kind    string
+	in      *realrate.Queue
+	got     int64
+	consume bool
+	ops     realrate.Ops
+}
+
+func (p *sinkState) Next(th *realrate.Thread, now time.Duration) realrate.Action {
+	if p.got >= p.sr.chunks {
+		p.st.done[len(p.st.done)-1] = true
+		p.sr.complete(p.st, p.kind, now)
+		return realrate.Exit()
+	}
+	if p.consume {
+		p.consume = false
+		return p.ops.Consume(p.in, p.sr.chunk)
+	}
+	p.consume = true
+	p.got++
+	return p.ops.Compute(p.sr.work)
 }
 
 // srcProg is the ingest stage: per chunk, one compute burst then one
@@ -363,10 +702,17 @@ func (sr *sessionRun) OnExit(now time.Duration, th *realrate.Thread) {
 		return
 	}
 	delete(sr.byTh, th)
-	if ref.st.done[ref.stage] {
-		return // voluntary completion
+	if !ref.st.done[ref.stage] {
+		sr.killSession(ref.st, th) // involuntary: shed or killed mid-payload
 	}
-	sr.killSession(ref.st, th)
+	if sr.fast {
+		ref.st.alive--
+		if ref.st.alive == 0 && (ref.st.completed || ref.st.dead) {
+			// Last thread of a terminal session: the pipeline can never be
+			// touched again, so its state returns to the pool.
+			sr.recycleSession(ref.st)
+		}
+	}
 }
 
 // violate records one session-oracle breach, capped like the checker's.

@@ -74,6 +74,58 @@ func Yield() Action { return Action{kernel.OpYield{}} }
 // Exit retires the thread.
 func Exit() Action { return Action{kernel.OpExit{}} }
 
+// Ops is a reusable action buffer for allocation-sensitive programs. The
+// package-level constructors (Compute, Produce, Consume, ...) box a fresh
+// kernel operation on every call, so a program stepped millions of times
+// across an open-loop storm pays one small heap allocation per step just
+// for the box. An Ops value owns one operation of each kind and its
+// methods return Actions backed by that storage, making the steady-state
+// step cost zero allocations.
+//
+// One Ops belongs to one thread's program. An Action returned by a method
+// stays valid until the same method is called again — exactly the
+// lifetime of one program step, since the kernel never holds an operation
+// past the step that completes it. Yield and Exit have no parameters to
+// carry, so the package-level constructors are already allocation-free
+// for them.
+type Ops struct {
+	compute    kernel.OpCompute
+	produce    kernel.OpProduce
+	consume    kernel.OpConsume
+	sleep      kernel.OpSleep
+	sleepUntil kernel.OpSleepUntil
+}
+
+// Compute is the reusable form of the package-level Compute.
+func (o *Ops) Compute(n int64) Action {
+	o.compute.Cycles = sim.Cycles(n)
+	return Action{&o.compute}
+}
+
+// Produce is the reusable form of the package-level Produce.
+func (o *Ops) Produce(q *Queue, n int64) Action {
+	o.produce.Queue, o.produce.Bytes = q.q, n
+	return Action{&o.produce}
+}
+
+// Consume is the reusable form of the package-level Consume.
+func (o *Ops) Consume(q *Queue, n int64) Action {
+	o.consume.Queue, o.consume.Bytes = q.q, n
+	return Action{&o.consume}
+}
+
+// Sleep is the reusable form of the package-level Sleep.
+func (o *Ops) Sleep(d time.Duration) Action {
+	o.sleep.D = sim.FromStd(d)
+	return Action{&o.sleep}
+}
+
+// SleepUntil is the reusable form of the package-level SleepUntil.
+func (o *Ops) SleepUntil(at time.Duration) Action {
+	o.sleepUntil.At = sim.Time(at)
+	return Action{&o.sleepUntil}
+}
+
 // programAdapter bridges the public Program to the kernel's interface.
 type programAdapter struct {
 	sys  *System

@@ -17,8 +17,16 @@ type Queue struct {
 }
 
 // NewQueue creates a bounded buffer of the given capacity in bytes.
+// Wrappers are carved from a slab chunk, like the kernel queues beneath
+// them, so a session-pipeline storm pays 1/256th of an allocation each.
 func (s *System) NewQueue(name string, size int64) *Queue {
-	return &Queue{sys: s, q: s.kern.NewQueue(name, size)}
+	if len(s.qSlab) == 0 {
+		s.qSlab = make([]Queue, 256)
+	}
+	q := &s.qSlab[0]
+	s.qSlab = s.qSlab[1:]
+	*q = Queue{sys: s, q: s.kern.NewQueue(name, size)}
+	return q
 }
 
 // Name returns the queue's name.
@@ -38,6 +46,14 @@ func (q *Queue) Produced() int64 { return q.q.Produced() }
 
 // Consumed returns total bytes ever dequeued.
 func (q *Queue) Consumed() int64 { return q.q.Consumed() }
+
+// Recycle empties the queue and zeroes its counters so the object can be
+// reused for a new logical stream — a pooled session pipeline reattaches
+// a recycled queue instead of allocating one per session. The caller must
+// prove the previous life is over: Recycle panics if any thread is
+// blocked on the queue, and every thread linked to it must have exited
+// (their progress registrations are torn down with them at exit).
+func (q *Queue) Recycle() { q.q.Reset() }
 
 // QueueLink declares a thread's role on a queue — the canonical
 // ProgressSource, and the public form of the meta-interface registration

@@ -109,6 +109,15 @@ type Config struct {
 	// periodic — keeps the classic controller thread and its
 	// byte-identical dispatch schedule.
 	CtlPlane CtlPlaneConfig
+	// DisablePools turns off free-list recycling of the spawn→exit life
+	// cycle: kernel thread slots, reservation segments, scheduler
+	// per-thread state, and controller jobs are then left to the garbage
+	// collector instead of being reissued to later spawns. Recycling is
+	// on by default — it changes no dispatch schedule (pools preserve
+	// enqueue-sequence tie-breaks and observer event order) and cuts
+	// allocation churn by an order of magnitude under open-loop spawn
+	// storms. The knob exists for A/B verification of exactly that claim.
+	DisablePools bool
 }
 
 // ControllerTuning exposes the controller knobs that experiments vary.
@@ -156,6 +165,15 @@ type System struct {
 	// cannot grow the map without bound.
 	byKern map[*kernel.Thread]*Thread
 
+	// thSlab is the current chunk backing public Thread handles. Handles
+	// are deliberately NOT pooled — a caller may hold one long after the
+	// thread exits and read its frozen statistics — but carving them from
+	// slab chunks makes an admission storm cost 1/256th of an allocation
+	// per spawn instead of one.
+	thSlab []Thread
+	// qSlab backs public Queue wrappers the same way.
+	qSlab []Queue
+
 	hub       observerHub
 	onQuality func(QualityEvent)
 
@@ -172,6 +190,11 @@ type System struct {
 	// srcRejects counts NaN/Inf values refused by the custom-source
 	// clamping adapter (see customMetric), feeding Health.
 	srcRejects uint64
+
+	// pooled mirrors !Config.DisablePools: exited threads' slots and
+	// controller jobs are recycled, so exits must be reaped eagerly (see
+	// threadExited) and handles carry their slot generation.
+	pooled bool
 
 	started bool
 }
@@ -315,6 +338,16 @@ func NewSystem(cfg Config) *System {
 		// the registry's dirty hook.
 		s.plane = buildPlane(s, cfg.CtlPlane)
 	}
+	if !cfg.DisablePools {
+		s.pooled = true
+		kern.SetRecycle(true)
+		if rbsPol != nil {
+			rbsPol.SetRecycle(true)
+		}
+		if s.ctl != nil {
+			s.ctl.SetRecycle(true)
+		}
+	}
 	return s
 }
 
@@ -353,6 +386,54 @@ func (s *System) After(d time.Duration, fn func(now time.Duration)) {
 		panic("realrate: negative delay")
 	}
 	s.eng.After(iv, func(now sim.Time) { fn(time.Duration(now)) })
+}
+
+// Timer is a reusable one-shot simulation timer: the callback is wired
+// once at creation and the timer is re-armed with Arm, reusing the
+// engine's pooled event object. Open-loop drivers firing hundreds of
+// thousands of irregular arrivals use one Timer re-armed from inside its
+// own callback instead of one System.After closure per arrival.
+type Timer struct {
+	sys *System
+	fn  func(now time.Duration)
+	efn func(sim.Time)
+	ev  *sim.Event
+	// firing marks the span of the callback itself; armed marks a pending
+	// schedule. Together they tell Arm whether the engine event object is
+	// still ours to re-arm or has been recycled.
+	firing, armed bool
+}
+
+// NewTimer returns an unarmed timer that will call fn at each instant it
+// is armed for.
+func (s *System) NewTimer(fn func(now time.Duration)) *Timer {
+	t := &Timer{sys: s, fn: fn}
+	t.efn = func(now sim.Time) {
+		t.firing, t.armed = true, false
+		t.fn(time.Duration(now))
+		t.firing = false
+		if !t.armed {
+			t.ev = nil // the engine recycles the event once we return
+		}
+	}
+	return t
+}
+
+// Arm schedules the timer to fire once, d from now. Arming a pending
+// timer moves it; re-arming from inside the callback is the periodic
+// idiom and costs no allocation.
+func (t *Timer) Arm(d time.Duration) {
+	iv := sim.FromStd(d)
+	if iv < 0 {
+		panic("realrate: negative delay")
+	}
+	when := t.sys.eng.Now().Add(iv)
+	if t.ev != nil && (t.firing || t.armed) {
+		t.sys.eng.Reschedule(t.ev, when)
+	} else {
+		t.ev = t.sys.eng.At(when, t.efn)
+	}
+	t.armed = true
 }
 
 // Every schedules fn to be called with the simulated timestamp every

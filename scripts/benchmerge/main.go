@@ -100,6 +100,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Record per-benchmark allocation deltas against the previous history
+	// entry, so allocation regressions are visible in the file itself and
+	// on stdout, not only by diffing entries by hand.
+	if len(history) > 0 {
+		prevEntry, _ := history[len(history)-1].(map[string]any)
+		prevResults, _ := prevEntry["results"].(map[string]any)
+		for name, v := range results {
+			entry := v.(map[string]any)
+			cur, ok := entry["allocs_op"].(float64)
+			if !ok {
+				continue
+			}
+			prev, ok := prevResults[name].(map[string]any)
+			if !ok {
+				continue
+			}
+			old, ok := prev["allocs_op"].(float64)
+			if !ok {
+				continue
+			}
+			entry["allocs_op_delta"] = cur - old
+			if cur != old {
+				fmt.Printf("benchmerge: %s allocs/op %+.0f (%.0f -> %.0f)\n", name, cur-old, old, cur)
+			}
+		}
+	}
+
 	doc["history"] = append(history, map[string]any{
 		"date": *date, "label": *label, "results": results,
 	})

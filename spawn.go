@@ -237,11 +237,113 @@ func (s *System) Spawn(name string, prog Program, opts ...SpawnOption) (*Thread,
 			return nil, err
 		}
 	}
+	return s.spawnSpecd(name, prog, &sp)
+}
+
+// SpawnClass selects the Figure 2 taxonomy slot of a SpawnReq. The zero
+// value is miscellaneous, mirroring Spawn with no class option.
+type SpawnClass int
+
+// SpawnReq classes, mirroring the Spawn class options.
+const (
+	// SpawnMisc declares nothing; the constant-pressure heuristic grows
+	// the thread's allocation until satisfied or squished (the default).
+	SpawnMisc SpawnClass = iota
+	// SpawnReserve requests a hard reservation of Proportion over Period.
+	SpawnReserve
+	// SpawnAperiodic requests Proportion with the default period.
+	SpawnAperiodic
+	// SpawnRealRate has proportion (and, with Period 0, period) estimated
+	// from Sources.
+	SpawnRealRate
+	// SpawnInteractive declares a tty-server thread.
+	SpawnInteractive
+	// SpawnUnmanaged runs outside the controller entirely.
+	SpawnUnmanaged
+	// SpawnMember joins the thread to Job's existing job.
+	SpawnMember
+)
+
+// SpawnReq is the struct form of a Spawn call for allocation-sensitive
+// callers: an open-loop storm driver can hold one SpawnReq (and its
+// Sources backing array) and reuse it for every admission, where the
+// variadic Spawn builds an options slice and a closure per option on each
+// call. Semantics are identical to the equivalent Spawn options.
+type SpawnReq struct {
+	// Class selects the taxonomy slot; the zero value is miscellaneous.
+	Class SpawnClass
+	// Proportion (ppt) applies to SpawnReserve and SpawnAperiodic.
+	Proportion int
+	// Period applies to SpawnReserve (required) and SpawnRealRate
+	// (0 lets the controller assign it).
+	Period time.Duration
+	// Sources are the progress sources of a SpawnRealRate thread.
+	Sources []ProgressSource
+	// Job is the primary thread whose job a SpawnMember thread joins.
+	Job *Thread
+	// Importance, when nonzero, sets the weighted-fair-share weight.
+	Importance float64
+	// Pinned pins the thread to CPU (Pinned false ignores CPU and lets
+	// the machine place and migrate the thread).
+	Pinned bool
+	CPU    int
+}
+
+// SpawnFrom creates a thread running prog, classified by req. It is
+// Spawn for hot paths: no option closures, no variadic slice, and a spec
+// that never escapes to the heap.
+func (s *System) SpawnFrom(name string, prog Program, req *SpawnReq) (*Thread, error) {
+	sp := spawnSpec{affinity: kernel.AffinityAny}
+	switch req.Class {
+	case SpawnMisc:
+		sp.class = classMisc
+	case SpawnReserve:
+		sp.class = classReserve
+		sp.ppt, sp.period = req.Proportion, req.Period
+	case SpawnAperiodic:
+		sp.class = classAperiodic
+		sp.ppt = req.Proportion
+	case SpawnRealRate:
+		if len(req.Sources) == 0 {
+			return nil, fmt.Errorf("realrate: SpawnRealRate needs at least one progress source")
+		}
+		sp.class = classRealRate
+		sp.period, sp.sources = req.Period, req.Sources
+	case SpawnInteractive:
+		sp.class = classInteractive
+	case SpawnUnmanaged:
+		sp.class = classUnmanaged
+	case SpawnMember:
+		if req.Job == nil {
+			return nil, fmt.Errorf("realrate: SpawnMember needs a Job thread")
+		}
+		sp.class = classMember
+		sp.member = req.Job
+	default:
+		return nil, fmt.Errorf("realrate: unknown SpawnClass %d", req.Class)
+	}
+	if req.Importance != 0 {
+		if req.Importance < 0 {
+			return nil, fmt.Errorf("realrate: importance must be positive, got %v", req.Importance)
+		}
+		sp.importance, sp.importanceSet = req.Importance, true
+	}
+	if req.Pinned {
+		if req.CPU < 0 {
+			return nil, fmt.Errorf("realrate: Affinity(%d): CPU must be non-negative", req.CPU)
+		}
+		sp.affinity, sp.affinitySet = req.CPU, true
+	}
+	return s.spawnSpecd(name, prog, &sp)
+}
+
+// spawnSpecd is the class dispatch shared by Spawn and SpawnFrom.
+func (s *System) spawnSpecd(name string, prog Program, sp *spawnSpec) (*Thread, error) {
 	if sp.affinity != kernel.AffinityAny && sp.affinity >= s.kern.NumCPUs() {
 		return nil, fmt.Errorf("realrate: Affinity(%d) outside the machine's %d CPUs", sp.affinity, s.kern.NumCPUs())
 	}
 	if s.ctl == nil {
-		return s.spawnBaseline(name, prog, &sp)
+		return s.spawnBaseline(name, prog, sp)
 	}
 	if sp.ticketsSet || sp.niceSet {
 		return nil, fmt.Errorf("realrate: Tickets/Nice apply to baseline policies, not %s", s.policy.Name())
@@ -264,6 +366,9 @@ func (s *System) Spawn(name string, prog Program, opts ...SpawnOption) (*Thread,
 	}
 
 	if sp.class == classMember {
+		if sp.member.exited {
+			return nil, fmt.Errorf("realrate: cannot add members to job of exited thread %q", sp.member.name)
+		}
 		if sp.member.job == nil {
 			return nil, fmt.Errorf("realrate: cannot add members to an unmanaged thread")
 		}
